@@ -1,0 +1,21 @@
+//! Baseline similarity-join algorithms the paper compares against.
+//!
+//! * [`gravano`] — the customized edit-similarity join of Gravano et al.
+//!   (VLDB 2001), "the best known customized similarity join algorithm for
+//!   edit similarity" per §5.1 of the SSJoin paper: a positional q-gram
+//!   equi-join with length and position filters, followed by edit-distance
+//!   verification (Figure 11's left-hand operator tree).
+//! * [`naive`] — the UDF-over-cross-product strategy §1 warns about:
+//!   evaluate the similarity function on every pair.
+//!
+//! Both record the counters and phase timings needed to regenerate Figure 11
+//! and Table 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gravano;
+pub mod naive;
+
+pub use gravano::{GravanoConfig, GravanoJoin, GravanoStats};
+pub use naive::{naive_join, NaiveStats};

@@ -1,0 +1,53 @@
+//! Property tests: the Gravano baseline against brute force on random
+//! string sets (long enough for the positional q-gram bound to apply).
+
+use proptest::prelude::*;
+use ssjoin_baselines::gravano::brute_force_edit_join;
+use ssjoin_baselines::{naive_join, GravanoConfig, GravanoJoin};
+use ssjoin_sim::edit_similarity;
+
+/// Strings of 8–20 chars over a small alphabet: long enough that the
+/// filters of the customized algorithm are sound at θ ≥ 0.8.
+fn corpus_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[ab ]{8,20}", 1..14)
+}
+
+proptest! {
+    #[test]
+    fn gravano_matches_brute_force(data in corpus_strategy(), theta in 0.8f64..0.98) {
+        let join = GravanoJoin::new(GravanoConfig::new(3, theta));
+        let (pairs, stats) = join.run(&data, &data);
+        let mut keys: Vec<(u32, u32)> = pairs.iter().map(|p| (p.r, p.s)).collect();
+        keys.sort_unstable();
+        let mut expect = brute_force_edit_join(&data, &data, theta);
+        expect.sort_unstable();
+        prop_assert_eq!(keys, expect);
+        prop_assert!(stats.edit_comparisons <= (data.len() * data.len()) as u64);
+    }
+
+    #[test]
+    fn count_filter_never_changes_results(data in corpus_strategy(), theta in 0.8f64..0.95) {
+        let plain = GravanoJoin::new(GravanoConfig::new(3, theta));
+        let counted = GravanoJoin::new(GravanoConfig::new(3, theta).with_count_filter());
+        let (p1, s1) = plain.run(&data, &data);
+        let (p2, s2) = counted.run(&data, &data);
+        let k = |ps: &[ssjoin_baselines::gravano::GravanoPair]| {
+            let mut v: Vec<(u32, u32)> = ps.iter().map(|p| (p.r, p.s)).collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(k(&p1), k(&p2));
+        prop_assert!(s2.edit_comparisons <= s1.edit_comparisons);
+    }
+
+    #[test]
+    fn naive_join_is_ground_truth(data in proptest::collection::vec("[ab]{0,8}", 0..10),
+                                  theta in 0.3f64..1.0) {
+        let (pairs, stats) = naive_join(&data, &data, theta, |a, b| edit_similarity(a, b));
+        prop_assert_eq!(stats.comparisons, (data.len() * data.len()) as u64);
+        for &(i, j, sim) in &pairs {
+            prop_assert!(sim >= theta - 1e-9);
+            prop_assert!((sim - edit_similarity(&data[i as usize], &data[j as usize])).abs() < 1e-12);
+        }
+    }
+}

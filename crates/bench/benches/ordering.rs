@@ -1,0 +1,43 @@
+//! Ablation of the global element order `O` (§4.3.2): the paper's
+//! ascending-frequency order against the alternatives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssjoin_bench::evaluation_corpus;
+use ssjoin_core::{
+    ssjoin, Algorithm, ElementOrder, OverlapPredicate, SsJoinConfig, SsJoinInputBuilder,
+    WeightScheme,
+};
+use ssjoin_text::{Tokenizer, WordTokenizer};
+
+fn bench_ordering(c: &mut Criterion) {
+    let corpus = evaluation_corpus(0.08);
+    let tok = WordTokenizer::new().lowercased();
+    let groups: Vec<Vec<String>> = corpus.records.iter().map(|s| tok.tokenize(s)).collect();
+    let pred = OverlapPredicate::two_sided(0.85);
+
+    let mut g = c.benchmark_group("element_order");
+    g.sample_size(10);
+    for order in [
+        ElementOrder::FrequencyAsc,
+        ElementOrder::FrequencyDesc,
+        ElementOrder::Lexicographic,
+        ElementOrder::Hashed,
+    ] {
+        let mut b = SsJoinInputBuilder::new(WeightScheme::Idf, order);
+        let h = b.add_relation(groups.clone());
+        let collection = b.build().collection(h).clone();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{order:?}")),
+            &collection,
+            |bench, col| {
+                bench.iter(|| {
+                    ssjoin(col, col, &pred, &SsJoinConfig::new(Algorithm::Inline)).expect("join")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ordering);
+criterion_main!(benches);

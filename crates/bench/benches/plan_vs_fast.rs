@@ -1,0 +1,74 @@
+//! The operator-tree formulation (Figures 7–9 over the relational engine)
+//! against the fused executors — the price of strict compositionality.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssjoin_bench::evaluation_corpus;
+use ssjoin_core::plan::{basic_plan, collection_to_relation, inline_plan, prefix_plan, run_plan};
+use ssjoin_core::{
+    ssjoin, Algorithm, ElementOrder, OverlapPredicate, SsJoinConfig, SsJoinInputBuilder,
+    WeightScheme,
+};
+use ssjoin_text::{Tokenizer, WordTokenizer};
+use std::sync::Arc;
+
+fn bench_plan_vs_fast(c: &mut Criterion) {
+    let corpus = evaluation_corpus(0.02); // 500 rows: plans materialize a lot
+    let tok = WordTokenizer::new().lowercased();
+    let groups: Vec<Vec<String>> = corpus.records.iter().map(|s| tok.tokenize(s)).collect();
+    let mut b = SsJoinInputBuilder::new(WeightScheme::Idf, ElementOrder::FrequencyAsc);
+    let h = b.add_relation(groups);
+    let collection = b.build().collection(h).clone();
+    let pred = OverlapPredicate::two_sided(0.85);
+    let rel = Arc::new(collection_to_relation(&collection));
+
+    let mut g = c.benchmark_group("plan_vs_fast");
+    g.sample_size(10);
+    g.bench_function("fast_basic", |bench| {
+        bench.iter(|| {
+            ssjoin(
+                &collection,
+                &collection,
+                &pred,
+                &SsJoinConfig::new(Algorithm::Basic),
+            )
+            .expect("join")
+        })
+    });
+    g.bench_function("plan_basic_fig7", |bench| {
+        bench.iter(|| run_plan(basic_plan(rel.clone(), rel.clone(), &pred).as_ref()).expect("plan"))
+    });
+    g.bench_function("fast_inline", |bench| {
+        bench.iter(|| {
+            ssjoin(
+                &collection,
+                &collection,
+                &pred,
+                &SsJoinConfig::new(Algorithm::Inline),
+            )
+            .expect("join")
+        })
+    });
+    g.bench_function("plan_prefix_fig8", |bench| {
+        bench.iter(|| {
+            run_plan(
+                prefix_plan(
+                    rel.clone(),
+                    rel.clone(),
+                    &pred,
+                    collection.norm_range(),
+                    collection.norm_range(),
+                )
+                .as_ref(),
+            )
+            .expect("plan")
+        })
+    });
+    g.bench_function("plan_inline_fig9", |bench| {
+        bench
+            .iter(|| run_plan(inline_plan(&collection, &collection, &pred).as_ref()).expect("plan"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_plan_vs_fast);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! The three physical SSJoin executors on a fixed corpus — the core of
+//! Figures 10 and 12, in Criterion form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssjoin_bench::evaluation_corpus;
+use ssjoin_core::{
+    ssjoin, Algorithm, ElementOrder, OverlapPredicate, SetCollection, SsJoinConfig,
+    SsJoinInputBuilder, WeightScheme,
+};
+use ssjoin_text::{Tokenizer, WordTokenizer};
+
+fn build_collection(rows: f64) -> SetCollection {
+    let corpus = evaluation_corpus(rows);
+    let tok = WordTokenizer::new().lowercased();
+    let groups: Vec<Vec<String>> = corpus.records.iter().map(|s| tok.tokenize(s)).collect();
+    let mut b = SsJoinInputBuilder::new(WeightScheme::Idf, ElementOrder::FrequencyAsc);
+    let h = b.add_relation(groups);
+    b.build().collection(h).clone()
+}
+
+fn bench_exec(c: &mut Criterion) {
+    let collection = build_collection(0.08); // 2,000 rows
+    let mut g = c.benchmark_group("ssjoin_exec");
+    g.sample_size(10);
+    for theta in [0.7, 0.85, 0.95] {
+        let pred = OverlapPredicate::two_sided(theta);
+        for alg in [
+            Algorithm::Basic,
+            Algorithm::PrefixFiltered,
+            Algorithm::Inline,
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{alg:?}"), theta),
+                &pred,
+                |b, pred| {
+                    b.iter(|| {
+                        ssjoin(&collection, &collection, pred, &SsJoinConfig::new(alg))
+                            .expect("join")
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_exec);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation of §4.3.4: candidate verification by joining back to the base
+//! relations (prefix-filtered) vs merging inline-carried sets. Same
+//! candidates, different verification machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssjoin_bench::evaluation_corpus;
+use ssjoin_core::{
+    ssjoin, Algorithm, ElementOrder, OverlapPredicate, SsJoinConfig, SsJoinInputBuilder,
+    WeightScheme,
+};
+use ssjoin_text::{Tokenizer, WordTokenizer};
+
+fn bench_verify(c: &mut Criterion) {
+    let corpus = evaluation_corpus(0.08);
+    let tok = WordTokenizer::new().lowercased();
+    let groups: Vec<Vec<String>> = corpus.records.iter().map(|s| tok.tokenize(s)).collect();
+    let mut b = SsJoinInputBuilder::new(WeightScheme::Idf, ElementOrder::FrequencyAsc);
+    let h = b.add_relation(groups);
+    let collection = b.build().collection(h).clone();
+
+    let mut g = c.benchmark_group("verification");
+    g.sample_size(10);
+    for theta in [0.7, 0.85] {
+        let pred = OverlapPredicate::two_sided(theta);
+        g.bench_with_input(
+            BenchmarkId::new("join_back", theta),
+            &pred,
+            |bench, pred| {
+                bench.iter(|| {
+                    ssjoin(
+                        &collection,
+                        &collection,
+                        pred,
+                        &SsJoinConfig::new(Algorithm::PrefixFiltered),
+                    )
+                    .expect("join")
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("inline", theta), &pred, |bench, pred| {
+            bench.iter(|| {
+                ssjoin(
+                    &collection,
+                    &collection,
+                    pred,
+                    &SsJoinConfig::new(Algorithm::Inline),
+                )
+                .expect("join")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_verify);
+criterion_main!(benches);

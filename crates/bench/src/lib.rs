@@ -1,0 +1,40 @@
+//! Shared harness for the experiment binary and the Criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+
+use ssjoin_datagen::{AddressCorpus, AddressCorpusConfig};
+
+/// The paper's evaluation corpus size (25,000 customer addresses).
+pub const PAPER_ROWS: usize = 25_000;
+
+/// The thresholds the paper sweeps in Figures 10–13.
+pub const PAPER_THRESHOLDS: [f64; 4] = [0.80, 0.85, 0.90, 0.95];
+
+/// Table 2's input sizes.
+pub const TABLE2_ROWS: [usize; 4] = [100_000, 200_000, 250_000, 330_000];
+
+/// Generate the standard evaluation corpus at a scale factor (1.0 = the
+/// paper's 25,000 rows). Deterministic.
+pub fn evaluation_corpus(scale: f64) -> AddressCorpus {
+    let rows = ((PAPER_ROWS as f64 * scale).round() as usize).max(10);
+    AddressCorpus::generate(&AddressCorpusConfig::paper_like(rows))
+}
+
+/// Generate a corpus with an explicit row count (Table 2 sizes).
+pub fn corpus_with_rows(rows: usize) -> AddressCorpus {
+    AddressCorpus::generate(&AddressCorpusConfig::paper_like(rows.max(10)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_scaling() {
+        assert_eq!(evaluation_corpus(0.01).records.len(), 250);
+        assert_eq!(corpus_with_rows(123).records.len(), 123);
+    }
+}

@@ -1,0 +1,35 @@
+//! Error type for SSJoin operations.
+
+use std::fmt;
+
+/// Errors raised by SSJoin construction or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsJoinError {
+    /// The two collections were built by different builders and do not share
+    /// an element universe.
+    UniverseMismatch,
+    /// Invalid configuration (e.g. zero threads).
+    Config(String),
+    /// A predicate was structurally invalid.
+    Predicate(String),
+    /// Failure in the relational-plan formulation.
+    Plan(String),
+}
+
+impl fmt::Display for SsJoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsJoinError::UniverseMismatch => {
+                f.write_str("set collections do not share an element universe; build both sides with one SsJoinInputBuilder")
+            }
+            SsJoinError::Config(m) => write!(f, "invalid configuration: {m}"),
+            SsJoinError::Predicate(m) => write!(f, "invalid predicate: {m}"),
+            SsJoinError::Plan(m) => write!(f, "relational plan error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SsJoinError {}
+
+/// Result alias.
+pub type SsJoinResult<T> = std::result::Result<T, SsJoinError>;

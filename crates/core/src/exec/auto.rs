@@ -1,0 +1,225 @@
+//! Cost-based algorithm choice.
+//!
+//! §5 of the paper observes "there is not always a clear winner between the
+//! basic and prefix-filtered implementations", motivating "a cost-based
+//! decision for choosing the appropriate implementation" — left as future
+//! work there (§7). This module implements that choice with a simple,
+//! cheaply-computable model:
+//!
+//! * the basic algorithm's work is dominated by the element equi-join, whose
+//!   exact tuple count is `Σ_e freq_R(e) · freq_S(e)` over posting lists;
+//! * the prefix algorithms' work is the (much smaller) prefix equi-join plus
+//!   a verification merge per candidate; candidates are upper-bounded by the
+//!   prefix join tuples, and each verification costs roughly the two set
+//!   sizes.
+//!
+//! Both estimates are computable from histograms in one linear pass —
+//! exactly what a query optimizer would do with catalog statistics.
+
+use super::prefix::{prefix_lengths, Side};
+use super::{inline, JoinPair};
+use crate::predicate::OverlapPredicate;
+use crate::set::SetCollection;
+use crate::stats::SsJoinStats;
+use crate::Algorithm;
+
+/// Cost estimates for the basic vs. prefix-filtered (inline) plans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Estimated element equi-join tuples for the basic plan.
+    pub basic_join_tuples: u64,
+    /// Estimated prefix equi-join tuples.
+    pub prefix_join_tuples: u64,
+    /// Estimated verification element touches for the prefix plan.
+    pub prefix_verify_cost: u64,
+}
+
+impl CostEstimate {
+    /// Total cost of the basic plan in abstract "element touches".
+    pub fn basic_cost(&self) -> u64 {
+        self.basic_join_tuples
+    }
+
+    /// Total cost of the prefix (inline) plan.
+    pub fn prefix_cost(&self) -> u64 {
+        self.prefix_join_tuples + self.prefix_verify_cost
+    }
+
+    /// The algorithm the model picks.
+    pub fn choice(&self) -> Algorithm {
+        if self.basic_cost() <= self.prefix_cost() {
+            Algorithm::Basic
+        } else {
+            Algorithm::Inline
+        }
+    }
+}
+
+/// Estimate plan costs from element-frequency histograms.
+pub fn estimate_costs(
+    r: &SetCollection,
+    s: &SetCollection,
+    pred: &OverlapPredicate,
+) -> CostEstimate {
+    let universe = r.universe_size();
+    let mut freq_r = vec![0u32; universe];
+    let mut freq_s = vec![0u32; universe];
+    for set in r.sets() {
+        for &(rank, _) in set.elements() {
+            freq_r[rank as usize] += 1;
+        }
+    }
+    for set in s.sets() {
+        for &(rank, _) in set.elements() {
+            freq_s[rank as usize] += 1;
+        }
+    }
+    let basic_join_tuples: u64 = freq_r
+        .iter()
+        .zip(&freq_s)
+        .map(|(&a, &b)| a as u64 * b as u64)
+        .sum();
+
+    let r_lens = prefix_lengths(r, Side::R, pred, s.norm_range());
+    let s_lens = prefix_lengths(s, Side::S, pred, r.norm_range());
+    let mut pfreq_r = vec![0u32; universe];
+    let mut pfreq_s = vec![0u32; universe];
+    for (set, &len) in r.sets().iter().zip(&r_lens) {
+        for &(rank, _) in &set.elements()[..len] {
+            pfreq_r[rank as usize] += 1;
+        }
+    }
+    for (set, &len) in s.sets().iter().zip(&s_lens) {
+        for &(rank, _) in &set.elements()[..len] {
+            pfreq_s[rank as usize] += 1;
+        }
+    }
+    let prefix_join_tuples: u64 = pfreq_r
+        .iter()
+        .zip(&pfreq_s)
+        .map(|(&a, &b)| a as u64 * b as u64)
+        .sum();
+
+    // Each candidate verification merges two sets; candidates ≤ prefix join
+    // tuples, and the average merged length is the mean set size of both
+    // sides.
+    let avg_len = if r.len() + s.len() == 0 {
+        0
+    } else {
+        ((r.tuple_count() + s.tuple_count()) / (r.len() + s.len()).max(1)) as u64
+    };
+    let prefix_verify_cost = prefix_join_tuples.saturating_mul(avg_len.max(1));
+
+    CostEstimate {
+        basic_join_tuples,
+        prefix_join_tuples,
+        prefix_verify_cost,
+    }
+}
+
+pub(super) fn run(
+    r: &SetCollection,
+    s: &SetCollection,
+    pred: &OverlapPredicate,
+    threads: usize,
+) -> (Vec<JoinPair>, SsJoinStats, Algorithm) {
+    let est = estimate_costs(r, s, pred);
+    match est.choice() {
+        Algorithm::Basic => {
+            let (p, st) = super::basic::run(r, s, pred, threads);
+            (p, st, Algorithm::Basic)
+        }
+        _ => {
+            let (p, st) = inline::run(r, s, pred, threads);
+            (p, st, Algorithm::Inline)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{SsJoinInputBuilder, WeightScheme};
+    use crate::order::ElementOrder;
+
+    fn build(groups: Vec<Vec<String>>, scheme: WeightScheme) -> SetCollection {
+        let mut b = SsJoinInputBuilder::new(scheme, ElementOrder::FrequencyAsc);
+        let h = b.add_relation(groups);
+        b.build().collection(h).clone()
+    }
+
+    #[test]
+    fn basic_join_estimate_is_exact() {
+        let groups: Vec<Vec<String>> = (0..30)
+            .map(|i| (0..4).map(|j| format!("x{}", (i + j * 3) % 11)).collect())
+            .collect();
+        let c = build(groups, WeightScheme::Unweighted);
+        let pred = OverlapPredicate::absolute(2.0);
+        let est = estimate_costs(&c, &c, &pred);
+        let (_, stats) = super::super::basic::run(&c, &c, &pred, 1);
+        assert_eq!(est.basic_join_tuples, stats.join_tuples);
+    }
+
+    #[test]
+    fn prefix_join_estimate_is_exact() {
+        let groups: Vec<Vec<String>> = (0..30)
+            .map(|i| (0..5).map(|j| format!("x{}", (i * 7 + j) % 23)).collect())
+            .collect();
+        let c = build(groups, WeightScheme::Idf);
+        let pred = OverlapPredicate::two_sided(0.8);
+        let est = estimate_costs(&c, &c, &pred);
+        let (_, stats) = super::super::prefix::run(&c, &c, &pred, 1);
+        assert_eq!(est.prefix_join_tuples, stats.join_tuples);
+    }
+
+    #[test]
+    fn high_threshold_picks_prefix() {
+        // High selectivity with a frequent token: prefix filtering avoids
+        // almost the whole join.
+        let groups: Vec<Vec<String>> = (0..80)
+            .map(|i| {
+                vec![
+                    "common".to_string(),
+                    format!("u{i}"),
+                    format!("v{i}"),
+                    format!("w{i}"),
+                ]
+            })
+            .collect();
+        let c = build(groups, WeightScheme::Idf);
+        let pred = OverlapPredicate::two_sided(0.95);
+        let est = estimate_costs(&c, &c, &pred);
+        assert_eq!(est.choice(), Algorithm::Inline, "{est:?}");
+    }
+
+    #[test]
+    fn low_threshold_can_pick_basic() {
+        // At very low thresholds prefixes approach whole sets, so the
+        // prefix plan pays the join AND the verification: basic wins.
+        let groups: Vec<Vec<String>> = (0..40)
+            .map(|i| (0..6).map(|j| format!("t{}", (i + j) % 10)).collect())
+            .collect();
+        let c = build(groups, WeightScheme::Unweighted);
+        let pred = OverlapPredicate::absolute(1.0);
+        let est = estimate_costs(&c, &c, &pred);
+        assert_eq!(est.choice(), Algorithm::Basic, "{est:?}");
+    }
+
+    #[test]
+    fn auto_output_matches_forced_algorithms() {
+        let groups: Vec<Vec<String>> = (0..50)
+            .map(|i| {
+                (0..5)
+                    .map(|j| format!("g{}", (i * 3 + j * 5) % 29))
+                    .collect()
+            })
+            .collect();
+        let c = build(groups, WeightScheme::Idf);
+        let pred = OverlapPredicate::two_sided(0.6);
+        let (mut auto_pairs, _, _) = run(&c, &c, &pred, 1);
+        let (mut basic_pairs, _) = super::super::basic::run(&c, &c, &pred, 1);
+        auto_pairs.sort_unstable_by_key(|p| (p.r, p.s));
+        basic_pairs.sort_unstable_by_key(|p| (p.r, p.s));
+        assert_eq!(auto_pairs, basic_pairs);
+    }
+}

@@ -1,0 +1,86 @@
+//! Inline-representation SSJoin (Figure 9).
+//!
+//! Identical candidate generation to the prefix-filtered algorithm, but each
+//! tuple passing the prefix filter conceptually *carries its whole group
+//! inline* (§4.3.4), so verification is a single merge of two rank-sorted
+//! arrays — no joins back to the base relations, no per-candidate hash table.
+//! The paper finds this variant uniformly faster than the standard
+//! prefix-filtered implementation and usually the best of the three.
+
+use super::prefix::run_prefix_family;
+use super::JoinPair;
+use crate::predicate::OverlapPredicate;
+use crate::set::SetCollection;
+use crate::stats::SsJoinStats;
+
+pub(super) fn run(
+    r: &SetCollection,
+    s: &SetCollection,
+    pred: &OverlapPredicate,
+    threads: usize,
+) -> (Vec<JoinPair>, SsJoinStats) {
+    run_prefix_family(r, s, pred, threads, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{SsJoinInputBuilder, WeightScheme};
+    use crate::order::ElementOrder;
+
+    fn build(groups: Vec<Vec<String>>, scheme: WeightScheme) -> SetCollection {
+        let mut b = SsJoinInputBuilder::new(scheme, ElementOrder::FrequencyAsc);
+        let h = b.add_relation(groups);
+        b.build().collection(h).clone()
+    }
+
+    fn random_groups(n: usize, vocab: usize) -> Vec<Vec<String>> {
+        (0..n)
+            .map(|i| {
+                (0..(2 + i % 6))
+                    .map(|j| format!("v{}", (i * 13 + j * 17) % vocab))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_prefix_filtered_and_basic() {
+        let c = build(random_groups(70, 43), WeightScheme::Idf);
+        for pred in [
+            OverlapPredicate::absolute(1.5),
+            OverlapPredicate::r_normalized(0.7),
+            OverlapPredicate::two_sided(0.6),
+            OverlapPredicate::s_normalized(0.8),
+        ] {
+            let (mut basic, _) = super::super::basic::run(&c, &c, &pred, 1);
+            let (mut prefix, _) = super::super::prefix::run(&c, &c, &pred, 1);
+            let (mut inline, _) = run(&c, &c, &pred, 1);
+            basic.sort_unstable_by_key(|p| (p.r, p.s));
+            prefix.sort_unstable_by_key(|p| (p.r, p.s));
+            inline.sort_unstable_by_key(|p| (p.r, p.s));
+            assert_eq!(basic, inline, "pred {pred:?}");
+            assert_eq!(prefix, inline, "pred {pred:?}");
+        }
+    }
+
+    #[test]
+    fn verification_work_equals_candidates() {
+        let c = build(random_groups(40, 19), WeightScheme::Unweighted);
+        let pred = OverlapPredicate::two_sided(0.5);
+        let (_, stats) = run(&c, &c, &pred, 1);
+        assert_eq!(stats.candidate_pairs, stats.verified_pairs);
+        assert!(stats.candidate_pairs > 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let c = build(random_groups(64, 31), WeightScheme::Idf);
+        let pred = OverlapPredicate::two_sided(0.5);
+        let (mut p1, _) = run(&c, &c, &pred, 1);
+        let (mut p3, _) = run(&c, &c, &pred, 3);
+        p1.sort_unstable_by_key(|p| (p.r, p.s));
+        p3.sort_unstable_by_key(|p| (p.r, p.s));
+        assert_eq!(p1, p3);
+    }
+}

@@ -1,0 +1,302 @@
+//! Physical SSJoin executors.
+//!
+//! All executors share the contract: given two [`SetCollection`]s built by
+//! one [`crate::SsJoinInputBuilder`] and an [`OverlapPredicate`], return
+//! every pair of group ids whose overlap satisfies the predicate, plus the
+//! overlap itself (so downstream similarity-function filters can reuse it).
+//! Output pairs are sorted by `(r, s)` — executors are interchangeable and
+//! the test suite diffs them pairwise.
+
+mod auto;
+mod basic;
+mod inline;
+mod positional;
+mod prefix;
+
+pub use auto::estimate_costs;
+
+use crate::error::{SsJoinError, SsJoinResult};
+use crate::predicate::OverlapPredicate;
+use crate::set::SetCollection;
+use crate::stats::SsJoinStats;
+use crate::weight::Weight;
+
+/// One result pair: group ids on each side plus their weighted overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinPair {
+    /// Group id in the R collection.
+    pub r: u32,
+    /// Group id in the S collection.
+    pub s: u32,
+    /// The weighted overlap of the two groups.
+    pub overlap: Weight,
+}
+
+/// The result of an SSJoin execution.
+#[derive(Debug, Clone)]
+pub struct SsJoinOutput {
+    /// Qualifying pairs, sorted by `(r, s)`.
+    pub pairs: Vec<JoinPair>,
+    /// Phase timings and counters.
+    pub stats: SsJoinStats,
+    /// The algorithm that actually ran (differs from the configured one only
+    /// under [`Algorithm::Auto`]).
+    pub algorithm_used: Algorithm,
+}
+
+/// Physical SSJoin algorithm, per §4 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Algorithm {
+    /// Figure 7: element equi-join + group-by + HAVING, realized as an
+    /// inverted-index accumulation over the full sets.
+    Basic,
+    /// Figure 8: prefix filter, candidate join, then joins back to the base
+    /// relations to regroup and verify.
+    PrefixFiltered,
+    /// Figure 9: prefix filter with the inline set representation —
+    /// verification merges the carried sets directly.
+    #[default]
+    Inline,
+    /// The inline algorithm plus the positional filter: candidates whose
+    /// position-aware overlap upper bound cannot reach the required
+    /// threshold are pruned before the verification merge. An extension of
+    /// the paper's prefix filter in the direction later taken by PPJoin
+    /// (Xiao et al., WWW 2008).
+    PositionalInline,
+    /// Cost-based choice between `Basic` and `Inline` (§7's future work).
+    Auto,
+}
+
+/// Execution configuration.
+#[derive(Debug, Clone)]
+pub struct SsJoinConfig {
+    /// Which physical algorithm to run.
+    pub algorithm: Algorithm,
+    /// Worker threads for the probe/verify loops (1 = sequential).
+    pub threads: usize,
+}
+
+impl SsJoinConfig {
+    /// Config with the given algorithm, single-threaded.
+    pub fn new(algorithm: Algorithm) -> Self {
+        Self {
+            algorithm,
+            threads: 1,
+        }
+    }
+
+    /// Set the worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+impl Default for SsJoinConfig {
+    fn default() -> Self {
+        Self::new(Algorithm::default())
+    }
+}
+
+/// Execute the SSJoin operator `R SSJoin_pred S`.
+///
+/// Both collections must come from the same [`crate::SsJoinInputBuilder`]
+/// run (they must share the element universe); `R` and `S` may be the same
+/// collection (self-join).
+pub fn ssjoin(
+    r: &SetCollection,
+    s: &SetCollection,
+    pred: &OverlapPredicate,
+    config: &SsJoinConfig,
+) -> SsJoinResult<SsJoinOutput> {
+    if r.universe_tag() != s.universe_tag() {
+        return Err(SsJoinError::UniverseMismatch);
+    }
+    if config.threads == 0 {
+        return Err(SsJoinError::Config("threads must be at least 1".into()));
+    }
+    let (mut pairs, stats, used) = match config.algorithm {
+        Algorithm::Basic => {
+            let (p, st) = basic::run(r, s, pred, config.threads);
+            (p, st, Algorithm::Basic)
+        }
+        Algorithm::PrefixFiltered => {
+            let (p, st) = prefix::run(r, s, pred, config.threads);
+            (p, st, Algorithm::PrefixFiltered)
+        }
+        Algorithm::Inline => {
+            let (p, st) = inline::run(r, s, pred, config.threads);
+            (p, st, Algorithm::Inline)
+        }
+        Algorithm::PositionalInline => {
+            let (p, st) = positional::run(r, s, pred, config.threads);
+            (p, st, Algorithm::PositionalInline)
+        }
+        Algorithm::Auto => auto::run(r, s, pred, config.threads),
+    };
+    pairs.sort_unstable_by_key(|p| (p.r, p.s));
+    let mut stats = stats;
+    stats.output_pairs = pairs.len() as u64;
+    Ok(SsJoinOutput {
+        pairs,
+        stats,
+        algorithm_used: used,
+    })
+}
+
+/// Split `0..n` into at most `threads` contiguous chunks.
+pub(crate) fn chunk_ranges(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let threads = threads.max(1).min(n.max(1));
+    let base = n / threads;
+    let extra = n % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for i in 0..threads {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Run `work` over R-id chunks, possibly in parallel, merging pair vectors
+/// and counter-only stats. Phase timing is the caller's responsibility.
+pub(crate) fn run_chunked<F>(n: usize, threads: usize, work: F) -> (Vec<JoinPair>, SsJoinStats)
+where
+    F: Fn(std::ops::Range<usize>) -> (Vec<JoinPair>, SsJoinStats) + Sync,
+{
+    if threads <= 1 || n < 2 {
+        return work(0..n);
+    }
+    let ranges = chunk_ranges(n, threads);
+    let mut results: Vec<Option<(Vec<JoinPair>, SsJoinStats)>> = Vec::new();
+    results.resize_with(ranges.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        let work = &work;
+        let mut handles = Vec::new();
+        for (slot, range) in results.iter_mut().zip(ranges) {
+            handles.push(scope.spawn(move |_| {
+                *slot = Some(work(range));
+            }));
+        }
+        for h in handles {
+            h.join().expect("ssjoin worker panicked");
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let mut pairs = Vec::new();
+    let mut stats = SsJoinStats::default();
+    for slot in results {
+        let (p, st) = slot.expect("worker result present");
+        pairs.extend(p);
+        stats.merge(&st);
+    }
+    (pairs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{SsJoinInputBuilder, WeightScheme};
+    use crate::order::ElementOrder;
+
+    #[test]
+    fn universe_mismatch_rejected() {
+        let build = || {
+            let mut b =
+                SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
+            let h = b.add_relation(vec![vec!["a".to_string()]]);
+            b.build().collection(h).clone()
+        };
+        let (c1, c2) = (build(), build());
+        let err = ssjoin(
+            &c1,
+            &c2,
+            &OverlapPredicate::absolute(1.0),
+            &SsJoinConfig::default(),
+        );
+        assert!(matches!(err, Err(SsJoinError::UniverseMismatch)));
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
+        let h = b.add_relation(vec![vec!["a".to_string()]]);
+        let built = b.build();
+        let c = built.collection(h);
+        let cfg = SsJoinConfig {
+            algorithm: Algorithm::Basic,
+            threads: 0,
+        };
+        let err = ssjoin(c, c, &OverlapPredicate::absolute(1.0), &cfg);
+        assert!(matches!(err, Err(SsJoinError::Config(_))));
+    }
+
+    #[test]
+    fn asymmetric_collections_join() {
+        let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
+        let r = b.add_relation(vec![
+            vec!["x".to_string(), "y".to_string()],
+            vec!["p".to_string()],
+        ]);
+        let s = b.add_relation(vec![vec![
+            "y".to_string(),
+            "x".to_string(),
+            "z".to_string(),
+        ]]);
+        let built = b.build();
+        for alg in [
+            Algorithm::Basic,
+            Algorithm::PrefixFiltered,
+            Algorithm::Inline,
+            Algorithm::PositionalInline,
+        ] {
+            let out = ssjoin(
+                built.collection(r),
+                built.collection(s),
+                &OverlapPredicate::absolute(2.0),
+                &SsJoinConfig::new(alg),
+            )
+            .unwrap();
+            let keys: Vec<(u32, u32)> = out.pairs.iter().map(|p| (p.r, p.s)).collect();
+            assert_eq!(keys, vec![(0, 0)], "alg {alg:?}");
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_everything() {
+        for n in [0usize, 1, 5, 16, 17] {
+            for t in [1usize, 2, 3, 8] {
+                let ranges = chunk_ranges(n, t);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n, "n={n} t={t}");
+                // Contiguous and ordered.
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    expect = r.end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn run_chunked_merges() {
+        let (pairs, stats) = run_chunked(10, 4, |range| {
+            let pairs = range
+                .map(|i| JoinPair {
+                    r: i as u32,
+                    s: 0,
+                    overlap: Weight::ONE,
+                })
+                .collect();
+            let mut st = SsJoinStats::default();
+            st.join_tuples = 1;
+            (pairs, st)
+        });
+        assert_eq!(pairs.len(), 10);
+        assert_eq!(stats.join_tuples, 4); // one per chunk
+    }
+}

@@ -1,0 +1,246 @@
+//! Positional-filter SSJoin — an extension of the prefix filter.
+//!
+//! The prefix filter (Lemma 1) decides *whether* a pair can qualify from
+//! prefix intersection alone. The positional filter — introduced by the
+//! follow-on PPJoin line of work (Xiao et al., WWW 2008) and implemented
+//! here as the natural next optimization of the paper's §4.2 — additionally
+//! exploits *where* in the global order the prefixes intersect: when the
+//! last shared prefix element of a candidate sits at position `i` in `r` and
+//! `j` in `s`, every further shared element has a strictly larger rank and
+//! therefore lies in both suffixes, so
+//!
+//! ```text
+//! overlap(r, s) ≤ shared_prefix_weight + min(suffix_r(i+1), suffix_s(j+1))
+//! ```
+//!
+//! Candidates whose upper bound is below the pair's exact required overlap
+//! are discarded *before* the verification merge — reducing the dominant
+//! cost of the inline algorithm at high thresholds.
+
+use super::basic::InvertedIndex;
+use super::prefix::{prefix_lengths, Side};
+use super::{run_chunked, JoinPair};
+use crate::predicate::OverlapPredicate;
+use crate::set::SetCollection;
+use crate::stats::{timed_phase, Phase, SsJoinStats};
+use crate::weight::Weight;
+
+/// Per-set suffix weight sums: `suffix[i] = Σ weights of elements[i..]`.
+fn suffix_weights(collection: &SetCollection) -> Vec<Vec<Weight>> {
+    collection
+        .sets()
+        .iter()
+        .map(|set| {
+            let elems = set.elements();
+            let mut suffix = vec![Weight::ZERO; elems.len() + 1];
+            for i in (0..elems.len()).rev() {
+                suffix[i] = suffix[i + 1] + elems[i].1;
+            }
+            suffix
+        })
+        .collect()
+}
+
+/// Positional posting: set id, element position within the set, shared with
+/// the inverted index's rank dimension.
+pub(super) fn run(
+    r: &SetCollection,
+    s: &SetCollection,
+    pred: &OverlapPredicate,
+    threads: usize,
+) -> (Vec<JoinPair>, SsJoinStats) {
+    let mut stats = SsJoinStats::default();
+
+    let (r_lens, s_index, s_suffix) = timed_phase(&mut stats, Phase::PrefixFilter, |stats| {
+        let r_lens = prefix_lengths(r, Side::R, pred, s.norm_range());
+        let s_lens = prefix_lengths(s, Side::S, pred, r.norm_range());
+        stats.prefix_tuples_r = r_lens.iter().map(|&l| l as u64).sum();
+        stats.prefix_tuples_s = s_lens.iter().map(|&l| l as u64).sum();
+        let s_index = InvertedIndex::build(s, Some(&s_lens));
+        let s_suffix = suffix_weights(s);
+        (r_lens, s_index, s_suffix)
+    });
+
+    let (pairs, inner) = timed_phase(&mut stats, Phase::SsJoin, |_| {
+        run_chunked(r.len(), threads, |range| {
+            let mut stats = SsJoinStats::default();
+            let mut pairs = Vec::new();
+            let mut stamp: Vec<u32> = vec![u32::MAX; s.len()];
+            let mut slot: Vec<u32> = vec![0; s.len()];
+            // Per-candidate accumulated shared prefix weight and tightest
+            // remaining-weight bound.
+            let mut cand_sids: Vec<u32> = Vec::new();
+            let mut cand_accum: Vec<Weight> = Vec::new();
+            let mut cand_bound: Vec<Weight> = Vec::new();
+
+            for rid in range {
+                let rset = r.set(rid as u32);
+                let plen = r_lens[rid];
+                if plen == 0 {
+                    continue;
+                }
+                cand_sids.clear();
+                cand_accum.clear();
+                cand_bound.clear();
+
+                // Suffix weights of the R set (positions plen.. contribute
+                // to the bound too, so compute over the full set).
+                let relems = rset.elements();
+                let mut r_suffix = vec![Weight::ZERO; relems.len() + 1];
+                for i in (0..relems.len()).rev() {
+                    r_suffix[i] = r_suffix[i + 1] + relems[i].1;
+                }
+
+                for (i, &(rank, w)) in relems[..plen].iter().enumerate() {
+                    for &sid in s_index.postings(rank) {
+                        stats.join_tuples += 1;
+                        let sset = s.set(sid);
+                        // Position of `rank` within the S set (binary search
+                        // over the rank-sorted elements).
+                        let j = sset
+                            .elements()
+                            .binary_search_by_key(&rank, |&(rk, _)| rk)
+                            .expect("posting implies membership");
+                        let k = if stamp[sid as usize] != rid as u32 {
+                            stamp[sid as usize] = rid as u32;
+                            slot[sid as usize] = cand_sids.len() as u32;
+                            cand_sids.push(sid);
+                            cand_accum.push(Weight::ZERO);
+                            cand_bound.push(Weight::ZERO);
+                            cand_sids.len() - 1
+                        } else {
+                            slot[sid as usize] as usize
+                        };
+                        cand_accum[k] += w;
+                        // Bound from the positions *after* this match.
+                        let rem = r_suffix[i + 1].min(s_suffix[sid as usize][j + 1]);
+                        cand_bound[k] = cand_accum[k] + rem;
+                    }
+                }
+                stats.candidate_pairs += cand_sids.len() as u64;
+
+                // Verify in sid order for deterministic output.
+                let mut order: Vec<usize> = (0..cand_sids.len()).collect();
+                order.sort_unstable_by_key(|&k| cand_sids[k]);
+                for k in order {
+                    let sid = cand_sids[k];
+                    let sset = s.set(sid);
+                    let required = pred.required_overlap(rset.norm(), sset.norm());
+                    if cand_bound[k] < required {
+                        continue; // positional prune: skip the merge
+                    }
+                    stats.verified_pairs += 1;
+                    let overlap = rset.overlap(sset);
+                    if pred.check(overlap, rset.norm(), sset.norm()) {
+                        pairs.push(JoinPair {
+                            r: rid as u32,
+                            s: sid,
+                            overlap,
+                        });
+                    }
+                }
+            }
+            (pairs, stats)
+        })
+    });
+    stats.merge(&inner);
+    (pairs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{SsJoinInputBuilder, WeightScheme};
+    use crate::order::ElementOrder;
+
+    fn build(groups: Vec<Vec<String>>, scheme: WeightScheme) -> SetCollection {
+        let mut b = SsJoinInputBuilder::new(scheme, ElementOrder::FrequencyAsc);
+        let h = b.add_relation(groups);
+        b.build().collection(h).clone()
+    }
+
+    fn random_groups(n: usize, vocab: usize) -> Vec<Vec<String>> {
+        (0..n)
+            .map(|i| {
+                (0..(3 + (i * 7) % 6))
+                    .map(|j| format!("v{}", (i * 13 + j * 17) % vocab))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_inline_on_random_inputs() {
+        for scheme in [WeightScheme::Unweighted, WeightScheme::Idf] {
+            let c = build(random_groups(80, 47), scheme);
+            for pred in [
+                OverlapPredicate::absolute(2.0),
+                OverlapPredicate::r_normalized(0.7),
+                OverlapPredicate::two_sided(0.6),
+            ] {
+                let (mut a, _) = super::super::inline::run(&c, &c, &pred, 1);
+                let (mut b, _) = run(&c, &c, &pred, 1);
+                a.sort_unstable_by_key(|p| (p.r, p.s));
+                b.sort_unstable_by_key(|p| (p.r, p.s));
+                assert_eq!(a, b, "scheme {scheme:?} pred {pred:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn positional_prunes_verifications() {
+        // One big set and many small sets all sharing the first-ordered
+        // element "aaa". A (big, small) candidate has bound
+        // 1 + min(9, 3) = 4, far below the required overlap 0.9·10 = 9, so
+        // the positional filter skips its merge; the plain inline algorithm
+        // verifies it.
+        let mut groups: Vec<Vec<String>> = vec![std::iter::once("aaa".to_string())
+            .chain((0..9).map(|i| format!("mm{i}")))
+            .collect()];
+        for i in 0..30 {
+            groups.push(vec![
+                "aaa".to_string(),
+                format!("z{i}x"),
+                format!("z{i}y"),
+                format!("z{i}z"),
+            ]);
+        }
+        let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::Lexicographic);
+        let h = b.add_relation(groups);
+        let c = b.build().collection(h).clone();
+        let pred = OverlapPredicate::two_sided(0.9);
+
+        let (mut inline_pairs, inline_stats) = super::super::inline::run(&c, &c, &pred, 1);
+        let (mut pairs, pos_stats) = run(&c, &c, &pred, 1);
+        assert_eq!(pos_stats.candidate_pairs, inline_stats.candidate_pairs);
+        assert!(
+            pos_stats.verified_pairs < inline_stats.verified_pairs,
+            "positional {} vs inline {}",
+            pos_stats.verified_pairs,
+            inline_stats.verified_pairs
+        );
+        // And the results are identical.
+        inline_pairs.sort_unstable_by_key(|p| (p.r, p.s));
+        pairs.sort_unstable_by_key(|p| (p.r, p.s));
+        assert_eq!(pairs, inline_pairs);
+        assert!(pairs.iter().any(|p| p.r == 0 && p.s == 0));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let c = build(random_groups(64, 31), WeightScheme::Idf);
+        let pred = OverlapPredicate::two_sided(0.5);
+        let (mut p1, _) = run(&c, &c, &pred, 1);
+        let (mut p4, _) = run(&c, &c, &pred, 4);
+        p1.sort_unstable_by_key(|p| (p.r, p.s));
+        p4.sort_unstable_by_key(|p| (p.r, p.s));
+        assert_eq!(p1, p4);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let c = build(vec![vec!["only".to_string()]], WeightScheme::Unweighted);
+        let (pairs, _) = run(&c, &c, &OverlapPredicate::absolute(1.0), 1);
+        assert_eq!(pairs.len(), 1);
+    }
+}

@@ -1,0 +1,302 @@
+//! Prefix-filtered SSJoin (Figure 8) and the shared prefix machinery.
+//!
+//! For every set, only the shortest prefix (under the global order) whose
+//! weight exceeds `β = wt(set) − α_lb` passes the filter, where `α_lb` is a
+//! safe lower bound on the required overlap over all possible partners
+//! (Lemma 1, extended to norm-dependent predicates via interval
+//! lower-bounding). The equi-join of the two prefix-filtered relations
+//! yields candidate group pairs; the full overlap of each candidate is then
+//! recomputed.
+//!
+//! The *standard* variant verifies by joining the candidates back to the
+//! base relations and re-grouping — emulated faithfully by rebuilding a hash
+//! table over each candidate's R-group and probing it with the S-group rows,
+//! exactly the work the extra joins + group-by of Figure 8 perform. The
+//! *inline* variant (Figure 9, in [`super::inline`]) skips that by carrying
+//! sets through the filter and merging them directly.
+
+use super::basic::InvertedIndex;
+use super::{run_chunked, JoinPair};
+use crate::hash::FxHashMap;
+use crate::predicate::{Interval, OverlapPredicate};
+use crate::set::SetCollection;
+use crate::stats::{timed_phase, Phase, SsJoinStats};
+use crate::weight::Weight;
+
+/// Which side of the join a collection plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Side {
+    R,
+    S,
+}
+
+/// Per-set prefix lengths for one side. Length 0 means the set generates no
+/// candidates (it is empty, or its total weight cannot reach the lowest
+/// possible required overlap).
+pub(crate) fn prefix_lengths(
+    collection: &SetCollection,
+    side: Side,
+    pred: &OverlapPredicate,
+    other_norms: Option<(f64, f64)>,
+) -> Vec<usize> {
+    let Some((lo, hi)) = other_norms else {
+        // No partner groups at all: nothing can join.
+        return vec![0; collection.len()];
+    };
+    let range = Interval::new(lo, hi);
+    collection
+        .sets()
+        .iter()
+        .map(|set| {
+            if set.is_empty() {
+                return 0;
+            }
+            let lb = match side {
+                Side::R => pred.required_lower_bound_r(set.norm(), range),
+                Side::S => pred.required_lower_bound_s(set.norm(), range),
+            };
+            let total = set.total_weight();
+            if total < lb {
+                return 0; // overlap ≤ wt(set) < required for every partner
+            }
+            set.prefix_len(total.saturating_sub(lb))
+        })
+        .collect()
+}
+
+/// Candidate generation + verification shared by the prefix-filtered and
+/// inline algorithms. `inline` selects merge-based verification; otherwise
+/// the join-back emulation runs.
+pub(crate) fn run_prefix_family(
+    r: &SetCollection,
+    s: &SetCollection,
+    pred: &OverlapPredicate,
+    threads: usize,
+    inline: bool,
+) -> (Vec<JoinPair>, SsJoinStats) {
+    let mut stats = SsJoinStats::default();
+
+    // Phase: prefix-filter (computing prefixes and the prefix index).
+    let (r_lens, s_index, s_lens) = timed_phase(&mut stats, Phase::PrefixFilter, |stats| {
+        let r_lens = prefix_lengths(r, Side::R, pred, s.norm_range());
+        let s_lens = prefix_lengths(s, Side::S, pred, r.norm_range());
+        stats.prefix_tuples_r = r_lens.iter().map(|&l| l as u64).sum();
+        stats.prefix_tuples_s = s_lens.iter().map(|&l| l as u64).sum();
+        let s_index = InvertedIndex::build(s, Some(&s_lens));
+        (r_lens, s_index, s_lens)
+    });
+    let _ = s_lens;
+
+    // Phase: the SSJoin proper — prefix equi-join producing candidates, then
+    // overlap recomputation per candidate.
+    let (pairs, inner) = timed_phase(&mut stats, Phase::SsJoin, |_| {
+        run_chunked(r.len(), threads, |range| {
+            let mut stats = SsJoinStats::default();
+            let mut pairs = Vec::new();
+            // Candidate dedup via a stamp array (reset-free across probes).
+            let mut stamp: Vec<u32> = vec![u32::MAX; s.len()];
+            let mut candidates: Vec<u32> = Vec::new();
+            // Join-back scratch: hash table over the current R group.
+            let mut r_table: FxHashMap<u32, Weight> = FxHashMap::default();
+
+            for rid in range {
+                let rset = r.set(rid as u32);
+                let plen = r_lens[rid];
+                if plen == 0 {
+                    continue;
+                }
+                candidates.clear();
+                for &(rank, _) in &rset.elements()[..plen] {
+                    for &sid in s_index.postings(rank) {
+                        stats.join_tuples += 1;
+                        if stamp[sid as usize] != rid as u32 {
+                            stamp[sid as usize] = rid as u32;
+                            candidates.push(sid);
+                        }
+                    }
+                }
+                stats.candidate_pairs += candidates.len() as u64;
+                if candidates.is_empty() {
+                    continue;
+                }
+                candidates.sort_unstable();
+
+                if inline {
+                    for &sid in &candidates {
+                        let sset = s.set(sid);
+                        let overlap = rset.overlap(sset);
+                        stats.verified_pairs += 1;
+                        if pred.check(overlap, rset.norm(), sset.norm()) {
+                            pairs.push(JoinPair {
+                                r: rid as u32,
+                                s: sid,
+                                overlap,
+                            });
+                        }
+                    }
+                } else {
+                    // Join back to the base relations (Figure 8): the SQL
+                    // plan re-joins the candidate pairs with R and S and
+                    // re-groups, i.e. it materializes and hashes each
+                    // candidate's group rows anew per pair — so the
+                    // emulation rebuilds the R-group hash table for every
+                    // candidate rather than amortizing it. (Skipping that
+                    // rebuild is exactly the inline optimization of
+                    // Figure 9.)
+                    for &sid in &candidates {
+                        r_table.clear();
+                        for &(rank, w) in rset.elements() {
+                            r_table.insert(rank, w);
+                        }
+                        let sset = s.set(sid);
+                        let mut overlap = Weight::ZERO;
+                        for &(rank, _) in sset.elements() {
+                            if let Some(&w) = r_table.get(&rank) {
+                                overlap += w;
+                            }
+                        }
+                        stats.verified_pairs += 1;
+                        if pred.check(overlap, rset.norm(), sset.norm()) {
+                            pairs.push(JoinPair {
+                                r: rid as u32,
+                                s: sid,
+                                overlap,
+                            });
+                        }
+                    }
+                }
+            }
+            (pairs, stats)
+        })
+    });
+    stats.merge(&inner);
+    (pairs, stats)
+}
+
+pub(super) fn run(
+    r: &SetCollection,
+    s: &SetCollection,
+    pred: &OverlapPredicate,
+    threads: usize,
+) -> (Vec<JoinPair>, SsJoinStats) {
+    run_prefix_family(r, s, pred, threads, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{NormKind, SsJoinInputBuilder, WeightScheme};
+    use crate::order::ElementOrder;
+
+    fn toks(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn build(groups: Vec<Vec<String>>, scheme: WeightScheme) -> SetCollection {
+        let mut b = SsJoinInputBuilder::new(scheme, ElementOrder::FrequencyAsc);
+        let h = b.add_relation(groups);
+        b.build().collection(h).clone()
+    }
+
+    #[test]
+    fn lemma1_example_from_paper() {
+        // §4.2: s1 = {1..5}, s2 = {1,2,3,4,6}, overlap 4 → size-2 prefixes
+        // under the usual ordering intersect.
+        let groups = vec![
+            toks(&["1", "2", "3", "4", "5"]),
+            toks(&["1", "2", "3", "4", "6"]),
+        ];
+        let c = build(groups, WeightScheme::Unweighted);
+        let pred = OverlapPredicate::absolute(4.0);
+        let lens = prefix_lengths(&c, Side::R, &pred, c.norm_range());
+        assert_eq!(lens, vec![2, 2]);
+        let (pairs, _) = run(&c, &c, &pred, 1);
+        let got: Vec<(u32, u32)> = pairs.iter().map(|p| (p.r, p.s)).collect();
+        let mut got = got;
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn matches_basic_on_random_input() {
+        let groups: Vec<Vec<String>> = (0..60)
+            .map(|i| {
+                (0..(3 + i % 5))
+                    .map(|j| format!("w{}", (i * 5 + j * 11) % 37))
+                    .collect()
+            })
+            .collect();
+        for scheme in [WeightScheme::Unweighted, WeightScheme::Idf] {
+            let c = build(groups.clone(), scheme);
+            for pred in [
+                OverlapPredicate::absolute(2.0),
+                OverlapPredicate::r_normalized(0.6),
+                OverlapPredicate::two_sided(0.5),
+            ] {
+                let (mut a, _) = super::super::basic::run(&c, &c, &pred, 1);
+                let (mut b, _) = run(&c, &c, &pred, 1);
+                a.sort_unstable_by_key(|p| (p.r, p.s));
+                b.sort_unstable_by_key(|p| (p.r, p.s));
+                assert_eq!(a, b, "scheme {scheme:?} pred {pred:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_filter_reduces_join_tuples() {
+        // Include a stop-word style frequent token; the prefix filter should
+        // touch far fewer posting entries than the basic join.
+        let groups: Vec<Vec<String>> = (0..50)
+            .map(|i| vec!["the".to_string(), format!("a{i}"), format!("b{}", i % 7)])
+            .collect();
+        let c = build(groups, WeightScheme::Idf);
+        let pred = OverlapPredicate::two_sided(0.9);
+        let (_, basic_stats) = super::super::basic::run(&c, &c, &pred, 1);
+        let (_, prefix_stats) = run(&c, &c, &pred, 1);
+        assert!(
+            prefix_stats.join_tuples < basic_stats.join_tuples / 2,
+            "prefix {} vs basic {}",
+            prefix_stats.join_tuples,
+            basic_stats.join_tuples
+        );
+    }
+
+    #[test]
+    fn unreachable_sets_skipped() {
+        // Predicate demands more than a small set's weight against any
+        // partner: the set must be skipped outright.
+        let groups = vec![toks(&["a"]), toks(&["b", "c", "d", "e", "f"])];
+        let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
+        let h = b.add_relation_with_norm(groups, NormKind::Cardinality);
+        let c = b.build().collection(h).clone();
+        let pred = OverlapPredicate::absolute(3.0);
+        let lens = prefix_lengths(&c, Side::R, &pred, c.norm_range());
+        assert_eq!(lens[0], 0);
+        assert!(lens[1] > 0);
+    }
+
+    #[test]
+    fn empty_other_side_yields_nothing() {
+        let c = build(vec![toks(&["a", "b"])], WeightScheme::Unweighted);
+        let lens = prefix_lengths(&c, Side::R, &OverlapPredicate::absolute(1.0), None);
+        assert_eq!(lens, vec![0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let groups: Vec<Vec<String>> = (0..64)
+            .map(|i| {
+                (0..6)
+                    .map(|j| format!("t{}", (i * 7 + j * 13) % 41))
+                    .collect()
+            })
+            .collect();
+        let c = build(groups, WeightScheme::Idf);
+        let pred = OverlapPredicate::two_sided(0.5);
+        let (mut p1, _) = run(&c, &c, &pred, 1);
+        let (mut p4, _) = run(&c, &c, &pred, 4);
+        p1.sort_unstable_by_key(|p| (p.r, p.s));
+        p4.sort_unstable_by_key(|p| (p.r, p.s));
+        assert_eq!(p1, p4);
+    }
+}

@@ -1,0 +1,112 @@
+//! Fast, non-cryptographic hashing for hot hash tables.
+//!
+//! The inverted-index and candidate-pair tables are the hottest data
+//! structures of every SSJoin executor, and their keys are small integers.
+//! SipHash (the standard-library default) is wasteful for that workload, so
+//! this module provides an FxHash-style multiply-xor hasher (the algorithm
+//! used by rustc, reimplemented here because the crate has no external
+//! hashing dependency).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-xor hasher in the style of rustc's FxHasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail) ^ rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(42u64), hash_one(42u64));
+        assert_eq!(hash_one((3u32, 7u32)), hash_one((3u32, 7u32)));
+    }
+
+    #[test]
+    fn discriminates_nearby_keys() {
+        // Not a strong guarantee, but the pairs the executors hash must not
+        // collide trivially.
+        let h: std::collections::HashSet<u64> = (0u64..10_000).map(hash_one).collect();
+        assert_eq!(h.len(), 10_000);
+    }
+
+    #[test]
+    fn map_and_set_usable() {
+        let mut m: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        m.insert((1, 2), 3);
+        assert_eq!(m[&(1, 2)], 3);
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(9);
+        assert!(s.contains(&9));
+    }
+
+    #[test]
+    fn byte_strings_with_tails() {
+        assert_ne!(hash_one("abcdefgh"), hash_one("abcdefg"));
+        assert_ne!(hash_one(b"a".as_slice()), hash_one(b"b".as_slice()));
+        assert_ne!(hash_one(b"".as_slice()), hash_one(b"\0".as_slice()));
+    }
+}

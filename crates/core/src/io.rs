@@ -1,0 +1,247 @@
+//! Binary persistence for built SSJoin inputs.
+//!
+//! Building a [`BuiltInput`] over a large corpus (interning, frequency
+//! counting, global ordering) is a one-time cost worth caching; this module
+//! writes the whole structure — every collection plus the shared element
+//! metadata — to a compact little-endian binary file and reads it back.
+//! Loaded collections share a fresh universe tag, so they can be joined
+//! with each other but not with collections from other builds (the same
+//! invariant as a fresh build).
+//!
+//! Format (versioned, all integers little-endian):
+//!
+//! ```text
+//! magic "SSJN" | u32 version | u64 universe_size
+//! per element: u32 token_len | token bytes | u32 ordinal | u64 weight_raw
+//! u32 collection_count
+//! per collection: u64 set_count, per set: f64 norm | u32 len | (u32 rank, u64 w)*
+//! ```
+
+use crate::builder::BuiltInput;
+use crate::set::{SetCollection, WeightedSet};
+use crate::weight::Weight;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"SSJN";
+const VERSION: u32 = 1;
+
+fn w_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn r_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+fn r_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+fn r_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Serialize a built input to `path`.
+pub fn save_built_input<P: AsRef<Path>>(input: &BuiltInput, path: P) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(MAGIC)?;
+    w_u32(&mut w, VERSION)?;
+    let universe = input.universe_size();
+    w_u64(&mut w, universe as u64)?;
+    for rank in 0..universe as u32 {
+        let (token, ordinal) = input.element(rank);
+        w_u32(&mut w, token.len() as u32)?;
+        w.write_all(token.as_bytes())?;
+        w_u32(&mut w, ordinal)?;
+        w_u64(&mut w, input.element_weight(rank).raw())?;
+    }
+    let collections = input.collections();
+    w_u32(&mut w, collections.len() as u32)?;
+    for c in collections {
+        w_u64(&mut w, c.len() as u64)?;
+        for set in c.sets() {
+            w_f64(&mut w, set.norm())?;
+            w_u32(&mut w, set.len() as u32)?;
+            for &(rank, weight) in set.elements() {
+                w_u32(&mut w, rank)?;
+                w_u64(&mut w, weight.raw())?;
+            }
+        }
+    }
+    w.flush()
+}
+
+/// Deserialize a built input from `path`. All restored collections share a
+/// fresh universe tag.
+pub fn load_built_input<P: AsRef<Path>>(path: P) -> io::Result<BuiltInput> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not an SSJoin input file"));
+    }
+    if r_u32(&mut r)? != VERSION {
+        return Err(bad("unsupported SSJoin input file version"));
+    }
+    let universe = r_u64(&mut r)? as usize;
+    let mut element_meta = Vec::with_capacity(universe);
+    let mut weights = Vec::with_capacity(universe);
+    for _ in 0..universe {
+        let len = r_u32(&mut r)? as usize;
+        if len > 1 << 24 {
+            return Err(bad("token length out of range"));
+        }
+        let mut buf = vec![0u8; len];
+        r.read_exact(&mut buf)?;
+        let token = String::from_utf8(buf).map_err(|_| bad("token is not valid UTF-8"))?;
+        let ordinal = r_u32(&mut r)?;
+        element_meta.push((token, ordinal));
+        weights.push(Weight::from_raw(r_u64(&mut r)?));
+    }
+    let tag = crate::builder::fresh_universe_tag();
+    let n_collections = r_u32(&mut r)? as usize;
+    let mut collections = Vec::with_capacity(n_collections);
+    for _ in 0..n_collections {
+        let n_sets = r_u64(&mut r)? as usize;
+        let mut sets = Vec::with_capacity(n_sets);
+        for _ in 0..n_sets {
+            let norm = r_f64(&mut r)?;
+            let len = r_u32(&mut r)? as usize;
+            let mut elements = Vec::with_capacity(len);
+            for _ in 0..len {
+                let rank = r_u32(&mut r)?;
+                if rank as usize >= universe {
+                    return Err(bad("element rank out of range"));
+                }
+                elements.push((rank, Weight::from_raw(r_u64(&mut r)?)));
+            }
+            sets.push(WeightedSet::new(elements, norm));
+        }
+        collections.push(SetCollection::new(sets, universe, tag));
+    }
+    Ok(BuiltInput::from_parts(collections, element_meta, weights))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{SsJoinInputBuilder, WeightScheme};
+    use crate::exec::{ssjoin, Algorithm, SsJoinConfig};
+    use crate::order::ElementOrder;
+    use crate::predicate::OverlapPredicate;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ssjoin_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_input() -> BuiltInput {
+        let mut b = SsJoinInputBuilder::new(WeightScheme::Idf, ElementOrder::FrequencyAsc);
+        let groups: Vec<Vec<String>> = (0..20)
+            .map(|i| (0..4).map(|j| format!("tok{}", (i * 3 + j) % 13)).collect())
+            .collect();
+        b.add_relation(groups.clone());
+        b.add_relation(groups[..10].to_vec());
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let input = sample_input();
+        let path = temp_path("roundtrip.ssjn");
+        save_built_input(&input, &path).unwrap();
+        let loaded = load_built_input(&path).unwrap();
+
+        assert_eq!(loaded.universe_size(), input.universe_size());
+        for rank in 0..input.universe_size() as u32 {
+            assert_eq!(loaded.element(rank), input.element(rank));
+            assert_eq!(loaded.element_weight(rank), input.element_weight(rank));
+        }
+        assert_eq!(loaded.collections().len(), 2);
+        for (lc, ic) in loaded.collections().iter().zip(input.collections()) {
+            assert_eq!(lc.len(), ic.len());
+            for (ls, is) in lc.sets().iter().zip(ic.sets()) {
+                assert_eq!(ls, is);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loaded_collections_are_joinable_with_identical_results() {
+        let input = sample_input();
+        let pred = OverlapPredicate::two_sided(0.5);
+        let expect = ssjoin(
+            &input.collections()[0],
+            &input.collections()[1],
+            &pred,
+            &SsJoinConfig::new(Algorithm::Inline),
+        )
+        .unwrap()
+        .pairs;
+
+        let path = temp_path("joinable.ssjn");
+        save_built_input(&input, &path).unwrap();
+        let loaded = load_built_input(&path).unwrap();
+        let got = ssjoin(
+            &loaded.collections()[0],
+            &loaded.collections()[1],
+            &pred,
+            &SsJoinConfig::new(Algorithm::Inline),
+        )
+        .unwrap()
+        .pairs;
+        assert_eq!(got, expect);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loaded_cannot_join_with_other_builds() {
+        let input = sample_input();
+        let path = temp_path("mismatch.ssjn");
+        save_built_input(&input, &path).unwrap();
+        let loaded = load_built_input(&path).unwrap();
+        let err = ssjoin(
+            &loaded.collections()[0],
+            &input.collections()[0],
+            &OverlapPredicate::absolute(1.0),
+            &SsJoinConfig::default(),
+        );
+        assert!(err.is_err(), "cross-build joins must be rejected");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = temp_path("garbage.ssjn");
+        std::fs::write(&path, b"not an ssjoin file at all").unwrap();
+        assert!(load_built_input(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let input = sample_input();
+        let path = temp_path("truncated.ssjn");
+        save_built_input(&input, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(load_built_input(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

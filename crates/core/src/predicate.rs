@@ -1,0 +1,438 @@
+//! Overlap predicates.
+//!
+//! Definition 1 of the paper: the SSJoin predicate is a conjunction
+//! `⋀ᵢ Overlap_B(a_r, a_s) ≥ eᵢ`, where each `eᵢ` is an expression over
+//! constants and the norms of the `R.A` and `S.A` groups. [`NormExpr`] is
+//! that expression language (`const`, `R.norm`, `S.norm`, `+ − × min max` —
+//! enough for every instantiation in §3, including the edit-join bound of
+//! Property 4, which needs `max(R.norm, S.norm)`).
+//!
+//! Prefix extraction needs, for a set `r` whose partner is unknown, a safe
+//! *lower bound* on the required overlap over all possible partners. That is
+//! obtained by evaluating the expression with the partner norm as an
+//! interval (the other collection's observed norm range) using interval
+//! arithmetic, and taking the lower end — uniformly correct for every
+//! predicate shape, monotone or not.
+//!
+//! The operator follows the paper's §4.1 assumption that thresholds are
+//! positive: a required overlap that evaluates to ≤ 0 is clamped to the
+//! smallest positive weight, i.e. joined groups must share at least one
+//! element.
+
+use crate::weight::Weight;
+
+/// A closed interval of floats (used for partner-norm ranges).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower end.
+    pub lo: f64,
+    /// Upper end.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Construct; `lo` must not exceed `hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "interval [{lo}, {hi}] is inverted");
+        Self { lo, hi }
+    }
+
+    /// A single point.
+    pub fn point(x: f64) -> Self {
+        Self { lo: x, hi: x }
+    }
+
+    fn add(self, o: Interval) -> Interval {
+        Interval {
+            lo: self.lo + o.lo,
+            hi: self.hi + o.hi,
+        }
+    }
+
+    fn sub(self, o: Interval) -> Interval {
+        Interval {
+            lo: self.lo - o.hi,
+            hi: self.hi - o.lo,
+        }
+    }
+
+    fn mul(self, o: Interval) -> Interval {
+        let c = [
+            self.lo * o.lo,
+            self.lo * o.hi,
+            self.hi * o.lo,
+            self.hi * o.hi,
+        ];
+        Interval {
+            lo: c.iter().copied().fold(f64::INFINITY, f64::min),
+            hi: c.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    fn min(self, o: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.min(o.hi),
+        }
+    }
+
+    fn max(self, o: Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(o.lo),
+            hi: self.hi.max(o.hi),
+        }
+    }
+}
+
+/// Expression over constants and the two group norms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NormExpr {
+    /// Constant.
+    Const(f64),
+    /// The norm of the `R`-side group.
+    RNorm,
+    /// The norm of the `S`-side group.
+    SNorm,
+    /// Sum.
+    Add(Box<NormExpr>, Box<NormExpr>),
+    /// Difference.
+    Sub(Box<NormExpr>, Box<NormExpr>),
+    /// Product.
+    Mul(Box<NormExpr>, Box<NormExpr>),
+    /// Binary minimum.
+    Min(Box<NormExpr>, Box<NormExpr>),
+    /// Binary maximum.
+    Max(Box<NormExpr>, Box<NormExpr>),
+}
+
+impl NormExpr {
+    /// `c`
+    pub fn constant(c: f64) -> Self {
+        NormExpr::Const(c)
+    }
+    /// `c · R.norm`
+    pub fn r_scaled(c: f64) -> Self {
+        NormExpr::Mul(Box::new(NormExpr::Const(c)), Box::new(NormExpr::RNorm))
+    }
+    /// `c · S.norm`
+    pub fn s_scaled(c: f64) -> Self {
+        NormExpr::Mul(Box::new(NormExpr::Const(c)), Box::new(NormExpr::SNorm))
+    }
+
+    /// Evaluate at concrete norms.
+    pub fn eval(&self, r_norm: f64, s_norm: f64) -> f64 {
+        match self {
+            NormExpr::Const(c) => *c,
+            NormExpr::RNorm => r_norm,
+            NormExpr::SNorm => s_norm,
+            NormExpr::Add(a, b) => a.eval(r_norm, s_norm) + b.eval(r_norm, s_norm),
+            NormExpr::Sub(a, b) => a.eval(r_norm, s_norm) - b.eval(r_norm, s_norm),
+            NormExpr::Mul(a, b) => a.eval(r_norm, s_norm) * b.eval(r_norm, s_norm),
+            NormExpr::Min(a, b) => a.eval(r_norm, s_norm).min(b.eval(r_norm, s_norm)),
+            NormExpr::Max(a, b) => a.eval(r_norm, s_norm).max(b.eval(r_norm, s_norm)),
+        }
+    }
+
+    /// Evaluate with interval-valued norms.
+    pub fn eval_interval(&self, r: Interval, s: Interval) -> Interval {
+        match self {
+            NormExpr::Const(c) => Interval::point(*c),
+            NormExpr::RNorm => r,
+            NormExpr::SNorm => s,
+            NormExpr::Add(a, b) => a.eval_interval(r, s).add(b.eval_interval(r, s)),
+            NormExpr::Sub(a, b) => a.eval_interval(r, s).sub(b.eval_interval(r, s)),
+            NormExpr::Mul(a, b) => a.eval_interval(r, s).mul(b.eval_interval(r, s)),
+            NormExpr::Min(a, b) => a.eval_interval(r, s).min(b.eval_interval(r, s)),
+            NormExpr::Max(a, b) => a.eval_interval(r, s).max(b.eval_interval(r, s)),
+        }
+    }
+
+    /// True if the expression mentions `S.norm` (used to decide whether a
+    /// one-sided prefix optimization applies).
+    pub fn uses_s_norm(&self) -> bool {
+        match self {
+            NormExpr::Const(_) | NormExpr::RNorm => false,
+            NormExpr::SNorm => true,
+            NormExpr::Add(a, b)
+            | NormExpr::Sub(a, b)
+            | NormExpr::Mul(a, b)
+            | NormExpr::Min(a, b)
+            | NormExpr::Max(a, b) => a.uses_s_norm() || b.uses_s_norm(),
+        }
+    }
+}
+
+impl std::fmt::Display for NormExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormExpr::Const(c) => write!(f, "{c}"),
+            NormExpr::RNorm => f.write_str("R.norm"),
+            NormExpr::SNorm => f.write_str("S.norm"),
+            NormExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            NormExpr::Sub(a, b) => write!(f, "({a} - {b})"),
+            NormExpr::Mul(a, b) => write!(f, "({a} * {b})"),
+            NormExpr::Min(a, b) => write!(f, "min({a}, {b})"),
+            NormExpr::Max(a, b) => write!(f, "max({a}, {b})"),
+        }
+    }
+}
+
+/// An SSJoin predicate: `⋀ᵢ Overlap ≥ eᵢ`, i.e. `Overlap ≥ maxᵢ eᵢ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapPredicate {
+    conjuncts: Vec<NormExpr>,
+}
+
+impl std::fmt::Display for OverlapPredicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, e) in self.conjuncts.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" AND ")?;
+            }
+            write!(f, "Overlap >= {e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl OverlapPredicate {
+    /// Predicate from explicit conjunct expressions.
+    ///
+    /// # Panics
+    /// Panics on an empty conjunct list.
+    pub fn new(conjuncts: Vec<NormExpr>) -> Self {
+        assert!(
+            !conjuncts.is_empty(),
+            "predicate needs at least one conjunct"
+        );
+        Self { conjuncts }
+    }
+
+    /// Absolute overlap: `Overlap ≥ alpha` (Example 2, first form).
+    pub fn absolute(alpha: f64) -> Self {
+        Self::new(vec![NormExpr::Const(alpha)])
+    }
+
+    /// 1-sided normalized overlap: `Overlap ≥ frac · R.norm` (Example 2,
+    /// second form; the Jaccard-containment shape of Figure 4).
+    pub fn r_normalized(frac: f64) -> Self {
+        Self::new(vec![NormExpr::r_scaled(frac)])
+    }
+
+    /// 1-sided normalized on the S side: `Overlap ≥ frac · S.norm`.
+    pub fn s_normalized(frac: f64) -> Self {
+        Self::new(vec![NormExpr::s_scaled(frac)])
+    }
+
+    /// 2-sided normalized overlap:
+    /// `Overlap ≥ frac·R.norm ∧ Overlap ≥ frac·S.norm` (Example 2, third
+    /// form; the Jaccard-resemblance shape of Figure 4).
+    pub fn two_sided(frac: f64) -> Self {
+        Self::new(vec![NormExpr::r_scaled(frac), NormExpr::s_scaled(frac)])
+    }
+
+    /// The conjunct expressions.
+    pub fn conjuncts(&self) -> &[NormExpr] {
+        &self.conjuncts
+    }
+
+    /// Required overlap for a concrete pair of norms:
+    /// `maxᵢ eᵢ(r_norm, s_norm)`, clamped to the smallest positive weight
+    /// (§4.1 assumes thresholds are positive).
+    pub fn required_overlap(&self, r_norm: f64, s_norm: f64) -> Weight {
+        let t = self
+            .conjuncts
+            .iter()
+            .map(|e| e.eval(r_norm, s_norm))
+            .fold(f64::NEG_INFINITY, f64::max);
+        Weight::from_f64_threshold(t).max(Weight::EPSILON)
+    }
+
+    /// Check the predicate for a pair.
+    pub fn check(&self, overlap: Weight, r_norm: f64, s_norm: f64) -> bool {
+        overlap >= self.required_overlap(r_norm, s_norm)
+    }
+
+    /// Safe lower bound of the required overlap for an `R`-side set with
+    /// norm `r_norm`, over partners whose norms lie in `s_norms`.
+    ///
+    /// For every conjunct, `lowerᵢ ≤ eᵢ(r, s)` for all `s` in range, hence
+    /// `maxᵢ lowerᵢ ≤ maxᵢ eᵢ(r, s) = required(r, s)` — so a prefix computed
+    /// from this bound never loses a qualifying pair.
+    pub fn required_lower_bound_r(&self, r_norm: f64, s_norms: Interval) -> Weight {
+        let t = self
+            .conjuncts
+            .iter()
+            .map(|e| e.eval_interval(Interval::point(r_norm), s_norms).lo)
+            .fold(f64::NEG_INFINITY, f64::max);
+        Weight::from_f64_threshold(t).max(Weight::EPSILON)
+    }
+
+    /// Mirror of [`Self::required_lower_bound_r`] for an `S`-side set.
+    pub fn required_lower_bound_s(&self, s_norm: f64, r_norms: Interval) -> Weight {
+        let t = self
+            .conjuncts
+            .iter()
+            .map(|e| e.eval_interval(r_norms, Interval::point(s_norm)).lo)
+            .fold(f64::NEG_INFINITY, f64::max);
+        Weight::from_f64_threshold(t).max(Weight::EPSILON)
+    }
+
+    /// True if any conjunct references `S.norm`.
+    pub fn uses_s_norm(&self) -> bool {
+        self.conjuncts.iter().any(NormExpr::uses_s_norm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(x: f64) -> Weight {
+        Weight::from_f64(x)
+    }
+
+    #[test]
+    fn absolute_predicate() {
+        let p = OverlapPredicate::absolute(10.0);
+        assert!(p.check(w(10.0), 12.0, 11.0));
+        assert!(!p.check(w(9.0), 12.0, 11.0));
+    }
+
+    #[test]
+    fn paper_example_2_one_sided() {
+        // Overlap 10 vs 0.8·R.norm with R.norm = 12 → 10 ≥ 9.6 passes.
+        let p = OverlapPredicate::r_normalized(0.8);
+        assert!(p.check(w(10.0), 12.0, 11.0));
+        // With R.norm = 13: 10 < 10.4 fails.
+        assert!(!p.check(w(10.0), 13.0, 11.0));
+    }
+
+    #[test]
+    fn paper_example_2_two_sided() {
+        // Overlap 10 ≥ 0.8·12 and ≥ 0.8·11 (Example 2, third form).
+        let p = OverlapPredicate::two_sided(0.8);
+        assert!(p.check(w(10.0), 12.0, 11.0));
+        // Fails the larger side.
+        assert!(!p.check(w(10.0), 14.0, 11.0));
+    }
+
+    #[test]
+    fn required_overlap_is_max_of_conjuncts() {
+        let p = OverlapPredicate::two_sided(0.5);
+        let req = p.required_overlap(10.0, 20.0);
+        // max(5, 10) = 10, with the threshold epsilon haircut.
+        assert!(w(10.0) >= req);
+        assert!(w(9.99) < req);
+    }
+
+    #[test]
+    fn nonpositive_threshold_clamps_to_epsilon() {
+        let p = OverlapPredicate::absolute(-5.0);
+        assert_eq!(p.required_overlap(1.0, 1.0), Weight::EPSILON);
+        // Zero overlap never qualifies.
+        assert!(!p.check(Weight::ZERO, 1.0, 1.0));
+        assert!(p.check(Weight::EPSILON, 1.0, 1.0));
+    }
+
+    #[test]
+    fn lower_bound_is_sound_over_range() {
+        // Edit-join shape: max(R, S)·c − q + 1 with S ranging.
+        let c = 0.7;
+        let expr = NormExpr::Sub(
+            Box::new(NormExpr::Mul(
+                Box::new(NormExpr::Max(
+                    Box::new(NormExpr::RNorm),
+                    Box::new(NormExpr::SNorm),
+                )),
+                Box::new(NormExpr::Const(c)),
+            )),
+            Box::new(NormExpr::Const(2.0)),
+        );
+        let p = OverlapPredicate::new(vec![expr]);
+        let range = Interval::new(5.0, 40.0);
+        let r_norm = 12.0;
+        let lb = p.required_lower_bound_r(r_norm, range);
+        // The bound must not exceed the requirement at any partner norm.
+        for s_norm in [5.0, 12.0, 26.5, 40.0] {
+            assert!(
+                lb <= p.required_overlap(r_norm, s_norm),
+                "lb {lb} > required at s_norm={s_norm}"
+            );
+        }
+        // And it should be attained at the minimum partner norm here.
+        assert_eq!(lb, p.required_overlap(r_norm, 5.0));
+    }
+
+    #[test]
+    fn lower_bound_handles_negative_coefficients() {
+        // Overlap ≥ 10 − S.norm: requirement *decreases* in S.norm, so the
+        // lower bound must use the interval's upper end.
+        let expr = NormExpr::Sub(Box::new(NormExpr::Const(10.0)), Box::new(NormExpr::SNorm));
+        let p = OverlapPredicate::new(vec![expr]);
+        let lb = p.required_lower_bound_r(0.0, Interval::new(2.0, 6.0));
+        assert_eq!(lb, p.required_overlap(0.0, 6.0));
+        for s in [2.0, 4.0, 6.0] {
+            assert!(lb <= p.required_overlap(0.0, s));
+        }
+    }
+
+    #[test]
+    fn interval_multiplication_signs() {
+        let a = Interval::new(-2.0, 3.0);
+        let b = Interval::new(-5.0, 4.0);
+        let m = a.mul(b);
+        assert_eq!(m.lo, -15.0); // 3 · −5
+        assert_eq!(m.hi, 12.0); // 3 · 4
+    }
+
+    #[test]
+    fn uses_s_norm_detection() {
+        assert!(!OverlapPredicate::absolute(5.0).uses_s_norm());
+        assert!(!OverlapPredicate::r_normalized(0.8).uses_s_norm());
+        assert!(OverlapPredicate::two_sided(0.8).uses_s_norm());
+        assert!(OverlapPredicate::s_normalized(0.8).uses_s_norm());
+    }
+
+    #[test]
+    fn s_side_lower_bound_mirror() {
+        let p = OverlapPredicate::two_sided(0.8);
+        let lb = p.required_lower_bound_s(10.0, Interval::new(4.0, 20.0));
+        // Conjuncts: 0.8·R (lower 3.2) and 0.8·S = 8 → max = 8.
+        assert_eq!(
+            lb,
+            p.required_overlap(4.0, 10.0)
+                .max(Weight::from_f64_threshold(8.0))
+        );
+        assert!(lb <= p.required_overlap(12.0, 10.0));
+    }
+
+    #[test]
+    fn display_rendering() {
+        let p = OverlapPredicate::two_sided(0.8);
+        assert_eq!(
+            p.to_string(),
+            "Overlap >= (0.8 * R.norm) AND Overlap >= (0.8 * S.norm)"
+        );
+        let e = NormExpr::Sub(
+            Box::new(NormExpr::Max(
+                Box::new(NormExpr::RNorm),
+                Box::new(NormExpr::SNorm),
+            )),
+            Box::new(NormExpr::Const(2.0)),
+        );
+        assert_eq!(e.to_string(), "(max(R.norm, S.norm) - 2)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one conjunct")]
+    fn empty_predicate_panics() {
+        OverlapPredicate::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_interval_panics() {
+        Interval::new(2.0, 1.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Weighted sets and set collections.
+//!
+//! A [`WeightedSet`] is one group of the SSJoin input: the (ordinalized,
+//! weighted) set of `B` values sharing one `A` value. Elements are dense
+//! `u32` *ranks* — positions in the global order `O` — so "sorted by `O`"
+//! is an integer sort and prefix extraction is a scan. A [`SetCollection`]
+//! is one side (R or S) of the join.
+
+use crate::weight::Weight;
+
+/// One weighted set (group), with elements sorted by global rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedSet {
+    /// Elements as `(rank, weight)` pairs, ascending by rank, no duplicate
+    /// ranks (multisets are ordinalized before reaching this type).
+    elements: Vec<(u32, Weight)>,
+    /// Cached total weight.
+    total: Weight,
+    /// The group's *norm* — the normalization quantity predicates reference
+    /// (string length, cardinality, or total weight, chosen by the builder).
+    norm: f64,
+}
+
+impl WeightedSet {
+    /// Build from `(rank, weight)` pairs; sorts and validates.
+    ///
+    /// # Panics
+    /// Panics on duplicate ranks — callers must ordinalize multisets first.
+    pub fn new(mut elements: Vec<(u32, Weight)>, norm: f64) -> Self {
+        elements.sort_unstable_by_key(|&(rank, _)| rank);
+        for w in elements.windows(2) {
+            assert_ne!(
+                w[0].0, w[1].0,
+                "duplicate rank {}; ordinalize multisets first",
+                w[0].0
+            );
+        }
+        let total = elements.iter().map(|&(_, w)| w).sum();
+        Self {
+            elements,
+            total,
+            norm,
+        }
+    }
+
+    /// Elements as `(rank, weight)`, ascending by rank.
+    pub fn elements(&self) -> &[(u32, Weight)] {
+        &self.elements
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Total weight `wt(s)`.
+    pub fn total_weight(&self) -> Weight {
+        self.total
+    }
+
+    /// The norm used by normalized predicates.
+    pub fn norm(&self) -> f64 {
+        self.norm
+    }
+
+    /// The β-prefix of Lemma 1: the shortest prefix (under the global order)
+    /// whose weights sum to *strictly more than* `beta`. Returns the number
+    /// of elements in the prefix (possibly the whole set if the total does
+    /// not exceed `beta`; callers that need "can never match" detection
+    /// compare thresholds with [`WeightedSet::total_weight`] first).
+    pub fn prefix_len(&self, beta: Weight) -> usize {
+        let mut acc = Weight::ZERO;
+        for (i, &(_, w)) in self.elements.iter().enumerate() {
+            acc += w;
+            if acc > beta {
+                return i + 1;
+            }
+        }
+        self.elements.len()
+    }
+
+    /// Weighted overlap `wt(self ∩ other)` by merging the two rank-sorted
+    /// element lists. Since both sides of a join share the universe, a
+    /// shared rank contributes its (identical) element weight.
+    pub fn overlap(&self, other: &WeightedSet) -> Weight {
+        let (mut i, mut j) = (0usize, 0usize);
+        let a = &self.elements;
+        let b = &other.elements;
+        let mut acc = Weight::ZERO;
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    debug_assert_eq!(
+                        a[i].1, b[j].1,
+                        "element weights must agree across a shared universe"
+                    );
+                    acc += a[i].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// One side (R or S) of an SSJoin: a vector of weighted sets. The index of a
+/// set in the collection is its group id.
+#[derive(Debug, Clone)]
+pub struct SetCollection {
+    sets: Vec<WeightedSet>,
+    /// Number of distinct element ranks in the shared universe.
+    universe_size: usize,
+    /// Identifies the builder run that produced this collection; collections
+    /// may only be joined with collections from the same run.
+    universe_tag: u64,
+}
+
+impl SetCollection {
+    pub(crate) fn new(sets: Vec<WeightedSet>, universe_size: usize, universe_tag: u64) -> Self {
+        Self {
+            sets,
+            universe_size,
+            universe_tag,
+        }
+    }
+
+    /// The sets; index = group id.
+    pub fn sets(&self) -> &[WeightedSet] {
+        &self.sets
+    }
+
+    /// One set by group id.
+    pub fn set(&self, id: u32) -> &WeightedSet {
+        &self.sets[id as usize]
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True if there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Number of distinct element ranks in the universe this collection was
+    /// built against.
+    pub fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    /// Total `(group, element)` tuples — the row count of the normalized
+    /// relational representation (the "SSJoin input size" of Table 2).
+    pub fn tuple_count(&self) -> usize {
+        self.sets.iter().map(WeightedSet::len).sum()
+    }
+
+    /// Smallest and largest norm across groups (used to lower-bound partner
+    /// norms during prefix extraction). `None` when empty.
+    pub fn norm_range(&self) -> Option<(f64, f64)> {
+        let mut it = self.sets.iter().map(WeightedSet::norm);
+        let first = it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for n in it {
+            lo = lo.min(n);
+            hi = hi.max(n);
+        }
+        Some((lo, hi))
+    }
+
+    pub(crate) fn universe_tag(&self) -> u64 {
+        self.universe_tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(x: f64) -> Weight {
+        Weight::from_f64(x)
+    }
+
+    fn set(elems: &[(u32, f64)]) -> WeightedSet {
+        WeightedSet::new(elems.iter().map(|&(r, x)| (r, w(x))).collect(), 0.0)
+    }
+
+    #[test]
+    fn construction_sorts() {
+        let s = set(&[(5, 1.0), (2, 1.0), (9, 1.0)]);
+        let ranks: Vec<u32> = s.elements().iter().map(|&(r, _)| r).collect();
+        assert_eq!(ranks, vec![2, 5, 9]);
+        assert_eq!(s.total_weight(), w(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate rank")]
+    fn duplicate_ranks_panic() {
+        set(&[(1, 1.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn overlap_merge() {
+        let a = set(&[(1, 1.0), (2, 2.0), (5, 0.5)]);
+        let b = set(&[(2, 2.0), (3, 9.0), (5, 0.5)]);
+        assert_eq!(a.overlap(&b), w(2.5));
+        assert_eq!(b.overlap(&a), w(2.5));
+        assert_eq!(a.overlap(&a), a.total_weight());
+    }
+
+    #[test]
+    fn overlap_disjoint_and_empty() {
+        let a = set(&[(1, 1.0)]);
+        let b = set(&[(2, 1.0)]);
+        let e = set(&[]);
+        assert_eq!(a.overlap(&b), Weight::ZERO);
+        assert_eq!(a.overlap(&e), Weight::ZERO);
+        assert_eq!(e.overlap(&e), Weight::ZERO);
+    }
+
+    #[test]
+    fn prefix_len_unweighted_matches_property8() {
+        // Property 8: |s| = h, overlap >= k ⇒ the (h − k + 1)-prefix hits.
+        // β = h − k, and with unit weights prefix_len = β + 1 = h − k + 1.
+        let s = set(&[(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0), (4, 1.0)]);
+        let k = 4.0;
+        let beta = s
+            .total_weight()
+            .saturating_sub(Weight::from_f64_threshold(k));
+        assert_eq!(s.prefix_len(beta), 2); // h − k + 1 = 5 − 4 + 1
+    }
+
+    #[test]
+    fn prefix_len_weighted() {
+        let s = set(&[(0, 5.0), (1, 1.0), (2, 1.0)]);
+        // β = 0: the first element already exceeds it.
+        assert_eq!(s.prefix_len(Weight::ZERO), 1);
+        // β = 5.5: need first two elements (5 + 1 > 5.5).
+        assert_eq!(s.prefix_len(w(5.5)), 2);
+        // β beyond the total: whole set.
+        assert_eq!(s.prefix_len(w(100.0)), 3);
+    }
+
+    #[test]
+    fn prefix_len_empty_set() {
+        let e = set(&[]);
+        assert_eq!(e.prefix_len(Weight::ZERO), 0);
+    }
+
+    #[test]
+    fn collection_accessors() {
+        let c = SetCollection::new(vec![set(&[(0, 1.0), (1, 1.0)]), set(&[(1, 1.0)])], 2, 7);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.tuple_count(), 3);
+        assert_eq!(c.universe_size(), 2);
+        assert_eq!(c.set(1).len(), 1);
+    }
+
+    #[test]
+    fn norm_range() {
+        let mk = |n: f64| WeightedSet::new(vec![(0, Weight::ONE)], n);
+        let c = SetCollection::new(vec![mk(3.0), mk(1.0), mk(2.0)], 1, 0);
+        assert_eq!(c.norm_range(), Some((1.0, 3.0)));
+        let empty = SetCollection::new(vec![], 0, 0);
+        assert_eq!(empty.norm_range(), None);
+    }
+}

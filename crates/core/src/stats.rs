@@ -1,0 +1,181 @@
+//! Execution statistics: phase timings and counters.
+//!
+//! The paper's figures are stacked per-phase bars (Prep / Prefix-filter /
+//! SSJoin / Filter) and Table 1 counts similarity computations, so
+//! instrumentation is part of the operator contract, not an afterthought.
+
+use std::fmt;
+use std::time::Duration;
+
+/// The phases of an SSJoin execution, named as in Figures 10–12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Input preparation (set construction, normalization).
+    Prep,
+    /// Prefix extraction (prefix-filtered and inline algorithms only).
+    PrefixFilter,
+    /// Candidate generation: the equi-join (and, for the prefix-filtered
+    /// algorithm, the joins back to the base relations plus the group-by).
+    SsJoin,
+    /// Residual predicate / similarity-function verification.
+    Filter,
+}
+
+impl Phase {
+    /// All phases, in execution order.
+    pub const ALL: [Phase; 4] = [
+        Phase::Prep,
+        Phase::PrefixFilter,
+        Phase::SsJoin,
+        Phase::Filter,
+    ];
+
+    /// Paper-style display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::Prep => "Prep",
+            Phase::PrefixFilter => "Prefix-filter",
+            Phase::SsJoin => "SSJoin",
+            Phase::Filter => "Filter",
+        }
+    }
+}
+
+/// Statistics of one SSJoin execution.
+#[derive(Debug, Clone, Default)]
+pub struct SsJoinStats {
+    /// Wall time per phase.
+    phase_times: [Duration; 4],
+    /// Tuples flowing through the element equi-join (the B-join size §4.1
+    /// worries about).
+    pub join_tuples: u64,
+    /// Prefix tuples let through on the R side (prefix algorithms only).
+    pub prefix_tuples_r: u64,
+    /// Prefix tuples let through on the S side.
+    pub prefix_tuples_s: u64,
+    /// Distinct candidate `(R.A, S.A)` group pairs compared.
+    pub candidate_pairs: u64,
+    /// Candidate pairs whose full overlap was computed (verification work).
+    pub verified_pairs: u64,
+    /// Pairs in the final result.
+    pub output_pairs: u64,
+}
+
+impl SsJoinStats {
+    fn idx(phase: Phase) -> usize {
+        match phase {
+            Phase::Prep => 0,
+            Phase::PrefixFilter => 1,
+            Phase::SsJoin => 2,
+            Phase::Filter => 3,
+        }
+    }
+
+    /// Add time to a phase.
+    pub fn add_time(&mut self, phase: Phase, d: Duration) {
+        self.phase_times[Self::idx(phase)] += d;
+    }
+
+    /// Time spent in a phase.
+    pub fn time(&self, phase: Phase) -> Duration {
+        self.phase_times[Self::idx(phase)]
+    }
+
+    /// Total time across phases.
+    pub fn total_time(&self) -> Duration {
+        self.phase_times.iter().sum()
+    }
+
+    /// Merge another stats record into this one (summing everything).
+    pub fn merge(&mut self, other: &SsJoinStats) {
+        for p in Phase::ALL {
+            self.add_time(p, other.time(p));
+        }
+        self.join_tuples += other.join_tuples;
+        self.prefix_tuples_r += other.prefix_tuples_r;
+        self.prefix_tuples_s += other.prefix_tuples_s;
+        self.candidate_pairs += other.candidate_pairs;
+        self.verified_pairs += other.verified_pairs;
+        self.output_pairs += other.output_pairs;
+    }
+}
+
+impl fmt::Display for SsJoinStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in Phase::ALL {
+            write!(f, "{}={:?} ", p.label(), self.time(p))?;
+        }
+        write!(
+            f,
+            "join_tuples={} prefix_r={} prefix_s={} candidates={} verified={} output={}",
+            self.join_tuples,
+            self.prefix_tuples_r,
+            self.prefix_tuples_s,
+            self.candidate_pairs,
+            self.verified_pairs,
+            self.output_pairs
+        )
+    }
+}
+
+/// Time a closure, attributing its duration to `phase`.
+pub(crate) fn timed_phase<T>(
+    stats: &mut SsJoinStats,
+    phase: Phase,
+    f: impl FnOnce(&mut SsJoinStats) -> T,
+) -> T {
+    let start = std::time::Instant::now();
+    let out = f(stats);
+    stats.add_time(phase, start.elapsed());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_accounting() {
+        let mut s = SsJoinStats::default();
+        s.add_time(Phase::Prep, Duration::from_millis(3));
+        s.add_time(Phase::SsJoin, Duration::from_millis(5));
+        s.add_time(Phase::SsJoin, Duration::from_millis(2));
+        assert_eq!(s.time(Phase::Prep), Duration::from_millis(3));
+        assert_eq!(s.time(Phase::SsJoin), Duration::from_millis(7));
+        assert_eq!(s.time(Phase::Filter), Duration::ZERO);
+        assert_eq!(s.total_time(), Duration::from_millis(10));
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn merge_sums_everything() {
+        let mut a = SsJoinStats::default();
+        a.join_tuples = 5;
+        a.output_pairs = 1;
+        a.add_time(Phase::Filter, Duration::from_millis(1));
+        let mut b = SsJoinStats::default();
+        b.join_tuples = 7;
+        b.output_pairs = 2;
+        b.add_time(Phase::Filter, Duration::from_millis(4));
+        a.merge(&b);
+        assert_eq!(a.join_tuples, 12);
+        assert_eq!(a.output_pairs, 3);
+        assert_eq!(a.time(Phase::Filter), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn timed_phase_records() {
+        let mut s = SsJoinStats::default();
+        let out = timed_phase(&mut s, Phase::Prep, |_| 42);
+        assert_eq!(out, 42);
+        // Duration may round to zero on coarse clocks; just ensure no panic
+        // and display renders.
+        let _ = s.to_string();
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Phase::PrefixFilter.label(), "Prefix-filter");
+        assert_eq!(Phase::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests: every physical implementation of SSJoin must agree
+//! with a brute-force oracle, for random inputs, weights, orders, and
+//! predicate shapes.
+
+use proptest::prelude::*;
+use ssjoin_core::plan::{basic_plan, collection_to_relation, inline_plan, prefix_plan, run_plan};
+use ssjoin_core::{
+    ssjoin, Algorithm, ElementOrder, JoinPair, OverlapPredicate, SetCollection, SsJoinConfig,
+    SsJoinInputBuilder, WeightScheme,
+};
+use std::sync::Arc;
+
+/// Brute force: check every pair with the merge-based overlap.
+fn oracle(r: &SetCollection, s: &SetCollection, pred: &OverlapPredicate) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for (i, rs) in r.sets().iter().enumerate() {
+        for (j, ss) in s.sets().iter().enumerate() {
+            let ov = rs.overlap(ss);
+            if pred.check(ov, rs.norm(), ss.norm()) {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+fn pairs_to_keys(pairs: &[JoinPair]) -> Vec<(u32, u32)> {
+    pairs.iter().map(|p| (p.r, p.s)).collect()
+}
+
+fn groups_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
+    proptest::collection::vec(proptest::collection::vec("[a-j]", 0..8), 1..20)
+}
+
+fn predicate_strategy() -> impl Strategy<Value = OverlapPredicate> {
+    prop_oneof![
+        (0.5f64..4.0).prop_map(OverlapPredicate::absolute),
+        (0.1f64..1.0).prop_map(OverlapPredicate::r_normalized),
+        (0.1f64..1.0).prop_map(OverlapPredicate::s_normalized),
+        (0.1f64..1.0).prop_map(OverlapPredicate::two_sided),
+    ]
+}
+
+fn order_strategy() -> impl Strategy<Value = ElementOrder> {
+    prop_oneof![
+        Just(ElementOrder::FrequencyAsc),
+        Just(ElementOrder::FrequencyDesc),
+        Just(ElementOrder::Lexicographic),
+        Just(ElementOrder::Hashed),
+    ]
+}
+
+fn build_two(
+    r_groups: Vec<Vec<String>>,
+    s_groups: Vec<Vec<String>>,
+    scheme: WeightScheme,
+    order: ElementOrder,
+) -> (SetCollection, SetCollection) {
+    let mut b = SsJoinInputBuilder::new(scheme, order);
+    let rh = b.add_relation(r_groups);
+    let sh = b.add_relation(s_groups);
+    let built = b.build();
+    (built.collection(rh).clone(), built.collection(sh).clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All four fast-path algorithms agree with the oracle, for every
+    /// weighting scheme and global order.
+    #[test]
+    fn executors_match_oracle(
+        r_groups in groups_strategy(),
+        s_groups in groups_strategy(),
+        pred in predicate_strategy(),
+        order in order_strategy(),
+        idf in proptest::bool::ANY,
+    ) {
+        let scheme = if idf { WeightScheme::Idf } else { WeightScheme::Unweighted };
+        let (r, s) = build_two(r_groups, s_groups, scheme, order);
+        let expect = oracle(&r, &s, &pred);
+        for alg in [
+            Algorithm::Basic,
+            Algorithm::PrefixFiltered,
+            Algorithm::Inline,
+            Algorithm::PositionalInline,
+            Algorithm::Auto,
+        ] {
+            let out = ssjoin(&r, &s, &pred, &SsJoinConfig::new(alg)).unwrap();
+            prop_assert_eq!(
+                pairs_to_keys(&out.pairs),
+                expect.clone(),
+                "algorithm {:?}, order {:?}, scheme {:?}",
+                alg, order, scheme
+            );
+        }
+    }
+
+    /// Overlap values reported by different algorithms are identical (exact
+    /// fixed-point, not merely approximately equal).
+    #[test]
+    fn overlaps_are_exact_across_algorithms(
+        groups in groups_strategy(),
+        pred in predicate_strategy(),
+    ) {
+        let (r, s) = build_two(groups.clone(), groups, WeightScheme::Idf,
+                               ElementOrder::FrequencyAsc);
+        let a = ssjoin(&r, &s, &pred, &SsJoinConfig::new(Algorithm::Basic)).unwrap();
+        let b = ssjoin(&r, &s, &pred, &SsJoinConfig::new(Algorithm::Inline)).unwrap();
+        prop_assert_eq!(a.pairs, b.pairs);
+    }
+
+    /// The relational plans (Figures 7/8/9) agree with the fast path.
+    #[test]
+    fn relational_plans_match_fast_path(
+        groups in proptest::collection::vec(
+            proptest::collection::vec("[a-f]", 0..6), 1..12),
+        pred in predicate_strategy(),
+    ) {
+        let (r, s) = build_two(groups.clone(), groups, WeightScheme::Idf,
+                               ElementOrder::FrequencyAsc);
+        let expect = ssjoin(&r, &s, &pred, &SsJoinConfig::new(Algorithm::Basic))
+            .unwrap()
+            .pairs;
+
+        let r_rel = Arc::new(collection_to_relation(&r));
+        let s_rel = Arc::new(collection_to_relation(&s));
+        let (basic, _) = run_plan(basic_plan(r_rel.clone(), s_rel.clone(), &pred).as_ref())
+            .unwrap();
+        prop_assert_eq!(&basic, &expect, "basic plan");
+        let (prefix, _) = run_plan(
+            prefix_plan(r_rel, s_rel, &pred, r.norm_range(), s.norm_range()).as_ref(),
+        )
+        .unwrap();
+        prop_assert_eq!(&prefix, &expect, "prefix plan");
+        let (inline, _) = run_plan(inline_plan(&r, &s, &pred).as_ref()).unwrap();
+        prop_assert_eq!(&inline, &expect, "inline plan");
+    }
+
+    /// Parallel execution is exactly equivalent to sequential.
+    #[test]
+    fn parallel_equals_sequential(
+        groups in groups_strategy(),
+        pred in predicate_strategy(),
+        threads in 2usize..5,
+    ) {
+        let (r, s) = build_two(groups.clone(), groups, WeightScheme::Unweighted,
+                               ElementOrder::FrequencyAsc);
+        for alg in [Algorithm::Basic, Algorithm::Inline] {
+            let seq = ssjoin(&r, &s, &pred, &SsJoinConfig::new(alg)).unwrap();
+            let par = ssjoin(&r, &s, &pred, &SsJoinConfig::new(alg).with_threads(threads))
+                .unwrap();
+            prop_assert_eq!(seq.pairs, par.pairs, "algorithm {:?}", alg);
+        }
+    }
+
+    /// Monotonicity: raising an absolute threshold never adds pairs.
+    #[test]
+    fn threshold_monotonicity(
+        groups in groups_strategy(),
+        lo in 0.5f64..2.0,
+        delta in 0.1f64..2.0,
+    ) {
+        let (r, s) = build_two(groups.clone(), groups, WeightScheme::Unweighted,
+                               ElementOrder::FrequencyAsc);
+        let loose = ssjoin(&r, &s, &OverlapPredicate::absolute(lo),
+                           &SsJoinConfig::default()).unwrap();
+        let tight = ssjoin(&r, &s, &OverlapPredicate::absolute(lo + delta),
+                           &SsJoinConfig::default()).unwrap();
+        let loose_keys: std::collections::HashSet<_> =
+            pairs_to_keys(&loose.pairs).into_iter().collect();
+        for key in pairs_to_keys(&tight.pairs) {
+            prop_assert!(loose_keys.contains(&key));
+        }
+    }
+
+    /// Self-join symmetry for symmetric predicates: (i, j) present iff
+    /// (j, i) present.
+    #[test]
+    fn self_join_symmetry(groups in groups_strategy(), alpha in 0.1f64..1.0) {
+        let (r, s) = build_two(groups.clone(), groups, WeightScheme::Idf,
+                               ElementOrder::FrequencyAsc);
+        let out = ssjoin(&r, &s, &OverlapPredicate::two_sided(alpha),
+                         &SsJoinConfig::default()).unwrap();
+        let keys: std::collections::HashSet<_> =
+            pairs_to_keys(&out.pairs).into_iter().collect();
+        for &(i, j) in &keys {
+            prop_assert!(keys.contains(&(j, i)), "missing mirror of ({i},{j})");
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Customer-address corpus: the substitute for the paper's proprietary
+//! `Customer` relation of 25,000 addresses.
+
+use crate::errors::{ErrorModel, Perturber};
+use crate::vocab::{CITIES, STATES, STREET_NAMES, STREET_TYPES, UNITS};
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`AddressCorpus::generate`].
+#[derive(Debug, Clone)]
+pub struct AddressCorpusConfig {
+    /// Total number of records to produce.
+    pub rows: usize,
+    /// Fraction of rows that are erroneous duplicates of an earlier base
+    /// record (the paper's motivating scenario). 0.0 disables duplicates.
+    pub duplicate_fraction: f64,
+    /// Error model applied to duplicates.
+    pub errors: ErrorModel,
+    /// Zipf exponent for street-name/city skew (0 = uniform).
+    pub zipf_exponent: f64,
+    /// RNG seed — generation is fully deterministic.
+    pub seed: u64,
+}
+
+impl AddressCorpusConfig {
+    /// The paper's evaluation shape: `rows` addresses, 30% near-duplicates,
+    /// default error model, realistic skew.
+    pub fn paper_like(rows: usize) -> Self {
+        Self {
+            rows,
+            duplicate_fraction: 0.3,
+            errors: ErrorModel::default(),
+            zipf_exponent: 0.9,
+            seed: 0x55_4a_01,
+        }
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the duplicate fraction.
+    pub fn with_duplicate_fraction(mut self, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction));
+        self.duplicate_fraction = fraction;
+        self
+    }
+
+    /// Override the error model.
+    pub fn with_errors(mut self, errors: ErrorModel) -> Self {
+        self.errors = errors;
+        self
+    }
+}
+
+/// A generated address corpus with duplicate ground truth.
+#[derive(Debug, Clone)]
+pub struct AddressCorpus {
+    /// The address strings.
+    pub records: Vec<String>,
+    /// Cluster id per record: duplicates share their source's cluster id, so
+    /// ground-truth duplicate pairs are exactly the same-cluster pairs.
+    pub cluster: Vec<u32>,
+}
+
+impl AddressCorpus {
+    /// Generate a corpus.
+    pub fn generate(config: &AddressCorpusConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let street_dist = Zipf::new(STREET_NAMES.len(), config.zipf_exponent);
+        let city_dist = Zipf::new(CITIES.len(), config.zipf_exponent);
+        let state_dist = Zipf::new(STATES.len(), config.zipf_exponent);
+        let perturber = Perturber::new(config.errors.clone());
+
+        let mut records: Vec<String> = Vec::with_capacity(config.rows);
+        let mut cluster: Vec<u32> = Vec::with_capacity(config.rows);
+        let mut next_cluster = 0u32;
+        for _ in 0..config.rows {
+            let duplicate = !records.is_empty() && rng.gen_bool(config.duplicate_fraction);
+            if duplicate {
+                let src = rng.gen_range(0..records.len());
+                let variant = perturber.perturb(&mut rng, &records[src].clone());
+                records.push(variant);
+                cluster.push(cluster[src]);
+            } else {
+                records.push(base_address(
+                    &mut rng,
+                    &street_dist,
+                    &city_dist,
+                    &state_dist,
+                ));
+                cluster.push(next_cluster);
+                next_cluster += 1;
+            }
+        }
+        Self { records, cluster }
+    }
+
+    /// Ground-truth duplicate pairs `(i, j)` with `i < j` (same cluster).
+    /// Quadratic in cluster size — intended for evaluation, not generation.
+    pub fn true_duplicate_pairs(&self) -> Vec<(u32, u32)> {
+        use std::collections::HashMap;
+        let mut by_cluster: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (i, &c) in self.cluster.iter().enumerate() {
+            by_cluster.entry(c).or_default().push(i as u32);
+        }
+        let mut out = Vec::new();
+        for members in by_cluster.values() {
+            for (a, &i) in members.iter().enumerate() {
+                for &j in &members[a + 1..] {
+                    out.push((i.min(j), i.max(j)));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+fn base_address(
+    rng: &mut StdRng,
+    street_dist: &Zipf,
+    city_dist: &Zipf,
+    state_dist: &Zipf,
+) -> String {
+    let number = rng.gen_range(1..9999u32);
+    let street = STREET_NAMES[street_dist.sample(rng)];
+    let (stype_full, stype_abbr) = STREET_TYPES[rng.gen_range(0..STREET_TYPES.len())];
+    let stype = if rng.gen_bool(0.5) {
+        stype_full
+    } else {
+        stype_abbr
+    };
+    let city = CITIES[city_dist.sample(rng)];
+    let (state_full, state_abbr) = STATES[state_dist.sample(rng)];
+    let state = if rng.gen_bool(0.7) {
+        state_abbr
+    } else {
+        state_full
+    };
+    let zip = rng.gen_range(10000..99999u32);
+    if rng.gen_bool(0.3) {
+        let (unit_full, unit_abbr) = UNITS[rng.gen_range(0..UNITS.len())];
+        let unit = if rng.gen_bool(0.5) {
+            unit_full
+        } else {
+            unit_abbr
+        };
+        let unit_no = rng.gen_range(1..400u32);
+        format!("{number} {street} {stype} {unit} {unit_no} {city} {state} {zip}")
+    } else {
+        format!("{number} {street} {stype} {city} {state} {zip}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic() {
+        let cfg = AddressCorpusConfig::paper_like(500);
+        let a = AddressCorpus::generate(&cfg);
+        let b = AddressCorpus::generate(&cfg);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.cluster, b.cluster);
+    }
+
+    #[test]
+    fn row_count_and_shape() {
+        let corpus = AddressCorpus::generate(&AddressCorpusConfig::paper_like(1000));
+        assert_eq!(corpus.records.len(), 1000);
+        assert_eq!(corpus.cluster.len(), 1000);
+        for r in &corpus.records {
+            let tokens = r.split(' ').count();
+            assert!((4..=10).contains(&tokens), "odd address {r:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_fraction_respected() {
+        let corpus = AddressCorpus::generate(
+            &AddressCorpusConfig::paper_like(2000).with_duplicate_fraction(0.4),
+        );
+        let distinct_clusters = corpus
+            .cluster
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        let dup_rows = 2000 - distinct_clusters;
+        assert!(
+            (600..=1000).contains(&dup_rows),
+            "duplicate rows {dup_rows}"
+        );
+    }
+
+    #[test]
+    fn zero_duplicates_all_unique_clusters() {
+        let corpus = AddressCorpus::generate(
+            &AddressCorpusConfig::paper_like(300).with_duplicate_fraction(0.0),
+        );
+        let distinct = corpus
+            .cluster
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert_eq!(distinct, 300);
+        assert!(corpus.true_duplicate_pairs().is_empty());
+    }
+
+    #[test]
+    fn token_frequencies_are_skewed() {
+        let corpus = AddressCorpus::generate(&AddressCorpusConfig::paper_like(5000));
+        let mut freq: HashMap<&str, usize> = HashMap::new();
+        for r in &corpus.records {
+            for t in r.split(' ') {
+                *freq.entry(t).or_insert(0) += 1;
+            }
+        }
+        let mut counts: Vec<usize> = freq.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        // Head token should appear orders of magnitude more than the median
+        // token — the skew the prefix filter exploits.
+        let median = counts[counts.len() / 2];
+        assert!(
+            counts[0] > 20 * median,
+            "head {} median {}",
+            counts[0],
+            median
+        );
+    }
+
+    #[test]
+    fn true_pairs_match_cluster_structure() {
+        let corpus = AddressCorpus::generate(
+            &AddressCorpusConfig::paper_like(200).with_duplicate_fraction(0.5),
+        );
+        let pairs = corpus.true_duplicate_pairs();
+        for &(i, j) in &pairs {
+            assert!(i < j);
+            assert_eq!(corpus.cluster[i as usize], corpus.cluster[j as usize]);
+        }
+        // Spot-check count: sum over clusters of n·(n−1)/2.
+        let mut sizes: HashMap<u32, usize> = HashMap::new();
+        for &c in &corpus.cluster {
+            *sizes.entry(c).or_insert(0) += 1;
+        }
+        let expect: usize = sizes.values().map(|&n| n * (n - 1) / 2).sum();
+        assert_eq!(pairs.len(), expect);
+    }
+}

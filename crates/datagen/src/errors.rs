@@ -1,0 +1,259 @@
+//! Error injection: the error classes the paper's introduction motivates
+//! ("typing mistakes, differences in conventions, etc.").
+
+use crate::vocab::{STATES, STREET_TYPES, UNITS};
+use rand::Rng;
+
+/// Probabilities of each error class applied when perturbing a string.
+#[derive(Debug, Clone)]
+pub struct ErrorModel {
+    /// Per-character probability of a typo (substitute / insert / delete /
+    /// transpose, equally likely).
+    pub typo_rate: f64,
+    /// Probability of swapping one abbreviation convention (Street ↔ St,
+    /// Washington ↔ WA, …).
+    pub abbreviation_swap_rate: f64,
+    /// Probability of dropping one token.
+    pub token_drop_rate: f64,
+    /// Probability of swapping two adjacent tokens.
+    pub token_swap_rate: f64,
+}
+
+impl Default for ErrorModel {
+    fn default() -> Self {
+        Self {
+            typo_rate: 0.02,
+            abbreviation_swap_rate: 0.3,
+            token_drop_rate: 0.05,
+            token_swap_rate: 0.02,
+        }
+    }
+}
+
+impl ErrorModel {
+    /// A light model: mostly single typos — duplicates stay very similar.
+    pub fn light() -> Self {
+        Self {
+            typo_rate: 0.01,
+            abbreviation_swap_rate: 0.15,
+            token_drop_rate: 0.02,
+            token_swap_rate: 0.01,
+        }
+    }
+
+    /// A heavy model: duplicates drift further from their source.
+    pub fn heavy() -> Self {
+        Self {
+            typo_rate: 0.05,
+            abbreviation_swap_rate: 0.5,
+            token_drop_rate: 0.12,
+            token_swap_rate: 0.05,
+        }
+    }
+}
+
+/// Applies an [`ErrorModel`] to strings.
+#[derive(Debug, Clone)]
+pub struct Perturber {
+    model: ErrorModel,
+}
+
+impl Perturber {
+    /// Perturber with the given model.
+    pub fn new(model: ErrorModel) -> Self {
+        Self { model }
+    }
+
+    /// Produce an erroneous variant of `s`.
+    pub fn perturb<R: Rng + ?Sized>(&self, rng: &mut R, s: &str) -> String {
+        let mut out = s.to_string();
+        if rng.gen_bool(self.model.abbreviation_swap_rate) {
+            out = swap_abbreviation(rng, &out);
+        }
+        if rng.gen_bool(self.model.token_drop_rate) {
+            out = drop_token(rng, &out);
+        }
+        if rng.gen_bool(self.model.token_swap_rate) {
+            out = swap_tokens(rng, &out);
+        }
+        out = inject_typos(rng, &out, self.model.typo_rate);
+        out
+    }
+}
+
+fn inject_typos<R: Rng + ?Sized>(rng: &mut R, s: &str, rate: f64) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(chars.len() + 2);
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_alphanumeric() && rng.gen_bool(rate) {
+            match rng.gen_range(0..4u8) {
+                0 => out.push(random_letter(rng)), // substitute
+                1 => {
+                    out.push(c);
+                    out.push(random_letter(rng)); // insert
+                }
+                2 => {} // delete
+                _ => {
+                    // transpose with the next character when possible
+                    if i + 1 < chars.len() {
+                        out.push(chars[i + 1]);
+                        out.push(c);
+                        i += 1;
+                    } else {
+                        out.push(c);
+                    }
+                }
+            }
+        } else {
+            out.push(c);
+        }
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+fn random_letter<R: Rng + ?Sized>(rng: &mut R) -> char {
+    (b'a' + rng.gen_range(0..26u8)) as char
+}
+
+/// Swap one abbreviation pair (either direction) if a swappable token is
+/// present; otherwise return the string unchanged.
+fn swap_abbreviation<R: Rng + ?Sized>(rng: &mut R, s: &str) -> String {
+    let tokens: Vec<&str> = s.split(' ').collect();
+    let mut candidates: Vec<(usize, &str)> = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        for (full, abbr) in STREET_TYPES.iter().chain(UNITS).chain(STATES) {
+            if tok == full {
+                candidates.push((i, abbr));
+            } else if tok == abbr {
+                candidates.push((i, full));
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return s.to_string();
+    }
+    let (idx, replacement) = candidates[rng.gen_range(0..candidates.len())];
+    let mut out: Vec<&str> = tokens;
+    out[idx] = replacement;
+    out.join(" ")
+}
+
+fn drop_token<R: Rng + ?Sized>(rng: &mut R, s: &str) -> String {
+    let tokens: Vec<&str> = s.split(' ').filter(|t| !t.is_empty()).collect();
+    if tokens.len() <= 2 {
+        return s.to_string();
+    }
+    let drop = rng.gen_range(0..tokens.len());
+    tokens
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != drop)
+        .map(|(_, t)| *t)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn swap_tokens<R: Rng + ?Sized>(rng: &mut R, s: &str) -> String {
+    let mut tokens: Vec<&str> = s.split(' ').filter(|t| !t.is_empty()).collect();
+    if tokens.len() < 2 {
+        return s.to_string();
+    }
+    let i = rng.gen_range(0..tokens.len() - 1);
+    tokens.swap(i, i + 1);
+    tokens.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ssjoin_sim_shim::edit_distance_words;
+
+    // Tiny local helper instead of a cross-crate dev-dependency.
+    mod ssjoin_sim_shim {
+        /// Token-level symmetric difference size (loose perturbation bound).
+        pub fn edit_distance_words(a: &str, b: &str) -> usize {
+            let at: Vec<&str> = a.split(' ').collect();
+            let bt: Vec<&str> = b.split(' ').collect();
+            at.iter().filter(|t| !bt.contains(t)).count()
+                + bt.iter().filter(|t| !at.contains(t)).count()
+        }
+    }
+
+    #[test]
+    fn perturbation_deterministic_per_seed() {
+        let p = Perturber::new(ErrorModel::default());
+        let s = "100 Main Street Springfield WA";
+        let a = p.perturb(&mut StdRng::seed_from_u64(5), s);
+        let b = p.perturb(&mut StdRng::seed_from_u64(5), s);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn light_model_keeps_strings_close() {
+        let p = Perturber::new(ErrorModel::light());
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = "4821 Chestnut Avenue Apt 12 Lakewood WA";
+        let mut total_diff = 0;
+        for _ in 0..50 {
+            let v = p.perturb(&mut rng, s);
+            total_diff += edit_distance_words(s, &v);
+        }
+        // On average at most ~2 tokens differ under the light model.
+        assert!(total_diff < 150, "total token diff {total_diff}");
+    }
+
+    #[test]
+    fn abbreviation_swap_changes_convention() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let swapped = swap_abbreviation(&mut rng, "100 Main Street");
+        assert_eq!(swapped, "100 Main St");
+        let back = swap_abbreviation(&mut rng, "100 Main St");
+        assert_eq!(back, "100 Main Street");
+    }
+
+    #[test]
+    fn abbreviation_swap_noop_without_candidates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(
+            swap_abbreviation(&mut rng, "no swappable tokens"),
+            "no swappable tokens"
+        );
+    }
+
+    #[test]
+    fn drop_token_keeps_short_strings() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(drop_token(&mut rng, "one two"), "one two");
+        let dropped = drop_token(&mut rng, "one two three four");
+        assert_eq!(dropped.split(' ').count(), 3);
+    }
+
+    #[test]
+    fn swap_tokens_adjacent() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let swapped = swap_tokens(&mut rng, "a b");
+        assert_eq!(swapped, "b a");
+        assert_eq!(swap_tokens(&mut rng, "single"), "single");
+    }
+
+    #[test]
+    fn typo_rate_zero_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = "unchanged text 123";
+        assert_eq!(inject_typos(&mut rng, s, 0.0), s);
+    }
+
+    #[test]
+    fn typos_preserve_non_alphanumerics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = inject_typos(&mut rng, "a-b c,d", 1.0);
+        // Separators are never touched.
+        assert_eq!(out.matches('-').count(), 1);
+        assert_eq!(out.matches(',').count(), 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! Person records for the soft functional-dependency join (Example 6 of the
+//! paper: match authors when at least k of {address, email, phone} agree).
+
+use crate::errors::{ErrorModel, Perturber};
+use crate::vocab::{FIRST_NAMES, LAST_NAMES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One person record with FD-source attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersonRecord {
+    /// Display name (the attribute being deduplicated).
+    pub name: String,
+    /// Street address.
+    pub address: String,
+    /// Email.
+    pub email: String,
+    /// Phone number.
+    pub phone: String,
+}
+
+impl PersonRecord {
+    /// The FD-source attribute vector `[address, email, phone]` consumed by
+    /// `soft_fd_join`.
+    pub fn fd_attributes(&self) -> Vec<String> {
+        vec![self.address.clone(), self.email.clone(), self.phone.clone()]
+    }
+}
+
+/// Configuration for [`PersonCorpus::generate`].
+#[derive(Debug, Clone)]
+pub struct PersonCorpusConfig {
+    /// Number of records.
+    pub rows: usize,
+    /// Fraction of rows that duplicate an earlier person with some
+    /// attributes changed (simulating the same person recorded twice).
+    pub duplicate_fraction: f64,
+    /// How many of the 3 FD attributes a duplicate keeps intact (the rest
+    /// are regenerated). 2 matches Example 6's "at least 2 of 3 agree".
+    pub attributes_kept: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl PersonCorpusConfig {
+    /// Defaults matching Example 6.
+    pub fn new(rows: usize) -> Self {
+        Self {
+            rows,
+            duplicate_fraction: 0.3,
+            attributes_kept: 2,
+            seed: 0x50_44,
+        }
+    }
+}
+
+/// A generated person corpus with duplicate ground truth.
+#[derive(Debug, Clone)]
+pub struct PersonCorpus {
+    /// The records.
+    pub records: Vec<PersonRecord>,
+    /// Cluster id per record (same semantics as the address corpus).
+    pub cluster: Vec<u32>,
+}
+
+impl PersonCorpus {
+    /// Generate a corpus.
+    pub fn generate(config: &PersonCorpusConfig) -> Self {
+        assert!(config.attributes_kept <= 3);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let perturber = Perturber::new(ErrorModel::light());
+        let mut records: Vec<PersonRecord> = Vec::with_capacity(config.rows);
+        let mut cluster: Vec<u32> = Vec::with_capacity(config.rows);
+        let mut next_cluster = 0u32;
+        for _ in 0..config.rows {
+            let duplicate = !records.is_empty() && rng.gen_bool(config.duplicate_fraction);
+            if duplicate {
+                let src_idx = rng.gen_range(0..records.len());
+                let src = records[src_idx].clone();
+                // Keep `attributes_kept` attributes, regenerate the rest.
+                let mut keep = [true; 3];
+                let mut to_change = 3 - config.attributes_kept;
+                while to_change > 0 {
+                    let i = rng.gen_range(0..3);
+                    if keep[i] {
+                        keep[i] = false;
+                        to_change -= 1;
+                    }
+                }
+                let name = perturber.perturb(&mut rng, &src.name);
+                let record = PersonRecord {
+                    name,
+                    address: if keep[0] {
+                        src.address
+                    } else {
+                        fresh_address(&mut rng)
+                    },
+                    email: if keep[1] {
+                        src.email
+                    } else {
+                        fresh_email(&mut rng)
+                    },
+                    phone: if keep[2] {
+                        src.phone
+                    } else {
+                        fresh_phone(&mut rng)
+                    },
+                };
+                records.push(record);
+                cluster.push(cluster[src_idx]);
+            } else {
+                records.push(fresh_person(&mut rng));
+                cluster.push(next_cluster);
+                next_cluster += 1;
+            }
+        }
+        Self { records, cluster }
+    }
+}
+
+fn fresh_person(rng: &mut StdRng) -> PersonRecord {
+    let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+    let last = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+    PersonRecord {
+        name: format!("{first} {last}"),
+        address: fresh_address(rng),
+        email: format!(
+            "{}.{}{}@example.com",
+            first.to_lowercase(),
+            last.to_lowercase(),
+            rng.gen_range(1..999u32)
+        ),
+        phone: fresh_phone(rng),
+    }
+}
+
+fn fresh_address(rng: &mut StdRng) -> String {
+    format!(
+        "{} {} St",
+        rng.gen_range(1..9999u32),
+        crate::vocab::STREET_NAMES[rng.gen_range(0..crate::vocab::STREET_NAMES.len())]
+    )
+}
+
+fn fresh_email(rng: &mut StdRng) -> String {
+    format!("user{}@example.com", rng.gen_range(0..1_000_000u32))
+}
+
+fn fresh_phone(rng: &mut StdRng) -> String {
+    format!("555-{:04}", rng.gen_range(0..10000u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let cfg = PersonCorpusConfig::new(200);
+        assert_eq!(
+            PersonCorpus::generate(&cfg).records,
+            PersonCorpus::generate(&cfg).records
+        );
+    }
+
+    #[test]
+    fn duplicates_keep_configured_attribute_count() {
+        let cfg = PersonCorpusConfig::new(400);
+        let corpus = PersonCorpus::generate(&cfg);
+        // For each duplicate, at least `attributes_kept` of the three FD
+        // attributes must match some earlier same-cluster record.
+        for i in 0..corpus.records.len() {
+            let c = corpus.cluster[i];
+            let earlier: Vec<&PersonRecord> = (0..i)
+                .filter(|&j| corpus.cluster[j] == c)
+                .map(|j| &corpus.records[j])
+                .collect();
+            if earlier.is_empty() {
+                continue;
+            }
+            let rec = &corpus.records[i];
+            let best = earlier
+                .iter()
+                .map(|e| {
+                    usize::from(e.address == rec.address)
+                        + usize::from(e.email == rec.email)
+                        + usize::from(e.phone == rec.phone)
+                })
+                .max()
+                .unwrap();
+            assert!(
+                best >= cfg.attributes_kept,
+                "record {i} agrees on only {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn fd_attributes_shape() {
+        let corpus = PersonCorpus::generate(&PersonCorpusConfig::new(5));
+        let attrs = corpus.records[0].fd_attributes();
+        assert_eq!(attrs.len(), 3);
+        assert!(attrs.iter().all(|a| !a.is_empty()));
+    }
+}

@@ -1,0 +1,208 @@
+//! Product-name corpus: sales records vs a master catalog (the paper's
+//! opening example — "product names … in sales records may not match
+//! exactly with master product catalog" records).
+
+use crate::errors::{ErrorModel, Perturber};
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BRANDS: &[&str] = &[
+    "Microsoft",
+    "Contoso",
+    "Fabrikam",
+    "Northwind",
+    "Adventure",
+    "Proseware",
+    "Tailspin",
+    "Wingtip",
+    "Litware",
+    "Lucerne",
+    "Fourth",
+    "Graphic",
+    "Humongous",
+    "Margie",
+    "Phone",
+    "Southridge",
+    "Alpine",
+    "Coho",
+    "Consolidated",
+    "Trey",
+];
+
+const CATEGORIES: &[&str] = &[
+    "Keyboard",
+    "Mouse",
+    "Monitor",
+    "Laptop",
+    "Desktop",
+    "Printer",
+    "Scanner",
+    "Router",
+    "Switch",
+    "Headset",
+    "Webcam",
+    "Speaker",
+    "Tablet",
+    "Dock",
+    "Adapter",
+    "Cable",
+    "Charger",
+    "Drive",
+    "Memory",
+    "Processor",
+];
+
+const QUALIFIERS: &[&str] = &[
+    "Pro",
+    "Plus",
+    "Ultra",
+    "Max",
+    "Mini",
+    "Lite",
+    "Elite",
+    "Prime",
+    "Classic",
+    "Wireless",
+    "Ergonomic",
+    "Compact",
+    "Portable",
+    "Gaming",
+    "Business",
+];
+
+/// Configuration for [`ProductCorpus::generate`].
+#[derive(Debug, Clone)]
+pub struct ProductCorpusConfig {
+    /// Number of master-catalog entries.
+    pub catalog_size: usize,
+    /// Number of sales records (each referencing a catalog entry, possibly
+    /// with errors).
+    pub sales_size: usize,
+    /// Fraction of sales records whose product name is corrupted.
+    pub error_fraction: f64,
+    /// Error model for corrupted names.
+    pub errors: ErrorModel,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl ProductCorpusConfig {
+    /// Defaults: 60% of sales records carry at least one error.
+    pub fn new(catalog_size: usize, sales_size: usize) -> Self {
+        Self {
+            catalog_size,
+            sales_size,
+            error_fraction: 0.6,
+            errors: ErrorModel::default(),
+            seed: 0x90d5,
+        }
+    }
+}
+
+/// Master catalog plus dirty sales records referencing it.
+#[derive(Debug, Clone)]
+pub struct ProductCorpus {
+    /// Clean catalog names.
+    pub catalog: Vec<String>,
+    /// Sales-record product names (possibly corrupted).
+    pub sales: Vec<String>,
+    /// Ground truth: catalog index each sales record refers to.
+    pub sales_source: Vec<u32>,
+}
+
+impl ProductCorpus {
+    /// Generate the corpus.
+    pub fn generate(config: &ProductCorpusConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let brand_dist = Zipf::new(BRANDS.len(), 0.8);
+        let cat_dist = Zipf::new(CATEGORIES.len(), 0.6);
+        let perturber = Perturber::new(config.errors.clone());
+
+        let mut catalog = Vec::with_capacity(config.catalog_size);
+        let mut seen = std::collections::HashSet::new();
+        while catalog.len() < config.catalog_size {
+            let brand = BRANDS[brand_dist.sample(&mut rng)];
+            let category = CATEGORIES[cat_dist.sample(&mut rng)];
+            let qualifier = QUALIFIERS[rng.gen_range(0..QUALIFIERS.len())];
+            let model = rng.gen_range(100..9999u32);
+            let name = format!("{brand} {category} {qualifier} {model}");
+            if seen.insert(name.clone()) {
+                catalog.push(name);
+            }
+        }
+
+        let mut sales = Vec::with_capacity(config.sales_size);
+        let mut sales_source = Vec::with_capacity(config.sales_size);
+        for _ in 0..config.sales_size {
+            let src = rng.gen_range(0..catalog.len());
+            sales_source.push(src as u32);
+            let name = if rng.gen_bool(config.error_fraction) {
+                perturber.perturb(&mut rng, &catalog[src])
+            } else {
+                catalog[src].clone()
+            };
+            sales.push(name);
+        }
+        Self {
+            catalog,
+            sales,
+            sales_source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let cfg = ProductCorpusConfig::new(200, 500);
+        let a = ProductCorpus::generate(&cfg);
+        let b = ProductCorpus::generate(&cfg);
+        assert_eq!(a.catalog, b.catalog);
+        assert_eq!(a.sales, b.sales);
+        assert_eq!(a.catalog.len(), 200);
+        assert_eq!(a.sales.len(), 500);
+        assert_eq!(a.sales_source.len(), 500);
+    }
+
+    #[test]
+    fn catalog_names_unique() {
+        let corpus = ProductCorpus::generate(&ProductCorpusConfig::new(300, 10));
+        let set: std::collections::HashSet<&String> = corpus.catalog.iter().collect();
+        assert_eq!(set.len(), 300);
+    }
+
+    #[test]
+    fn clean_sales_match_source() {
+        let mut cfg = ProductCorpusConfig::new(100, 300);
+        cfg.error_fraction = 0.0;
+        let corpus = ProductCorpus::generate(&cfg);
+        for (sale, &src) in corpus.sales.iter().zip(&corpus.sales_source) {
+            assert_eq!(sale, &corpus.catalog[src as usize]);
+        }
+    }
+
+    #[test]
+    fn corrupted_sales_stay_recognizable() {
+        let corpus = ProductCorpus::generate(&ProductCorpusConfig::new(100, 200));
+        // Most corrupted names still share their brand token's first letters
+        // with the source — loose sanity that the error model is gentle.
+        let mut recognizable = 0;
+        for (sale, &src) in corpus.sales.iter().zip(&corpus.sales_source) {
+            let src_first = corpus.catalog[src as usize]
+                .split(' ')
+                .next()
+                .unwrap()
+                .chars()
+                .take(3)
+                .collect::<String>();
+            if sale.contains(&src_first[..1]) {
+                recognizable += 1;
+            }
+        }
+        assert!(recognizable > 150, "{recognizable}/200");
+    }
+}

@@ -1,0 +1,105 @@
+//! Minimal TSV persistence for generated corpora.
+//!
+//! Implemented in-repo (no external CSV dependency): tab-separated columns,
+//! one record per line, with `\t`, `\n`, and `\\` escaped.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+fn escape(field: &str) -> String {
+    let mut out = String::with_capacity(field.len());
+    for c in field.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(field: &str) -> String {
+    let mut out = String::with_capacity(field.len());
+    let mut chars = field.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Write rows of string fields as TSV.
+pub fn write_tsv<P: AsRef<Path>>(path: P, rows: &[Vec<String>]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|f| escape(f)).collect();
+        writeln!(w, "{}", line.join("\t"))?;
+    }
+    w.flush()
+}
+
+/// Read TSV rows written by [`write_tsv`].
+pub fn read_tsv<P: AsRef<Path>>(path: P) -> io::Result<Vec<Vec<String>>> {
+    let r = BufReader::new(File::open(path)?);
+    let mut rows = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        rows.push(line.split('\t').map(unescape).collect());
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_special_chars() {
+        let dir = std::env::temp_dir().join("ssjoin_tsv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.tsv");
+        let rows = vec![
+            vec!["plain".to_string(), "with\ttab".to_string()],
+            vec!["with\nnewline".to_string(), "back\\slash".to_string()],
+            vec!["".to_string(), "end".to_string()],
+        ];
+        write_tsv(&path, &rows).unwrap();
+        let back = read_tsv(&path).unwrap();
+        assert_eq!(back, rows);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn escape_unescape_inverse() {
+        for s in ["", "abc", "a\tb", "a\nb", "a\\b", "\\t", "mixed\t\n\\all"] {
+            assert_eq!(unescape(&escape(s)), s, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_escape_preserved() {
+        assert_eq!(unescape("a\\xb"), "a\\xb");
+        assert_eq!(unescape("trailing\\"), "trailing\\");
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(read_tsv("/nonexistent/definitely/missing.tsv").is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Zipf-distributed sampling.
+//!
+//! Token frequencies in real text and address data are heavily skewed; the
+//! prefix filter's whole point (§4.3.2) is exploiting that skew. This is a
+//! small exact sampler: probabilities `p(k) ∝ 1 / k^s` over ranks
+//! `1..=n`, sampled by binary search over the precomputed CDF.
+
+use rand::Rng;
+
+/// A Zipf distribution over `0..n` (rank 0 is the most frequent).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Distribution over `n` ranks with exponent `s` (s = 0 is uniform,
+    /// s ≈ 1 is classic Zipf).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be non-negative, got {s}"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if there is a single rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_s_one() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should be roughly twice rank 1, an order of magnitude above
+        // rank 50.
+        assert!(counts[0] > counts[1]);
+        assert!(
+            counts[0] > 8 * counts[50],
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(10, 1.2);
+        let a: Vec<usize> = (0..20)
+            .scan(StdRng::seed_from_u64(3), |r, _| Some(z.sample(r)))
+            .collect();
+        let b: Vec<usize> = (0..20)
+            .scan(StdRng::seed_from_u64(3), |r, _| Some(z.sample(r)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_ranks_reachable() {
+        let z = Zipf::new(3, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Clustering similarity-join output into duplicate groups.
+//!
+//! A similarity self-join yields *pairs*; deduplication needs *groups* (the
+//! fuzzy-duplicate elimination of Ananthakrishna et al., the paper's ref.\ 1).
+//! The standard closure is connected components over the match graph,
+//! computed here with a union-find.
+
+use crate::common::MatchPair;
+
+/// Union-find over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        true
+    }
+}
+
+/// Cluster a self-join's match pairs over `n` records into duplicate groups.
+///
+/// Returns the groups with at least two members (singletons are not
+/// duplicates), each sorted ascending, ordered by their smallest member.
+pub fn cluster_pairs(n: usize, pairs: &[MatchPair]) -> Vec<Vec<u32>> {
+    let mut uf = UnionFind::new(n);
+    for p in pairs {
+        if p.r != p.s {
+            uf.union(p.r, p.s);
+        }
+    }
+    groups_of(&mut uf, n)
+}
+
+/// Cluster with a minimum similarity: pairs below `min_similarity` are
+/// ignored (useful for mining one join result at several strictness levels).
+pub fn cluster_pairs_at(n: usize, pairs: &[MatchPair], min_similarity: f64) -> Vec<Vec<u32>> {
+    let mut uf = UnionFind::new(n);
+    for p in pairs {
+        if p.r != p.s && p.similarity >= min_similarity - 1e-12 {
+            uf.union(p.r, p.s);
+        }
+    }
+    groups_of(&mut uf, n)
+}
+
+fn groups_of(uf: &mut UnionFind, n: usize) -> Vec<Vec<u32>> {
+    use std::collections::HashMap;
+    let mut by_root: HashMap<u32, Vec<u32>> = HashMap::new();
+    for i in 0..n as u32 {
+        by_root.entry(uf.find(i)).or_default().push(i);
+    }
+    let mut groups: Vec<Vec<u32>> = by_root
+        .into_values()
+        .filter(|g| g.len() > 1)
+        .map(|mut g| {
+            g.sort_unstable();
+            g
+        })
+        .collect();
+    groups.sort_unstable_by_key(|g| g[0]);
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mp(r: u32, s: u32, sim: f64) -> MatchPair {
+        MatchPair {
+            r,
+            s,
+            similarity: sim,
+        }
+    }
+
+    #[test]
+    fn transitive_closure() {
+        // 0~1, 1~2 ⇒ {0,1,2}; 4~5 separate.
+        let pairs = vec![mp(0, 1, 0.9), mp(1, 2, 0.9), mp(4, 5, 0.8)];
+        let groups = cluster_pairs(6, &pairs);
+        assert_eq!(groups, vec![vec![0, 1, 2], vec![4, 5]]);
+    }
+
+    #[test]
+    fn diagonal_and_mirrors_ignored() {
+        let pairs = vec![mp(1, 1, 1.0), mp(2, 3, 0.9), mp(3, 2, 0.9)];
+        let groups = cluster_pairs(5, &pairs);
+        assert_eq!(groups, vec![vec![2, 3]]);
+    }
+
+    #[test]
+    fn no_pairs_no_groups() {
+        assert!(cluster_pairs(10, &[]).is_empty());
+    }
+
+    #[test]
+    fn threshold_filtering() {
+        let pairs = vec![mp(0, 1, 0.95), mp(1, 2, 0.6)];
+        assert_eq!(cluster_pairs_at(3, &pairs, 0.9), vec![vec![0, 1]]);
+        assert_eq!(cluster_pairs_at(3, &pairs, 0.5), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn union_find_invariants() {
+        let mut uf = UnionFind::new(100);
+        for i in (0..98).step_by(2) {
+            uf.union(i, i + 2); // evens chained
+        }
+        let root = uf.find(0);
+        assert_eq!(uf.find(96), root);
+        assert_ne!(uf.find(1), root);
+        assert!(!uf.union(0, 50), "already merged");
+        assert!(uf.union(1, 3));
+    }
+
+    #[test]
+    fn deterministic_output_order() {
+        let pairs = vec![mp(7, 8, 1.0), mp(0, 9, 1.0), mp(3, 4, 1.0)];
+        let groups = cluster_pairs(10, &pairs);
+        assert_eq!(groups[0], vec![0, 9]);
+        assert_eq!(groups[1], vec![3, 4]);
+        assert_eq!(groups[2], vec![7, 8]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Co-occurrence similarity join (Figure 5 of the paper).
+//!
+//! Non-textual similarity: two values of one column are similar when the
+//! sets of values they *co-occur with* in another column overlap heavily
+//! (Example 5 — two author names denote the same author when their sets of
+//! paper titles overlap). This is the SSJoin operator applied natively: the
+//! group of an author is its title set, and Jaccard containment over groups
+//! is the 1-sided normalized predicate.
+
+use crate::common::{MatchPair, SimilarityJoinOutput};
+use crate::jaccard::{jaccard_join_tokens, JaccardConfig, JaccardKind};
+use ssjoin_core::{Algorithm, SsJoinResult, WeightScheme};
+use std::collections::HashMap;
+
+/// Configuration for [`cooccurrence_join`].
+#[derive(Debug, Clone)]
+pub struct CooccurrenceConfig {
+    /// Jaccard threshold over co-occurrence sets.
+    pub threshold: f64,
+    /// Containment (the paper's Figure 5 shape) or resemblance.
+    pub kind: JaccardKind,
+    /// Weighting of co-occurring values (IDF discounts values co-occurring
+    /// with everything).
+    pub weights: WeightScheme,
+    /// SSJoin physical algorithm.
+    pub algorithm: Algorithm,
+}
+
+impl CooccurrenceConfig {
+    /// Containment at the given threshold with IDF weights.
+    pub fn new(threshold: f64) -> Self {
+        Self {
+            threshold,
+            kind: JaccardKind::Containment,
+            weights: WeightScheme::Idf,
+            algorithm: Algorithm::Inline,
+        }
+    }
+
+    /// Use resemblance instead of containment.
+    pub fn with_resemblance(mut self) -> Self {
+        self.kind = JaccardKind::Resemblance;
+        self
+    }
+
+    /// Override the weighting scheme.
+    pub fn with_weights(mut self, weights: WeightScheme) -> Self {
+        self.weights = weights;
+        self
+    }
+}
+
+/// The result of a co-occurrence join: matched keys with similarity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooccurrenceMatch {
+    /// Key from the R side (e.g. an author name in source 1).
+    pub r_key: String,
+    /// Key from the S side.
+    pub s_key: String,
+    /// Verified similarity of the co-occurrence sets.
+    pub similarity: f64,
+}
+
+/// Group `(key, value)` observations by key.
+fn group_pairs(pairs: &[(String, String)]) -> (Vec<String>, Vec<Vec<String>>) {
+    let mut index: HashMap<&str, usize> = HashMap::new();
+    let mut keys: Vec<String> = Vec::new();
+    let mut groups: Vec<Vec<String>> = Vec::new();
+    for (key, value) in pairs {
+        let idx = *index.entry(key.as_str()).or_insert_with(|| {
+            keys.push(key.clone());
+            groups.push(Vec::new());
+            keys.len() - 1
+        });
+        groups[idx].push(value.clone());
+    }
+    (keys, groups)
+}
+
+/// Join two `(key, co-occurring value)` observation lists — e.g.
+/// `(author, paper title)` rows from two sources — returning key pairs whose
+/// co-occurrence sets are similar.
+pub fn cooccurrence_join(
+    r_pairs: &[(String, String)],
+    s_pairs: &[(String, String)],
+    config: &CooccurrenceConfig,
+) -> SsJoinResult<(Vec<CooccurrenceMatch>, SimilarityJoinOutput)> {
+    let (r_keys, r_groups) = group_pairs(r_pairs);
+    let (s_keys, s_groups) = group_pairs(s_pairs);
+    let jconfig = JaccardConfig {
+        threshold: config.threshold,
+        kind: config.kind,
+        weights: config.weights,
+        algorithm: config.algorithm,
+        threads: 1,
+        order: Default::default(),
+    };
+    let out = jaccard_join_tokens(r_groups, s_groups, &jconfig)?;
+    let matches = out
+        .pairs
+        .iter()
+        .map(|p: &MatchPair| CooccurrenceMatch {
+            r_key: r_keys[p.r as usize].clone(),
+            s_key: s_keys[p.s as usize].clone(),
+            similarity: p.similarity,
+        })
+        .collect();
+    Ok((matches, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(rows: &[(&str, &str)]) -> Vec<(String, String)> {
+        rows.iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn paper_example_authors_by_titles() {
+        // Two sources with different author-name conventions but shared
+        // paper titles.
+        let source1 = obs(&[
+            ("Jeffrey D. Ullman", "a first course in database systems"),
+            ("Jeffrey D. Ullman", "principles of database systems"),
+            ("Jeffrey D. Ullman", "introduction to automata theory"),
+            ("John Smith", "something entirely different"),
+        ]);
+        let source2 = obs(&[
+            ("Ullman, J.", "a first course in database systems"),
+            ("Ullman, J.", "principles of database systems"),
+            ("Ullman, J.", "introduction to automata theory"),
+            ("Smith, J.", "another unrelated paper"),
+        ]);
+        let (matches, _) =
+            cooccurrence_join(&source1, &source2, &CooccurrenceConfig::new(0.8)).unwrap();
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].r_key, "Jeffrey D. Ullman");
+        assert_eq!(matches[0].s_key, "Ullman, J.");
+        assert!(matches[0].similarity >= 0.8);
+    }
+
+    #[test]
+    fn states_by_cities_example() {
+        // §1's example: ('washington', 'wa') joined because their city sets
+        // overlap.
+        let r = obs(&[
+            ("washington", "seattle"),
+            ("washington", "tacoma"),
+            ("washington", "olympia"),
+            ("wisconsin", "madison"),
+            ("wisconsin", "milwaukee"),
+        ]);
+        let s = obs(&[
+            ("wa", "seattle"),
+            ("wa", "tacoma"),
+            ("wa", "olympia"),
+            ("wi", "madison"),
+            ("wi", "milwaukee"),
+        ]);
+        let cfg = CooccurrenceConfig::new(0.9).with_weights(ssjoin_core::WeightScheme::Unweighted);
+        let (matches, _) = cooccurrence_join(&r, &s, &cfg).unwrap();
+        let keys: Vec<(&str, &str)> = matches
+            .iter()
+            .map(|m| (m.r_key.as_str(), m.s_key.as_str()))
+            .collect();
+        assert!(keys.contains(&("washington", "wa")));
+        assert!(keys.contains(&("wisconsin", "wi")));
+        assert!(!keys.contains(&("washington", "wi")));
+    }
+
+    #[test]
+    fn partial_overlap_respects_threshold() {
+        let r = obs(&[("k1", "a"), ("k1", "b"), ("k1", "c"), ("k1", "d")]);
+        let s = obs(&[("k2", "a"), ("k2", "b"), ("k2", "x"), ("k2", "y")]);
+        // Containment of k1 in k2 is 2/4 = 0.5 (unweighted).
+        let base = CooccurrenceConfig::new(0.5).with_weights(ssjoin_core::WeightScheme::Unweighted);
+        let (m1, _) = cooccurrence_join(&r, &s, &base).unwrap();
+        assert_eq!(m1.len(), 1);
+        let tight =
+            CooccurrenceConfig::new(0.6).with_weights(ssjoin_core::WeightScheme::Unweighted);
+        let (m2, _) = cooccurrence_join(&r, &s, &tight).unwrap();
+        assert!(m2.is_empty());
+    }
+
+    #[test]
+    fn duplicate_observations_are_multiset() {
+        // The same (key, value) row twice counts twice (multiset semantics).
+        let r = obs(&[("k", "v"), ("k", "v")]);
+        let s = obs(&[("p", "v")]);
+        let cfg = CooccurrenceConfig::new(0.5).with_weights(ssjoin_core::WeightScheme::Unweighted);
+        let (matches, _) = cooccurrence_join(&r, &s, &cfg).unwrap();
+        // Containment of k in p: |{v,v} ∩ {v}| / 2 = 0.5.
+        assert_eq!(matches.len(), 1);
+        assert!((matches[0].similarity - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (matches, _) = cooccurrence_join(&[], &[], &CooccurrenceConfig::new(0.8)).unwrap();
+        assert!(matches.is_empty());
+    }
+}

@@ -1,0 +1,352 @@
+//! Edit-similarity join via SSJoin on q-gram sets (Figure 3 of the paper).
+//!
+//! Property 4 (from Gravano et al.): strings within edit distance ε share at
+//! least `max(|σ1|, |σ2|) − q + 1 − ε·q` q-grams. For an edit-*similarity*
+//! threshold α, qualifying pairs satisfy `ED ≤ (1 − α)·max`, so their q-gram
+//! overlap is at least
+//!
+//! ```text
+//! max(|σ1|, |σ2|)·(1 − (1 − α)·q) − q + 1
+//! ```
+//!
+//! which is exactly a [`NormExpr`] over the two string-length norms. The
+//! SSJoin result is a superset of the answer; each candidate is then
+//! verified with the banded edit-distance UDF.
+//!
+//! **Short strings.** When both strings are shorter than `q / (1 − (1−α)q)`
+//! the bound above is below 1 and the q-gram filter can miss qualifying
+//! pairs (they may share no q-gram at all). The paper's evaluation (long
+//! address strings, α ≥ 0.8) never hits this; this implementation handles
+//! it *exactly* by routing the short strings of both sides through a
+//! brute-force check, so the join is correct for every input.
+
+use crate::common::{MatchPair, SimilarityJoinOutput};
+use ssjoin_core::{
+    ssjoin, Algorithm, ElementOrder, NormExpr, NormKind, OverlapPredicate, Phase, SsJoinConfig,
+    SsJoinInputBuilder, SsJoinResult, WeightScheme,
+};
+use ssjoin_sim::edit_similarity_at_least;
+use ssjoin_text::{QGramTokenizer, Tokenizer};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Configuration for [`edit_similarity_join`].
+#[derive(Debug, Clone)]
+pub struct EditJoinConfig {
+    /// q-gram length (the paper uses 3).
+    pub q: usize,
+    /// Edit-similarity threshold α in (0, 1].
+    pub threshold: f64,
+    /// SSJoin physical algorithm.
+    pub algorithm: Algorithm,
+    /// Worker threads for the SSJoin.
+    pub threads: usize,
+    /// Global element order (ablation hook; the default is the paper's).
+    pub order: ElementOrder,
+}
+
+impl EditJoinConfig {
+    /// Defaults: the paper's q = 3 and the inline algorithm.
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "threshold must be in (0, 1], got {threshold}"
+        );
+        Self {
+            q: 3,
+            threshold,
+            algorithm: Algorithm::Inline,
+            threads: 1,
+            order: ElementOrder::FrequencyAsc,
+        }
+    }
+
+    /// Override the SSJoin algorithm.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Override q.
+    pub fn with_q(mut self, q: usize) -> Self {
+        assert!(q >= 1);
+        self.q = q;
+        self
+    }
+
+    /// Override the element order.
+    pub fn with_order(mut self, order: ElementOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Coefficient `1 − (1 − α)·q` of the overlap bound.
+    fn coefficient(&self) -> f64 {
+        1.0 - (1.0 - self.threshold) * self.q as f64
+    }
+
+    /// Strings strictly shorter than this cannot rely on the q-gram bound
+    /// (the bound is < 1 when both partners are shorter). `usize::MAX` when
+    /// the coefficient is non-positive (then *no* length is safe and the
+    /// whole join degenerates to brute force).
+    fn short_cutoff(&self) -> usize {
+        let c = self.coefficient();
+        if c <= 0.0 {
+            usize::MAX
+        } else {
+            // Smallest L with L·c − q + 1 ≥ 1.
+            (self.q as f64 / c).ceil() as usize
+        }
+    }
+}
+
+/// Edit-similarity join: all pairs `(i, j)` with
+/// `edit_similarity(r[i], s[j]) ≥ threshold`. Pass the same slice twice for
+/// a self-join.
+///
+/// ```
+/// use ssjoin_joins::{edit_similarity_join, EditJoinConfig};
+///
+/// let data: Vec<String> = vec!["Microsoft Corp".into(), "Mcrosoft Corp".into()];
+/// let out = edit_similarity_join(&data, &data, &EditJoinConfig::new(0.9)).unwrap();
+/// assert!(out.keys().contains(&(0, 1))); // one deletion over 14 chars ≈ 0.93
+/// ```
+pub fn edit_similarity_join(
+    r: &[String],
+    s: &[String],
+    config: &EditJoinConfig,
+) -> SsJoinResult<SimilarityJoinOutput> {
+    let alpha = config.threshold;
+
+    // Prep: q-gram sets with string-length norms.
+    let prep_start = Instant::now();
+    let tok = QGramTokenizer::new(config.q);
+    let r_lens: Vec<f64> = r.iter().map(|x| x.chars().count() as f64).collect();
+    let s_lens: Vec<f64> = s.iter().map(|x| x.chars().count() as f64).collect();
+    let r_groups: Vec<Vec<String>> = r.iter().map(|x| tok.tokenize(x)).collect();
+    let s_groups: Vec<Vec<String>> = s.iter().map(|x| tok.tokenize(x)).collect();
+    let mut builder = SsJoinInputBuilder::new(WeightScheme::Unweighted, config.order);
+    let rh = builder.add_relation_with_norm(r_groups, NormKind::Custom(r_lens.clone()));
+    let sh = builder.add_relation_with_norm(s_groups, NormKind::Custom(s_lens.clone()));
+    let built = builder.build();
+    let prep = prep_start.elapsed();
+
+    // SSJoin with the Property-4 predicate:
+    // Overlap ≥ max(R.norm, S.norm)·(1 − (1−α)q) − (q − 1).
+    let pred = OverlapPredicate::new(vec![NormExpr::Sub(
+        Box::new(NormExpr::Mul(
+            Box::new(NormExpr::Max(
+                Box::new(NormExpr::RNorm),
+                Box::new(NormExpr::SNorm),
+            )),
+            Box::new(NormExpr::Const(config.coefficient())),
+        )),
+        Box::new(NormExpr::Const(config.q as f64 - 1.0)),
+    )]);
+    let ss_config = SsJoinConfig {
+        algorithm: config.algorithm,
+        threads: config.threads,
+    };
+    let out = ssjoin(
+        built.collection(rh),
+        built.collection(sh),
+        &pred,
+        &ss_config,
+    )?;
+    let mut stats = out.stats;
+    stats.add_time(Phase::Prep, prep);
+
+    // Filter: verify candidates with the banded edit-distance UDF.
+    let filter_start = Instant::now();
+    let mut pairs = Vec::new();
+    let mut udf_verifications = 0u64;
+    let mut emitted: HashSet<(u32, u32)> = HashSet::new();
+    for p in &out.pairs {
+        udf_verifications += 1;
+        let (a, b) = (&r[p.r as usize], &s[p.s as usize]);
+        if edit_similarity_at_least(a, b, alpha) {
+            emitted.insert((p.r, p.s));
+            pairs.push(MatchPair {
+                r: p.r,
+                s: p.s,
+                similarity: ssjoin_sim::edit_similarity(a, b),
+            });
+        }
+    }
+
+    // Exact handling of pairs outside the q-gram bound's reach: both strings
+    // shorter than the cutoff.
+    let cutoff = config.short_cutoff();
+    let short_r: Vec<u32> = (0..r.len() as u32)
+        .filter(|&i| (r_lens[i as usize] as usize) < cutoff)
+        .collect();
+    let short_s: Vec<u32> = (0..s.len() as u32)
+        .filter(|&j| (s_lens[j as usize] as usize) < cutoff)
+        .collect();
+    for &i in &short_r {
+        for &j in &short_s {
+            if emitted.contains(&(i, j)) {
+                continue;
+            }
+            udf_verifications += 1;
+            let (a, b) = (&r[i as usize], &s[j as usize]);
+            if edit_similarity_at_least(a, b, alpha) {
+                pairs.push(MatchPair {
+                    r: i,
+                    s: j,
+                    similarity: ssjoin_sim::edit_similarity(a, b),
+                });
+            }
+        }
+    }
+    stats.add_time(Phase::Filter, filter_start.elapsed());
+
+    pairs.sort_unstable_by_key(|p| (p.r, p.s));
+    stats.output_pairs = pairs.len() as u64;
+    Ok(SimilarityJoinOutput {
+        pairs,
+        stats,
+        algorithm_used: out.algorithm_used,
+        udf_verifications,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssjoin_baselines_testutil::*;
+
+    // Local brute force (the baselines crate is not a dependency here).
+    mod ssjoin_baselines_testutil {
+        use ssjoin_sim::edit_similarity;
+
+        pub fn brute_force(r: &[String], s: &[String], alpha: f64) -> Vec<(u32, u32)> {
+            let mut out = Vec::new();
+            for (i, a) in r.iter().enumerate() {
+                for (j, b) in s.iter().enumerate() {
+                    if edit_similarity(a, b) >= alpha - 1e-12 {
+                        out.push((i as u32, j as u32));
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn sample() -> Vec<String> {
+        strings(&[
+            "microsoft corporation",
+            "microsoft corp",
+            "mcrosoft corp",
+            "oracle incorporated",
+            "oracle inc",
+            "148th ave ne redmond wa",
+            "147th ave ne redmond wa",
+        ])
+    }
+
+    #[test]
+    fn matches_brute_force_across_thresholds_and_algorithms() {
+        let data = sample();
+        for alpha in [0.75, 0.8, 0.85, 0.9, 0.95] {
+            let expect = brute_force(&data, &data, alpha);
+            for alg in [
+                Algorithm::Basic,
+                Algorithm::PrefixFiltered,
+                Algorithm::Inline,
+            ] {
+                let cfg = EditJoinConfig::new(alpha).with_algorithm(alg);
+                let out = edit_similarity_join(&data, &data, &cfg).unwrap();
+                assert_eq!(out.keys(), expect, "alpha={alpha} alg={alg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_strings_handled_exactly() {
+        // "ab" vs "ac": ES = 0.5; with α = 0.5 and q = 3 the q-gram bound is
+        // vacuous for these lengths — they share no 3-gram — yet the pair
+        // must be found.
+        let data = strings(&["ab", "ac", "abcdefgh"]);
+        let alpha = 0.5;
+        let out = edit_similarity_join(&data, &data, &EditJoinConfig::new(alpha)).unwrap();
+        let expect = brute_force(&data, &data, alpha);
+        assert_eq!(out.keys(), expect);
+        assert!(out.keys().contains(&(0, 1)));
+    }
+
+    #[test]
+    fn paper_example_found_at_high_threshold() {
+        // "Microsoft Corp" vs "Mcrosoft Corp": ED 1 over max length 14 →
+        // similarity ≈ 0.93.
+        let data = strings(&["Microsoft Corp", "Mcrosoft Corp"]);
+        let out = edit_similarity_join(&data, &data, &EditJoinConfig::new(0.9)).unwrap();
+        assert!(out.keys().contains(&(0, 1)));
+        let pair = out.pairs.iter().find(|p| p.r == 0 && p.s == 1).unwrap();
+        assert!((pair.similarity - (1.0 - 1.0 / 14.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qgram_filter_prunes_verification() {
+        // Diverse strings: the q-gram predicate should prune most of the
+        // cross product, and the prefix filter should inspect fewer join
+        // tuples than the basic algorithm.
+        let data: Vec<String> = (0..60)
+            .map(|i| {
+                format!(
+                    "{}{} {} lane unit {}",
+                    char::from(b'a' + (i % 26) as u8),
+                    i * 137 % 1000,
+                    ["maple", "oak", "birch", "cedar", "willow"][i % 5],
+                    i % 7,
+                )
+            })
+            .collect();
+        let n = data.len() as u64;
+        let inline = edit_similarity_join(&data, &data, &EditJoinConfig::new(0.9)).unwrap();
+        assert!(
+            inline.udf_verifications < n * n / 2,
+            "verified {} vs cross product {}",
+            inline.udf_verifications,
+            n * n
+        );
+        let basic = edit_similarity_join(
+            &data,
+            &data,
+            &EditJoinConfig::new(0.9).with_algorithm(Algorithm::Basic),
+        )
+        .unwrap();
+        assert!(
+            inline.stats.join_tuples < basic.stats.join_tuples,
+            "prefix join tuples {} vs basic {}",
+            inline.stats.join_tuples,
+            basic.stats.join_tuples
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let none: Vec<String> = vec![];
+        let out = edit_similarity_join(&none, &none, &EditJoinConfig::new(0.8)).unwrap();
+        assert!(out.pairs.is_empty());
+    }
+
+    #[test]
+    fn r_s_asymmetric_inputs() {
+        let r = strings(&["hello world"]);
+        let s = strings(&["hello world!", "completely different"]);
+        let out = edit_similarity_join(&r, &s, &EditJoinConfig::new(0.9)).unwrap();
+        assert_eq!(out.keys(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn unicode_strings() {
+        let data = strings(&["café münchen", "cafe münchen"]);
+        let out = edit_similarity_join(&data, &data, &EditJoinConfig::new(0.9)).unwrap();
+        assert!(out.keys().contains(&(0, 1)));
+    }
+}

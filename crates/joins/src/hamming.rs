@@ -1,0 +1,234 @@
+//! Hamming-distance join via SSJoin on `(position, character)` sets.
+//!
+//! §1 lists hamming distance among the similarity functions SSJoin covers:
+//! two length-`L` strings are within hamming distance `k` iff their sets of
+//! `(position, character)` pairs overlap in at least `L − k` elements. The
+//! SSJoin predicate `Overlap ≥ max(R.norm, S.norm) − k` (norms = lengths) is
+//! a superset filter — pairs of different lengths that slip through are
+//! removed by the exact hamming check.
+
+use crate::common::{MatchPair, SimilarityJoinOutput};
+use ssjoin_core::{
+    ssjoin, Algorithm, ElementOrder, NormExpr, NormKind, OverlapPredicate, Phase, SsJoinConfig,
+    SsJoinInputBuilder, SsJoinResult, WeightScheme,
+};
+use ssjoin_sim::hamming_distance;
+use std::time::Instant;
+
+/// Configuration for [`hamming_join`].
+#[derive(Debug, Clone)]
+pub struct HammingJoinConfig {
+    /// Maximum hamming distance.
+    pub max_distance: usize,
+    /// SSJoin physical algorithm.
+    pub algorithm: Algorithm,
+}
+
+impl HammingJoinConfig {
+    /// Join strings within `max_distance` mismatches.
+    pub fn new(max_distance: usize) -> Self {
+        Self {
+            max_distance,
+            algorithm: Algorithm::Inline,
+        }
+    }
+
+    /// Override the SSJoin algorithm.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+}
+
+fn positional_elements(s: &str) -> Vec<String> {
+    s.chars()
+        .enumerate()
+        .map(|(i, c)| format!("{i}\u{1}{c}"))
+        .collect()
+}
+
+/// Hamming join: pairs of equal-length strings differing in at most
+/// `max_distance` positions, with `similarity = 1 − d/len`.
+pub fn hamming_join(
+    r: &[String],
+    s: &[String],
+    config: &HammingJoinConfig,
+) -> SsJoinResult<SimilarityJoinOutput> {
+    let prep_start = Instant::now();
+    let r_groups: Vec<Vec<String>> = r.iter().map(|x| positional_elements(x)).collect();
+    let s_groups: Vec<Vec<String>> = s.iter().map(|x| positional_elements(x)).collect();
+    let r_norms: Vec<f64> = r.iter().map(|x| x.chars().count() as f64).collect();
+    let s_norms: Vec<f64> = s.iter().map(|x| x.chars().count() as f64).collect();
+    let mut builder = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
+    let rh = builder.add_relation_with_norm(r_groups, NormKind::Custom(r_norms));
+    let sh = builder.add_relation_with_norm(s_groups, NormKind::Custom(s_norms));
+    let built = builder.build();
+    let prep = prep_start.elapsed();
+
+    // Overlap ≥ max(L_r, L_s) − k.
+    let pred = OverlapPredicate::new(vec![NormExpr::Sub(
+        Box::new(NormExpr::Max(
+            Box::new(NormExpr::RNorm),
+            Box::new(NormExpr::SNorm),
+        )),
+        Box::new(NormExpr::Const(config.max_distance as f64)),
+    )]);
+    let out = ssjoin(
+        built.collection(rh),
+        built.collection(sh),
+        &pred,
+        &SsJoinConfig::new(config.algorithm),
+    )?;
+    let mut stats = out.stats;
+    stats.add_time(Phase::Prep, prep);
+
+    let filter_start = Instant::now();
+    let mut pairs = Vec::new();
+    let mut udf_verifications = 0u64;
+    let mut emitted: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    for p in &out.pairs {
+        udf_verifications += 1;
+        let (a, b) = (&r[p.r as usize], &s[p.s as usize]);
+        if let Some(d) = hamming_distance(a, b) {
+            if d <= config.max_distance {
+                let len = a.chars().count();
+                let similarity = if len == 0 {
+                    1.0
+                } else {
+                    1.0 - d as f64 / len as f64
+                };
+                emitted.insert((p.r, p.s));
+                pairs.push(MatchPair {
+                    r: p.r,
+                    s: p.s,
+                    similarity,
+                });
+            }
+        }
+    }
+    // Exactness for degenerate lengths: when `len ≤ max_distance`, every
+    // equal-length pair is within distance (hamming ≤ len ≤ k) even if the
+    // strings share no (position, char) element — which the positive
+    // threshold of the SSJoin predicate cannot see. Enumerate those length
+    // groups directly.
+    let mut r_by_len: std::collections::HashMap<usize, Vec<u32>> = std::collections::HashMap::new();
+    for (i, x) in r.iter().enumerate() {
+        let len = x.chars().count();
+        if len <= config.max_distance {
+            r_by_len.entry(len).or_default().push(i as u32);
+        }
+    }
+    for (j, y) in s.iter().enumerate() {
+        let len = y.chars().count();
+        let Some(r_ids) = r_by_len.get(&len) else {
+            continue;
+        };
+        for &i in r_ids {
+            if emitted.contains(&(i, j as u32)) {
+                continue;
+            }
+            udf_verifications += 1;
+            let d = hamming_distance(&r[i as usize], y).expect("equal lengths");
+            let similarity = if len == 0 {
+                1.0
+            } else {
+                1.0 - d as f64 / len as f64
+            };
+            pairs.push(MatchPair {
+                r: i,
+                s: j as u32,
+                similarity,
+            });
+        }
+    }
+    stats.add_time(Phase::Filter, filter_start.elapsed());
+    pairs.sort_unstable_by_key(|p| (p.r, p.s));
+    stats.output_pairs = pairs.len() as u64;
+    Ok(SimilarityJoinOutput {
+        pairs,
+        stats,
+        algorithm_used: out.algorithm_used,
+        udf_verifications,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn brute_force(r: &[String], s: &[String], k: usize) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (i, a) in r.iter().enumerate() {
+            for (j, b) in s.iter().enumerate() {
+                if matches!(hamming_distance(a, b), Some(d) if d <= k) {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let data = strings(&["10110", "10010", "11111", "10110", "0011", "0010"]);
+        for k in 0..=3 {
+            let out = hamming_join(&data, &data, &HammingJoinConfig::new(k)).unwrap();
+            assert_eq!(out.keys(), brute_force(&data, &data, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn degenerate_lengths_handled_exactly() {
+        // "1" vs "0": hamming distance 1 ≤ k = 1 but zero shared
+        // (position, char) elements — the SSJoin predicate can't see it, the
+        // exact short-length pass must.
+        let data = strings(&["1", "0"]);
+        let out = hamming_join(&data, &data, &HammingJoinConfig::new(1)).unwrap();
+        assert_eq!(out.keys(), vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        // Two empty strings are at distance 0 for every k.
+        let empties = strings(&["", ""]);
+        let out = hamming_join(&empties, &empties, &HammingJoinConfig::new(0)).unwrap();
+        assert_eq!(out.keys().len(), 4);
+    }
+
+    #[test]
+    fn different_lengths_never_match() {
+        let data = strings(&["abc", "abcd"]);
+        let out = hamming_join(&data, &data, &HammingJoinConfig::new(3)).unwrap();
+        assert_eq!(out.keys(), vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn similarity_values() {
+        let data = strings(&["abcd", "abce"]);
+        let out = hamming_join(&data, &data, &HammingJoinConfig::new(1)).unwrap();
+        let p = out.pairs.iter().find(|p| p.r == 0 && p.s == 1).unwrap();
+        assert!((p.similarity - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_distance_is_equality() {
+        let data = strings(&["same", "same", "sane"]);
+        let out = hamming_join(&data, &data, &HammingJoinConfig::new(0)).unwrap();
+        let keys = out.keys();
+        assert!(keys.contains(&(0, 1)));
+        assert!(!keys.contains(&(0, 2)));
+    }
+
+    #[test]
+    fn algorithms_agree() {
+        let data: Vec<String> = (0..30).map(|i| format!("{:05b}", i % 32)).collect();
+        let a = hamming_join(&data, &data, &HammingJoinConfig::new(1)).unwrap();
+        let b = hamming_join(
+            &data,
+            &data,
+            &HammingJoinConfig::new(1).with_algorithm(Algorithm::Basic),
+        )
+        .unwrap();
+        assert_eq!(a.keys(), b.keys());
+    }
+}

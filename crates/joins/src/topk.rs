@@ -1,0 +1,128 @@
+//! Top-K matching by composing SSJoin with ranking.
+//!
+//! §6 of the paper: "by composing the SSJoin operator with the top-k
+//! operator, we can address the form of top-K queries which ask for the best
+//! matches whose similarity is above a certain threshold" — the fuzzy-match
+//! lookup of Chaudhuri et al. (SIGMOD 2003). Given a query string and a
+//! reference table, run the edit-similarity join of the query against the
+//! table at the floor threshold and keep the K best verified matches.
+
+use crate::edit::{edit_similarity_join, EditJoinConfig};
+use crate::MatchPair;
+use ssjoin_core::{Algorithm, SsJoinResult};
+
+/// Configuration for [`top_k_matches`].
+#[derive(Debug, Clone)]
+pub struct TopKConfig {
+    /// Number of matches to return.
+    pub k: usize,
+    /// Similarity floor: matches below this are never returned (the
+    /// "above a certain threshold" part of the composition).
+    pub min_similarity: f64,
+    /// q-gram length for the underlying edit join.
+    pub q: usize,
+}
+
+impl TopKConfig {
+    /// Top-`k` with the given similarity floor.
+    pub fn new(k: usize, min_similarity: f64) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(
+            min_similarity > 0.0 && min_similarity <= 1.0,
+            "min_similarity must be in (0, 1]"
+        );
+        Self {
+            k,
+            min_similarity,
+            q: 3,
+        }
+    }
+}
+
+/// One top-K match: reference index plus similarity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKMatch {
+    /// Index into the reference table.
+    pub index: u32,
+    /// Edit similarity to the query.
+    pub similarity: f64,
+}
+
+/// The best `k` reference entries for `query` with edit similarity at least
+/// `min_similarity`, ordered by descending similarity (ties by index).
+pub fn top_k_matches(
+    query: &str,
+    reference: &[String],
+    config: &TopKConfig,
+) -> SsJoinResult<Vec<TopKMatch>> {
+    let queries = vec![query.to_string()];
+    let join_cfg = EditJoinConfig::new(config.min_similarity)
+        .with_q(config.q)
+        .with_algorithm(Algorithm::Inline);
+    let out = edit_similarity_join(&queries, reference, &join_cfg)?;
+    let mut matches: Vec<TopKMatch> = out
+        .pairs
+        .iter()
+        .map(|p: &MatchPair| TopKMatch {
+            index: p.s,
+            similarity: p.similarity,
+        })
+        .collect();
+    matches.sort_by(|a, b| {
+        b.similarity
+            .partial_cmp(&a.similarity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.index.cmp(&b.index))
+    });
+    matches.truncate(config.k);
+    Ok(matches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference() -> Vec<String> {
+        [
+            "microsoft corporation",
+            "microsoft corp",
+            "macrosoft inc",
+            "oracle corporation",
+            "international business machines",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    #[test]
+    fn best_match_first() {
+        let m = top_k_matches("microsoft corp", &reference(), &TopKConfig::new(2, 0.5)).unwrap();
+        assert_eq!(m[0].index, 1); // exact match
+        assert_eq!(m[0].similarity, 1.0);
+        assert!(m.len() == 2);
+        assert!(m[1].similarity < 1.0);
+    }
+
+    #[test]
+    fn floor_excludes_weak_matches() {
+        let m = top_k_matches("microsoft corp", &reference(), &TopKConfig::new(5, 0.95)).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].index, 1);
+    }
+
+    #[test]
+    fn no_match_above_floor() {
+        let m = top_k_matches("zzzzzz", &reference(), &TopKConfig::new(3, 0.8)).unwrap();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn k_truncates() {
+        let refs: Vec<String> = (0..10).map(|i| format!("query {i}")).collect();
+        let m = top_k_matches("query 0", &refs, &TopKConfig::new(3, 0.5)).unwrap();
+        assert_eq!(m.len(), 3);
+        // Descending similarity, ties by index.
+        assert!(m.windows(2).all(|w| w[0].similarity >= w[1].similarity));
+    }
+}

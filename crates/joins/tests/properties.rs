@@ -1,0 +1,119 @@
+//! Property-based tests: every packaged similarity join against brute
+//! force on random inputs — including the short strings where the q-gram
+//! bound is vacuous, which the joins claim to handle exactly.
+
+use proptest::prelude::*;
+use ssjoin_core::{Algorithm, WeightScheme};
+use ssjoin_joins::{
+    edit_similarity_join, hamming_join, jaccard_join, soft_fd_join, EditJoinConfig, EditMatcher,
+    HammingJoinConfig, JaccardConfig, SoftFdConfig,
+};
+use ssjoin_sim::{edit_similarity, hamming_distance, jaccard_resemblance};
+use ssjoin_text::{Tokenizer, WordTokenizer};
+
+fn corpus_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[abc ]{0,14}", 1..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The edit join is exact for arbitrary (including very short) strings.
+    #[test]
+    fn edit_join_exact(data in corpus_strategy(), theta in 0.3f64..0.95) {
+        let mut expect = Vec::new();
+        for (i, a) in data.iter().enumerate() {
+            for (j, b) in data.iter().enumerate() {
+                if edit_similarity(a, b) >= theta - 1e-9 {
+                    expect.push((i as u32, j as u32));
+                }
+            }
+        }
+        for alg in [Algorithm::Basic, Algorithm::Inline, Algorithm::PositionalInline] {
+            let out = edit_similarity_join(
+                &data, &data, &EditJoinConfig::new(theta).with_algorithm(alg),
+            ).unwrap();
+            prop_assert_eq!(out.keys(), expect.clone(), "alg {:?} theta {}", alg, theta);
+        }
+    }
+
+    /// The prebuilt matcher returns exactly the brute-force matches, in
+    /// similarity order.
+    #[test]
+    fn matcher_exact(refs in corpus_strategy(), query in "[abc ]{0,14}",
+                     theta in 0.3f64..0.95) {
+        let matcher = EditMatcher::build(refs.clone(), 3);
+        let got: Vec<u32> = matcher.matches(&query, theta).into_iter().map(|m| m.index).collect();
+        let mut expect: Vec<(u32, f64)> = refs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| {
+                let s = edit_similarity(&query, r);
+                (s >= theta - 1e-9).then_some((i as u32, s))
+            })
+            .collect();
+        expect.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        prop_assert_eq!(got, expect.into_iter().map(|(i, _)| i).collect::<Vec<_>>());
+    }
+
+    /// Unweighted Jaccard resemblance join is exact.
+    #[test]
+    fn jaccard_join_exact(data in corpus_strategy(), theta in 0.2f64..1.0) {
+        let tok = WordTokenizer::new().lowercased();
+        let groups: Vec<Vec<String>> = data.iter().map(|s| tok.tokenize(s)).collect();
+        let mut expect = Vec::new();
+        for (i, a) in groups.iter().enumerate() {
+            for (j, b) in groups.iter().enumerate() {
+                // The operator never joins empty groups (positive-threshold
+                // assumption), so skip them in the oracle too.
+                if a.is_empty() || b.is_empty() {
+                    continue;
+                }
+                if jaccard_resemblance(a, b) >= theta - 1e-9 {
+                    expect.push((i as u32, j as u32));
+                }
+            }
+        }
+        let cfg = JaccardConfig::resemblance(theta).with_weights(WeightScheme::Unweighted);
+        let out = jaccard_join(&data, &data, &cfg).unwrap();
+        prop_assert_eq!(out.keys(), expect);
+    }
+
+    /// Hamming join is exact.
+    #[test]
+    fn hamming_join_exact(data in proptest::collection::vec("[01]{0,8}", 1..10),
+                          k in 0usize..4) {
+        let mut expect = Vec::new();
+        for (i, a) in data.iter().enumerate() {
+            for (j, b) in data.iter().enumerate() {
+                if matches!(hamming_distance(a, b), Some(d) if d <= k) {
+                    expect.push((i as u32, j as u32));
+                }
+            }
+        }
+        let out = hamming_join(&data, &data, &HammingJoinConfig::new(k)).unwrap();
+        let mut got = out.keys();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Soft-FD join is exact for arbitrary attribute data.
+    #[test]
+    fn soft_fd_exact(
+        rows in proptest::collection::vec(
+            proptest::collection::vec("[ab]{0,2}", 3..=3), 1..12),
+        k in 1usize..=3,
+    ) {
+        let mut expect = Vec::new();
+        for (i, a) in rows.iter().enumerate() {
+            for (j, b) in rows.iter().enumerate() {
+                let agree = a.iter().zip(b).filter(|(x, y)| x == y && !x.is_empty()).count();
+                if agree >= k {
+                    expect.push((i as u32, j as u32));
+                }
+            }
+        }
+        let out = soft_fd_join(&rows, &rows, &SoftFdConfig::new(k)).unwrap();
+        prop_assert_eq!(out.keys(), expect);
+    }
+}

@@ -1,0 +1,53 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors raised while building or executing plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A column name did not resolve against a schema.
+    UnknownColumn {
+        /// The name that failed to resolve.
+        name: String,
+        /// The columns that were available.
+        available: Vec<String>,
+    },
+    /// An operation was applied to a value of the wrong type.
+    TypeMismatch {
+        /// Description of the operation.
+        context: String,
+    },
+    /// Two relations that must share a schema do not.
+    SchemaMismatch {
+        /// Description of where the mismatch occurred.
+        context: String,
+    },
+    /// A user-defined function failed.
+    Udf {
+        /// The UDF name.
+        name: String,
+        /// The failure message.
+        message: String,
+    },
+    /// Plan construction or execution constraint violated.
+    Plan(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownColumn { name, available } => {
+                write!(f, "unknown column {name:?}; available: {available:?}")
+            }
+            EngineError::TypeMismatch { context } => write!(f, "type mismatch: {context}"),
+            EngineError::SchemaMismatch { context } => write!(f, "schema mismatch: {context}"),
+            EngineError::Udf { name, message } => write!(f, "UDF {name:?} failed: {message}"),
+            EngineError::Plan(msg) => write!(f, "plan error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,542 @@
+//! Scalar expressions and aggregates.
+//!
+//! Expressions reference columns *by name* and are bound against a concrete
+//! [`Schema`] once per operator execution, producing a [`BoundExpr`] whose
+//! per-row evaluation is positional.
+
+use crate::{EngineError, Result, Row, Schema, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators. `Div` always produces a float.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (float result)
+    Div,
+}
+
+type UdfFn = Arc<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>;
+
+/// A scalar expression over a row.
+#[derive(Clone)]
+pub enum Expr {
+    /// Column reference by name.
+    Col(String),
+    /// Literal value.
+    Lit(Value),
+    /// Comparison; uses the total order on [`Value`].
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical conjunction (null is false).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction (null is false).
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation (null is false).
+    Not(Box<Expr>),
+    /// Arithmetic over numerics; ints stay ints except under `Div`.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Binary `min`/`max` over numerics.
+    MinMax {
+        /// True for max, false for min.
+        is_max: bool,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// User-defined scalar function (a Rust closure).
+    Udf {
+        /// Display name (also used in error messages).
+        name: String,
+        /// The function.
+        f: UdfFn,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(n) => write!(f, "col({n})"),
+            Expr::Lit(v) => write!(f, "lit({v})"),
+            Expr::Cmp { op, left, right } => write!(f, "({left:?} {op:?} {right:?})"),
+            Expr::And(a, b) => write!(f, "({a:?} AND {b:?})"),
+            Expr::Or(a, b) => write!(f, "({a:?} OR {b:?})"),
+            Expr::Not(e) => write!(f, "(NOT {e:?})"),
+            Expr::Arith { op, left, right } => write!(f, "({left:?} {op:?} {right:?})"),
+            Expr::MinMax {
+                is_max,
+                left,
+                right,
+            } => {
+                write!(
+                    f,
+                    "({}({left:?}, {right:?}))",
+                    if *is_max { "max" } else { "min" }
+                )
+            }
+            Expr::Udf { name, args, .. } => write!(f, "{name}({args:?})"),
+        }
+    }
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(name: impl Into<String>) -> Self {
+        Expr::Col(name.into())
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Self {
+        Expr::Lit(v.into())
+    }
+
+    /// `self = other`
+    pub fn eq(self, other: Expr) -> Self {
+        Expr::Cmp {
+            op: CmpOp::Eq,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+    /// `self <> other`
+    pub fn ne(self, other: Expr) -> Self {
+        Expr::Cmp {
+            op: CmpOp::Ne,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+    /// `self < other`
+    pub fn lt(self, other: Expr) -> Self {
+        Expr::Cmp {
+            op: CmpOp::Lt,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+    /// `self <= other`
+    pub fn le(self, other: Expr) -> Self {
+        Expr::Cmp {
+            op: CmpOp::Le,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+    /// `self > other`
+    pub fn gt(self, other: Expr) -> Self {
+        Expr::Cmp {
+            op: CmpOp::Gt,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+    /// `self >= other`
+    pub fn ge(self, other: Expr) -> Self {
+        Expr::Cmp {
+            op: CmpOp::Ge,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+    /// `self AND other`
+    pub fn and(self, other: Expr) -> Self {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+    /// `self OR other`
+    pub fn or(self, other: Expr) -> Self {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+    /// `NOT self`
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Expr::Not(Box::new(self))
+    }
+    /// `self + other`
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Expr) -> Self {
+        Expr::Arith {
+            op: ArithOp::Add,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+    /// `self - other`
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, other: Expr) -> Self {
+        Expr::Arith {
+            op: ArithOp::Sub,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+    /// `self * other`
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, other: Expr) -> Self {
+        Expr::Arith {
+            op: ArithOp::Mul,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+    /// `self / other` (float)
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, other: Expr) -> Self {
+        Expr::Arith {
+            op: ArithOp::Div,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+    /// `max(self, other)`
+    pub fn max(self, other: Expr) -> Self {
+        Expr::MinMax {
+            is_max: true,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+    /// `min(self, other)`
+    pub fn min(self, other: Expr) -> Self {
+        Expr::MinMax {
+            is_max: false,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// A user-defined scalar function.
+    pub fn udf(
+        name: impl Into<String>,
+        args: Vec<Expr>,
+        f: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    ) -> Self {
+        Expr::Udf {
+            name: name.into(),
+            f: Arc::new(f),
+            args,
+        }
+    }
+
+    /// Bind column names to positions in `schema`.
+    pub fn bind(&self, schema: &Schema) -> Result<BoundExpr> {
+        Ok(match self {
+            Expr::Col(name) => BoundExpr::Col(schema.index_of(name)?),
+            Expr::Lit(v) => BoundExpr::Lit(v.clone()),
+            Expr::Cmp { op, left, right } => BoundExpr::Cmp {
+                op: *op,
+                left: Box::new(left.bind(schema)?),
+                right: Box::new(right.bind(schema)?),
+            },
+            Expr::And(a, b) => BoundExpr::And(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?)),
+            Expr::Or(a, b) => BoundExpr::Or(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?)),
+            Expr::Not(e) => BoundExpr::Not(Box::new(e.bind(schema)?)),
+            Expr::Arith { op, left, right } => BoundExpr::Arith {
+                op: *op,
+                left: Box::new(left.bind(schema)?),
+                right: Box::new(right.bind(schema)?),
+            },
+            Expr::MinMax {
+                is_max,
+                left,
+                right,
+            } => BoundExpr::MinMax {
+                is_max: *is_max,
+                left: Box::new(left.bind(schema)?),
+                right: Box::new(right.bind(schema)?),
+            },
+            Expr::Udf { name, f, args } => BoundExpr::Udf {
+                name: name.clone(),
+                f: f.clone(),
+                args: args.iter().map(|a| a.bind(schema)).collect::<Result<_>>()?,
+            },
+        })
+    }
+}
+
+/// An expression bound to a concrete schema (columns are positional).
+#[derive(Clone)]
+pub enum BoundExpr {
+    /// Column by index.
+    Col(usize),
+    /// Literal.
+    Lit(Value),
+    /// Comparison.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<BoundExpr>,
+        /// Right operand.
+        right: Box<BoundExpr>,
+    },
+    /// Conjunction.
+    And(Box<BoundExpr>, Box<BoundExpr>),
+    /// Disjunction.
+    Or(Box<BoundExpr>, Box<BoundExpr>),
+    /// Negation.
+    Not(Box<BoundExpr>),
+    /// Arithmetic.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        left: Box<BoundExpr>,
+        /// Right operand.
+        right: Box<BoundExpr>,
+    },
+    /// min/max.
+    MinMax {
+        /// True for max.
+        is_max: bool,
+        /// Left operand.
+        left: Box<BoundExpr>,
+        /// Right operand.
+        right: Box<BoundExpr>,
+    },
+    /// UDF.
+    Udf {
+        /// Name.
+        name: String,
+        /// Function.
+        f: UdfFn,
+        /// Bound arguments.
+        args: Vec<BoundExpr>,
+    },
+}
+
+impl BoundExpr {
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &Row) -> Result<Value> {
+        Ok(match self {
+            BoundExpr::Col(i) => row[*i].clone(),
+            BoundExpr::Lit(v) => v.clone(),
+            BoundExpr::Cmp { op, left, right } => {
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
+                let ord = l.cmp(&r);
+                let b = match op {
+                    CmpOp::Eq => ord.is_eq(),
+                    CmpOp::Ne => ord.is_ne(),
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Le => ord.is_le(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Ge => ord.is_ge(),
+                };
+                Value::Bool(b)
+            }
+            BoundExpr::And(a, b) => Value::Bool(a.eval(row)?.truthy() && b.eval(row)?.truthy()),
+            BoundExpr::Or(a, b) => Value::Bool(a.eval(row)?.truthy() || b.eval(row)?.truthy()),
+            BoundExpr::Not(e) => Value::Bool(!e.eval(row)?.truthy()),
+            BoundExpr::Arith { op, left, right } => {
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
+                arith(*op, &l, &r)?
+            }
+            BoundExpr::MinMax {
+                is_max,
+                left,
+                right,
+            } => {
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
+                let pick_left = if *is_max { l >= r } else { l <= r };
+                if pick_left {
+                    l
+                } else {
+                    r
+                }
+            }
+            BoundExpr::Udf { name, f, args } => {
+                let vals: Vec<Value> = args.iter().map(|a| a.eval(row)).collect::<Result<_>>()?;
+                f(&vals).map_err(|e| EngineError::Udf {
+                    name: name.clone(),
+                    message: e.to_string(),
+                })?
+            }
+        })
+    }
+}
+
+fn arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value> {
+    let type_err = || EngineError::TypeMismatch {
+        context: format!("arithmetic {op:?} on {l} and {r}"),
+    };
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return Ok(match op {
+            ArithOp::Add => Value::Int(a + b),
+            ArithOp::Sub => Value::Int(a - b),
+            ArithOp::Mul => Value::Int(a * b),
+            ArithOp::Div => {
+                if *b == 0 {
+                    return Err(EngineError::TypeMismatch {
+                        context: "integer division by zero".into(),
+                    });
+                }
+                Value::Float(*a as f64 / *b as f64)
+            }
+        });
+    }
+    let a = l.as_f64().ok_or_else(type_err)?;
+    let b = r.as_f64().ok_or_else(type_err)?;
+    Ok(Value::Float(match op {
+        ArithOp::Add => a + b,
+        ArithOp::Sub => a - b,
+        ArithOp::Mul => a * b,
+        ArithOp::Div => a / b,
+    }))
+}
+
+/// Aggregate functions for [`crate::GroupBy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Row count (argument ignored).
+    Count,
+    /// Sum of a numeric column (int stays int, float stays float).
+    Sum,
+    /// Minimum under the total value order.
+    Min,
+    /// Maximum under the total value order.
+    Max,
+    /// Arithmetic mean (always float).
+    Avg,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataType, Schema};
+
+    fn schema() -> std::sync::Arc<Schema> {
+        Schema::of(&[
+            ("a", DataType::Int),
+            ("b", DataType::Float),
+            ("s", DataType::Str),
+        ])
+    }
+
+    fn row() -> Row {
+        vec![Value::Int(4), Value::Float(2.5), Value::str("hi")]
+    }
+
+    fn eval(e: Expr) -> Value {
+        e.bind(&schema()).unwrap().eval(&row()).unwrap()
+    }
+
+    #[test]
+    fn columns_and_literals() {
+        assert_eq!(eval(Expr::col("a")), Value::Int(4));
+        assert_eq!(eval(Expr::lit(7i64)), Value::Int(7));
+        assert!(Expr::col("zz").bind(&schema()).is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(eval(Expr::col("a").gt(Expr::lit(3i64))), Value::Bool(true));
+        assert_eq!(eval(Expr::col("a").le(Expr::lit(3i64))), Value::Bool(false));
+        assert_eq!(eval(Expr::col("s").eq(Expr::lit("hi"))), Value::Bool(true));
+        // Cross-type numeric comparison.
+        assert_eq!(eval(Expr::col("a").gt(Expr::col("b"))), Value::Bool(true));
+    }
+
+    #[test]
+    fn boolean_logic() {
+        let t = Expr::lit(true);
+        let f = Expr::lit(false);
+        assert_eq!(eval(t.clone().and(f.clone())), Value::Bool(false));
+        assert_eq!(eval(t.clone().or(f.clone())), Value::Bool(true));
+        assert_eq!(eval(f.not()), Value::Bool(true));
+        // Null is falsy.
+        assert_eq!(eval(Expr::lit(Value::Null).and(t)), Value::Bool(false));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval(Expr::col("a").add(Expr::lit(1i64))), Value::Int(5));
+        assert_eq!(eval(Expr::col("a").mul(Expr::col("b"))), Value::Float(10.0));
+        assert_eq!(eval(Expr::col("a").div(Expr::lit(8i64))), Value::Float(0.5));
+        assert!(Expr::col("s")
+            .add(Expr::lit(1i64))
+            .bind(&schema())
+            .unwrap()
+            .eval(&row())
+            .is_err());
+    }
+
+    #[test]
+    fn div_by_zero_int() {
+        let e = Expr::lit(1i64).div(Expr::lit(0i64));
+        assert!(e.bind(&schema()).unwrap().eval(&row()).is_err());
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(eval(Expr::col("a").max(Expr::lit(10i64))), Value::Int(10));
+        assert_eq!(eval(Expr::col("a").min(Expr::lit(10i64))), Value::Int(4));
+        assert_eq!(eval(Expr::col("a").max(Expr::col("b"))), Value::Int(4));
+    }
+
+    #[test]
+    fn udf_eval_and_errors() {
+        let double = Expr::udf("double", vec![Expr::col("a")], |args| {
+            args[0]
+                .as_i64()
+                .map(|i| Value::Int(i * 2))
+                .ok_or_else(|| EngineError::TypeMismatch {
+                    context: "int expected".into(),
+                })
+        });
+        assert_eq!(eval(double), Value::Int(8));
+
+        let boom = Expr::udf("boom", vec![], |_| Err(EngineError::Plan("nope".into())));
+        let err = boom.bind(&schema()).unwrap().eval(&row()).unwrap_err();
+        assert!(matches!(err, EngineError::Udf { .. }));
+    }
+
+    #[test]
+    fn debug_rendering() {
+        let e = Expr::col("a")
+            .gt(Expr::lit(1i64))
+            .and(Expr::col("s").eq(Expr::lit("x")));
+        let s = format!("{e:?}");
+        assert!(s.contains("col(a)"));
+        assert!(s.contains("AND"));
+    }
+}

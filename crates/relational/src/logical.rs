@@ -1,0 +1,793 @@
+//! Logical plans with a rule-based optimizer.
+//!
+//! §6/§7 of the SSJoin paper argue for an *operator-centric* design exactly
+//! so that a query optimizer can make cost-conscious choices. This module is
+//! the optimizer-side of that story for the bundled engine: a logical plan
+//! algebra, a conservative rule-based rewriter, and lowering to the physical
+//! operators — with `EXPLAIN`-style rendering so tests (and humans) can see
+//! which rewrites fired.
+//!
+//! Implemented rules:
+//!
+//! * **select fusion** — adjacent `Select` nodes merge into one conjunction;
+//! * **select pushdown** — a `Select` over a `Join` whose predicate only
+//!   touches one input's columns moves below the join; a `Select` over a
+//!   pass-through `Project` moves below it;
+//! * **top-n fusion** — `Limit(Sort(…))` lowers to the heap-based `TopN`
+//!   operator instead of a full sort.
+
+use crate::ops::{
+    Distinct, ExecContext, Filter, GroupBy, HashJoin, Limit, PlanNode, Project, Scan, Sort,
+    SortKey, TopN,
+};
+use crate::{AggSpec, EngineError, Expr, Relation, Result, Schema};
+use std::sync::Arc;
+
+/// A logical relational plan.
+pub enum LogicalPlan {
+    /// Base table.
+    Scan {
+        /// The table.
+        relation: Arc<Relation>,
+        /// Statistics label.
+        label: String,
+    },
+    /// Row filter.
+    Select {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Predicate.
+        predicate: Expr,
+    },
+    /// Column projection / computation.
+    Project {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// `(output name, expression)` pairs.
+        columns: Vec<(String, Expr)>,
+    },
+    /// Inner equi-join.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// `(left column, right column)` key pairs.
+        keys: Vec<(String, String)>,
+    },
+    /// Grouped aggregation.
+    GroupBy {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Grouping columns.
+        keys: Vec<String>,
+        /// Aggregates.
+        aggs: Vec<AggSpec>,
+        /// Optional HAVING predicate.
+        having: Option<Expr>,
+    },
+    /// Duplicate elimination.
+    Distinct {
+        /// Input.
+        input: Box<LogicalPlan>,
+    },
+    /// Total order.
+    Sort {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Sort keys.
+        keys: Vec<SortKey>,
+    },
+    /// First-n.
+    Limit {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Row budget.
+        n: usize,
+    },
+}
+
+impl LogicalPlan {
+    /// Scan builder.
+    pub fn scan(relation: Arc<Relation>, label: impl Into<String>) -> Self {
+        LogicalPlan::Scan {
+            relation,
+            label: label.into(),
+        }
+    }
+
+    /// Wrap in a Select.
+    pub fn select(self, predicate: Expr) -> Self {
+        LogicalPlan::Select {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Wrap in a Project.
+    pub fn project(self, columns: Vec<(String, Expr)>) -> Self {
+        LogicalPlan::Project {
+            input: Box::new(self),
+            columns,
+        }
+    }
+
+    /// Join with another plan.
+    pub fn join(self, right: LogicalPlan, keys: &[(&str, &str)]) -> Self {
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            keys: keys
+                .iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Wrap in a GroupBy.
+    pub fn group_by(self, keys: &[&str], aggs: Vec<AggSpec>, having: Option<Expr>) -> Self {
+        LogicalPlan::GroupBy {
+            input: Box::new(self),
+            keys: keys.iter().map(|s| s.to_string()).collect(),
+            aggs,
+            having,
+        }
+    }
+
+    /// Wrap in Distinct.
+    pub fn distinct(self) -> Self {
+        LogicalPlan::Distinct {
+            input: Box::new(self),
+        }
+    }
+
+    /// Wrap in Sort.
+    pub fn sort(self, keys: Vec<SortKey>) -> Self {
+        LogicalPlan::Sort {
+            input: Box::new(self),
+            keys,
+        }
+    }
+
+    /// Wrap in Limit.
+    pub fn limit(self, n: usize) -> Self {
+        LogicalPlan::Limit {
+            input: Box::new(self),
+            n,
+        }
+    }
+
+    /// Output column names of this node (order matters; join columns follow
+    /// the physical `s_`-prefixing convention for clashes).
+    pub fn output_columns(&self) -> Vec<String> {
+        match self {
+            LogicalPlan::Scan { relation, .. } => relation
+                .schema()
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            LogicalPlan::Select { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Distinct { input } => input.output_columns(),
+            LogicalPlan::Project { columns, .. } => {
+                columns.iter().map(|(n, _)| n.clone()).collect()
+            }
+            LogicalPlan::Join { left, right, .. } => {
+                let l = left.output_columns();
+                let mut out = l.clone();
+                for c in right.output_columns() {
+                    if l.contains(&c) {
+                        out.push(format!("s_{c}"));
+                    } else {
+                        out.push(c);
+                    }
+                }
+                out
+            }
+            LogicalPlan::GroupBy { keys, aggs, .. } => {
+                let mut out = keys.clone();
+                out.extend(aggs.iter().map(|a| a.output.clone()));
+                out
+            }
+        }
+    }
+
+    /// Apply the rewrite rules until a fixpoint (bounded).
+    pub fn optimize(self) -> Self {
+        let mut plan = self;
+        for _ in 0..16 {
+            let (next, changed) = plan.rewrite_once();
+            plan = next;
+            if !changed {
+                break;
+            }
+        }
+        plan
+    }
+
+    fn rewrite_once(self) -> (Self, bool) {
+        match self {
+            // ── select fusion ────────────────────────────────────────────
+            LogicalPlan::Select { input, predicate } => {
+                if let LogicalPlan::Select {
+                    input: inner,
+                    predicate: p2,
+                } = *input
+                {
+                    return (
+                        LogicalPlan::Select {
+                            input: inner,
+                            predicate: p2.and(predicate),
+                        },
+                        true,
+                    );
+                }
+                // ── pushdown below a join, per conjunct ──────────────────
+                if let LogicalPlan::Join { left, right, keys } = *input {
+                    let left_cols = left.output_columns();
+                    let right_cols = right.output_columns();
+                    let mut to_left: Vec<Expr> = Vec::new();
+                    let mut to_right: Vec<Expr> = Vec::new();
+                    let mut stay: Vec<Expr> = Vec::new();
+                    for conjunct in split_and(predicate) {
+                        let cols = expr_columns(&conjunct);
+                        let all_left =
+                            !cols.is_empty() && cols.iter().all(|c| left_cols.contains(c));
+                        // Right columns must be addressed by their
+                        // *unprefixed* names to push below the join; only
+                        // unclashed names qualify.
+                        let all_right = !cols.is_empty()
+                            && cols
+                                .iter()
+                                .all(|c| right_cols.contains(c) && !left_cols.contains(c));
+                        if all_left {
+                            to_left.push(conjunct);
+                        } else if all_right {
+                            to_right.push(conjunct);
+                        } else {
+                            stay.push(conjunct);
+                        }
+                    }
+                    if to_left.is_empty() && to_right.is_empty() {
+                        let predicate = join_and(stay).expect("conjuncts preserved");
+                        return recurse(LogicalPlan::Select {
+                            input: Box::new(LogicalPlan::Join { left, right, keys }),
+                            predicate,
+                        });
+                    }
+                    let mut new_left = *left;
+                    if let Some(p) = join_and(to_left) {
+                        new_left = LogicalPlan::Select {
+                            input: Box::new(new_left),
+                            predicate: p,
+                        };
+                    }
+                    let mut new_right = *right;
+                    if let Some(p) = join_and(to_right) {
+                        new_right = LogicalPlan::Select {
+                            input: Box::new(new_right),
+                            predicate: p,
+                        };
+                    }
+                    let mut plan = LogicalPlan::Join {
+                        left: Box::new(new_left),
+                        right: Box::new(new_right),
+                        keys,
+                    };
+                    if let Some(p) = join_and(stay) {
+                        plan = LogicalPlan::Select {
+                            input: Box::new(plan),
+                            predicate: p,
+                        };
+                    }
+                    return (plan, true);
+                }
+                // ── pushdown below a pass-through projection ─────────────
+                if let LogicalPlan::Project {
+                    input: inner,
+                    columns,
+                } = *input
+                {
+                    let cols = expr_columns(&predicate);
+                    let identity = |name: &String| {
+                        columns
+                            .iter()
+                            .any(|(n, e)| n == name && matches!(e, Expr::Col(c) if c == name))
+                    };
+                    if !cols.is_empty() && cols.iter().all(identity) {
+                        return (
+                            LogicalPlan::Project {
+                                input: Box::new(LogicalPlan::Select {
+                                    input: inner,
+                                    predicate,
+                                }),
+                                columns,
+                            },
+                            true,
+                        );
+                    }
+                    return recurse(LogicalPlan::Select {
+                        input: Box::new(LogicalPlan::Project {
+                            input: inner,
+                            columns,
+                        }),
+                        predicate,
+                    });
+                }
+                recurse(LogicalPlan::Select { input, predicate })
+            }
+            other => recurse(other),
+        }
+    }
+
+    /// Lower to physical operators. `Limit(Sort(…))` becomes [`TopN`].
+    pub fn to_physical(&self) -> Box<dyn PlanNode> {
+        match self {
+            LogicalPlan::Scan { relation, label } => {
+                Box::new(Scan::labeled(relation.clone(), label.clone()))
+            }
+            LogicalPlan::Select { input, predicate } => {
+                Box::new(Filter::new(input.to_physical(), predicate.clone()))
+            }
+            LogicalPlan::Project { input, columns } => {
+                Box::new(Project::new(input.to_physical(), columns.clone()))
+            }
+            LogicalPlan::Join { left, right, keys } => Box::new(HashJoin::new(
+                left.to_physical(),
+                right.to_physical(),
+                keys.clone(),
+            )),
+            LogicalPlan::GroupBy {
+                input,
+                keys,
+                aggs,
+                having,
+            } => {
+                let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+                let mut g = GroupBy::new(input.to_physical(), &key_refs, aggs.clone());
+                if let Some(h) = having {
+                    g = g.with_having(h.clone());
+                }
+                Box::new(g)
+            }
+            LogicalPlan::Distinct { input } => Box::new(Distinct::new(input.to_physical())),
+            LogicalPlan::Sort { input, keys } => {
+                Box::new(Sort::new(input.to_physical(), keys.clone()))
+            }
+            LogicalPlan::Limit { input, n } => {
+                if let LogicalPlan::Sort {
+                    input: sorted,
+                    keys,
+                } = &**input
+                {
+                    return Box::new(TopN::new(sorted.to_physical(), keys.clone(), *n));
+                }
+                Box::new(Limit::new(input.to_physical(), *n))
+            }
+        }
+    }
+
+    /// Optimize, lower, and execute.
+    pub fn run(self) -> Result<(Relation, ExecContext)> {
+        let physical = self.optimize().to_physical();
+        let mut ctx = ExecContext::new();
+        let out = physical.execute(&mut ctx)?;
+        Ok((out, ctx))
+    }
+
+    /// EXPLAIN-style tree rendering.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::Scan { relation, label } => {
+                out.push_str(&format!("{pad}Scan {label} [{} rows]\n", relation.len()));
+            }
+            LogicalPlan::Select { input, predicate } => {
+                out.push_str(&format!("{pad}Select {predicate:?}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Project { input, columns } => {
+                let names: Vec<&str> = columns.iter().map(|(n, _)| n.as_str()).collect();
+                out.push_str(&format!("{pad}Project {names:?}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Join { left, right, keys } => {
+                out.push_str(&format!("{pad}Join {keys:?}\n"));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            LogicalPlan::GroupBy {
+                input,
+                keys,
+                aggs,
+                having,
+            } => {
+                let agg_names: Vec<&str> = aggs.iter().map(|a| a.output.as_str()).collect();
+                out.push_str(&format!(
+                    "{pad}GroupBy keys={keys:?} aggs={agg_names:?} having={}\n",
+                    having.is_some()
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Distinct { input } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let names: Vec<&str> = keys.iter().map(|k| k.column.as_str()).collect();
+                out.push_str(&format!("{pad}Sort {names:?}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            LogicalPlan::Limit { input, n } => {
+                out.push_str(&format!("{pad}Limit {n}\n"));
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+/// Recurse the rewrite into children, preserving this node.
+fn recurse(plan: LogicalPlan) -> (LogicalPlan, bool) {
+    match plan {
+        LogicalPlan::Scan { .. } => (plan, false),
+        LogicalPlan::Select { input, predicate } => {
+            let (inner, changed) = input.rewrite_once();
+            (
+                LogicalPlan::Select {
+                    input: Box::new(inner),
+                    predicate,
+                },
+                changed,
+            )
+        }
+        LogicalPlan::Project { input, columns } => {
+            let (inner, changed) = input.rewrite_once();
+            (
+                LogicalPlan::Project {
+                    input: Box::new(inner),
+                    columns,
+                },
+                changed,
+            )
+        }
+        LogicalPlan::Join { left, right, keys } => {
+            let (l, c1) = left.rewrite_once();
+            let (r, c2) = right.rewrite_once();
+            (
+                LogicalPlan::Join {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    keys,
+                },
+                c1 || c2,
+            )
+        }
+        LogicalPlan::GroupBy {
+            input,
+            keys,
+            aggs,
+            having,
+        } => {
+            let (inner, changed) = input.rewrite_once();
+            (
+                LogicalPlan::GroupBy {
+                    input: Box::new(inner),
+                    keys,
+                    aggs,
+                    having,
+                },
+                changed,
+            )
+        }
+        LogicalPlan::Distinct { input } => {
+            let (inner, changed) = input.rewrite_once();
+            (
+                LogicalPlan::Distinct {
+                    input: Box::new(inner),
+                },
+                changed,
+            )
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let (inner, changed) = input.rewrite_once();
+            (
+                LogicalPlan::Sort {
+                    input: Box::new(inner),
+                    keys,
+                },
+                changed,
+            )
+        }
+        LogicalPlan::Limit { input, n } => {
+            let (inner, changed) = input.rewrite_once();
+            (
+                LogicalPlan::Limit {
+                    input: Box::new(inner),
+                    n,
+                },
+                changed,
+            )
+        }
+    }
+}
+
+/// Split a predicate into its top-level AND conjuncts.
+pub fn split_and(expr: Expr) -> Vec<Expr> {
+    match expr {
+        Expr::And(a, b) => {
+            let mut out = split_and(*a);
+            out.extend(split_and(*b));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+/// Rebuild a conjunction from conjuncts (`None` for an empty list).
+pub fn join_and(mut conjuncts: Vec<Expr>) -> Option<Expr> {
+    let first = if conjuncts.is_empty() {
+        return None;
+    } else {
+        conjuncts.remove(0)
+    };
+    Some(conjuncts.into_iter().fold(first, |acc, c| acc.and(c)))
+}
+
+/// The column names an expression references.
+pub fn expr_columns(expr: &Expr) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_columns(expr, &mut out);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn collect_columns(expr: &Expr, out: &mut Vec<String>) {
+    match expr {
+        Expr::Col(name) => out.push(name.clone()),
+        Expr::Lit(_) => {}
+        Expr::Cmp { left, right, .. }
+        | Expr::Arith { left, right, .. }
+        | Expr::MinMax { left, right, .. } => {
+            collect_columns(left, out);
+            collect_columns(right, out);
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            collect_columns(a, out);
+            collect_columns(b, out);
+        }
+        Expr::Not(e) => collect_columns(e, out),
+        Expr::Udf { args, .. } => {
+            for a in args {
+                collect_columns(a, out);
+            }
+        }
+    }
+}
+
+/// Validate that a logical plan's referenced columns resolve; returns the
+/// output schema names (cheap static check used by tests).
+pub fn check_columns(plan: &LogicalPlan) -> Result<Vec<String>> {
+    // `output_columns` already walks the tree; verifying Select/Join inputs
+    // is done by executing against empty prefixes in tests. Here we only
+    // ensure join keys exist.
+    fn walk(plan: &LogicalPlan) -> Result<()> {
+        match plan {
+            LogicalPlan::Scan { .. } => Ok(()),
+            LogicalPlan::Select { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::GroupBy { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => walk(input),
+            LogicalPlan::Join { left, right, keys } => {
+                let l = left.output_columns();
+                let r = right.output_columns();
+                for (lk, rk) in keys {
+                    if !l.contains(lk) {
+                        return Err(EngineError::UnknownColumn {
+                            name: lk.clone(),
+                            available: l.clone(),
+                        });
+                    }
+                    if !r.contains(rk) {
+                        return Err(EngineError::UnknownColumn {
+                            name: rk.clone(),
+                            available: r.clone(),
+                        });
+                    }
+                }
+                walk(left)?;
+                walk(right)
+            }
+        }
+    }
+    walk(plan)?;
+    Ok(plan.output_columns())
+}
+
+/// Build a schema value for tests (re-exported convenience).
+pub fn schema_of(cols: &[(&str, crate::DataType)]) -> Arc<Schema> {
+    Schema::of(cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AggFunc, DataType, Value};
+
+    fn orders() -> Arc<Relation> {
+        let schema = Schema::of(&[
+            ("id", DataType::Int),
+            ("customer", DataType::Str),
+            ("amount", DataType::Int),
+        ]);
+        let rows = (0..100)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::str(format!("c{}", i % 10)),
+                    Value::Int(i * 3 % 50),
+                ]
+            })
+            .collect();
+        Arc::new(Relation::new(schema, rows).unwrap())
+    }
+
+    fn customers() -> Arc<Relation> {
+        let schema = Schema::of(&[("name", DataType::Str), ("region", DataType::Str)]);
+        let rows = (0..10)
+            .map(|i| {
+                vec![
+                    Value::str(format!("c{i}")),
+                    Value::str(if i % 2 == 0 { "west" } else { "east" }),
+                ]
+            })
+            .collect();
+        Arc::new(Relation::new(schema, rows).unwrap())
+    }
+
+    fn query() -> LogicalPlan {
+        LogicalPlan::scan(orders(), "orders")
+            .join(
+                LogicalPlan::scan(customers(), "customers"),
+                &[("customer", "name")],
+            )
+            .select(Expr::col("amount").gt(Expr::lit(20i64)))
+            .select(Expr::col("region").eq(Expr::lit("west")))
+    }
+
+    #[test]
+    fn optimization_preserves_results() {
+        let raw = query().to_physical();
+        let mut ctx = ExecContext::new();
+        let expect = raw.execute(&mut ctx).unwrap();
+
+        let (got, _) = query().run().unwrap();
+        assert_eq!(got.sorted_rows(), expect.sorted_rows());
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn selects_fuse_and_push_below_join() {
+        let optimized = query().optimize();
+        let plan = optimized.explain();
+        // Both predicates must now sit below the join: the amount filter on
+        // the orders side, the region filter on the customers side.
+        let join_pos = plan.find("Join").unwrap();
+        let amount_pos = plan.find("col(amount)").unwrap();
+        let region_pos = plan.find("col(region)").unwrap();
+        assert!(amount_pos > join_pos, "amount filter below join:\n{plan}");
+        assert!(region_pos > join_pos, "region filter below join:\n{plan}");
+    }
+
+    #[test]
+    fn pushdown_reduces_join_input() {
+        let (_, raw_ctx) = {
+            let physical = query().to_physical();
+            let mut ctx = ExecContext::new();
+            let out = physical.execute(&mut ctx).unwrap();
+            (out, ctx)
+        };
+        let (_, opt_ctx) = query().run().unwrap();
+        let raw_join_rows = raw_ctx.rows_for("hash_join");
+        let opt_join_rows = opt_ctx.rows_for("hash_join");
+        assert!(
+            opt_join_rows < raw_join_rows,
+            "optimized join rows {opt_join_rows} vs raw {raw_join_rows}"
+        );
+    }
+
+    #[test]
+    fn select_pushes_through_identity_projection() {
+        let plan = LogicalPlan::scan(orders(), "orders")
+            .project(vec![
+                ("customer".into(), Expr::col("customer")),
+                ("amount".into(), Expr::col("amount")),
+            ])
+            .select(Expr::col("amount").gt(Expr::lit(10i64)));
+        let optimized = plan.optimize();
+        let rendered = optimized.explain();
+        let project_pos = rendered.find("Project").unwrap();
+        let select_pos = rendered.find("Select").unwrap();
+        assert!(select_pos > project_pos, "{rendered}");
+    }
+
+    #[test]
+    fn select_not_pushed_through_computed_projection() {
+        let plan = LogicalPlan::scan(orders(), "orders")
+            .project(vec![(
+                "doubled".into(),
+                Expr::col("amount").mul(Expr::lit(2i64)),
+            )])
+            .select(Expr::col("doubled").gt(Expr::lit(10i64)));
+        let rendered = plan.optimize().explain();
+        let project_pos = rendered.find("Project").unwrap();
+        let select_pos = rendered.find("Select").unwrap();
+        assert!(select_pos < project_pos, "{rendered}");
+        // And it still executes correctly.
+        let (out, _) = LogicalPlan::scan(orders(), "orders")
+            .project(vec![(
+                "doubled".into(),
+                Expr::col("amount").mul(Expr::lit(2i64)),
+            )])
+            .select(Expr::col("doubled").gt(Expr::lit(10i64)))
+            .run()
+            .unwrap();
+        assert!(out.rows().iter().all(|r| r[0].as_i64().unwrap() > 10));
+    }
+
+    #[test]
+    fn limit_sort_lowers_to_topn() {
+        let plan = LogicalPlan::scan(orders(), "orders")
+            .sort(vec![SortKey::desc("amount")])
+            .limit(5);
+        let (out, ctx) = plan.run().unwrap();
+        assert_eq!(out.len(), 5);
+        assert!(ctx.stats().iter().any(|s| s.operator == "top_n"));
+        assert!(!ctx.stats().iter().any(|s| s.operator == "sort"));
+    }
+
+    #[test]
+    fn group_by_lowering_with_having() {
+        let plan = LogicalPlan::scan(orders(), "orders")
+            .group_by(
+                &["customer"],
+                vec![AggSpec::new(AggFunc::Sum, Expr::col("amount"), "total")],
+                Some(Expr::col("total").gt(Expr::lit(200i64))),
+            )
+            .sort(vec![SortKey::desc("total")]);
+        let (out, _) = plan.run().unwrap();
+        for row in out.rows() {
+            assert!(row[1].as_i64().unwrap() > 200);
+        }
+    }
+
+    #[test]
+    fn check_columns_catches_bad_join_keys() {
+        let plan = LogicalPlan::scan(orders(), "orders").join(
+            LogicalPlan::scan(customers(), "customers"),
+            &[("nope", "name")],
+        );
+        assert!(check_columns(&plan).is_err());
+        let ok = query();
+        let cols = check_columns(&ok).unwrap();
+        assert!(cols.contains(&"region".to_string()));
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let text = query().explain();
+        assert!(text.contains("Scan orders [100 rows]"));
+        assert!(text.contains("Join"));
+        assert!(text.starts_with("Select"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Row filtering.
+
+use crate::ops::{timed, ExecContext, PlanNode};
+use crate::{Expr, Relation, Result};
+
+/// Filter: keeps rows whose predicate evaluates truthy.
+pub struct Filter {
+    input: Box<dyn PlanNode>,
+    predicate: Expr,
+    label: String,
+}
+
+impl Filter {
+    /// Filter `input` by `predicate`.
+    pub fn new(input: Box<dyn PlanNode>, predicate: Expr) -> Self {
+        Self {
+            input,
+            predicate,
+            label: "filter".to_string(),
+        }
+    }
+
+    /// Filter with a custom statistics label (the paper's figures name the
+    /// verification filter phase explicitly).
+    pub fn labeled(input: Box<dyn PlanNode>, predicate: Expr, label: impl Into<String>) -> Self {
+        Self {
+            input,
+            predicate,
+            label: label.into(),
+        }
+    }
+}
+
+impl PlanNode for Filter {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn execute(&self, ctx: &mut ExecContext) -> Result<Relation> {
+        timed(ctx, self.name(), |ctx| {
+            let input = self.input.execute(ctx)?;
+            let bound = self.predicate.bind(input.schema())?;
+            let schema = input.schema().clone();
+            let mut rows = Vec::new();
+            for row in input.into_rows() {
+                if bound.eval(&row)?.truthy() {
+                    rows.push(row);
+                }
+            }
+            Ok(Relation::from_trusted_rows(schema, rows))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Scan;
+    use crate::{DataType, Schema, Value};
+    use std::sync::Arc;
+
+    fn input() -> Box<dyn PlanNode> {
+        let schema = Schema::of(&[("a", DataType::Int)]);
+        let rows = (1..=5).map(|i| vec![Value::Int(i)]).collect();
+        Box::new(Scan::new(Arc::new(Relation::new(schema, rows).unwrap())))
+    }
+
+    #[test]
+    fn keeps_matching_rows() {
+        let f = Filter::new(input(), Expr::col("a").ge(Expr::lit(3i64)));
+        let out = f.execute(&mut ExecContext::new()).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.rows()[0], vec![Value::Int(3)]);
+    }
+
+    #[test]
+    fn empty_result_keeps_schema() {
+        let f = Filter::new(input(), Expr::lit(false));
+        let out = f.execute(&mut ExecContext::new()).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.schema().names(), vec!["a"]);
+    }
+
+    #[test]
+    fn labeled_stats() {
+        let f = Filter::labeled(input(), Expr::lit(true), "verify");
+        let mut ctx = ExecContext::new();
+        f.execute(&mut ctx).unwrap();
+        assert_eq!(ctx.rows_for("verify"), 5);
+    }
+
+    #[test]
+    fn udf_predicate() {
+        let pred = Expr::udf("is_even", vec![Expr::col("a")], |args| {
+            Ok(Value::Bool(args[0].as_i64().unwrap_or(1) % 2 == 0))
+        });
+        let f = Filter::new(input(), pred);
+        let out = f.execute(&mut ExecContext::new()).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,388 @@
+//! Hash aggregation with HAVING.
+//!
+//! The basic SSJoin implementation (Figure 7 of the paper) is precisely
+//! `GROUP BY (R.A, S.A) HAVING SUM(weight) ≥ α` over an equi-join, so the
+//! aggregate operator is load-bearing for the whole reproduction.
+
+use crate::ops::{timed, ExecContext, PlanNode};
+use crate::{AggFunc, DataType, EngineError, Expr, Field, Relation, Result, Row, Schema, Value};
+use std::collections::HashMap;
+
+/// One aggregate: `func(input) AS output`.
+#[derive(Clone)]
+pub struct AggSpec {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The argument expression (ignored by `Count`).
+    pub input: Expr,
+    /// Output column name.
+    pub output: String,
+}
+
+impl AggSpec {
+    /// Convenience constructor.
+    pub fn new(func: AggFunc, input: Expr, output: impl Into<String>) -> Self {
+        Self {
+            func,
+            input,
+            output: output.into(),
+        }
+    }
+}
+
+/// Hash group-by with aggregates and an optional HAVING predicate evaluated
+/// over the output row (keys followed by aggregate results).
+pub struct GroupBy {
+    input: Box<dyn PlanNode>,
+    keys: Vec<String>,
+    aggs: Vec<AggSpec>,
+    having: Option<Expr>,
+    label: String,
+}
+
+impl GroupBy {
+    /// Group `input` by `keys`, computing `aggs`.
+    pub fn new(input: Box<dyn PlanNode>, keys: &[&str], aggs: Vec<AggSpec>) -> Self {
+        Self {
+            input,
+            keys: keys.iter().map(|s| s.to_string()).collect(),
+            aggs,
+            having: None,
+            label: "group_by".to_string(),
+        }
+    }
+
+    /// Attach a HAVING predicate (over the output schema).
+    pub fn with_having(mut self, having: Expr) -> Self {
+        self.having = Some(having);
+        self
+    }
+
+    /// Override the statistics label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+#[derive(Clone, Debug)]
+enum AggState {
+    Count(i64),
+    SumInt(i64),
+    SumFloat(f64),
+    SumEmpty,
+    MinMax(Option<Value>),
+    Avg { sum: f64, n: i64 },
+}
+
+impl AggState {
+    fn init(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::SumEmpty,
+            AggFunc::Min | AggFunc::Max => AggState::MinMax(None),
+            AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
+        }
+    }
+
+    fn update(&mut self, func: AggFunc, v: Value) -> Result<()> {
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::SumEmpty => {
+                *self = match v {
+                    Value::Int(i) => AggState::SumInt(i),
+                    Value::Float(f) => AggState::SumFloat(f),
+                    Value::Null => AggState::SumEmpty,
+                    other => {
+                        return Err(EngineError::TypeMismatch {
+                            context: format!("SUM over non-numeric value {other}"),
+                        })
+                    }
+                };
+            }
+            AggState::SumInt(acc) => match v {
+                Value::Int(i) => *acc += i,
+                Value::Float(f) => *self = AggState::SumFloat(*acc as f64 + f),
+                Value::Null => {}
+                other => {
+                    return Err(EngineError::TypeMismatch {
+                        context: format!("SUM over non-numeric value {other}"),
+                    })
+                }
+            },
+            AggState::SumFloat(acc) => match v.as_f64() {
+                Some(f) => *acc += f,
+                None if v.is_null() => {}
+                None => {
+                    return Err(EngineError::TypeMismatch {
+                        context: format!("SUM over non-numeric value {v}"),
+                    })
+                }
+            },
+            AggState::MinMax(cur) => {
+                let keep = match (&cur, func) {
+                    (None, _) => true,
+                    (Some(c), AggFunc::Min) => v < *c,
+                    (Some(c), AggFunc::Max) => v > *c,
+                    _ => unreachable!("MinMax state only for Min/Max"),
+                };
+                if keep {
+                    *cur = Some(v);
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if let Some(f) = v.as_f64() {
+                    *sum += f;
+                    *n += 1;
+                } else if !v.is_null() {
+                    return Err(EngineError::TypeMismatch {
+                        context: format!("AVG over non-numeric value {v}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(n),
+            AggState::SumEmpty => Value::Int(0),
+            AggState::SumInt(i) => Value::Int(i),
+            AggState::SumFloat(f) => Value::Float(f),
+            AggState::MinMax(v) => v.unwrap_or(Value::Null),
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+        }
+    }
+}
+
+impl PlanNode for GroupBy {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn execute(&self, ctx: &mut ExecContext) -> Result<Relation> {
+        timed(ctx, self.name(), |ctx| {
+            let input = self.input.execute(ctx)?;
+            let key_idx: Vec<usize> = self
+                .keys
+                .iter()
+                .map(|k| input.schema().index_of(k))
+                .collect::<Result<_>>()?;
+            let bound_args: Vec<crate::BoundExpr> = self
+                .aggs
+                .iter()
+                .map(|a| a.input.bind(input.schema()))
+                .collect::<Result<_>>()?;
+
+            // Accumulate group states; remember first-seen order for
+            // determinism.
+            let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+            let mut order: Vec<Vec<Value>> = Vec::new();
+            for row in input.rows() {
+                let key: Vec<Value> = key_idx.iter().map(|&i| row[i].clone()).collect();
+                let states = match groups.get_mut(&key) {
+                    Some(s) => s,
+                    None => {
+                        order.push(key.clone());
+                        groups.entry(key).or_insert_with(|| {
+                            self.aggs.iter().map(|a| AggState::init(a.func)).collect()
+                        })
+                    }
+                };
+                for (state, (spec, arg)) in states.iter_mut().zip(self.aggs.iter().zip(&bound_args))
+                {
+                    let v = if spec.func == AggFunc::Count {
+                        Value::Int(1)
+                    } else {
+                        arg.eval(row)?
+                    };
+                    state.update(spec.func, v)?;
+                }
+            }
+
+            let mut rows: Vec<Row> = Vec::with_capacity(order.len());
+            for key in order {
+                let states = groups.remove(&key).expect("key recorded in order");
+                let mut row = key;
+                row.extend(states.into_iter().map(AggState::finish));
+                rows.push(row);
+            }
+
+            let schema = self.output_schema(input.schema(), &rows)?;
+            let rel = Relation::from_trusted_rows(schema, rows);
+
+            match &self.having {
+                None => Ok(rel),
+                Some(pred) => {
+                    let bound = pred.bind(rel.schema())?;
+                    let schema = rel.schema().clone();
+                    let mut kept = Vec::new();
+                    for row in rel.into_rows() {
+                        if bound.eval(&row)?.truthy() {
+                            kept.push(row);
+                        }
+                    }
+                    Ok(Relation::from_trusted_rows(schema, kept))
+                }
+            }
+        })
+    }
+}
+
+impl GroupBy {
+    fn output_schema(&self, input: &Schema, rows: &[Row]) -> Result<std::sync::Arc<Schema>> {
+        let mut fields: Vec<Field> = self
+            .keys
+            .iter()
+            .map(|k| input.field(k).cloned())
+            .collect::<Result<_>>()?;
+        for (j, spec) in self.aggs.iter().enumerate() {
+            let dtype = match spec.func {
+                AggFunc::Count => DataType::Int,
+                AggFunc::Avg => DataType::Float,
+                _ => rows
+                    .iter()
+                    .find_map(|r| r[self.keys.len() + j].data_type())
+                    .unwrap_or(DataType::Int),
+            };
+            fields.push(Field::new(spec.output.clone(), dtype));
+        }
+        Ok(Schema::new(fields))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Scan;
+    use std::sync::Arc;
+
+    fn input() -> Box<dyn PlanNode> {
+        let schema = Schema::of(&[
+            ("g", DataType::Str),
+            ("x", DataType::Int),
+            ("w", DataType::Float),
+        ]);
+        let rows = vec![
+            vec![Value::str("a"), Value::Int(1), Value::Float(0.5)],
+            vec![Value::str("a"), Value::Int(2), Value::Float(1.5)],
+            vec![Value::str("b"), Value::Int(10), Value::Float(3.0)],
+        ];
+        Box::new(Scan::new(Arc::new(Relation::new(schema, rows).unwrap())))
+    }
+
+    #[test]
+    fn count_sum_min_max_avg() {
+        let g = GroupBy::new(
+            input(),
+            &["g"],
+            vec![
+                AggSpec::new(AggFunc::Count, Expr::lit(1i64), "n"),
+                AggSpec::new(AggFunc::Sum, Expr::col("x"), "sx"),
+                AggSpec::new(AggFunc::Min, Expr::col("x"), "mn"),
+                AggSpec::new(AggFunc::Max, Expr::col("x"), "mx"),
+                AggSpec::new(AggFunc::Avg, Expr::col("w"), "aw"),
+            ],
+        );
+        let out = g.execute(&mut ExecContext::new()).unwrap();
+        assert_eq!(out.len(), 2);
+        let mut rows = out.sorted_rows();
+        rows.sort();
+        let a = rows.iter().find(|r| r[0] == Value::str("a")).unwrap();
+        assert_eq!(a[1], Value::Int(2));
+        assert_eq!(a[2], Value::Int(3));
+        assert_eq!(a[3], Value::Int(1));
+        assert_eq!(a[4], Value::Int(2));
+        assert_eq!(a[5], Value::Float(1.0));
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let g = GroupBy::new(
+            input(),
+            &["g"],
+            vec![AggSpec::new(AggFunc::Sum, Expr::col("x"), "sx")],
+        )
+        .with_having(Expr::col("sx").ge(Expr::lit(5i64)));
+        let out = g.execute(&mut ExecContext::new()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Value::str("b"));
+    }
+
+    #[test]
+    fn sum_float_column() {
+        let g = GroupBy::new(
+            input(),
+            &["g"],
+            vec![AggSpec::new(AggFunc::Sum, Expr::col("w"), "sw")],
+        );
+        let out = g.execute(&mut ExecContext::new()).unwrap();
+        let a = out.rows().iter().find(|r| r[0] == Value::str("a")).unwrap();
+        assert_eq!(a[1], Value::Float(2.0));
+    }
+
+    #[test]
+    fn group_on_expression_input() {
+        // Aggregate over a computed expression.
+        let g = GroupBy::new(
+            input(),
+            &["g"],
+            vec![AggSpec::new(
+                AggFunc::Sum,
+                Expr::col("x").mul(Expr::lit(2i64)),
+                "sx2",
+            )],
+        );
+        let out = g.execute(&mut ExecContext::new()).unwrap();
+        let a = out.rows().iter().find(|r| r[0] == Value::str("a")).unwrap();
+        assert_eq!(a[1], Value::Int(6));
+    }
+
+    #[test]
+    fn empty_input_no_groups() {
+        let schema = Schema::of(&[("g", DataType::Str), ("x", DataType::Int)]);
+        let rel = Relation::empty(schema);
+        let g = GroupBy::new(
+            Box::new(Scan::new(Arc::new(rel))),
+            &["g"],
+            vec![AggSpec::new(AggFunc::Count, Expr::lit(1i64), "n")],
+        );
+        let out = g.execute(&mut ExecContext::new()).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.schema().names(), vec!["g", "n"]);
+    }
+
+    #[test]
+    fn multi_key_grouping() {
+        let schema = Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]);
+        let rows = vec![
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Int(1), Value::Int(2)],
+            vec![Value::Int(1), Value::Int(1)],
+        ];
+        let g = GroupBy::new(
+            Box::new(Scan::new(Arc::new(Relation::new(schema, rows).unwrap()))),
+            &["a", "b"],
+            vec![AggSpec::new(AggFunc::Count, Expr::lit(1i64), "n")],
+        );
+        let out = g.execute(&mut ExecContext::new()).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn sum_non_numeric_errors() {
+        let g = GroupBy::new(
+            input(),
+            &["g"],
+            vec![AggSpec::new(AggFunc::Sum, Expr::col("g"), "bad")],
+        );
+        assert!(g.execute(&mut ExecContext::new()).is_err());
+    }
+}

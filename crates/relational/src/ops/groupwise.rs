@@ -1,0 +1,201 @@
+//! Groupwise processing (Chatziantoniou & Ross, VLDB 1996/97).
+//!
+//! §4.3.3 of the SSJoin paper implements the prefix filter with "a
+//! combination of standard relational operators … and the notion of
+//! groupwise processing where we iteratively process groups of tuples and
+//! apply a subquery on each group". This operator does exactly that: the
+//! input is partitioned by grouping columns (every distinct key value forms
+//! one group, as in GROUP BY); a per-group sub-plan — expressed as a Rust
+//! closure over the group's rows — runs on each group; results are unioned.
+
+use crate::ops::{timed, ExecContext, PlanNode};
+use crate::{EngineError, Relation, Result, Row, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The per-group subquery: receives the group's rows (sharing the input
+/// schema) and produces output rows (sharing the declared output schema).
+pub type GroupFn = Arc<dyn Fn(&Relation) -> Result<Relation> + Send + Sync>;
+
+/// Groupwise-processing operator.
+pub struct Groupwise {
+    input: Box<dyn PlanNode>,
+    keys: Vec<String>,
+    subquery: GroupFn,
+    label: String,
+}
+
+impl Groupwise {
+    /// Apply `subquery` to every group of `input` rows sharing the same
+    /// values in `keys`.
+    pub fn new(
+        input: Box<dyn PlanNode>,
+        keys: &[&str],
+        subquery: impl Fn(&Relation) -> Result<Relation> + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            input,
+            keys: keys.iter().map(|s| s.to_string()).collect(),
+            subquery: Arc::new(subquery),
+            label: "groupwise".to_string(),
+        }
+    }
+
+    /// Override the statistics label (e.g. `prefix_filter`).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+impl PlanNode for Groupwise {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn execute(&self, ctx: &mut ExecContext) -> Result<Relation> {
+        timed(ctx, self.name(), |ctx| {
+            let input = self.input.execute(ctx)?;
+            let key_idx: Vec<usize> = self
+                .keys
+                .iter()
+                .map(|k| input.schema().index_of(k))
+                .collect::<Result<_>>()?;
+            let in_schema = input.schema().clone();
+
+            // Partition rows by key, preserving first-seen group order.
+            let mut groups: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+            let mut order: Vec<Vec<Value>> = Vec::new();
+            for row in input.into_rows() {
+                let key: Vec<Value> = key_idx.iter().map(|&i| row[i].clone()).collect();
+                match groups.get_mut(&key) {
+                    Some(rows) => rows.push(row),
+                    None => {
+                        order.push(key.clone());
+                        groups.insert(key, vec![row]);
+                    }
+                }
+            }
+
+            let mut out: Option<Relation> = None;
+            for key in order {
+                let rows = groups.remove(&key).expect("group recorded in order");
+                let group = Relation::from_trusted_rows(in_schema.clone(), rows);
+                let result = (self.subquery)(&group)?;
+                match &mut out {
+                    None => out = Some(result),
+                    Some(acc) => {
+                        if acc.schema().names() != result.schema().names() {
+                            return Err(EngineError::SchemaMismatch {
+                                context: format!(
+                                    "groupwise subquery produced {} then {}",
+                                    acc.schema(),
+                                    result.schema()
+                                ),
+                            });
+                        }
+                        for row in result.into_rows() {
+                            acc.push(row)?;
+                        }
+                    }
+                }
+            }
+            // All-empty input: run the subquery once on an empty group so an
+            // output schema exists.
+            match out {
+                Some(rel) => Ok(rel),
+                None => (self.subquery)(&Relation::empty(in_schema)),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Scan;
+    use crate::{DataType, Schema};
+
+    fn input() -> Box<dyn PlanNode> {
+        let schema = Schema::of(&[("g", DataType::Str), ("x", DataType::Int)]);
+        let rows = vec![
+            vec![Value::str("a"), Value::Int(3)],
+            vec![Value::str("b"), Value::Int(9)],
+            vec![Value::str("a"), Value::Int(1)],
+            vec![Value::str("a"), Value::Int(2)],
+            vec![Value::str("b"), Value::Int(8)],
+        ];
+        Box::new(Scan::new(Arc::new(Relation::new(schema, rows).unwrap())))
+    }
+
+    /// Per-group top-1 by x: a subquery GROUP BY can't easily express
+    /// (that's the point of groupwise processing).
+    #[test]
+    fn per_group_top1() {
+        let g = Groupwise::new(input(), &["g"], |group| {
+            let mut rows = group.rows().to_vec();
+            rows.sort_by(|a, b| b[1].cmp(&a[1]));
+            rows.truncate(1);
+            Ok(Relation::from_trusted_rows(group.schema().clone(), rows))
+        });
+        let out = g.execute(&mut ExecContext::new()).unwrap();
+        assert_eq!(out.len(), 2);
+        let sorted = out.sorted_rows();
+        assert_eq!(sorted[0], vec![Value::str("a"), Value::Int(3)]);
+        assert_eq!(sorted[1], vec![Value::str("b"), Value::Int(9)]);
+    }
+
+    /// Prefix extraction per group — the §4.3.3 use case in miniature: keep
+    /// the 2 smallest x per group (a "prefix" under the x order).
+    #[test]
+    fn per_group_prefix() {
+        let g = Groupwise::new(input(), &["g"], |group| {
+            let mut rows = group.rows().to_vec();
+            rows.sort_by(|a, b| a[1].cmp(&b[1]));
+            rows.truncate(2);
+            Ok(Relation::from_trusted_rows(group.schema().clone(), rows))
+        })
+        .with_label("prefix_filter");
+        let mut ctx = ExecContext::new();
+        let out = g.execute(&mut ctx).unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(ctx.rows_for("prefix_filter"), 4);
+    }
+
+    #[test]
+    fn empty_input_produces_subquery_schema() {
+        let schema = Schema::of(&[("g", DataType::Str), ("x", DataType::Int)]);
+        let scan = Box::new(Scan::new(Arc::new(Relation::empty(schema))));
+        let g = Groupwise::new(scan, &["g"], |group| {
+            Ok(Relation::empty(group.schema().clone()))
+        });
+        let out = g.execute(&mut ExecContext::new()).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.schema().names(), vec!["g", "x"]);
+    }
+
+    #[test]
+    fn schema_drift_across_groups_rejected() {
+        let flip = std::sync::atomic::AtomicBool::new(false);
+        let g = Groupwise::new(input(), &["g"], move |group| {
+            if flip.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                let schema = Schema::of(&[("other", DataType::Int)]);
+                Ok(Relation::empty(schema))
+            } else {
+                Ok(Relation::from_trusted_rows(
+                    group.schema().clone(),
+                    group.rows().to_vec(),
+                ))
+            }
+        });
+        assert!(g.execute(&mut ExecContext::new()).is_err());
+    }
+
+    #[test]
+    fn subquery_errors_propagate() {
+        let g = Groupwise::new(input(), &["g"], |_| {
+            Err(EngineError::Plan("subquery boom".into()))
+        });
+        assert!(g.execute(&mut ExecContext::new()).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Projection.
+
+use crate::ops::{timed, ExecContext, PlanNode};
+use crate::{DataType, Expr, Field, Relation, Result, Schema, Value};
+
+/// Projection: evaluates named expressions over every input row.
+///
+/// Output column types are inferred from the first produced row (falling
+/// back to `Str` for all-null columns), which is sufficient for an engine
+/// without a static type checker.
+pub struct Project {
+    input: Box<dyn PlanNode>,
+    columns: Vec<(String, Expr)>,
+}
+
+impl Project {
+    /// Project `input` onto the given `(output name, expression)` pairs.
+    pub fn new(input: Box<dyn PlanNode>, columns: Vec<(String, Expr)>) -> Self {
+        Self { input, columns }
+    }
+
+    /// Convenience: keep the named input columns unchanged.
+    pub fn columns(input: Box<dyn PlanNode>, names: &[&str]) -> Self {
+        Self::new(
+            input,
+            names
+                .iter()
+                .map(|n| (n.to_string(), Expr::col(*n)))
+                .collect(),
+        )
+    }
+}
+
+impl PlanNode for Project {
+    fn name(&self) -> &str {
+        "project"
+    }
+
+    fn execute(&self, ctx: &mut ExecContext) -> Result<Relation> {
+        timed(ctx, self.name(), |ctx| {
+            let input = self.input.execute(ctx)?;
+            let bound: Vec<(&str, crate::BoundExpr)> = self
+                .columns
+                .iter()
+                .map(|(name, e)| Ok((name.as_str(), e.bind(input.schema())?)))
+                .collect::<Result<_>>()?;
+            let mut rows = Vec::with_capacity(input.len());
+            for row in input.rows() {
+                let out: Vec<Value> = bound
+                    .iter()
+                    .map(|(_, e)| e.eval(row))
+                    .collect::<Result<_>>()?;
+                rows.push(out);
+            }
+            let schema = infer_schema(&self.columns, &rows);
+            Ok(Relation::from_trusted_rows(schema, rows))
+        })
+    }
+}
+
+fn infer_schema(columns: &[(String, Expr)], rows: &[Vec<Value>]) -> std::sync::Arc<Schema> {
+    let fields = columns
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| {
+            let dtype = rows
+                .iter()
+                .find_map(|r| r[i].data_type())
+                .unwrap_or(DataType::Str);
+            Field::new(name.clone(), dtype)
+        })
+        .collect();
+    Schema::new(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Scan;
+    use std::sync::Arc;
+
+    fn input() -> Box<dyn PlanNode> {
+        let schema = Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]);
+        let rel = Relation::new(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(20)],
+            ],
+        )
+        .unwrap();
+        Box::new(Scan::new(Arc::new(rel)))
+    }
+
+    #[test]
+    fn computes_expressions() {
+        let p = Project::new(
+            input(),
+            vec![
+                ("sum".into(), Expr::col("a").add(Expr::col("b"))),
+                ("a".into(), Expr::col("a")),
+            ],
+        );
+        let out = p.execute(&mut ExecContext::new()).unwrap();
+        assert_eq!(out.schema().names(), vec!["sum", "a"]);
+        assert_eq!(out.rows()[0], vec![Value::Int(11), Value::Int(1)]);
+        assert_eq!(out.rows()[1], vec![Value::Int(22), Value::Int(2)]);
+    }
+
+    #[test]
+    fn keep_columns_helper() {
+        let p = Project::columns(input(), &["b"]);
+        let out = p.execute(&mut ExecContext::new()).unwrap();
+        assert_eq!(out.schema().names(), vec!["b"]);
+        assert_eq!(out.rows()[1], vec![Value::Int(20)]);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let p = Project::columns(input(), &["zz"]);
+        assert!(p.execute(&mut ExecContext::new()).is_err());
+    }
+
+    #[test]
+    fn empty_input_schema_defaults() {
+        let schema = Schema::of(&[("a", DataType::Int)]);
+        let rel = Relation::empty(schema);
+        let p = Project::new(
+            Box::new(Scan::new(Arc::new(rel))),
+            vec![("x".into(), Expr::col("a"))],
+        );
+        let out = p.execute(&mut ExecContext::new()).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.schema().names(), vec!["x"]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Sorting and limiting.
+
+use crate::ops::{timed, ExecContext, PlanNode};
+use crate::{Relation, Result};
+
+/// One sort key: a column and a direction.
+#[derive(Debug, Clone)]
+pub struct SortKey {
+    /// Column name.
+    pub column: String,
+    /// Ascending if true.
+    pub ascending: bool,
+}
+
+impl SortKey {
+    /// Ascending key.
+    pub fn asc(column: impl Into<String>) -> Self {
+        Self {
+            column: column.into(),
+            ascending: true,
+        }
+    }
+
+    /// Descending key.
+    pub fn desc(column: impl Into<String>) -> Self {
+        Self {
+            column: column.into(),
+            ascending: false,
+        }
+    }
+}
+
+/// Stable multi-key sort.
+pub struct Sort {
+    input: Box<dyn PlanNode>,
+    keys: Vec<SortKey>,
+}
+
+impl Sort {
+    /// Sort `input` by `keys` (applied lexicographically).
+    pub fn new(input: Box<dyn PlanNode>, keys: Vec<SortKey>) -> Self {
+        Self { input, keys }
+    }
+}
+
+impl PlanNode for Sort {
+    fn name(&self) -> &str {
+        "sort"
+    }
+
+    fn execute(&self, ctx: &mut ExecContext) -> Result<Relation> {
+        timed(ctx, self.name(), |ctx| {
+            let input = self.input.execute(ctx)?;
+            let idxs: Vec<(usize, bool)> = self
+                .keys
+                .iter()
+                .map(|k| Ok((input.schema().index_of(&k.column)?, k.ascending)))
+                .collect::<Result<_>>()?;
+            let schema = input.schema().clone();
+            let mut rows = input.into_rows();
+            rows.sort_by(|a, b| {
+                for &(i, asc) in &idxs {
+                    let ord = a[i].cmp(&b[i]);
+                    if ord != std::cmp::Ordering::Equal {
+                        return if asc { ord } else { ord.reverse() };
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(Relation::from_trusted_rows(schema, rows))
+        })
+    }
+}
+
+/// Keep the first `n` rows of the input (in input order).
+pub struct Limit {
+    input: Box<dyn PlanNode>,
+    n: usize,
+}
+
+impl Limit {
+    /// Limit `input` to `n` rows.
+    pub fn new(input: Box<dyn PlanNode>, n: usize) -> Self {
+        Self { input, n }
+    }
+}
+
+impl PlanNode for Limit {
+    fn name(&self) -> &str {
+        "limit"
+    }
+
+    fn execute(&self, ctx: &mut ExecContext) -> Result<Relation> {
+        timed(ctx, self.name(), |ctx| {
+            let input = self.input.execute(ctx)?;
+            let schema = input.schema().clone();
+            let mut rows = input.into_rows();
+            rows.truncate(self.n);
+            Ok(Relation::from_trusted_rows(schema, rows))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Scan;
+    use crate::{DataType, Schema, Value};
+    use std::sync::Arc;
+
+    fn input() -> Box<dyn PlanNode> {
+        let schema = Schema::of(&[("a", DataType::Int), ("b", DataType::Str)]);
+        let rows = vec![
+            vec![Value::Int(2), Value::str("x")],
+            vec![Value::Int(1), Value::str("z")],
+            vec![Value::Int(2), Value::str("a")],
+        ];
+        Box::new(Scan::new(Arc::new(Relation::new(schema, rows).unwrap())))
+    }
+
+    #[test]
+    fn multi_key_sort() {
+        let s = Sort::new(input(), vec![SortKey::asc("a"), SortKey::asc("b")]);
+        let out = s.execute(&mut ExecContext::new()).unwrap();
+        assert_eq!(out.rows()[0], vec![Value::Int(1), Value::str("z")]);
+        assert_eq!(out.rows()[1], vec![Value::Int(2), Value::str("a")]);
+        assert_eq!(out.rows()[2], vec![Value::Int(2), Value::str("x")]);
+    }
+
+    #[test]
+    fn descending_sort() {
+        let s = Sort::new(input(), vec![SortKey::desc("a"), SortKey::asc("b")]);
+        let out = s.execute(&mut ExecContext::new()).unwrap();
+        assert_eq!(out.rows()[0][0], Value::Int(2));
+        assert_eq!(out.rows()[2][0], Value::Int(1));
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let l = Limit::new(input(), 2);
+        let out = l.execute(&mut ExecContext::new()).unwrap();
+        assert_eq!(out.len(), 2);
+        let l0 = Limit::new(input(), 0);
+        assert!(l0.execute(&mut ExecContext::new()).unwrap().is_empty());
+        let lbig = Limit::new(input(), 99);
+        assert_eq!(lbig.execute(&mut ExecContext::new()).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn sort_unknown_column_errors() {
+        let s = Sort::new(input(), vec![SortKey::asc("nope")]);
+        assert!(s.execute(&mut ExecContext::new()).is_err());
+    }
+}

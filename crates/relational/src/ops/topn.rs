@@ -1,0 +1,162 @@
+//! Top-N: fused sort + limit.
+//!
+//! §6 of the paper describes composing SSJoin with a top-k operator for
+//! fuzzy-match queries; this is that operator on the relational side. A
+//! bounded binary heap keeps the best `n` rows, so the cost is
+//! O(rows · log n) instead of a full sort.
+
+use crate::ops::{timed, ExecContext, PlanNode, SortKey};
+use crate::{Relation, Result, Row};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Keep the `n` first rows under the given sort order.
+pub struct TopN {
+    input: Box<dyn PlanNode>,
+    keys: Vec<SortKey>,
+    n: usize,
+}
+
+impl TopN {
+    /// Top `n` rows of `input` ordered by `keys`.
+    pub fn new(input: Box<dyn PlanNode>, keys: Vec<SortKey>, n: usize) -> Self {
+        Self { input, keys, n }
+    }
+}
+
+/// Heap entry ordering rows by the sort keys; the heap is a max-heap over
+/// "worst first" so the worst retained row is at the top.
+struct HeapRow {
+    row: Row,
+    key_idx: std::rc::Rc<Vec<(usize, bool)>>,
+    seq: usize,
+}
+
+impl HeapRow {
+    fn order(&self, other: &Self) -> Ordering {
+        for &(i, asc) in self.key_idx.iter() {
+            let ord = self.row[i].cmp(&other.row[i]);
+            if ord != Ordering::Equal {
+                return if asc { ord } else { ord.reverse() };
+            }
+        }
+        // Stable: earlier input rows sort first.
+        self.seq.cmp(&other.seq)
+    }
+}
+
+impl PartialEq for HeapRow {
+    fn eq(&self, other: &Self) -> bool {
+        self.order(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapRow {}
+impl PartialOrd for HeapRow {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapRow {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.order(other)
+    }
+}
+
+impl PlanNode for TopN {
+    fn name(&self) -> &str {
+        "top_n"
+    }
+
+    fn execute(&self, ctx: &mut ExecContext) -> Result<Relation> {
+        timed(ctx, self.name(), |ctx| {
+            let input = self.input.execute(ctx)?;
+            let schema = input.schema().clone();
+            if self.n == 0 {
+                return Ok(Relation::empty(schema));
+            }
+            let key_idx: std::rc::Rc<Vec<(usize, bool)>> = std::rc::Rc::new(
+                self.keys
+                    .iter()
+                    .map(|k| Ok((schema.index_of(&k.column)?, k.ascending)))
+                    .collect::<Result<_>>()?,
+            );
+            let mut heap: BinaryHeap<HeapRow> = BinaryHeap::with_capacity(self.n + 1);
+            for (seq, row) in input.into_rows().into_iter().enumerate() {
+                heap.push(HeapRow {
+                    row,
+                    key_idx: key_idx.clone(),
+                    seq,
+                });
+                if heap.len() > self.n {
+                    heap.pop(); // drop the current worst
+                }
+            }
+            let mut rows: Vec<HeapRow> = heap.into_vec();
+            rows.sort();
+            Ok(Relation::from_trusted_rows(
+                schema,
+                rows.into_iter().map(|h| h.row).collect(),
+            ))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Scan, Sort};
+    use crate::{DataType, Schema, Value};
+    use std::sync::Arc;
+
+    fn input(vals: &[i64]) -> Arc<Relation> {
+        let schema = Schema::of(&[("x", DataType::Int)]);
+        let rows = vals.iter().map(|&v| vec![Value::Int(v)]).collect();
+        Arc::new(Relation::new(schema, rows).unwrap())
+    }
+
+    #[test]
+    fn keeps_best_n() {
+        let rel = input(&[5, 1, 9, 3, 7, 2]);
+        let top = TopN::new(Box::new(Scan::new(rel)), vec![SortKey::desc("x")], 3);
+        let out = top.execute(&mut ExecContext::new()).unwrap();
+        let xs: Vec<i64> = out.rows().iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(xs, vec![9, 7, 5]);
+    }
+
+    #[test]
+    fn matches_sort_plus_truncate() {
+        let vals: Vec<i64> = (0..50).map(|i| (i * 37) % 23).collect();
+        let rel = input(&vals);
+        for n in [0usize, 1, 5, 50, 100] {
+            let top = TopN::new(Box::new(Scan::new(rel.clone())), vec![SortKey::asc("x")], n)
+                .execute(&mut ExecContext::new())
+                .unwrap();
+            let mut sorted = Sort::new(Box::new(Scan::new(rel.clone())), vec![SortKey::asc("x")])
+                .execute(&mut ExecContext::new())
+                .unwrap()
+                .into_rows();
+            sorted.truncate(n);
+            assert_eq!(top.rows(), &sorted[..], "n={n}");
+        }
+    }
+
+    #[test]
+    fn zero_n_is_empty() {
+        let top = TopN::new(
+            Box::new(Scan::new(input(&[1, 2]))),
+            vec![SortKey::asc("x")],
+            0,
+        );
+        assert!(top.execute(&mut ExecContext::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        let top = TopN::new(
+            Box::new(Scan::new(input(&[1]))),
+            vec![SortKey::asc("nope")],
+            1,
+        );
+        assert!(top.execute(&mut ExecContext::new()).is_err());
+    }
+}

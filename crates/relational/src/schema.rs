@@ -1,0 +1,159 @@
+//! Schemas: ordered, named, typed columns.
+
+use crate::{DataType, EngineError, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name. Names must be unique within a schema.
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Self {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered list of fields describing a relation's columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from fields.
+    ///
+    /// # Panics
+    /// Panics if two fields share a name — schemas with duplicate names are
+    /// construction bugs, not runtime conditions.
+    pub fn new(fields: Vec<Field>) -> Arc<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            for g in &fields[i + 1..] {
+                assert_ne!(f.name, g.name, "duplicate column name {:?}", f.name);
+            }
+        }
+        Arc::new(Self { fields })
+    }
+
+    /// Build a schema from `(name, type)` pairs.
+    pub fn of(cols: &[(&str, DataType)]) -> Arc<Self> {
+        Self::new(cols.iter().map(|(n, t)| Field::new(*n, *t)).collect())
+    }
+
+    /// The fields, in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| EngineError::UnknownColumn {
+                name: name.to_string(),
+                available: self.fields.iter().map(|f| f.name.clone()).collect(),
+            })
+    }
+
+    /// The field with the given name.
+    pub fn field(&self, name: &str) -> Result<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Concatenate two schemas, prefixing clashing names from the right side
+    /// with `right_prefix` (used by joins).
+    pub fn join(&self, other: &Schema, right_prefix: &str) -> Arc<Schema> {
+        let mut fields = self.fields.clone();
+        for f in &other.fields {
+            let name = if self.index_of(&f.name).is_ok() {
+                format!("{right_prefix}{}", f.name)
+            } else {
+                f.name.clone()
+            };
+            fields.push(Field::new(name, f.dtype));
+        }
+        Schema::new(fields)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_field_lookup() {
+        let s = Schema::of(&[("a", DataType::Int), ("b", DataType::Str)]);
+        assert_eq!(s.index_of("a").unwrap(), 0);
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert_eq!(s.field("b").unwrap().dtype, DataType::Str);
+        assert!(matches!(
+            s.index_of("z"),
+            Err(EngineError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_panic() {
+        Schema::of(&[("a", DataType::Int), ("a", DataType::Str)]);
+    }
+
+    #[test]
+    fn join_prefixes_clashes() {
+        let l = Schema::of(&[("id", DataType::Int), ("x", DataType::Str)]);
+        let r = Schema::of(&[("id", DataType::Int), ("y", DataType::Str)]);
+        let j = l.join(&r, "s_");
+        assert_eq!(j.names(), vec!["id", "x", "s_id", "y"]);
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::of(&[("a", DataType::Int)]);
+        assert_eq!(s.to_string(), "(a: int)");
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

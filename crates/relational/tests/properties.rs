@@ -1,0 +1,128 @@
+//! Property-based tests for the relational engine: operators against naive
+//! reference implementations on random relations.
+
+use proptest::prelude::*;
+use ssjoin_relational::{
+    AggFunc, AggSpec, DataType, Distinct, ExecContext, Expr, Filter, GroupBy, HashJoin, MergeJoin,
+    PlanNode, Relation, Scan, Schema, Sort, SortKey, Value,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn int_relation(rows: Vec<(i64, i64)>) -> Arc<Relation> {
+    let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]);
+    let rows = rows
+        .into_iter()
+        .map(|(k, v)| vec![Value::Int(k), Value::Int(v)])
+        .collect();
+    Arc::new(Relation::new(schema, rows).unwrap())
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((0i64..8, -5i64..5), 0..40)
+}
+
+proptest! {
+    /// Hash join and merge join agree with the nested-loop reference.
+    #[test]
+    fn joins_match_nested_loop(l in rows_strategy(), r in rows_strategy()) {
+        let expect: Vec<Vec<Value>> = {
+            let mut out = Vec::new();
+            for &(lk, lv) in &l {
+                for &(rk, rv) in &r {
+                    if lk == rk {
+                        out.push(vec![
+                            Value::Int(lk), Value::Int(lv),
+                            Value::Int(rk), Value::Int(rv),
+                        ]);
+                    }
+                }
+            }
+            out.sort();
+            out
+        };
+        let (lr, rr) = (int_relation(l), int_relation(r));
+        let h = HashJoin::on(
+            Box::new(Scan::new(lr.clone())),
+            Box::new(Scan::new(rr.clone())),
+            &[("k", "k")],
+        )
+        .execute(&mut ExecContext::new())
+        .unwrap();
+        let m = MergeJoin::on(Box::new(Scan::new(lr)), Box::new(Scan::new(rr)), &[("k", "k")])
+            .execute(&mut ExecContext::new())
+            .unwrap();
+        prop_assert_eq!(h.sorted_rows(), expect.clone());
+        prop_assert_eq!(m.sorted_rows(), expect);
+    }
+
+    /// GroupBy sums match a HashMap fold; HAVING filters exactly.
+    #[test]
+    fn group_by_matches_fold(rows in rows_strategy(), cutoff in -20i64..20) {
+        let mut expect: HashMap<i64, (i64, i64)> = HashMap::new(); // k -> (count, sum)
+        for &(k, v) in &rows {
+            let e = expect.entry(k).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += v;
+        }
+        let g = GroupBy::new(
+            Box::new(Scan::new(int_relation(rows))),
+            &["k"],
+            vec![
+                AggSpec::new(AggFunc::Count, Expr::lit(1i64), "n"),
+                AggSpec::new(AggFunc::Sum, Expr::col("v"), "sv"),
+            ],
+        )
+        .with_having(Expr::col("sv").ge(Expr::lit(cutoff)));
+        let out = g.execute(&mut ExecContext::new()).unwrap();
+        for row in out.rows() {
+            let k = row[0].as_i64().unwrap();
+            let (n, sv) = expect[&k];
+            prop_assert_eq!(row[1].as_i64().unwrap(), n);
+            prop_assert_eq!(row[2].as_i64().unwrap(), sv);
+            prop_assert!(sv >= cutoff);
+        }
+        let expected_groups = expect.values().filter(|&&(_, sv)| sv >= cutoff).count();
+        prop_assert_eq!(out.len(), expected_groups);
+    }
+
+    /// Distinct removes exactly the duplicates; Sort orders totally.
+    #[test]
+    fn distinct_and_sort(rows in rows_strategy()) {
+        let rel = int_relation(rows.clone());
+        let d = Distinct::new(Box::new(Scan::new(rel.clone())))
+            .execute(&mut ExecContext::new())
+            .unwrap();
+        let unique: std::collections::HashSet<(i64, i64)> = rows.iter().copied().collect();
+        prop_assert_eq!(d.len(), unique.len());
+
+        let s = Sort::new(
+            Box::new(Scan::new(rel)),
+            vec![SortKey::asc("k"), SortKey::desc("v")],
+        )
+        .execute(&mut ExecContext::new())
+        .unwrap();
+        for w in s.rows().windows(2) {
+            let (k0, v0) = (w[0][0].as_i64().unwrap(), w[0][1].as_i64().unwrap());
+            let (k1, v1) = (w[1][0].as_i64().unwrap(), w[1][1].as_i64().unwrap());
+            prop_assert!(k0 < k1 || (k0 == k1 && v0 >= v1));
+        }
+    }
+
+    /// Filter keeps exactly the rows satisfying the predicate.
+    #[test]
+    fn filter_is_exact(rows in rows_strategy(), cut in -5i64..5) {
+        let rel = int_relation(rows.clone());
+        let out = Filter::new(
+            Box::new(Scan::new(rel)),
+            Expr::col("v").gt(Expr::lit(cut)),
+        )
+        .execute(&mut ExecContext::new())
+        .unwrap();
+        let expect = rows.iter().filter(|&&(_, v)| v > cut).count();
+        prop_assert_eq!(out.len(), expect);
+        for row in out.rows() {
+            prop_assert!(row[1].as_i64().unwrap() > cut);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Hamming distance.
+//!
+//! §1 of the paper lists hamming distance among the similarity functions the
+//! SSJoin primitive supports: two equal-length strings are within hamming
+//! distance `k` iff their sets of `(position, character)` pairs overlap in at
+//! least `len − k` elements.
+
+/// Hamming distance between two strings: the number of positions at which
+/// they differ. Returns `None` if their character lengths differ (hamming
+/// distance is defined for equal-length strings only).
+pub fn hamming_distance(a: &str, b: &str) -> Option<usize> {
+    let mut ai = a.chars();
+    let mut bi = b.chars();
+    let mut dist = 0usize;
+    loop {
+        match (ai.next(), bi.next()) {
+            (Some(x), Some(y)) => {
+                if x != y {
+                    dist += 1;
+                }
+            }
+            (None, None) => return Some(dist),
+            _ => return None,
+        }
+    }
+}
+
+/// Normalized hamming similarity `1 − d/len` in `[0, 1]`; `None` for strings
+/// of different lengths, `Some(1.0)` for two empty strings.
+pub fn hamming_similarity(a: &str, b: &str) -> Option<f64> {
+    let d = hamming_distance(a, b)?;
+    let len = a.chars().count();
+    Some(if len == 0 {
+        1.0
+    } else {
+        1.0 - d as f64 / len as f64
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        assert_eq!(hamming_distance("karolin", "kathrin"), Some(3));
+        assert_eq!(hamming_distance("1011101", "1001001"), Some(2));
+        assert_eq!(hamming_distance("", ""), Some(0));
+        assert_eq!(hamming_distance("same", "same"), Some(0));
+    }
+
+    #[test]
+    fn length_mismatch_is_none() {
+        assert_eq!(hamming_distance("ab", "abc"), None);
+        assert_eq!(hamming_similarity("ab", "abc"), None);
+    }
+
+    #[test]
+    fn similarity_values() {
+        assert_eq!(hamming_similarity("", ""), Some(1.0));
+        assert_eq!(hamming_similarity("abcd", "abcd"), Some(1.0));
+        assert_eq!(hamming_similarity("abcd", "abce"), Some(0.75));
+        assert_eq!(hamming_similarity("ab", "xy"), Some(0.0));
+    }
+
+    #[test]
+    fn unicode_counts_chars_not_bytes() {
+        assert_eq!(hamming_distance("日本", "日中"), Some(1));
+    }
+}

@@ -1,0 +1,128 @@
+//! Jaro and Jaro–Winkler similarity.
+//!
+//! The record-linkage similarity family of Winkler (building on Jaro's
+//! matcher for the U.S. Census), standard for person-name matching — the
+//! application §1 of the SSJoin paper motivates with Soundex. Provided as
+//! verification/re-ranking UDFs; Jaro does not decompose into set overlap,
+//! which is exactly why a data-cleaning platform pairs SSJoin candidate
+//! generation with pluggable similarity functions.
+
+/// Jaro similarity in `[0, 1]`.
+///
+/// Characters match when equal and within `⌊max(|a|,|b|)/2⌋ − 1` positions;
+/// with `m` matches and `t` transpositions (half the out-of-order matches),
+/// `jaro = (m/|a| + m/|b| + (m − t)/m) / 3`. Two empty strings score 1.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut a_matches: Vec<usize> = Vec::new(); // indexes into b, in a-order
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                a_matches.push(j);
+                break;
+            }
+        }
+    }
+    let m = a_matches.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Transpositions: matched b-indexes out of ascending order.
+    let mut transpositions = 0;
+    let mut sorted = a_matches.clone();
+    sorted.sort_unstable();
+    for (got, expect) in a_matches.iter().zip(&sorted) {
+        if got != expect {
+            transpositions += 1;
+        }
+    }
+    let t = transpositions as f64 / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity: Jaro boosted by the length of the common prefix
+/// (up to 4 characters) scaled by `p = 0.1`.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-3
+    }
+
+    #[test]
+    fn classic_examples() {
+        // Winkler's canonical test pairs.
+        assert!(close(jaro("MARTHA", "MARHTA"), 0.944));
+        assert!(close(jaro("DIXON", "DICKSONX"), 0.767));
+        assert!(close(jaro("JELLYFISH", "SMELLYFISH"), 0.896));
+        assert!(close(jaro_winkler("MARTHA", "MARHTA"), 0.961));
+        assert!(close(jaro_winkler("DIXON", "DICKSONX"), 0.813));
+    }
+
+    #[test]
+    fn boundaries() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("", "a"), 0.0);
+        assert_eq!(jaro("same", "same"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro_winkler("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        for (a, b) in [("MARTHA", "MARHTA"), ("DIXON", "DICKSONX"), ("ab", "ba")] {
+            assert!(close(jaro(a, b), jaro(b, a)));
+        }
+    }
+
+    #[test]
+    fn winkler_rewards_shared_prefix() {
+        // Same Jaro-level difference, but one pair shares a prefix.
+        let with_prefix = jaro_winkler("prefixed", "prefixes");
+        let without = jaro_winkler("xprefixed", "yprefixes");
+        assert!(with_prefix > without);
+    }
+
+    #[test]
+    fn range() {
+        for (a, b) in [("abc", "abd"), ("hello world", "help"), ("x", "xyzzy")] {
+            let j = jaro(a, b);
+            let w = jaro_winkler(a, b);
+            assert!((0.0..=1.0).contains(&j));
+            assert!((0.0..=1.0).contains(&w));
+            assert!(w >= j - 1e-12, "winkler never lowers jaro");
+        }
+    }
+
+    #[test]
+    fn unicode() {
+        assert_eq!(jaro("日本語", "日本語"), 1.0);
+        assert!(jaro("café", "cafe") > 0.8);
+    }
+}

@@ -1,0 +1,102 @@
+//! Monge–Elkan hybrid similarity.
+//!
+//! A token-level similarity that delegates to a secondary (character-level)
+//! similarity: each token of the first sequence is matched to its best
+//! counterpart in the second, and the scores are averaged:
+//!
+//! ```text
+//! ME(a, b) = (1/|a|) Σ_{t ∈ a} max_{u ∈ b} sim(t, u)
+//! ```
+//!
+//! A record-linkage standard (Monge & Elkan, 1996) with the same hybrid
+//! flavor as the paper's GES — token structure outside, edit similarity
+//! inside — and a useful re-ranking UDF on SSJoin candidates.
+
+/// Monge–Elkan similarity of token sequence `a` into `b` under the
+/// secondary similarity `sim`. Asymmetric; see [`monge_elkan_symmetric`].
+/// Two empty sequences score 1; empty vs non-empty scores 0.
+pub fn monge_elkan(a: &[String], b: &[String], sim: &dyn Fn(&str, &str) -> f64) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = a
+        .iter()
+        .map(|t| {
+            b.iter()
+                .map(|u| sim(t, u))
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .sum();
+    total / a.len() as f64
+}
+
+/// Symmetric Monge–Elkan: the mean of both directions.
+pub fn monge_elkan_symmetric(a: &[String], b: &[String], sim: &dyn Fn(&str, &str) -> f64) -> f64 {
+    (monge_elkan(a, b, sim) + monge_elkan(b, a, sim)) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{edit_similarity, jaro_winkler};
+
+    fn toks(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_sequences_score_one() {
+        let a = toks(&["peter", "christen"]);
+        assert!((monge_elkan(&a, &a, &edit_similarity) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerates_token_reordering() {
+        let a = toks(&["christen", "peter"]);
+        let b = toks(&["peter", "christen"]);
+        assert!((monge_elkan(&a, &b, &edit_similarity) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_tokens_score_high() {
+        let a = toks(&["jones", "maria"]);
+        let b = toks(&["johnes", "marya"]);
+        let me = monge_elkan(&a, &b, &jaro_winkler);
+        assert!(me > 0.85, "{me}");
+        let unrelated = monge_elkan(&a, &toks(&["xqzt", "vwpf"]), &jaro_winkler);
+        assert!(me > unrelated);
+    }
+
+    #[test]
+    fn asymmetry_and_symmetric_mean() {
+        // a ⊂ b: forward direction perfect, backward penalized.
+        let a = toks(&["smith"]);
+        let b = toks(&["smith", "junior"]);
+        let fwd = monge_elkan(&a, &b, &edit_similarity);
+        let back = monge_elkan(&b, &a, &edit_similarity);
+        assert!((fwd - 1.0).abs() < 1e-12);
+        assert!(back < 1.0);
+        let sym = monge_elkan_symmetric(&a, &b, &edit_similarity);
+        assert!((sym - (fwd + back) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let e: Vec<String> = vec![];
+        let x = toks(&["x"]);
+        assert_eq!(monge_elkan(&e, &e, &edit_similarity), 1.0);
+        assert_eq!(monge_elkan(&e, &x, &edit_similarity), 0.0);
+        assert_eq!(monge_elkan(&x, &e, &edit_similarity), 0.0);
+    }
+
+    #[test]
+    fn range_bounded() {
+        let a = toks(&["aa", "bb", "cc"]);
+        let b = toks(&["ab", "bc"]);
+        let me = monge_elkan(&a, &b, &edit_similarity);
+        assert!((0.0..=1.0).contains(&me));
+    }
+}

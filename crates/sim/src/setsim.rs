@@ -1,0 +1,232 @@
+//! Set-overlap similarity measures over token multisets.
+//!
+//! Definition 5 of the paper defines Jaccard containment
+//! `JC(s1, s2) = wt(s1 ∩ s2) / wt(s1)` and Jaccard resemblance
+//! `JR(s1, s2) = wt(s1 ∩ s2) / wt(s1 ∪ s2)` over weighted multisets; overlap
+//! similarity is the raw `wt(s1 ∩ s2)`. Intersections and unions are
+//! *multiset* operations throughout (§2).
+//!
+//! Two entry points are provided: unweighted functions over token slices
+//! (every element weight 1) and `weighted_*` variants taking a weight
+//! function, which is how IDF weighting plugs in.
+
+use std::collections::HashMap;
+
+/// Count the occurrences of each token, producing the multiset
+/// representation used by the functions in this module.
+pub fn multiset_counts(tokens: &[String]) -> HashMap<&str, usize> {
+    let mut counts: HashMap<&str, usize> = HashMap::with_capacity(tokens.len());
+    for t in tokens {
+        *counts.entry(t.as_str()).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn weighted_sums(a: &[String], b: &[String], weight: &dyn Fn(&str) -> f64) -> (f64, f64, f64) {
+    // Returns (wt(a), wt(b), wt(a ∩ b)) with multiset intersection.
+    let ca = multiset_counts(a);
+    let cb = multiset_counts(b);
+    let mut wa = 0.0;
+    let mut inter = 0.0;
+    for (t, &na) in &ca {
+        let w = weight(t);
+        wa += w * na as f64;
+        if let Some(&nb) = cb.get(t) {
+            inter += w * na.min(nb) as f64;
+        }
+    }
+    let wb: f64 = cb.iter().map(|(t, &n)| weight(t) * n as f64).sum();
+    (wa, wb, inter)
+}
+
+/// Weighted multiset overlap `wt(a ∩ b)` (the paper's `Overlap`).
+pub fn weighted_overlap(a: &[String], b: &[String], weight: &dyn Fn(&str) -> f64) -> f64 {
+    weighted_sums(a, b, weight).2
+}
+
+/// Unweighted multiset overlap `|a ∩ b|`.
+pub fn overlap(a: &[String], b: &[String]) -> usize {
+    weighted_overlap(a, b, &|_| 1.0).round() as usize
+}
+
+/// Weighted Jaccard containment `wt(a ∩ b) / wt(a)`.
+/// An empty `a` is fully contained (1.0).
+pub fn weighted_jaccard_containment(
+    a: &[String],
+    b: &[String],
+    weight: &dyn Fn(&str) -> f64,
+) -> f64 {
+    let (wa, _, inter) = weighted_sums(a, b, weight);
+    if wa == 0.0 {
+        1.0
+    } else {
+        inter / wa
+    }
+}
+
+/// Unweighted Jaccard containment.
+pub fn jaccard_containment(a: &[String], b: &[String]) -> f64 {
+    weighted_jaccard_containment(a, b, &|_| 1.0)
+}
+
+/// Weighted Jaccard resemblance `wt(a ∩ b) / wt(a ∪ b)` with multiset union
+/// (`|a| + |b| − |a ∩ b|` semantics on weights). Two empty sets resemble
+/// fully (1.0).
+pub fn weighted_jaccard_resemblance(
+    a: &[String],
+    b: &[String],
+    weight: &dyn Fn(&str) -> f64,
+) -> f64 {
+    let (wa, wb, inter) = weighted_sums(a, b, weight);
+    let union = wa + wb - inter;
+    if union == 0.0 {
+        1.0
+    } else {
+        inter / union
+    }
+}
+
+/// Unweighted Jaccard resemblance.
+pub fn jaccard_resemblance(a: &[String], b: &[String]) -> f64 {
+    weighted_jaccard_resemblance(a, b, &|_| 1.0)
+}
+
+/// Dice coefficient `2·wt(a ∩ b) / (wt(a) + wt(b))`.
+pub fn dice(a: &[String], b: &[String]) -> f64 {
+    let (wa, wb, inter) = weighted_sums(a, b, &|_| 1.0);
+    let denom = wa + wb;
+    if denom == 0.0 {
+        1.0
+    } else {
+        2.0 * inter / denom
+    }
+}
+
+/// Cosine similarity over token frequency vectors (multiset counts as term
+/// frequencies, optional weighting as IDF):
+/// `Σ w(t)²·na(t)·nb(t) / (‖a‖·‖b‖)`.
+pub fn cosine(a: &[String], b: &[String], weight: &dyn Fn(&str) -> f64) -> f64 {
+    let ca = multiset_counts(a);
+    let cb = multiset_counts(b);
+    if ca.is_empty() && cb.is_empty() {
+        return 1.0;
+    }
+    let mut dot = 0.0;
+    for (t, &na) in &ca {
+        if let Some(&nb) = cb.get(t) {
+            let w = weight(t);
+            dot += w * w * na as f64 * nb as f64;
+        }
+    }
+    let norm = |c: &HashMap<&str, usize>| -> f64 {
+        c.iter()
+            .map(|(t, &n)| {
+                let w = weight(t) * n as f64;
+                w * w
+            })
+            .sum::<f64>()
+            .sqrt()
+    };
+    let (na, nb) = (norm(&ca), norm(&cb));
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn overlap_multiset_semantics() {
+        let a = toks(&["x", "x", "y"]);
+        let b = toks(&["x", "y", "y"]);
+        // multiset intersection {x, y} -> 2
+        assert_eq!(overlap(&a, &b), 2);
+    }
+
+    #[test]
+    fn jaccard_resemblance_basic() {
+        let a = toks(&["a", "b", "c"]);
+        let b = toks(&["b", "c", "d"]);
+        // |∩| = 2, |∪| = 4
+        assert!((jaccard_resemblance(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_asymmetric() {
+        let a = toks(&["a", "b"]);
+        let b = toks(&["a", "b", "c", "d"]);
+        assert!((jaccard_containment(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((jaccard_containment(&b, &a) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_dominates_resemblance() {
+        // For any sets: JC(a,b) >= JR(a,b) (used by Figure 4's rewrite).
+        let cases = [
+            (toks(&["a", "b", "c"]), toks(&["b", "c", "d", "e"])),
+            (toks(&["x"]), toks(&["x"])),
+            (toks(&["x", "x"]), toks(&["x"])),
+            (toks(&[]), toks(&["q"])),
+        ];
+        for (a, b) in cases {
+            assert!(jaccard_containment(&a, &b) + 1e-12 >= jaccard_resemblance(&a, &b));
+        }
+    }
+
+    #[test]
+    fn weighted_overlap_uses_weights() {
+        let a = toks(&["rare", "the"]);
+        let b = toks(&["rare", "the"]);
+        let w = |t: &str| if t == "rare" { 5.0 } else { 0.5 };
+        assert!((weighted_overlap(&a, &b, &w) - 5.5).abs() < 1e-12);
+        assert!((weighted_jaccard_resemblance(&a, &b, &w) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let e = toks(&[]);
+        let x = toks(&["x"]);
+        assert_eq!(overlap(&e, &x), 0);
+        assert_eq!(jaccard_resemblance(&e, &e), 1.0);
+        assert_eq!(jaccard_resemblance(&e, &x), 0.0);
+        assert_eq!(jaccard_containment(&e, &x), 1.0);
+        assert_eq!(dice(&e, &e), 1.0);
+        assert_eq!(cosine(&e, &e, &|_| 1.0), 1.0);
+        assert_eq!(cosine(&e, &x, &|_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn dice_basic() {
+        let a = toks(&["a", "b"]);
+        let b = toks(&["b", "c"]);
+        assert!((dice(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let a = toks(&["a", "b", "b"]);
+        assert!((cosine(&a, &a, &|_| 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_zero() {
+        let a = toks(&["a"]);
+        let b = toks(&["b"]);
+        assert_eq!(cosine(&a, &b, &|_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn multiset_counts_counts() {
+        let a = toks(&["x", "y", "x"]);
+        let c = multiset_counts(&a);
+        assert_eq!(c["x"], 2);
+        assert_eq!(c["y"], 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for similarity functions.
+
+use proptest::prelude::*;
+use ssjoin_sim::*;
+use ssjoin_text::{QGramTokenizer, Tokenizer};
+
+proptest! {
+    /// Levenshtein is a metric: identity, symmetry (triangle tested on
+    /// triples below).
+    #[test]
+    fn levenshtein_identity_and_symmetry(a in "[a-d]{0,12}", b in "[a-d]{0,12}") {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+    }
+
+    #[test]
+    fn levenshtein_triangle(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    /// Edit distance is bounded by the longer length and at least the length
+    /// difference.
+    #[test]
+    fn levenshtein_bounds(a in "[a-e]{0,16}", b in "[a-e]{0,16}") {
+        let d = levenshtein(&a, &b);
+        let (la, lb) = (a.chars().count(), b.chars().count());
+        prop_assert!(d <= la.max(lb));
+        prop_assert!(d >= la.abs_diff(lb));
+    }
+
+    /// Banded verifier agrees with the full DP for all budgets.
+    #[test]
+    fn banded_matches_full(a in "[a-c]{0,14}", b in "[a-c]{0,14}", k in 0usize..8) {
+        let d = levenshtein(&a, &b);
+        match levenshtein_within(&a, &b, k) {
+            Some(got) => {
+                prop_assert_eq!(got, d);
+                prop_assert!(d <= k);
+            }
+            None => prop_assert!(d > k),
+        }
+    }
+
+    /// Property 4 of the paper: strings within edit distance ε share at
+    /// least max(|σ1|,|σ2|) − q + 1 − ε·q q-grams (as a multiset overlap).
+    #[test]
+    fn qgram_overlap_lower_bound(a in "[a-c]{3,14}", b in "[a-c]{3,14}", q in 1usize..4) {
+        let eps = levenshtein(&a, &b);
+        let tok = QGramTokenizer::new(q);
+        let ga = tok.tokenize(&a);
+        let gb = tok.tokenize(&b);
+        let max_len = a.chars().count().max(b.chars().count());
+        let bound = max_len as i64 - q as i64 + 1 - (eps * q) as i64;
+        prop_assert!(
+            (overlap(&ga, &gb) as i64) >= bound,
+            "overlap {} < bound {} for a={:?} b={:?} q={} eps={}",
+            overlap(&ga, &gb), bound, a, b, q, eps
+        );
+    }
+
+    /// Jaccard containment dominates resemblance; both in [0,1].
+    #[test]
+    fn jaccard_ranges(
+        a in proptest::collection::vec("[a-c]{1,2}", 0..12),
+        b in proptest::collection::vec("[a-c]{1,2}", 0..12),
+    ) {
+        let jc = jaccard_containment(&a, &b);
+        let jr = jaccard_resemblance(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&jc));
+        prop_assert!((0.0..=1.0).contains(&jr));
+        prop_assert!(jc + 1e-12 >= jr);
+        // Symmetry of resemblance.
+        prop_assert!((jr - jaccard_resemblance(&b, &a)).abs() < 1e-12);
+    }
+
+    /// JR(a,b) >= alpha implies max(JC(a,b), JC(b,a)) >= alpha — the rewrite
+    /// Figure 4 relies on.
+    #[test]
+    fn resemblance_implies_containment(
+        a in proptest::collection::vec("[a-b]{1,2}", 1..10),
+        b in proptest::collection::vec("[a-b]{1,2}", 1..10),
+    ) {
+        let jr = jaccard_resemblance(&a, &b);
+        let jc = jaccard_containment(&a, &b).max(jaccard_containment(&b, &a));
+        prop_assert!(jc + 1e-12 >= jr);
+    }
+
+    /// Overlap is bounded by both multiset sizes.
+    #[test]
+    fn overlap_bounds(
+        a in proptest::collection::vec("[a-c]", 0..16),
+        b in proptest::collection::vec("[a-c]", 0..16),
+    ) {
+        let o = overlap(&a, &b);
+        prop_assert!(o <= a.len());
+        prop_assert!(o <= b.len());
+    }
+
+    /// GES is in [0,1], 1 on identical sequences, and threshold-monotone in
+    /// the clamp.
+    #[test]
+    fn ges_range(
+        a in proptest::collection::vec("[a-c]{1,4}", 0..6),
+        b in proptest::collection::vec("[a-c]{1,4}", 0..6),
+    ) {
+        let g = ges(&a, &b, &|_| 1.0, GesConfig::default());
+        prop_assert!((0.0..=1.0).contains(&g));
+        let gid = ges(&a, &a, &|_| 1.0, GesConfig::default());
+        prop_assert_eq!(gid, 1.0);
+    }
+
+    /// GES upper-bounds: transformation cost <= delete-all + insert-all, so
+    /// GES >= 0 trivially; and GES(a,b) = 1 iff cost 0 for unit weights on
+    /// nonempty a.
+    #[test]
+    fn ges_one_means_equal(
+        a in proptest::collection::vec("[a-b]{1,3}", 1..5),
+        b in proptest::collection::vec("[a-b]{1,3}", 1..5),
+    ) {
+        let g = ges(&a, &b, &|_| 1.0, GesConfig::default());
+        if (g - 1.0).abs() < 1e-12 {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Hamming distance: defined iff equal length; symmetric; bounded.
+    #[test]
+    fn hamming_properties(a in "[a-c]{0,12}", b in "[a-c]{0,12}") {
+        match hamming_distance(&a, &b) {
+            Some(d) => {
+                prop_assert_eq!(a.chars().count(), b.chars().count());
+                prop_assert!(d <= a.chars().count());
+                prop_assert_eq!(hamming_distance(&b, &a), Some(d));
+                // Hamming upper-bounds Levenshtein.
+                prop_assert!(levenshtein(&a, &b) <= d);
+            }
+            None => prop_assert_ne!(a.chars().count(), b.chars().count()),
+        }
+    }
+
+    /// edit_similarity_at_least agrees with computing the similarity.
+    #[test]
+    fn threshold_udf_agrees(a in "[a-c]{0,10}", b in "[a-c]{0,10}", alpha in 0.0f64..1.0) {
+        let expect = edit_similarity(&a, &b) >= alpha - 1e-9;
+        prop_assert_eq!(edit_similarity_at_least(&a, &b, alpha), expect);
+    }
+}

@@ -1,0 +1,62 @@
+//! String tokenization and encoding utilities for set-similarity joins.
+//!
+//! The SSJoin operator (Chaudhuri, Ganti, Kaushik; ICDE 2006) compares values
+//! through *sets* associated with them. This crate provides the standard ways
+//! of mapping a string to a set that the paper uses:
+//!
+//! * [`QGramTokenizer`] — the set of all contiguous substrings of length `q`
+//!   (optionally padded so that string boundaries are represented),
+//! * [`WordTokenizer`] — the set of words partitioned by delimiters,
+//! * [`ordinalize`] — the multiset-to-set conversion of §4.3.1 of the paper:
+//!   the i-th occurrence of a token `t` becomes the pair `(t, i)` so that
+//!   multiset intersection can be computed with plain equi-joins,
+//! * [`Normalizer`] — case folding / punctuation stripping applied before
+//!   tokenization,
+//! * [`soundex`] — the Soundex phonetic code, one of the similarity notions
+//!   the paper lists for person-name matching.
+//!
+//! All tokenizers operate on `char` boundaries, so multi-byte UTF-8 input is
+//! handled correctly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod multiset;
+mod normalize;
+mod qgram;
+mod soundex;
+mod words;
+
+pub use multiset::{ordinalize, ordinalize_ref, OrdinalToken};
+pub use normalize::{NormalizeConfig, Normalizer};
+pub use qgram::{qgram_count, QGramTokenizer};
+pub use soundex::{soundex, soundex_tokens};
+pub use words::WordTokenizer;
+
+/// Maps a string to the (multi)set of tokens that represents it.
+///
+/// Implementations must be deterministic: the same input always produces the
+/// same token sequence, in a stable order. Downstream code is free to treat
+/// the output as a multiset.
+pub trait Tokenizer {
+    /// Tokenize `s` into a sequence of owned tokens.
+    fn tokenize(&self, s: &str) -> Vec<String>;
+
+    /// The number of tokens `tokenize` would produce, when it can be computed
+    /// without materializing them. The default materializes.
+    fn token_count(&self, s: &str) -> usize {
+        self.tokenize(s).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_object_usable() {
+        let tok: Box<dyn Tokenizer> = Box::new(WordTokenizer::default());
+        assert_eq!(tok.tokenize("a b"), vec!["a", "b"]);
+        assert_eq!(tok.token_count("a b"), 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Multiset-to-set conversion (ordinalization).
+//!
+//! §4.3.1 of the paper: overlap predicates are *multiset* intersections, but
+//! relational equi-joins compute set semantics. Converting each value into an
+//! ordered pair carrying an ordinal number — the multiset `{1, 1, 2}` becomes
+//! `{(1,1), (1,2), (2,1)}` — makes multiset intersection expressible as a
+//! plain join: the multiset intersection count of two multisets equals the
+//! set intersection count of their ordinalized forms.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// A token paired with its occurrence ordinal (1-based) within one string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OrdinalToken {
+    /// The underlying token.
+    pub token: String,
+    /// 1-based occurrence index of this token within its source multiset.
+    pub ordinal: u32,
+}
+
+impl fmt::Display for OrdinalToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.token, self.ordinal)
+    }
+}
+
+/// Ordinalize a token multiset: the i-th occurrence (in input order) of each
+/// distinct token is tagged with ordinal `i`.
+pub fn ordinalize(tokens: Vec<String>) -> Vec<OrdinalToken> {
+    let mut counts: HashMap<String, u32> = HashMap::with_capacity(tokens.len());
+    tokens
+        .into_iter()
+        .map(|token| {
+            let n = counts.entry(token.clone()).or_insert(0);
+            *n += 1;
+            OrdinalToken { token, ordinal: *n }
+        })
+        .collect()
+}
+
+/// Generic ordinalization over any hashable item type, returning
+/// `(item, ordinal)` pairs. Useful when elements are not strings (e.g.
+/// `(column, value)` pairs in the soft-FD join).
+pub fn ordinalize_ref<T: Eq + Hash + Clone>(items: &[T]) -> Vec<(T, u32)> {
+    let mut counts: HashMap<&T, u32> = HashMap::with_capacity(items.len());
+    items
+        .iter()
+        .map(|item| {
+            let n = counts.entry(item).or_insert(0);
+            *n += 1;
+            (item.clone(), *n)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn paper_example() {
+        // {1, 1, 2} -> {(1,1), (1,2), (2,1)}
+        let out = ordinalize(toks(&["1", "1", "2"]));
+        assert_eq!(
+            out,
+            vec![
+                OrdinalToken {
+                    token: "1".into(),
+                    ordinal: 1
+                },
+                OrdinalToken {
+                    token: "1".into(),
+                    ordinal: 2
+                },
+                OrdinalToken {
+                    token: "2".into(),
+                    ordinal: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn distinct_tokens_all_ordinal_one() {
+        let out = ordinalize(toks(&["a", "b", "c"]));
+        assert!(out.iter().all(|t| t.ordinal == 1));
+    }
+
+    #[test]
+    fn multiset_intersection_equals_ordinalized_set_intersection() {
+        use std::collections::HashSet;
+        let a = ordinalize(toks(&["x", "x", "x", "y"]));
+        let b = ordinalize(toks(&["x", "x", "z", "y", "y"]));
+        let sa: HashSet<_> = a.into_iter().collect();
+        let sb: HashSet<_> = b.into_iter().collect();
+        // multiset intersection of {x,x,x,y} and {x,x,z,y,y} = {x,x,y} -> 3
+        assert_eq!(sa.intersection(&sb).count(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(ordinalize(vec![]).is_empty());
+    }
+
+    #[test]
+    fn generic_ordinalize() {
+        let items = vec![
+            ("addr", "1 Main St"),
+            ("addr", "1 Main St"),
+            ("email", "a@b"),
+        ];
+        let out = ordinalize_ref(&items);
+        assert_eq!(out[0].1, 1);
+        assert_eq!(out[1].1, 2);
+        assert_eq!(out[2].1, 1);
+    }
+
+    #[test]
+    fn display_format() {
+        let t = OrdinalToken {
+            token: "abc".into(),
+            ordinal: 2,
+        };
+        assert_eq!(t.to_string(), "abc#2");
+    }
+}

@@ -1,0 +1,132 @@
+//! String normalization applied before tokenization.
+//!
+//! Data-cleaning inputs come from heterogeneous sources with different
+//! conventions (the paper's motivating example); a deterministic
+//! normalization pass (case folding, whitespace collapsing, punctuation
+//! stripping) before tokenization removes variation that the similarity
+//! function should not be spending its threshold budget on.
+
+/// Configuration for [`Normalizer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalizeConfig {
+    /// Lowercase all characters.
+    pub lowercase: bool,
+    /// Collapse runs of whitespace to a single space and trim the ends.
+    pub collapse_whitespace: bool,
+    /// Remove characters that are neither alphanumeric nor whitespace.
+    pub strip_punctuation: bool,
+}
+
+impl Default for NormalizeConfig {
+    fn default() -> Self {
+        Self {
+            lowercase: true,
+            collapse_whitespace: true,
+            strip_punctuation: true,
+        }
+    }
+}
+
+/// Deterministic string normalizer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Normalizer {
+    config: NormalizeConfig,
+}
+
+impl Normalizer {
+    /// Normalizer with the given configuration.
+    pub fn new(config: NormalizeConfig) -> Self {
+        Self { config }
+    }
+
+    /// Identity normalizer (no transformation).
+    pub fn identity() -> Self {
+        Self {
+            config: NormalizeConfig {
+                lowercase: false,
+                collapse_whitespace: false,
+                strip_punctuation: false,
+            },
+        }
+    }
+
+    /// Apply the configured normalization to `s`.
+    pub fn normalize(&self, s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        let mut pending_space = false;
+        let mut seen_content = false;
+        for c in s.chars() {
+            let c = if self.config.strip_punctuation && !c.is_alphanumeric() && !c.is_whitespace() {
+                // Replace stripped punctuation with a space so that "a,b"
+                // does not fuse into "ab".
+                ' '
+            } else {
+                c
+            };
+            if self.config.collapse_whitespace && c.is_whitespace() {
+                pending_space = seen_content;
+                continue;
+            }
+            if pending_space {
+                out.push(' ');
+                pending_space = false;
+            }
+            seen_content = true;
+            if self.config.lowercase {
+                out.extend(c.to_lowercase());
+            } else {
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_normalization() {
+        let n = Normalizer::default();
+        assert_eq!(n.normalize("  Microsoft,  Corp.  "), "microsoft corp");
+    }
+
+    #[test]
+    fn punctuation_becomes_boundary() {
+        let n = Normalizer::default();
+        assert_eq!(n.normalize("a,b"), "a b");
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let n = Normalizer::identity();
+        assert_eq!(n.normalize("  A,  b "), "  A,  b ");
+    }
+
+    #[test]
+    fn idempotent() {
+        let n = Normalizer::default();
+        let once = n.normalize("  Foo -- BAR  baz!!");
+        assert_eq!(n.normalize(&once), once);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(Normalizer::default().normalize(""), "");
+        assert_eq!(Normalizer::default().normalize("   "), "");
+        assert_eq!(Normalizer::default().normalize("..."), "");
+    }
+
+    #[test]
+    fn keeps_interior_digits() {
+        let n = Normalizer::default();
+        assert_eq!(n.normalize("148th Ave NE"), "148th ave ne");
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        let n = Normalizer::default();
+        assert_eq!(n.normalize("MÜNCHEN"), "münchen");
+    }
+}

@@ -1,0 +1,229 @@
+//! q-gram tokenization.
+//!
+//! A q-gram of a string is a contiguous substring of length `q`. The edit
+//! distance join of the paper (§3.1, Property 4) relies on the fact that
+//! strings within edit distance ε share at least
+//! `max(|σ1|, |σ2|) − q + 1 − ε·q` q-grams.
+//!
+//! Two conventions are supported:
+//!
+//! * **Unpadded** — exactly the `len − q + 1` contiguous q-grams (the
+//!   convention Property 4 is stated for). Strings shorter than `q` produce
+//!   a single token consisting of the whole string, so no input maps to an
+//!   empty set.
+//! * **Padded** — the string is extended with `q − 1` copies of a pad
+//!   character on each side, producing `len + q − 1` q-grams. Padding makes
+//!   errors at string boundaries count as much as interior errors, the
+//!   convention of Gravano et al. (VLDB 2001).
+
+use crate::Tokenizer;
+
+/// Tokenizer producing the multiset of contiguous q-grams of a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QGramTokenizer {
+    q: usize,
+    pad: bool,
+    pad_char: char,
+}
+
+impl QGramTokenizer {
+    /// Unpadded q-gram tokenizer. `q` must be at least 1.
+    ///
+    /// # Panics
+    /// Panics if `q == 0`.
+    pub fn new(q: usize) -> Self {
+        assert!(q >= 1, "q must be at least 1");
+        Self {
+            q,
+            pad: false,
+            pad_char: '#',
+        }
+    }
+
+    /// Padded q-gram tokenizer: `q − 1` pad characters are conceptually
+    /// appended to both ends of the string before extracting q-grams.
+    ///
+    /// # Panics
+    /// Panics if `q == 0`.
+    pub fn padded(q: usize, pad_char: char) -> Self {
+        assert!(q >= 1, "q must be at least 1");
+        Self {
+            q,
+            pad: true,
+            pad_char,
+        }
+    }
+
+    /// The q-gram length.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Whether this tokenizer pads string boundaries.
+    pub fn is_padded(&self) -> bool {
+        self.pad
+    }
+
+    /// Number of q-grams produced for a string of `len` characters.
+    pub fn count_for_len(&self, len: usize) -> usize {
+        if self.pad {
+            // Padded: len + q - 1 windows (for len >= 1); empty string -> q-1
+            // windows of pure padding would be all identical and useless, so
+            // we produce a single all-pad token for the empty string too.
+            if len == 0 {
+                1
+            } else {
+                len + self.q - 1
+            }
+        } else {
+            qgram_count(len, self.q)
+        }
+    }
+
+    fn tokenize_chars(&self, chars: &[char]) -> Vec<String> {
+        if self.pad {
+            let padding = vec![self.pad_char; self.q - 1];
+            let mut padded = Vec::with_capacity(chars.len() + 2 * (self.q - 1));
+            padded.extend_from_slice(&padding);
+            padded.extend_from_slice(chars);
+            padded.extend_from_slice(&padding);
+            if padded.len() < self.q {
+                // Only possible for q = 1 with an empty input.
+                return vec![self.pad_char.to_string()];
+            }
+            if chars.is_empty() {
+                return vec![padding.iter().chain(padding.iter()).take(self.q).collect()];
+            }
+            windows_to_strings(&padded, self.q)
+        } else {
+            if chars.len() < self.q {
+                return vec![chars.iter().collect()];
+            }
+            windows_to_strings(chars, self.q)
+        }
+    }
+}
+
+fn windows_to_strings(chars: &[char], q: usize) -> Vec<String> {
+    chars.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+impl Tokenizer for QGramTokenizer {
+    fn tokenize(&self, s: &str) -> Vec<String> {
+        let chars: Vec<char> = s.chars().collect();
+        self.tokenize_chars(&chars)
+    }
+
+    fn token_count(&self, s: &str) -> usize {
+        self.count_for_len(s.chars().count())
+    }
+}
+
+/// Number of contiguous (unpadded) q-grams of a string of `len` characters:
+/// `max(len − q + 1, 1)`.
+///
+/// The floor of 1 reflects the tokenizer's behaviour of emitting the whole
+/// string as a single token when it is shorter than `q`.
+pub fn qgram_count(len: usize, q: usize) -> usize {
+    if len >= q {
+        len - q + 1
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpadded_basic() {
+        let t = QGramTokenizer::new(3);
+        assert_eq!(t.tokenize("abcde"), vec!["abc", "bcd", "cde"]);
+    }
+
+    #[test]
+    fn unpadded_exact_length() {
+        let t = QGramTokenizer::new(3);
+        assert_eq!(t.tokenize("abc"), vec!["abc"]);
+    }
+
+    #[test]
+    fn unpadded_short_string_is_single_token() {
+        let t = QGramTokenizer::new(3);
+        assert_eq!(t.tokenize("ab"), vec!["ab"]);
+        assert_eq!(t.tokenize(""), vec![""]);
+    }
+
+    #[test]
+    fn padded_basic() {
+        let t = QGramTokenizer::padded(2, '#');
+        assert_eq!(t.tokenize("ab"), vec!["#a", "ab", "b#"]);
+    }
+
+    #[test]
+    fn padded_counts_match() {
+        let t = QGramTokenizer::padded(3, '#');
+        for s in ["", "a", "ab", "abc", "abcdef"] {
+            assert_eq!(t.tokenize(s).len(), t.token_count(s), "input {s:?}");
+        }
+    }
+
+    #[test]
+    fn unpadded_counts_match() {
+        let t = QGramTokenizer::new(3);
+        for s in ["", "a", "ab", "abc", "abcdef"] {
+            assert_eq!(t.tokenize(s).len(), t.token_count(s), "input {s:?}");
+        }
+    }
+
+    #[test]
+    fn multibyte_chars_respected() {
+        let t = QGramTokenizer::new(2);
+        assert_eq!(t.tokenize("héllo"), vec!["hé", "él", "ll", "lo"]);
+    }
+
+    #[test]
+    fn q1_is_characters() {
+        let t = QGramTokenizer::new(1);
+        assert_eq!(t.tokenize("abc"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn padded_q1_empty() {
+        let t = QGramTokenizer::padded(1, '#');
+        assert_eq!(t.tokenize(""), vec!["#"]);
+        assert_eq!(t.token_count(""), 1);
+    }
+
+    #[test]
+    fn qgram_count_formula() {
+        assert_eq!(qgram_count(10, 3), 8);
+        assert_eq!(qgram_count(3, 3), 1);
+        assert_eq!(qgram_count(2, 3), 1);
+        assert_eq!(qgram_count(0, 3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be at least 1")]
+    fn zero_q_panics() {
+        QGramTokenizer::new(0);
+    }
+
+    #[test]
+    fn duplicate_grams_preserved() {
+        // "aaaa" has three identical 2-grams; multiset semantics keep all.
+        let t = QGramTokenizer::new(2);
+        assert_eq!(t.tokenize("aaaa"), vec!["aa", "aa", "aa"]);
+    }
+
+    #[test]
+    fn paper_example_microsoft_corp() {
+        // §2: "Microsoft Corporation" example uses 3-grams; "Microsoft Corp"
+        // (14 chars) has 12 contiguous 3-grams.
+        let t = QGramTokenizer::new(3);
+        assert_eq!(t.tokenize("Microsoft Corp").len(), 12);
+        // And the deletion neighbour has 11, matching Figure 1's norms.
+        assert_eq!(t.tokenize("Mcrosoft Corp").len(), 11);
+    }
+}

@@ -1,0 +1,133 @@
+//! American Soundex phonetic encoding.
+//!
+//! The paper (§1) lists Soundex among the similarity functions a data
+//! cleaning platform must support for person-name matching. Soundex-based
+//! similarity joins reduce to SSJoin over sets of per-token Soundex codes.
+
+/// Compute the American Soundex code of a word.
+///
+/// Rules:
+/// 1. Keep the first letter (uppercased).
+/// 2. Map subsequent consonants to digits (b,f,p,v→1; c,g,j,k,q,s,x,z→2;
+///    d,t→3; l→4; m,n→5; r→6); vowels and h,w,y map to no digit.
+/// 3. Collapse adjacent identical digits; two letters with the same code
+///    separated by `h` or `w` are also coded once; separated by a vowel they
+///    are coded twice.
+/// 4. Pad/truncate to one letter plus three digits.
+///
+/// Non-ASCII-alphabetic characters are skipped. Returns `None` for input with
+/// no ASCII-alphabetic character.
+pub fn soundex(word: &str) -> Option<String> {
+    let letters: Vec<char> = word
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    let (&first, rest) = letters.split_first()?;
+
+    let mut code = String::with_capacity(4);
+    code.push(first);
+    // The digit of the previous *coded or skipped-through* letter, per rule 3.
+    let mut prev_digit = digit_of(first);
+    for &c in rest {
+        match digit_of(c) {
+            Some(d) => {
+                if prev_digit != Some(d) {
+                    code.push(d);
+                    if code.len() == 4 {
+                        break;
+                    }
+                }
+                prev_digit = Some(d);
+            }
+            None => {
+                // h and w are transparent (keep prev_digit); vowels reset it.
+                if c != 'H' && c != 'W' {
+                    prev_digit = None;
+                }
+            }
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    Some(code)
+}
+
+fn digit_of(c: char) -> Option<char> {
+    match c {
+        'B' | 'F' | 'P' | 'V' => Some('1'),
+        'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => Some('2'),
+        'D' | 'T' => Some('3'),
+        'L' => Some('4'),
+        'M' | 'N' => Some('5'),
+        'R' => Some('6'),
+        _ => None,
+    }
+}
+
+/// Soundex-encode every whitespace-separated token of `s`, skipping tokens
+/// with no alphabetic content. The result is the set representation used by
+/// the soundex similarity join.
+pub fn soundex_tokens(s: &str) -> Vec<String> {
+    s.split_whitespace().filter_map(soundex).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_examples() {
+        // Canonical examples from the US National Archives specification.
+        assert_eq!(soundex("Robert").unwrap(), "R163");
+        assert_eq!(soundex("Rupert").unwrap(), "R163");
+        assert_eq!(soundex("Ashcraft").unwrap(), "A261");
+        assert_eq!(soundex("Ashcroft").unwrap(), "A261");
+        assert_eq!(soundex("Tymczak").unwrap(), "T522");
+        assert_eq!(soundex("Pfister").unwrap(), "P236");
+        assert_eq!(soundex("Honeyman").unwrap(), "H555");
+    }
+
+    #[test]
+    fn first_letter_same_code_collapsed() {
+        // 'P' codes to 1; following 'f' also 1 and must be collapsed.
+        assert_eq!(soundex("Pf").unwrap(), "P000");
+    }
+
+    #[test]
+    fn vowel_separation_codes_twice() {
+        // S-a-s: the second 's' is coded because a vowel intervenes.
+        assert_eq!(soundex("Sas").unwrap(), "S200");
+    }
+
+    #[test]
+    fn hw_transparent() {
+        // 'c' and 'k' same code separated by 'h': coded once (Ashcraft rule).
+        assert_eq!(soundex("chk").unwrap(), "C000");
+    }
+
+    #[test]
+    fn short_names_padded() {
+        assert_eq!(soundex("Lee").unwrap(), "L000");
+        assert_eq!(soundex("A").unwrap(), "A000");
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(soundex("ROBERT"), soundex("robert"));
+    }
+
+    #[test]
+    fn non_alpha_skipped() {
+        assert_eq!(soundex("O'Brien"), soundex("OBrien"));
+        assert_eq!(soundex("123"), None);
+        assert_eq!(soundex(""), None);
+    }
+
+    #[test]
+    fn tokens_helper() {
+        let codes = soundex_tokens("Robert   Rupert 42");
+        assert_eq!(codes, vec!["R163", "R163"]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for tokenizers and ordinalization.
+
+use proptest::prelude::*;
+use ssjoin_text::{ordinalize, qgram_count, Normalizer, QGramTokenizer, Tokenizer, WordTokenizer};
+use std::collections::{HashMap, HashSet};
+
+proptest! {
+    /// Unpadded q-gram count always matches the closed-form formula.
+    #[test]
+    fn qgram_token_count_matches_formula(s in "\\PC{0,64}", q in 1usize..6) {
+        let t = QGramTokenizer::new(q);
+        let len = s.chars().count();
+        prop_assert_eq!(t.tokenize(&s).len(), qgram_count(len, q));
+    }
+
+    /// Every unpadded q-gram of a long-enough string has exactly q chars.
+    #[test]
+    fn qgrams_have_length_q(s in "[a-z]{6,40}", q in 1usize..6) {
+        let t = QGramTokenizer::new(q);
+        for g in t.tokenize(&s) {
+            prop_assert_eq!(g.chars().count(), q);
+        }
+    }
+
+    /// Padded tokenization of a non-empty string yields len + q - 1 grams,
+    /// each of length q.
+    #[test]
+    fn padded_counts(s in "[a-z]{1,40}", q in 1usize..6) {
+        let t = QGramTokenizer::padded(q, '#');
+        let grams = t.tokenize(&s);
+        prop_assert_eq!(grams.len(), s.chars().count() + q - 1);
+        for g in &grams {
+            prop_assert_eq!(g.chars().count(), q);
+        }
+    }
+
+    /// Concatenating unpadded q-grams' first characters recovers the string
+    /// prefix (sliding-window structure).
+    #[test]
+    fn qgrams_are_sliding_windows(s in "[a-z]{4,30}") {
+        let q = 3;
+        let grams = QGramTokenizer::new(q).tokenize(&s);
+        let chars: Vec<char> = s.chars().collect();
+        for (i, g) in grams.iter().enumerate() {
+            let expect: String = chars[i..i + q].iter().collect();
+            prop_assert_eq!(g, &expect);
+        }
+    }
+
+    /// Ordinalization preserves multiset cardinality and token content.
+    #[test]
+    fn ordinalize_preserves_tokens(tokens in proptest::collection::vec("[a-c]{1,2}", 0..32)) {
+        let out = ordinalize(tokens.clone());
+        prop_assert_eq!(out.len(), tokens.len());
+        for (orig, ord) in tokens.iter().zip(&out) {
+            prop_assert_eq!(orig, &ord.token);
+        }
+        // Ordinalized pairs are all distinct (that is the point).
+        let set: HashSet<_> = out.iter().collect();
+        prop_assert_eq!(set.len(), out.len());
+    }
+
+    /// For each token, ordinals are exactly 1..=count.
+    #[test]
+    fn ordinals_are_dense(tokens in proptest::collection::vec("[a-b]", 0..32)) {
+        let out = ordinalize(tokens);
+        let mut per_token: HashMap<&str, Vec<u32>> = HashMap::new();
+        for t in &out {
+            per_token.entry(&t.token).or_default().push(t.ordinal);
+        }
+        for ords in per_token.values() {
+            let expect: Vec<u32> = (1..=ords.len() as u32).collect();
+            prop_assert_eq!(ords, &expect);
+        }
+    }
+
+    /// Normalization is idempotent.
+    #[test]
+    fn normalize_idempotent(s in "\\PC{0,64}") {
+        let n = Normalizer::default();
+        let once = n.normalize(&s);
+        prop_assert_eq!(n.normalize(&once), once);
+    }
+
+    /// Word tokens never contain delimiters and are never empty.
+    #[test]
+    fn word_tokens_clean(s in "\\PC{0,64}") {
+        let t = WordTokenizer::new();
+        for w in t.tokenize(&s) {
+            prop_assert!(!w.is_empty());
+            prop_assert!(w.chars().all(|c| c.is_alphanumeric()));
+        }
+    }
+}

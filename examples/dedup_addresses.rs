@@ -1,0 +1,65 @@
+//! Deduplicating a customer-address table — the paper's motivating workload.
+//!
+//! Generates a synthetic address corpus with injected errors (the documented
+//! substitute for the paper's proprietary Customer relation), runs the
+//! edit-similarity join with each physical SSJoin algorithm, and reports
+//! precision/recall against the generator's ground truth plus the paper-style
+//! phase breakdown.
+//!
+//! Run with: `cargo run --release --example dedup_addresses`
+
+use ssjoin::core::{Algorithm, Phase};
+use ssjoin::datagen::{AddressCorpus, AddressCorpusConfig};
+use ssjoin::joins::{dedupe_self_pairs, edit_similarity_join, EditJoinConfig};
+use std::collections::HashSet;
+
+fn main() {
+    let rows = 4000;
+    let corpus = AddressCorpus::generate(&AddressCorpusConfig::paper_like(rows));
+    let truth: HashSet<(u32, u32)> = corpus.true_duplicate_pairs().into_iter().collect();
+    println!(
+        "corpus: {} addresses, {} true duplicate pairs\n",
+        rows,
+        truth.len()
+    );
+
+    let threshold = 0.85;
+    for algorithm in [
+        Algorithm::Basic,
+        Algorithm::PrefixFiltered,
+        Algorithm::Inline,
+    ] {
+        let config = EditJoinConfig::new(threshold).with_algorithm(algorithm);
+        let out =
+            edit_similarity_join(&corpus.records, &corpus.records, &config).expect("join succeeds");
+        let found: HashSet<(u32, u32)> = dedupe_self_pairs(&out.pairs)
+            .iter()
+            .map(|p| (p.r, p.s))
+            .collect();
+
+        let true_positive = found.intersection(&truth).count();
+        let precision = true_positive as f64 / found.len().max(1) as f64;
+        let recall = true_positive as f64 / truth.len().max(1) as f64;
+
+        println!("algorithm {algorithm:?} (edit similarity ≥ {threshold}):");
+        println!(
+            "  pairs {}  precision {:.3}  recall {:.3}",
+            found.len(),
+            precision,
+            recall
+        );
+        for phase in Phase::ALL {
+            println!("  {:14} {:>10.2?}", phase.label(), out.stats.time(phase));
+        }
+        println!(
+            "  join tuples {}  candidates {}  edit comparisons {}\n",
+            out.stats.join_tuples, out.stats.candidate_pairs, out.udf_verifications
+        );
+    }
+
+    println!(
+        "note: recall < 1.0 is expected — heavy error injection can push a \
+         duplicate below the similarity threshold; that is a property of the \
+         threshold, not the join (the join itself is exact for its predicate)."
+    );
+}

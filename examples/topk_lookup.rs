@@ -1,0 +1,36 @@
+//! Fuzzy-match lookup: top-K best matches for a query against a reference
+//! table — the SSJoin ∘ top-k composition §6 of the paper describes.
+//!
+//! Run with: `cargo run --release --example topk_lookup`
+
+use ssjoin::datagen::{AddressCorpus, AddressCorpusConfig};
+use ssjoin::joins::{top_k_matches, TopKConfig};
+
+fn main() {
+    let corpus = AddressCorpus::generate(
+        &AddressCorpusConfig::paper_like(5000).with_duplicate_fraction(0.0),
+    );
+    let reference = &corpus.records;
+
+    // Queries: corrupted versions of reference rows (as an incoming dirty
+    // record would be) plus one garbage query.
+    let queries = vec![
+        reference[42].to_lowercase(),
+        reference[1000].replace(' ', "  ").replace('a', "e"),
+        format!("{} extra tokens", &reference[2500]),
+        "zzz completely unmatched zzz".to_string(),
+    ];
+
+    let config = TopKConfig::new(3, 0.6);
+    for q in &queries {
+        println!("query: {q}");
+        let matches = top_k_matches(q, reference, &config).expect("lookup succeeds");
+        if matches.is_empty() {
+            println!("  (no match with similarity ≥ {})", config.min_similarity);
+        }
+        for m in matches {
+            println!("  {:.3}  {}", m.similarity, reference[m.index as usize]);
+        }
+        println!();
+    }
+}

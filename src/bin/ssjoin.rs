@@ -1,0 +1,508 @@
+//! `ssjoin` — command-line similarity joins for data cleaning.
+//!
+//! ```text
+//! ssjoin join   --kind jaccard --threshold 0.85 [--algorithm inline] [--self-dedupe] R.tsv [S.tsv]
+//! ssjoin match  --reference R.tsv --query "some string" [--k 3] [--min-sim 0.6]
+//! ssjoin dedup  --threshold 0.85 [--kind edit] FILE.tsv
+//! ssjoin gen    --rows 10000 --out addresses.tsv [--seed 7]
+//! ```
+//!
+//! Input files are TSV; the first column of each row is the string joined
+//! on. Join output rows are `r_index  s_index  similarity  r_string
+//! s_string`.
+
+use ssjoin::core::Algorithm;
+use ssjoin::datagen::{read_tsv, write_tsv, AddressCorpus, AddressCorpusConfig};
+use ssjoin::joins::{
+    cluster_pairs, cosine_join, dedupe_self_pairs, edit_similarity_join, ges_join, jaccard_join,
+    CosineConfig, EditJoinConfig, EditMatcher, GesJoinConfig, JaccardConfig, MatchPair,
+};
+use std::process::ExitCode;
+
+/// Which similarity function a join uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JoinKind {
+    Edit,
+    Jaccard,
+    Cosine,
+    Ges,
+}
+
+/// Parsed command line.
+#[derive(Debug, PartialEq)]
+enum Command {
+    Join {
+        kind: JoinKind,
+        threshold: f64,
+        algorithm: Algorithm,
+        self_dedupe: bool,
+        r_path: String,
+        s_path: Option<String>,
+        out: Option<String>,
+    },
+    Match {
+        reference: String,
+        query: String,
+        k: usize,
+        min_sim: f64,
+    },
+    Dedup {
+        kind: JoinKind,
+        threshold: f64,
+        path: String,
+    },
+    Gen {
+        rows: usize,
+        out: String,
+        seed: u64,
+    },
+    Help,
+}
+
+const USAGE: &str = "usage:
+  ssjoin join  --kind <edit|jaccard|cosine|ges> --threshold F \\
+               [--algorithm <basic|prefix|inline|positional|auto>] \\
+               [--self-dedupe] [--out OUT.tsv] R.tsv [S.tsv]
+  ssjoin match --reference R.tsv --query STRING [--k N] [--min-sim F]
+  ssjoin dedup --threshold F [--kind <edit|jaccard|cosine>] FILE.tsv
+  ssjoin gen   --rows N --out FILE.tsv [--seed N]";
+
+fn parse_kind(s: &str) -> Result<JoinKind, String> {
+    match s {
+        "edit" => Ok(JoinKind::Edit),
+        "jaccard" => Ok(JoinKind::Jaccard),
+        "cosine" => Ok(JoinKind::Cosine),
+        "ges" => Ok(JoinKind::Ges),
+        other => Err(format!("unknown join kind {other:?}")),
+    }
+}
+
+fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
+    match s {
+        "basic" => Ok(Algorithm::Basic),
+        "prefix" => Ok(Algorithm::PrefixFiltered),
+        "inline" => Ok(Algorithm::Inline),
+        "positional" => Ok(Algorithm::PositionalInline),
+        "auto" => Ok(Algorithm::Auto),
+        other => Err(format!("unknown algorithm {other:?}")),
+    }
+}
+
+/// Parse the argument vector (without the program name).
+fn parse_args(args: &[String]) -> Result<Command, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    let mut opts: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut flags: Vec<String> = Vec::new();
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let a = &rest[i];
+        if a == "--self-dedupe" || a == "--help" {
+            flags.push(a.clone());
+        } else if let Some(key) = a.strip_prefix("--") {
+            i += 1;
+            let value = rest
+                .get(i)
+                .ok_or_else(|| format!("option --{key} needs a value"))?;
+            opts.insert(key.to_string(), value.clone());
+        } else {
+            positional.push(a.clone());
+        }
+        i += 1;
+    }
+    let get_f64 = |key: &str| -> Result<Option<f64>, String> {
+        opts.get(key)
+            .map(|v| v.parse::<f64>().map_err(|e| format!("--{key}: {e}")))
+            .transpose()
+    };
+    let get_usize = |key: &str| -> Result<Option<usize>, String> {
+        opts.get(key)
+            .map(|v| v.parse::<usize>().map_err(|e| format!("--{key}: {e}")))
+            .transpose()
+    };
+
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "join" => {
+            let kind = parse_kind(opts.get("kind").map(String::as_str).unwrap_or("jaccard"))?;
+            let threshold = get_f64("threshold")?.ok_or("join requires --threshold".to_string())?;
+            let algorithm = parse_algorithm(
+                opts.get("algorithm")
+                    .map(String::as_str)
+                    .unwrap_or("inline"),
+            )?;
+            let mut paths = positional.into_iter();
+            let r_path = paths
+                .next()
+                .ok_or("join requires an input file".to_string())?;
+            Ok(Command::Join {
+                kind,
+                threshold,
+                algorithm,
+                self_dedupe: flags.iter().any(|f| f == "--self-dedupe"),
+                r_path,
+                s_path: paths.next(),
+                out: opts.get("out").cloned(),
+            })
+        }
+        "match" => Ok(Command::Match {
+            reference: opts
+                .get("reference")
+                .cloned()
+                .ok_or("match requires --reference".to_string())?,
+            query: opts
+                .get("query")
+                .cloned()
+                .ok_or("match requires --query".to_string())?,
+            k: get_usize("k")?.unwrap_or(3),
+            min_sim: get_f64("min-sim")?.unwrap_or(0.6),
+        }),
+        "dedup" => Ok(Command::Dedup {
+            kind: parse_kind(opts.get("kind").map(String::as_str).unwrap_or("edit"))?,
+            threshold: get_f64("threshold")?.ok_or("dedup requires --threshold".to_string())?,
+            path: positional
+                .into_iter()
+                .next()
+                .ok_or("dedup requires an input file".to_string())?,
+        }),
+        "gen" => Ok(Command::Gen {
+            rows: get_usize("rows")?.ok_or("gen requires --rows".to_string())?,
+            out: opts
+                .get("out")
+                .cloned()
+                .ok_or("gen requires --out".to_string())?,
+            seed: get_usize("seed")?.unwrap_or(1) as u64,
+        }),
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn first_column<P: AsRef<std::path::Path>>(path: P) -> Result<Vec<String>, String> {
+    let rows =
+        read_tsv(&path).map_err(|e| format!("cannot read {}: {e}", path.as_ref().display()))?;
+    Ok(rows
+        .into_iter()
+        .filter_map(|mut row| {
+            if row.is_empty() {
+                None
+            } else {
+                Some(row.remove(0))
+            }
+        })
+        .collect())
+}
+
+fn run_join(
+    kind: JoinKind,
+    threshold: f64,
+    algorithm: Algorithm,
+    r: &[String],
+    s: &[String],
+) -> Result<Vec<MatchPair>, String> {
+    let pairs = match kind {
+        JoinKind::Edit => {
+            edit_similarity_join(
+                r,
+                s,
+                &EditJoinConfig::new(threshold).with_algorithm(algorithm),
+            )
+            .map_err(|e| e.to_string())?
+            .pairs
+        }
+        JoinKind::Jaccard => {
+            jaccard_join(
+                r,
+                s,
+                &JaccardConfig::resemblance(threshold).with_algorithm(algorithm),
+            )
+            .map_err(|e| e.to_string())?
+            .pairs
+        }
+        JoinKind::Cosine => {
+            cosine_join(
+                r,
+                s,
+                &CosineConfig::new(threshold).with_algorithm(algorithm),
+            )
+            .map_err(|e| e.to_string())?
+            .pairs
+        }
+        JoinKind::Ges => {
+            ges_join(
+                r,
+                s,
+                &GesJoinConfig::new(threshold).with_algorithm(algorithm),
+            )
+            .map_err(|e| e.to_string())?
+            .pairs
+        }
+    };
+    Ok(pairs)
+}
+
+fn execute(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Join {
+            kind,
+            threshold,
+            algorithm,
+            self_dedupe,
+            r_path,
+            s_path,
+            out,
+        } => {
+            let r = first_column(&r_path)?;
+            let s = match &s_path {
+                Some(p) => first_column(p)?,
+                None => r.clone(),
+            };
+            let mut pairs = run_join(kind, threshold, algorithm, &r, &s)?;
+            if self_dedupe && s_path.is_none() {
+                pairs = dedupe_self_pairs(&pairs);
+            }
+            let rows: Vec<Vec<String>> = pairs
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.r.to_string(),
+                        p.s.to_string(),
+                        format!("{:.6}", p.similarity),
+                        r[p.r as usize].clone(),
+                        s[p.s as usize].clone(),
+                    ]
+                })
+                .collect();
+            match out {
+                Some(path) => {
+                    write_tsv(&path, &rows).map_err(|e| format!("cannot write {path}: {e}"))?;
+                    eprintln!("{} pairs written to {path}", rows.len());
+                }
+                None => {
+                    for row in rows {
+                        println!("{}", row.join("\t"));
+                    }
+                }
+            }
+            Ok(())
+        }
+        Command::Match {
+            reference,
+            query,
+            k,
+            min_sim,
+        } => {
+            let refs = first_column(&reference)?;
+            let matcher = EditMatcher::build(refs, 3);
+            for m in matcher.top_k(&query, k, min_sim) {
+                println!(
+                    "{:.6}\t{}\t{}",
+                    m.similarity,
+                    m.index,
+                    matcher.references()[m.index as usize]
+                );
+            }
+            Ok(())
+        }
+        Command::Dedup {
+            kind,
+            threshold,
+            path,
+        } => {
+            let data = first_column(&path)?;
+            let pairs = run_join(kind, threshold, Algorithm::Inline, &data, &data)?;
+            let groups = cluster_pairs(data.len(), &pairs);
+            for (gi, group) in groups.iter().enumerate() {
+                for &member in group {
+                    println!("{gi}\t{member}\t{}", data[member as usize]);
+                }
+            }
+            eprintln!("{} duplicate groups", groups.len());
+            Ok(())
+        }
+        Command::Gen { rows, out, seed } => {
+            let corpus =
+                AddressCorpus::generate(&AddressCorpusConfig::paper_like(rows).with_seed(seed));
+            let rows_out: Vec<Vec<String>> = corpus
+                .records
+                .iter()
+                .zip(&corpus.cluster)
+                .map(|(rec, &c)| vec![rec.clone(), c.to_string()])
+                .collect();
+            write_tsv(&out, &rows_out).map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!("{rows} addresses written to {out}");
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(execute) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_join() {
+        let cmd = parse_args(&sv(&[
+            "join",
+            "--kind",
+            "edit",
+            "--threshold",
+            "0.9",
+            "--algorithm",
+            "basic",
+            "--self-dedupe",
+            "input.tsv",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Join {
+                kind: JoinKind::Edit,
+                threshold: 0.9,
+                algorithm: Algorithm::Basic,
+                self_dedupe: true,
+                r_path: "input.tsv".into(),
+                s_path: None,
+                out: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_two_table_join_with_out() {
+        let cmd = parse_args(&sv(&[
+            "join",
+            "--threshold",
+            "0.8",
+            "--out",
+            "pairs.tsv",
+            "r.tsv",
+            "s.tsv",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Join {
+                kind,
+                s_path,
+                out,
+                algorithm,
+                ..
+            } => {
+                assert_eq!(kind, JoinKind::Jaccard); // default
+                assert_eq!(algorithm, Algorithm::Inline); // default
+                assert_eq!(s_path.as_deref(), Some("s.tsv"));
+                assert_eq!(out.as_deref(), Some("pairs.tsv"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_match_and_defaults() {
+        let cmd = parse_args(&sv(&["match", "--reference", "r.tsv", "--query", "abc"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Match {
+                reference: "r.tsv".into(),
+                query: "abc".into(),
+                k: 3,
+                min_sim: 0.6
+            }
+        );
+    }
+
+    #[test]
+    fn parses_gen_and_dedup() {
+        assert_eq!(
+            parse_args(&sv(&["gen", "--rows", "100", "--out", "x.tsv"])).unwrap(),
+            Command::Gen {
+                rows: 100,
+                out: "x.tsv".into(),
+                seed: 1
+            }
+        );
+        assert_eq!(
+            parse_args(&sv(&["dedup", "--threshold", "0.9", "f.tsv"])).unwrap(),
+            Command::Dedup {
+                kind: JoinKind::Edit,
+                threshold: 0.9,
+                path: "f.tsv".into()
+            }
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_args(&sv(&["join", "input.tsv"])).is_err()); // missing threshold
+        assert!(parse_args(&sv(&["join", "--threshold", "x", "f.tsv"])).is_err());
+        assert!(parse_args(&sv(&["frobnicate"])).is_err());
+        assert!(parse_args(&sv(&[
+            "join",
+            "--kind",
+            "sorcery",
+            "--threshold",
+            "0.5",
+            "f"
+        ]))
+        .is_err());
+        assert!(parse_args(&sv(&["match", "--query", "q"])).is_err());
+        assert!(parse_args(&sv(&["join", "--threshold"])).is_err()); // dangling value
+    }
+
+    #[test]
+    fn empty_args_is_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&sv(&["help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn end_to_end_gen_join_dedup() {
+        let dir = std::env::temp_dir().join("ssjoin_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.tsv");
+        let out_path = dir.join("pairs.tsv");
+        execute(Command::Gen {
+            rows: 200,
+            out: data_path.to_string_lossy().into_owned(),
+            seed: 42,
+        })
+        .unwrap();
+        execute(Command::Join {
+            kind: JoinKind::Jaccard,
+            threshold: 0.8,
+            algorithm: Algorithm::Inline,
+            self_dedupe: true,
+            r_path: data_path.to_string_lossy().into_owned(),
+            s_path: None,
+            out: Some(out_path.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        let pairs = read_tsv(&out_path).unwrap();
+        for row in &pairs {
+            assert_eq!(row.len(), 5);
+            let sim: f64 = row[2].parse().unwrap();
+            assert!(sim >= 0.8 - 1e-9);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

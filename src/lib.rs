@@ -1,0 +1,58 @@
+//! # ssjoin — a primitive operator for similarity joins in data cleaning
+//!
+//! A Rust implementation of the **SSJoin** operator and the similarity-join
+//! stack built on it, reproducing *Chaudhuri, Ganti, Kaushik: "A Primitive
+//! Operator for Similarity Joins in Data Cleaning" (ICDE 2006)*.
+//!
+//! The facade re-exports the workspace crates:
+//!
+//! * [`core`] — the SSJoin operator: weighted sets, overlap predicates,
+//!   prefix filter, and the basic / prefix-filtered / inline physical
+//!   implementations (plus the relational-plan formulation);
+//! * [`joins`] — similarity joins expressed through SSJoin: edit similarity,
+//!   Jaccard containment/resemblance, generalized edit similarity,
+//!   co-occurrence, soft functional dependencies, hamming, soundex, top-K;
+//! * [`text`] — tokenizers (q-grams, words), normalization, soundex codes;
+//! * [`sim`] — similarity functions used as verification UDFs;
+//! * [`relational`] — the minimal relational engine the operator trees of
+//!   the paper compose over;
+//! * [`baselines`] — the customized edit join of Gravano et al. and the
+//!   naive UDF cross product;
+//! * [`datagen`] — synthetic corpora standing in for the paper's proprietary
+//!   datasets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ssjoin::joins::{jaccard_join, JaccardConfig};
+//!
+//! let addresses: Vec<String> = vec![
+//!     "100 Main St Springfield WA".into(),
+//!     "100 Main Street Springfield WA".into(),
+//!     "742 Evergreen Terrace".into(),
+//! ];
+//! let out = jaccard_join(&addresses, &addresses, &JaccardConfig::resemblance(0.5)).unwrap();
+//! assert!(out.keys().contains(&(0, 1)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ssjoin_baselines as baselines;
+pub use ssjoin_core as core;
+pub use ssjoin_datagen as datagen;
+pub use ssjoin_joins as joins;
+pub use ssjoin_relational as relational;
+pub use ssjoin_sim as sim;
+pub use ssjoin_text as text;
+
+// Most-used items at the crate root for ergonomic imports.
+pub use ssjoin_core::{
+    ssjoin, Algorithm, ElementOrder, OverlapPredicate, SsJoinConfig, SsJoinInputBuilder,
+    WeightScheme,
+};
+pub use ssjoin_joins::{
+    cluster_pairs, cooccurrence_join, cosine_join, edit_similarity_join, ges_join, jaccard_join,
+    soft_fd_join, top_k_matches, CosineConfig, EditJoinConfig, GesJoinConfig, JaccardConfig,
+    SoftFdConfig, TopKConfig,
+};

@@ -1,0 +1,205 @@
+//! Integration tests reproducing the paper's worked examples exactly.
+
+use ssjoin::core::{
+    ssjoin, Algorithm, ElementOrder, OverlapPredicate, SsJoinConfig, SsJoinInputBuilder,
+    WeightScheme,
+};
+use ssjoin::text::{QGramTokenizer, Tokenizer};
+
+fn qgram_groups(strings: &[&str]) -> Vec<Vec<String>> {
+    let tok = QGramTokenizer::new(3);
+    strings.iter().map(|s| tok.tokenize(s)).collect()
+}
+
+/// Figure 1 / Example 1: "Microsoft Corp" has 12 3-grams ("norm" 12),
+/// "Mcrosoft Corp" has 11, and their overlap is 10, so the SSJoin with
+/// `Overlap ≥ 10` returns the pair.
+#[test]
+fn example_1_absolute_overlap() {
+    let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
+    let r = b.add_relation(qgram_groups(&["Microsoft Corp"]));
+    let s = b.add_relation(qgram_groups(&["Mcrosoft Corp"]));
+    let built = b.build();
+
+    let rc = built.collection(r);
+    let sc = built.collection(s);
+    assert_eq!(rc.set(0).len(), 12, "Figure 1 norm of Microsoft Corp");
+    assert_eq!(sc.set(0).len(), 11, "Figure 1 norm of Mcrosoft Corp");
+
+    for alg in [
+        Algorithm::Basic,
+        Algorithm::PrefixFiltered,
+        Algorithm::Inline,
+    ] {
+        let out = ssjoin(
+            rc,
+            sc,
+            &OverlapPredicate::absolute(10.0),
+            &SsJoinConfig::new(alg),
+        )
+        .unwrap();
+        assert_eq!(out.pairs.len(), 1, "alg {alg:?}");
+        assert_eq!(out.pairs[0].overlap.to_f64(), 10.0, "Example 1 overlap");
+        // One more than the overlap must fail.
+        let none = ssjoin(
+            rc,
+            sc,
+            &OverlapPredicate::absolute(11.0),
+            &SsJoinConfig::new(alg),
+        )
+        .unwrap();
+        assert!(none.pairs.is_empty());
+    }
+}
+
+/// Example 2: the same pair under the three predicate forms —
+/// absolute, 1-sided normalized (10 ≥ 0.8·12), 2-sided normalized
+/// (10 ≥ 0.8·12 ∧ 10 ≥ 0.8·11).
+#[test]
+fn example_2_normalized_predicates() {
+    let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
+    let r = b.add_relation(qgram_groups(&["Microsoft Corp"]));
+    let s = b.add_relation(qgram_groups(&["Mcrosoft Corp"]));
+    let built = b.build();
+
+    for pred in [
+        OverlapPredicate::absolute(10.0),
+        OverlapPredicate::r_normalized(0.8),
+        OverlapPredicate::two_sided(0.8),
+    ] {
+        let out = ssjoin(
+            built.collection(r),
+            built.collection(s),
+            &pred,
+            &SsJoinConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.pairs.len(), 1, "pred {pred:?}");
+    }
+
+    // At 0.9 the 1-sided predicate demands 10.8 > 10: no pair.
+    let out = ssjoin(
+        built.collection(r),
+        built.collection(s),
+        &OverlapPredicate::r_normalized(0.9),
+        &SsJoinConfig::default(),
+    )
+    .unwrap();
+    assert!(out.pairs.is_empty());
+}
+
+/// Definition 3 / Property 4: edit distance 1 between the Figure 1 strings,
+/// and the q-gram overlap bound holds.
+#[test]
+fn property_4_bound_on_paper_strings() {
+    let a = "Microsoft Corp";
+    let b = "Mcrosoft Corp";
+    assert_eq!(ssjoin::sim::levenshtein(a, b), 1);
+    let tok = QGramTokenizer::new(3);
+    let overlap = ssjoin::sim::overlap(&tok.tokenize(a), &tok.tokenize(b));
+    // max(14, 13) − 3 + 1 − 1·3 = 9; actual overlap is 10 ≥ 9.
+    assert_eq!(overlap, 10);
+    assert!(overlap >= 14 - 3 + 1 - 3);
+}
+
+/// §4.2's prefix-filter example: s1 = {1..5}, s2 = {1,2,3,4,6}, overlap 4 ⇒
+/// the size-2 prefixes intersect, and the prefix-filtered SSJoin finds the
+/// pair.
+#[test]
+fn section_4_2_prefix_example() {
+    let groups: Vec<Vec<String>> = vec![
+        ["1", "2", "3", "4", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        ["1", "2", "3", "4", "6"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    ];
+    let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::Lexicographic);
+    let h = b.add_relation(groups);
+    let built = b.build();
+    let c = built.collection(h);
+    let out = ssjoin(
+        c,
+        c,
+        &OverlapPredicate::absolute(4.0),
+        &SsJoinConfig::new(Algorithm::PrefixFiltered),
+    )
+    .unwrap();
+    let keys: Vec<(u32, u32)> = out.pairs.iter().map(|p| (p.r, p.s)).collect();
+    assert_eq!(keys, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    // Each prefix is 2 elements: 4 prefix tuples per side.
+    assert_eq!(out.stats.prefix_tuples_r, 4);
+}
+
+/// §1's introduction example: ('washington', 'wa') and ('wisconsin', 'wi')
+/// pair up through city co-occurrence, and the mismatched combinations
+/// don't.
+#[test]
+fn introduction_states_example() {
+    let r: Vec<(String, String)> = [
+        ("washington", "seattle"),
+        ("washington", "tacoma"),
+        ("washington", "olympia"),
+        ("wisconsin", "madison"),
+        ("wisconsin", "milwaukee"),
+    ]
+    .map(|(a, b)| (a.to_string(), b.to_string()))
+    .into_iter()
+    .collect();
+    let s: Vec<(String, String)> = [
+        ("wa", "seattle"),
+        ("wa", "tacoma"),
+        ("wa", "olympia"),
+        ("wi", "madison"),
+        ("wi", "milwaukee"),
+    ]
+    .map(|(a, b)| (a.to_string(), b.to_string()))
+    .into_iter()
+    .collect();
+
+    let cfg = ssjoin::joins::CooccurrenceConfig::new(0.9).with_weights(WeightScheme::Unweighted);
+    let (matches, _) = ssjoin::joins::cooccurrence_join(&r, &s, &cfg).unwrap();
+    let keys: Vec<(&str, &str)> = matches
+        .iter()
+        .map(|m| (m.r_key.as_str(), m.s_key.as_str()))
+        .collect();
+    assert_eq!(keys.len(), 2);
+    assert!(keys.contains(&("washington", "wa")));
+    assert!(keys.contains(&("wisconsin", "wi")));
+}
+
+/// §3.3's motivating comparison: under GES with IDF-style weights,
+/// "microsoft corp" is closer to "microsft corporation" than to "mic corp" —
+/// the ranking plain edit distance gets wrong.
+#[test]
+fn ges_fixes_edit_distance_ranking() {
+    let base = "microsoft corp";
+    let good = "microsft corporation";
+    let bad = "mic corp";
+    // Plain edit distance prefers the wrong neighbour:
+    assert!(ssjoin::sim::levenshtein(base, bad) < ssjoin::sim::levenshtein(base, good));
+    // GES (via the join) prefers the right one:
+    let data: Vec<String> = vec![base.into(), good.into(), bad.into()];
+    let out = ssjoin::joins::ges_join(
+        &data,
+        &data,
+        &ssjoin::joins::GesJoinConfig::new(0.05).exhaustive(),
+    )
+    .unwrap();
+    let sim_of = |r: u32, s: u32| {
+        out.pairs
+            .iter()
+            .find(|p| p.r == r && p.s == s)
+            .map(|p| p.similarity)
+            .unwrap_or(0.0)
+    };
+    assert!(
+        sim_of(0, 1) > sim_of(0, 2),
+        "GES(base→good) {} should beat GES(base→bad) {}",
+        sim_of(0, 1),
+        sim_of(0, 2)
+    );
+}
