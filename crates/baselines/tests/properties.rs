@@ -1,32 +1,52 @@
 //! Property tests: the Gravano baseline against brute force on random
-//! string sets (long enough for the positional q-gram bound to apply).
+//! string sets (long enough for the positional q-gram bound to apply),
+//! driven by a seeded PRNG so every failure is reproducible from the
+//! iteration's seed.
 
-use proptest::prelude::*;
 use ssjoin_baselines::gravano::brute_force_edit_join;
 use ssjoin_baselines::{naive_join, GravanoConfig, GravanoJoin};
+use ssjoin_prng::{Rng, StdRng};
 use ssjoin_sim::edit_similarity;
 
-/// Strings of 8–20 chars over a small alphabet: long enough that the
-/// filters of the customized algorithm are sound at θ ≥ 0.8.
-fn corpus_strategy() -> impl Strategy<Value = Vec<String>> {
-    proptest::collection::vec("[ab ]{8,20}", 1..14)
+/// Strings of 8–20 chars over {a, b, space}: long enough that the filters
+/// of the customized algorithm are sound at θ ≥ 0.8.
+fn random_corpus(rng: &mut StdRng) -> Vec<String> {
+    const POOL: &[char] = &['a', 'b', ' '];
+    let n = rng.gen_range(1usize..14);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range_inclusive(8usize..=20);
+            (0..len).map(|_| POOL[rng.gen_index(POOL.len())]).collect()
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn gravano_matches_brute_force(data in corpus_strategy(), theta in 0.8f64..0.98) {
+#[test]
+fn gravano_matches_brute_force() {
+    for seed in 0..96u64 {
+        let mut rng = StdRng::seed_from_u64(0x6AA0 + seed);
+        let data = random_corpus(&mut rng);
+        let theta = 0.8 + 0.18 * rng.gen_f64();
         let join = GravanoJoin::new(GravanoConfig::new(3, theta));
         let (pairs, stats) = join.run(&data, &data);
         let mut keys: Vec<(u32, u32)> = pairs.iter().map(|p| (p.r, p.s)).collect();
         keys.sort_unstable();
         let mut expect = brute_force_edit_join(&data, &data, theta);
         expect.sort_unstable();
-        prop_assert_eq!(keys, expect);
-        prop_assert!(stats.edit_comparisons <= (data.len() * data.len()) as u64);
+        assert_eq!(keys, expect, "seed {seed} theta {theta}");
+        assert!(
+            stats.edit_comparisons <= (data.len() * data.len()) as u64,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn count_filter_never_changes_results(data in corpus_strategy(), theta in 0.8f64..0.95) {
+#[test]
+fn count_filter_never_changes_results() {
+    for seed in 0..96u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0F1 + seed);
+        let data = random_corpus(&mut rng);
+        let theta = 0.8 + 0.15 * rng.gen_f64();
         let plain = GravanoJoin::new(GravanoConfig::new(3, theta));
         let counted = GravanoJoin::new(GravanoConfig::new(3, theta).with_count_filter());
         let (p1, s1) = plain.run(&data, &data);
@@ -36,18 +56,37 @@ proptest! {
             v.sort_unstable();
             v
         };
-        prop_assert_eq!(k(&p1), k(&p2));
-        prop_assert!(s2.edit_comparisons <= s1.edit_comparisons);
+        assert_eq!(k(&p1), k(&p2), "seed {seed} theta {theta}");
+        assert!(s2.edit_comparisons <= s1.edit_comparisons, "seed {seed}");
     }
+}
 
-    #[test]
-    fn naive_join_is_ground_truth(data in proptest::collection::vec("[ab]{0,8}", 0..10),
-                                  theta in 0.3f64..1.0) {
+#[test]
+fn naive_join_is_ground_truth() {
+    for seed in 0..96u64 {
+        let mut rng = StdRng::seed_from_u64(0x6704 + seed);
+        let n = rng.gen_range(0usize..10);
+        let data: Vec<String> = (0..n)
+            .map(|_| {
+                let len = rng.gen_range_inclusive(0usize..=8);
+                (0..len)
+                    .map(|_| (b'a' + rng.gen_range(0u8..2)) as char)
+                    .collect()
+            })
+            .collect();
+        let theta = 0.3 + 0.7 * rng.gen_f64();
         let (pairs, stats) = naive_join(&data, &data, theta, |a, b| edit_similarity(a, b));
-        prop_assert_eq!(stats.comparisons, (data.len() * data.len()) as u64);
+        assert_eq!(
+            stats.comparisons,
+            (data.len() * data.len()) as u64,
+            "seed {seed}"
+        );
         for &(i, j, sim) in &pairs {
-            prop_assert!(sim >= theta - 1e-9);
-            prop_assert!((sim - edit_similarity(&data[i as usize], &data[j as usize])).abs() < 1e-12);
+            assert!(sim >= theta - 1e-9, "seed {seed}");
+            assert!(
+                (sim - edit_similarity(&data[i as usize], &data[j as usize])).abs() < 1e-12,
+                "seed {seed}"
+            );
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Relational-engine operator benchmarks: hash join vs sort-merge join
 //! (§5 notes the optimizer used both), plus aggregation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ssjoin_bench::criterion::{criterion_group, criterion_main, Criterion};
 use ssjoin_relational::{
     AggFunc, AggSpec, DataType, ExecContext, Expr, GroupBy, HashJoin, MergeJoin, PlanNode,
     Relation, Scan, Schema, Value,

@@ -1,7 +1,7 @@
 //! End-to-end similarity joins (the §3 instantiations) on a fixed corpus.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ssjoin_baselines::{GravanoConfig, GravanoJoin};
+use ssjoin_bench::criterion::{criterion_group, criterion_main, Criterion};
 use ssjoin_bench::evaluation_corpus;
 use ssjoin_joins::{
     cosine_join, edit_similarity_join, ges_join, jaccard_join, CosineConfig, EditJoinConfig,

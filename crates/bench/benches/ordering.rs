@@ -1,7 +1,7 @@
 //! Ablation of the global element order `O` (§4.3.2): the paper's
 //! ascending-frequency order against the alternatives.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssjoin_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssjoin_bench::evaluation_corpus;
 use ssjoin_core::{
     ssjoin, Algorithm, ElementOrder, OverlapPredicate, SsJoinConfig, SsJoinInputBuilder,

@@ -1,7 +1,7 @@
 //! The operator-tree formulation (Figures 7–9 over the relational engine)
 //! against the fused executors — the price of strict compositionality.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ssjoin_bench::criterion::{criterion_group, criterion_main, Criterion};
 use ssjoin_bench::evaluation_corpus;
 use ssjoin_core::plan::{basic_plan, collection_to_relation, inline_plan, prefix_plan, run_plan};
 use ssjoin_core::{

@@ -1,6 +1,6 @@
 //! Micro-benchmarks of the similarity functions (the verification UDFs).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ssjoin_bench::criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ssjoin_sim::{
     edit_similarity, ges, jaccard_resemblance, levenshtein, levenshtein_within, GesConfig,
 };

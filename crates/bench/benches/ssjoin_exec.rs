@@ -1,7 +1,7 @@
 //! The three physical SSJoin executors on a fixed corpus — the core of
 //! Figures 10 and 12, in Criterion form.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssjoin_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssjoin_bench::evaluation_corpus;
 use ssjoin_core::{
     ssjoin, Algorithm, ElementOrder, OverlapPredicate, SetCollection, SsJoinConfig,

@@ -2,7 +2,7 @@
 //! relations (prefix-filtered) vs merging inline-carried sets. Same
 //! candidates, different verification machinery.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssjoin_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssjoin_bench::evaluation_corpus;
 use ssjoin_core::{
     ssjoin, Algorithm, ElementOrder, OverlapPredicate, SsJoinConfig, SsJoinInputBuilder,

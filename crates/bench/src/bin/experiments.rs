@@ -15,9 +15,9 @@
 //! crossovers.
 
 use ssjoin_baselines::{naive_join, GravanoConfig, GravanoJoin};
-use ssjoin_bench::report::{count, ms, Table};
+use ssjoin_bench::report::{count, ms, Report, Table};
 use ssjoin_bench::{corpus_with_rows, evaluation_corpus, PAPER_THRESHOLDS, TABLE2_ROWS};
-use ssjoin_core::{estimate_costs, Algorithm, ElementOrder, Phase};
+use ssjoin_core::{estimate_costs, Algorithm, ElementOrder, ExecContext, Phase, ShardPolicy};
 use ssjoin_joins::{
     dedupe_self_pairs, edit_similarity_join, ges_join, jaccard_join, EditJoinConfig, GesJoinConfig,
     JaccardConfig,
@@ -28,6 +28,7 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
+    let mut emit_json = false;
     let mut experiments: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -39,9 +40,11 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--scale needs a float argument");
             }
+            "--json" => emit_json = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--scale F] [table1|fig10|fig11|fig12|fig13|table2|naive|ablation-order|ablation-cost|all]..."
+                    "usage: experiments [--scale F] [--json] [table1|fig10|fig11|fig12|fig13|table2|naive|ablation-order|ablation-cost|ablation-positional|ablation-shard|all]...\n\
+                     --json additionally writes the run as BENCH_1.json"
                 );
                 return;
             }
@@ -49,6 +52,7 @@ fn main() {
         }
         i += 1;
     }
+    let mut report = Report::new(emit_json);
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
         // `table1` prints Figure 11 from the same (expensive) baseline
         // sweep, so `fig11` is not repeated in the default set.
@@ -62,6 +66,7 @@ fn main() {
             "ablation-order",
             "ablation-cost",
             "ablation-positional",
+            "ablation-shard",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -74,25 +79,31 @@ fn main() {
     );
     for exp in &experiments {
         match exp.as_str() {
-            "table1" => table1(scale),
-            "fig10" => fig10(scale),
-            "fig11" => fig11(scale),
-            "fig12" => fig12(scale),
-            "fig13" => fig13(scale),
-            "table2" => table2(scale),
-            "naive" => naive(scale),
-            "ablation-order" => ablation_order(scale),
-            "ablation-cost" => ablation_cost(scale),
-            "ablation-positional" => ablation_positional(scale),
+            "table1" => table1(scale, &mut report),
+            "fig10" => fig10(scale, &mut report),
+            "fig11" => fig11(scale, &mut report),
+            "fig12" => fig12(scale, &mut report),
+            "fig13" => fig13(scale, &mut report),
+            "table2" => table2(scale, &mut report),
+            "naive" => naive(scale, &mut report),
+            "ablation-order" => ablation_order(scale, &mut report),
+            "ablation-cost" => ablation_cost(scale, &mut report),
+            "ablation-positional" => ablation_positional(scale, &mut report),
+            "ablation-shard" => ablation_shard(scale, &mut report),
             other => eprintln!("unknown experiment {other:?}, skipping"),
         }
+    }
+    match report.write_json("BENCH_1.json", scale) {
+        Ok(true) => println!("\nwrote BENCH_1.json"),
+        Ok(false) => {}
+        Err(e) => eprintln!("failed to write BENCH_1.json: {e}"),
     }
 }
 
 /// Table 1: number of edit-similarity computations, SSJoin vs the customized
 /// implementation, at θ ∈ {0.80, 0.85, 0.90, 0.95}. Shares the expensive
 /// baseline runs with Figure 11 ([`fig11`] prints from the same sweep).
-fn table1(scale: f64) {
+fn table1(scale: f64, report: &mut Report) {
     let data = evaluation_corpus(scale).records;
     let mut t = Table::new(
         "Table 1 — edit-similarity computations (SSJoin vs customized [9])",
@@ -131,13 +142,13 @@ fn table1(scale: f64) {
             count(pairs.iter().filter(|p| p.r < p.s).count() as u64),
         ]);
     }
-    t.print();
-    fig11_table.print();
+    report.table(t);
+    report.table(fig11_table);
 }
 
 /// Figure 10: edit-similarity join times, per phase, for the basic /
 /// prefix-filtered / inline SSJoin implementations.
-fn fig10(scale: f64) {
+fn fig10(scale: f64, report: &mut Report) {
     let data = evaluation_corpus(scale).records;
     for (alg, label) in [
         (Algorithm::Basic, "Basic SSJoin"),
@@ -173,14 +184,14 @@ fn fig10(scale: f64) {
                 count(dedupe_self_pairs(&out.pairs).len() as u64),
             ]);
         }
-        t.print();
+        report.table(t);
     }
 }
 
 /// Figure 11: the customized edit-similarity join of Gravano et al., with
 /// its own phase breakdown. When `table1` also runs, that sweep already
 /// prints this table; running `fig11` alone performs its own sweep.
-fn fig11(scale: f64) {
+fn fig11(scale: f64, report: &mut Report) {
     let data = evaluation_corpus(scale).records;
     let mut t = Table::new(
         "Figure 11 — customized edit similarity join [9]",
@@ -204,13 +215,13 @@ fn fig11(scale: f64) {
             count(pairs.iter().filter(|p| p.r < p.s).count() as u64),
         ]);
     }
-    t.print();
+    report.table(t);
 }
 
 /// Figure 12: Jaccard resemblance join (IDF weights), per-phase times for
 /// the three implementations. The paper's prefix-filtered panel extends the
 /// sweep down to 0.4 and 0.6.
-fn fig12(scale: f64) {
+fn fig12(scale: f64, report: &mut Report) {
     let data = evaluation_corpus(scale).records;
     for (alg, label, extended) in [
         (Algorithm::Basic, "Basic SSJoin", false),
@@ -251,13 +262,13 @@ fn fig12(scale: f64) {
                 count(dedupe_self_pairs(&out.pairs).len() as u64),
             ]);
         }
-        t.print();
+        report.table(t);
     }
 }
 
 /// Figure 13: generalized edit similarity join times for the three
 /// implementations of the candidate SSJoin.
-fn fig13(scale: f64) {
+fn fig13(scale: f64, report: &mut Report) {
     let data = evaluation_corpus(scale).records;
     let mut t = Table::new(
         "Figure 13 — GES join (total ms per implementation)",
@@ -280,12 +291,12 @@ fn fig13(scale: f64) {
         cells.push(count(pairs));
         t.row(cells);
     }
-    t.print();
+    report.table(t);
 }
 
 /// Table 2: scaling the input — SSJoin input tuples, output size, and time
 /// for the prefix-filtered Jaccard join at θ = 0.85.
-fn table2(scale: f64) {
+fn table2(scale: f64, report: &mut Report) {
     let mut t = Table::new(
         "Table 2 — varying input data sizes (Jaccard 0.85, prefix-filtered)",
         &["Input rows", "SSJoin input rows", "Output pairs", "Time ms"],
@@ -308,12 +319,12 @@ fn table2(scale: f64) {
             ms(elapsed),
         ]);
     }
-    t.print();
+    report.table(t);
 }
 
 /// §5 prose: the UDF-over-cross-product gap, on a subset small enough for
 /// the cross product to finish.
-fn naive(scale: f64) {
+fn naive(scale: f64, report: &mut Report) {
     let rows = ((2_000f64 * scale).round() as usize).max(10);
     let data = corpus_with_rows(rows).records;
     let theta = 0.85;
@@ -340,11 +351,11 @@ fn naive(scale: f64) {
         ms(naive_stats.elapsed),
         count(naive_pairs.len() as u64),
     ]);
-    t.print();
+    report.table(t);
 }
 
 /// Ablation (§4.3.2): the global element order drives prefix-join size.
-fn ablation_order(scale: f64) {
+fn ablation_order(scale: f64, report: &mut Report) {
     let data = evaluation_corpus(scale).records;
     let mut t = Table::new(
         "Ablation — global order O (Jaccard 0.85, inline)",
@@ -370,12 +381,12 @@ fn ablation_order(scale: f64) {
             ms(start.elapsed()),
         ]);
     }
-    t.print();
+    report.table(t);
 }
 
 /// Ablation (extension): the positional filter on top of the inline
 /// algorithm — same candidates, fewer verification merges.
-fn ablation_positional(scale: f64) {
+fn ablation_positional(scale: f64, report: &mut Report) {
     let data = evaluation_corpus(scale).records;
     let mut t = Table::new(
         "Ablation — positional filter (edit join)",
@@ -409,12 +420,12 @@ fn ablation_positional(scale: f64) {
             ms(positional_t),
         ]);
     }
-    t.print();
+    report.table(t);
 }
 
 /// Ablation (§7): the cost-based Auto choice versus always-basic /
 /// always-inline across thresholds.
-fn ablation_cost(scale: f64) {
+fn ablation_cost(scale: f64, report: &mut Report) {
     let corpus = evaluation_corpus((scale * 0.4).max(0.004));
     let data = corpus.records;
     let mut t = Table::new(
@@ -471,5 +482,96 @@ fn ablation_cost(scale: f64) {
             count(est.prefix_cost()),
         ]);
     }
-    t.print();
+    report.table(t);
+}
+
+/// Ablation (tentpole): the token-sharded partition executor and the bitmap
+/// signature filter on the inline Jaccard join at θ = 0.85 — parallel runs
+/// must reproduce the sequential output exactly while splitting Zipf-heavy
+/// tokens across workers.
+fn ablation_shard(scale: f64, report: &mut Report) {
+    let data = evaluation_corpus(scale).records;
+    let theta = 0.85;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let run_with = |exec: ExecContext| {
+        let cfg = JaccardConfig::resemblance(theta)
+            .with_algorithm(Algorithm::Inline)
+            .with_exec(exec);
+        let start = Instant::now();
+        let out = jaccard_join(&data, &data, &cfg).expect("jaccard join");
+        (out, start.elapsed())
+    };
+
+    let (seq, seq_t) = run_with(ExecContext::new());
+    let seq_keys = seq.keys();
+
+    let mut t = Table::new(
+        format!("Ablation — token-sharded parallel inline (Jaccard {theta}, cores={cores})"),
+        &[
+            "Config",
+            "Total ms",
+            "Shards",
+            "Steals",
+            "Imbalance",
+            "Bitmap probes",
+            "Bitmap prunes",
+            "Output equal",
+        ],
+    );
+    t.row(vec![
+        "1 thread".into(),
+        ms(seq_t),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "baseline".into(),
+    ]);
+
+    let mut speedup_8t = f64::NAN;
+    let mut prunes_8t = 0u64;
+    let mut all_equal = true;
+    for (threads, bitmap) in [(2usize, false), (8, false), (8, true)] {
+        let exec = ExecContext::new()
+            .with_threads(threads)
+            .with_shard_policy(ShardPolicy::token_shards())
+            .with_bitmap_filter(bitmap);
+        let (out, elapsed) = run_with(exec);
+        let equal = out.keys() == seq_keys;
+        all_equal &= equal;
+        if threads == 8 {
+            speedup_8t = seq_t.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+        }
+        if bitmap {
+            prunes_8t = out.stats.bitmap_prunes;
+        }
+        t.row(vec![
+            format!(
+                "{threads} threads, shards{}",
+                if bitmap { " + bitmap" } else { "" }
+            ),
+            ms(elapsed),
+            count(out.stats.shards),
+            count(out.stats.shard_steals),
+            out.stats
+                .shard_imbalance()
+                .map_or("-".into(), |x| format!("{x:.2}")),
+            count(out.stats.bitmap_probes),
+            count(out.stats.bitmap_prunes),
+            if equal { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    report.table(t);
+    assert!(all_equal, "parallel output must match sequential exactly");
+
+    report.metric_u64("ablation_shard.cores", cores as u64);
+    report.metric_f64("ablation_shard.seq_ms", seq_t.as_secs_f64() * 1e3);
+    report.metric_f64("ablation_shard.speedup_8t", speedup_8t);
+    report.metric_u64("ablation_shard.bitmap_prunes_8t", prunes_8t);
+    report.metric_str(
+        "ablation_shard.output_equal",
+        if all_equal { "true" } else { "false" },
+    );
 }

@@ -1,0 +1,199 @@
+//! A minimal, dependency-free micro-benchmark harness exposing the subset
+//! of the `criterion` crate's API this workspace uses, so the `benches/`
+//! files keep their familiar shape while the build stays hermetic.
+//!
+//! Semantics: each benchmark warms up once, then runs `sample_size`
+//! timed iterations and prints min / mean / max wall-clock per iteration.
+//! No statistics beyond that — this is a smoke-and-ballpark harness, not a
+//! rigorous estimator.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use crate::{criterion_group, criterion_main};
+pub use std::hint::black_box;
+
+/// Harness entry point, handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let _ = self;
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark (min 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id, |b| f(b));
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing happens per benchmark; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn run<F>(&self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            times: Vec::with_capacity(self.sample_size),
+        };
+        f(&mut bencher);
+        let times = &bencher.times;
+        if times.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        let min = times.iter().min().copied().unwrap_or_default();
+        let max = times.iter().max().copied().unwrap_or_default();
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{}/{id}: [{} {} {}] per iter, {} samples",
+            self.name,
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+            times.len()
+        );
+    }
+}
+
+/// Identifier combining a function name and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: Display>(name: impl Into<String>, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Just the parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures: one untimed warm-up, then `samples` timed iterations.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure `f`, preventing the optimizer from deleting its result.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Group one or more benchmark functions under a single runner function,
+/// mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::criterion::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running each group, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() { $( $group(); )+ }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 4); // 1 warm-up + 3 samples
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("alg", 0.8).id, "alg/0.8");
+        assert_eq!(BenchmarkId::from_parameter("Hashed").id, "Hashed");
+    }
+}

@@ -3,6 +3,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod criterion;
 pub mod report;
 
 use ssjoin_datagen::{AddressCorpus, AddressCorpusConfig};

@@ -17,7 +17,7 @@
 //! exactly what a query optimizer would do with catalog statistics.
 
 use super::prefix::{prefix_lengths, Side};
-use super::{inline, JoinPair};
+use super::{inline, ExecContext, JoinPair};
 use crate::predicate::OverlapPredicate;
 use crate::set::SetCollection;
 use crate::stats::SsJoinStats;
@@ -121,16 +121,16 @@ pub(super) fn run(
     r: &SetCollection,
     s: &SetCollection,
     pred: &OverlapPredicate,
-    threads: usize,
+    ctx: &ExecContext,
 ) -> (Vec<JoinPair>, SsJoinStats, Algorithm) {
     let est = estimate_costs(r, s, pred);
     match est.choice() {
         Algorithm::Basic => {
-            let (p, st) = super::basic::run(r, s, pred, threads);
+            let (p, st) = super::basic::run(r, s, pred, ctx);
             (p, st, Algorithm::Basic)
         }
         _ => {
-            let (p, st) = inline::run(r, s, pred, threads);
+            let (p, st) = inline::run(r, s, pred, ctx);
             (p, st, Algorithm::Inline)
         }
     }
@@ -156,7 +156,7 @@ mod tests {
         let c = build(groups, WeightScheme::Unweighted);
         let pred = OverlapPredicate::absolute(2.0);
         let est = estimate_costs(&c, &c, &pred);
-        let (_, stats) = super::super::basic::run(&c, &c, &pred, 1);
+        let (_, stats) = super::super::basic::run(&c, &c, &pred, &ExecContext::new());
         assert_eq!(est.basic_join_tuples, stats.join_tuples);
     }
 
@@ -168,7 +168,7 @@ mod tests {
         let c = build(groups, WeightScheme::Idf);
         let pred = OverlapPredicate::two_sided(0.8);
         let est = estimate_costs(&c, &c, &pred);
-        let (_, stats) = super::super::prefix::run(&c, &c, &pred, 1);
+        let (_, stats) = super::super::prefix::run(&c, &c, &pred, &ExecContext::new());
         assert_eq!(est.prefix_join_tuples, stats.join_tuples);
     }
 
@@ -216,8 +216,8 @@ mod tests {
             .collect();
         let c = build(groups, WeightScheme::Idf);
         let pred = OverlapPredicate::two_sided(0.6);
-        let (mut auto_pairs, _, _) = run(&c, &c, &pred, 1);
-        let (mut basic_pairs, _) = super::super::basic::run(&c, &c, &pred, 1);
+        let (mut auto_pairs, _, _) = run(&c, &c, &pred, &ExecContext::new());
+        let (mut basic_pairs, _) = super::super::basic::run(&c, &c, &pred, &ExecContext::new());
         auto_pairs.sort_unstable_by_key(|p| (p.r, p.s));
         basic_pairs.sort_unstable_by_key(|p| (p.r, p.s));
         assert_eq!(auto_pairs, basic_pairs);

@@ -7,7 +7,7 @@
 //! Every posting hit is one tuple of the equi-join result, which is the
 //! quantity §4.1 identifies as the bottleneck on frequent elements.
 
-use super::{run_chunked, JoinPair};
+use super::{run_chunked, ExecContext, JoinPair};
 use crate::predicate::OverlapPredicate;
 use crate::set::SetCollection;
 use crate::stats::{timed_phase, Phase, SsJoinStats};
@@ -42,13 +42,15 @@ pub(super) fn run(
     r: &SetCollection,
     s: &SetCollection,
     pred: &OverlapPredicate,
-    threads: usize,
+    ctx: &ExecContext,
 ) -> (Vec<JoinPair>, SsJoinStats) {
     let mut stats = SsJoinStats::default();
-    let index = timed_phase(&mut stats, Phase::Prep, |_| InvertedIndex::build(s, None));
+    let index = timed_phase(&mut stats, ctx.stats, Phase::Prep, |_| {
+        InvertedIndex::build(s, None)
+    });
 
-    let (pairs, inner) = timed_phase(&mut stats, Phase::SsJoin, |_| {
-        run_chunked(r.len(), threads, |range| {
+    let (pairs, inner) = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
+        run_chunked(r.len(), ctx.threads, |range| {
             let mut stats = SsJoinStats::default();
             let mut pairs = Vec::new();
             // Dense per-probe accumulator over S ids, reset via touch list.
@@ -114,7 +116,7 @@ mod tests {
             toks(&["x", "y"]),
         ]);
         let pred = OverlapPredicate::absolute(2.0);
-        let (mut pairs, stats) = run(&c, &c, &pred, 1);
+        let (mut pairs, stats) = run(&c, &c, &pred, &ExecContext::new());
         pairs.sort_unstable_by_key(|p| (p.r, p.s));
         // Self-pairs (0,0),(1,1),(2,2) plus (0,1),(1,0).
         let got: Vec<(u32, u32)> = pairs.iter().map(|p| (p.r, p.s)).collect();
@@ -127,7 +129,7 @@ mod tests {
     fn overlap_values_correct() {
         let c = build(vec![toks(&["a", "b", "c"]), toks(&["b", "c", "d"])]);
         let pred = OverlapPredicate::absolute(1.0);
-        let (pairs, _) = run(&c, &c, &pred, 1);
+        let (pairs, _) = run(&c, &c, &pred, &ExecContext::new());
         let p01 = pairs.iter().find(|p| p.r == 0 && p.s == 1).unwrap();
         assert_eq!(p01.overlap, Weight::from_f64(2.0));
     }
@@ -136,7 +138,7 @@ mod tests {
     fn zero_overlap_pairs_never_emitted() {
         let c = build(vec![toks(&["a"]), toks(&["b"])]);
         let pred = OverlapPredicate::absolute(-10.0); // clamps to epsilon
-        let (pairs, _) = run(&c, &c, &pred, 1);
+        let (pairs, _) = run(&c, &c, &pred, &ExecContext::new());
         let got: Vec<(u32, u32)> = pairs.iter().map(|p| (p.r, p.s)).collect();
         assert_eq!(got, vec![(0, 0), (1, 1)]);
     }
@@ -152,8 +154,8 @@ mod tests {
             .collect();
         let c = build(groups);
         let pred = OverlapPredicate::absolute(2.0);
-        let (mut p1, _) = run(&c, &c, &pred, 1);
-        let (mut p4, _) = run(&c, &c, &pred, 4);
+        let (mut p1, _) = run(&c, &c, &pred, &ExecContext::new());
+        let (mut p4, _) = run(&c, &c, &pred, &ExecContext::new().with_threads(4));
         p1.sort_unstable_by_key(|p| (p.r, p.s));
         p4.sort_unstable_by_key(|p| (p.r, p.s));
         assert_eq!(p1, p4);
@@ -164,10 +166,10 @@ mod tests {
         let e = build(vec![]);
         let c = build(vec![toks(&["a"])]);
         let pred = OverlapPredicate::absolute(1.0);
-        assert!(run(&e, &e, &pred, 1).0.is_empty());
+        assert!(run(&e, &e, &pred, &ExecContext::new()).0.is_empty());
         // Note: e and c come from different builders here, so only same-
         // builder combinations are meaningful; the public API enforces that.
-        let (pairs, _) = run(&c, &c, &pred, 1);
+        let (pairs, _) = run(&c, &c, &pred, &ExecContext::new());
         assert_eq!(pairs.len(), 1);
     }
 }

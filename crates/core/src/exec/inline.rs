@@ -8,7 +8,7 @@
 //! prefix-filtered implementation and usually the best of the three.
 
 use super::prefix::run_prefix_family;
-use super::JoinPair;
+use super::{ExecContext, JoinPair};
 use crate::predicate::OverlapPredicate;
 use crate::set::SetCollection;
 use crate::stats::SsJoinStats;
@@ -17,9 +17,12 @@ pub(super) fn run(
     r: &SetCollection,
     s: &SetCollection,
     pred: &OverlapPredicate,
-    threads: usize,
+    ctx: &ExecContext,
 ) -> (Vec<JoinPair>, SsJoinStats) {
-    run_prefix_family(r, s, pred, threads, true)
+    if ctx.use_token_shards() {
+        return super::partition::run(r, s, pred, ctx);
+    }
+    run_prefix_family(r, s, pred, ctx, true)
 }
 
 #[cfg(test)]
@@ -53,9 +56,9 @@ mod tests {
             OverlapPredicate::two_sided(0.6),
             OverlapPredicate::s_normalized(0.8),
         ] {
-            let (mut basic, _) = super::super::basic::run(&c, &c, &pred, 1);
-            let (mut prefix, _) = super::super::prefix::run(&c, &c, &pred, 1);
-            let (mut inline, _) = run(&c, &c, &pred, 1);
+            let (mut basic, _) = super::super::basic::run(&c, &c, &pred, &ExecContext::new());
+            let (mut prefix, _) = super::super::prefix::run(&c, &c, &pred, &ExecContext::new());
+            let (mut inline, _) = run(&c, &c, &pred, &ExecContext::new());
             basic.sort_unstable_by_key(|p| (p.r, p.s));
             prefix.sort_unstable_by_key(|p| (p.r, p.s));
             inline.sort_unstable_by_key(|p| (p.r, p.s));
@@ -68,7 +71,7 @@ mod tests {
     fn verification_work_equals_candidates() {
         let c = build(random_groups(40, 19), WeightScheme::Unweighted);
         let pred = OverlapPredicate::two_sided(0.5);
-        let (_, stats) = run(&c, &c, &pred, 1);
+        let (_, stats) = run(&c, &c, &pred, &ExecContext::new());
         assert_eq!(stats.candidate_pairs, stats.verified_pairs);
         assert!(stats.candidate_pairs > 0);
     }
@@ -77,8 +80,8 @@ mod tests {
     fn parallel_matches_sequential() {
         let c = build(random_groups(64, 31), WeightScheme::Idf);
         let pred = OverlapPredicate::two_sided(0.5);
-        let (mut p1, _) = run(&c, &c, &pred, 1);
-        let (mut p3, _) = run(&c, &c, &pred, 3);
+        let (mut p1, _) = run(&c, &c, &pred, &ExecContext::new());
+        let (mut p3, _) = run(&c, &c, &pred, &ExecContext::new().with_threads(3));
         p1.sort_unstable_by_key(|p| (p.r, p.s));
         p3.sort_unstable_by_key(|p| (p.r, p.s));
         assert_eq!(p1, p3);

@@ -10,6 +10,7 @@
 mod auto;
 mod basic;
 mod inline;
+mod partition;
 mod positional;
 mod prefix;
 
@@ -67,21 +68,70 @@ pub enum Algorithm {
     Auto,
 }
 
-/// Execution configuration.
-#[derive(Debug, Clone)]
-pub struct SsJoinConfig {
-    /// Which physical algorithm to run.
-    pub algorithm: Algorithm,
-    /// Worker threads for the probe/verify loops (1 = sequential).
-    pub threads: usize,
+/// How parallel executors carve the candidate space into units of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Contiguous chunks of R group ids, one per worker — the legacy
+    /// strategy. Simple, but a few heavy probe groups can serialize one
+    /// worker.
+    GroupChunks,
+    /// Shards are contiguous ranges of element *ranks*, sized by the
+    /// posting-list product they induce, executed with work stealing. Each
+    /// shard owns a disjoint slice of the inverted index, so Zipf-heavy
+    /// tokens are split instead of landing on one worker. Only the
+    /// prefix-family executors support this; others fall back to
+    /// [`ShardPolicy::GroupChunks`].
+    TokenShards {
+        /// Shards planned per worker thread (more shards → finer stealing
+        /// granularity; clamped to at least 1).
+        oversubscribe: usize,
+    },
 }
 
-impl SsJoinConfig {
-    /// Config with the given algorithm, single-threaded.
-    pub fn new(algorithm: Algorithm) -> Self {
+impl ShardPolicy {
+    /// The default token-sharded policy.
+    pub const fn token_shards() -> Self {
+        ShardPolicy::TokenShards { oversubscribe: 8 }
+    }
+}
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        Self::token_shards()
+    }
+}
+
+pub use crate::stats::StatsLevel;
+
+/// Execution context shared by every physical executor: thread count, shard
+/// policy, candidate filters, and instrumentation level. Executors take it
+/// by reference; [`SsJoinConfig`] is a builder over it plus the algorithm
+/// choice.
+///
+/// The default context (one thread, bitmap filter off) reproduces the
+/// sequential executors' behaviour — output *and* counters — bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecContext {
+    /// Worker threads for the probe/verify loops (1 = sequential).
+    pub threads: usize,
+    /// Work-partitioning strategy used when `threads > 1`.
+    pub shard: ShardPolicy,
+    /// Reject candidates whose bitmap-signature overlap bound cannot reach
+    /// the required overlap, before the verification merge (prefix-family
+    /// executors only). Lossless; changes counters but never output.
+    pub bitmap_filter: bool,
+    /// Instrumentation level.
+    pub stats: StatsLevel,
+}
+
+impl ExecContext {
+    /// Sequential context with all defaults.
+    pub fn new() -> Self {
         Self {
-            algorithm,
             threads: 1,
+            shard: ShardPolicy::default(),
+            bitmap_filter: false,
+            stats: StatsLevel::default(),
         }
     }
 
@@ -90,11 +140,83 @@ impl SsJoinConfig {
         self.threads = threads;
         self
     }
+
+    /// Set the shard policy.
+    pub fn with_shard_policy(mut self, shard: ShardPolicy) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// Enable or disable the bitmap signature filter.
+    pub fn with_bitmap_filter(mut self, on: bool) -> Self {
+        self.bitmap_filter = on;
+        self
+    }
+
+    /// Set the instrumentation level.
+    pub fn with_stats(mut self, stats: StatsLevel) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// True when the token-sharded partition executor should run.
+    pub(crate) fn use_token_shards(&self) -> bool {
+        self.threads > 1 && matches!(self.shard, ShardPolicy::TokenShards { .. })
+    }
 }
 
-impl Default for SsJoinConfig {
+impl Default for ExecContext {
     fn default() -> Self {
-        Self::new(Algorithm::default())
+        Self::new()
+    }
+}
+
+/// Execution configuration: the physical algorithm plus the execution
+/// context it runs under.
+#[derive(Debug, Clone, Default)]
+pub struct SsJoinConfig {
+    /// Which physical algorithm to run.
+    pub algorithm: Algorithm,
+    /// Threads, shard policy, filters, instrumentation.
+    pub exec: ExecContext,
+}
+
+impl SsJoinConfig {
+    /// Config with the given algorithm and the default (sequential) context.
+    pub fn new(algorithm: Algorithm) -> Self {
+        Self {
+            algorithm,
+            exec: ExecContext::new(),
+        }
+    }
+
+    /// Replace the whole execution context.
+    pub fn with_exec(mut self, exec: ExecContext) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Set the worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.exec.threads = threads;
+        self
+    }
+
+    /// Set the shard policy.
+    pub fn with_shard_policy(mut self, shard: ShardPolicy) -> Self {
+        self.exec.shard = shard;
+        self
+    }
+
+    /// Enable or disable the bitmap signature filter.
+    pub fn with_bitmap_filter(mut self, on: bool) -> Self {
+        self.exec.bitmap_filter = on;
+        self
+    }
+
+    /// The configured worker thread count.
+    pub fn threads(&self) -> usize {
+        self.exec.threads
     }
 }
 
@@ -112,27 +234,28 @@ pub fn ssjoin(
     if r.universe_tag() != s.universe_tag() {
         return Err(SsJoinError::UniverseMismatch);
     }
-    if config.threads == 0 {
+    let ctx = &config.exec;
+    if ctx.threads == 0 {
         return Err(SsJoinError::Config("threads must be at least 1".into()));
     }
     let (mut pairs, stats, used) = match config.algorithm {
         Algorithm::Basic => {
-            let (p, st) = basic::run(r, s, pred, config.threads);
+            let (p, st) = basic::run(r, s, pred, ctx);
             (p, st, Algorithm::Basic)
         }
         Algorithm::PrefixFiltered => {
-            let (p, st) = prefix::run(r, s, pred, config.threads);
+            let (p, st) = prefix::run(r, s, pred, ctx);
             (p, st, Algorithm::PrefixFiltered)
         }
         Algorithm::Inline => {
-            let (p, st) = inline::run(r, s, pred, config.threads);
+            let (p, st) = inline::run(r, s, pred, ctx);
             (p, st, Algorithm::Inline)
         }
         Algorithm::PositionalInline => {
-            let (p, st) = positional::run(r, s, pred, config.threads);
+            let (p, st) = positional::run(r, s, pred, ctx);
             (p, st, Algorithm::PositionalInline)
         }
-        Algorithm::Auto => auto::run(r, s, pred, config.threads),
+        Algorithm::Auto => auto::run(r, s, pred, ctx),
     };
     pairs.sort_unstable_by_key(|p| (p.r, p.s));
     let mut stats = stats;
@@ -171,19 +294,18 @@ where
     let ranges = chunk_ranges(n, threads);
     let mut results: Vec<Option<(Vec<JoinPair>, SsJoinStats)>> = Vec::new();
     results.resize_with(ranges.len(), || None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let work = &work;
         let mut handles = Vec::new();
         for (slot, range) in results.iter_mut().zip(ranges) {
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 *slot = Some(work(range));
             }));
         }
         for h in handles {
             h.join().expect("ssjoin worker panicked");
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut pairs = Vec::new();
     let mut stats = SsJoinStats::default();
@@ -225,10 +347,7 @@ mod tests {
         let h = b.add_relation(vec![vec!["a".to_string()]]);
         let built = b.build();
         let c = built.collection(h);
-        let cfg = SsJoinConfig {
-            algorithm: Algorithm::Basic,
-            threads: 0,
-        };
+        let cfg = SsJoinConfig::new(Algorithm::Basic).with_threads(0);
         let err = ssjoin(c, c, &OverlapPredicate::absolute(1.0), &cfg);
         assert!(matches!(err, Err(SsJoinError::Config(_))));
     }

@@ -1,0 +1,471 @@
+//! Token-sharded parallel executor for the inline algorithm.
+//!
+//! The legacy parallel strategy ([`super::run_chunked`]) splits the R
+//! collection into contiguous group-id chunks. Under Zipfian element
+//! frequencies that is a poor unit of work: a chunk holding groups whose
+//! prefixes contain frequent tokens scans posting lists orders of magnitude
+//! longer than its neighbours, and one worker serializes the join.
+//!
+//! This executor shards the *candidate space* by prefix token instead. Both
+//! sides get a prefix inverted index; the candidate pairs generated at rank
+//! `t` are exactly `r_postings(t) × s_postings(t)`, so the planned cost of a
+//! rank is that product and shards are contiguous rank ranges packed to
+//! near-equal cost. A rank too heavy for one shard is split further by
+//! sub-slicing its R posting list, so even a single stop-word token spreads
+//! across workers. Shards are executed by scoped workers; a worker that
+//! drains its own shards steals untaken ones (claimed via atomic
+//! compare-and-swap), and steal events are counted.
+//!
+//! A candidate pair sharing several prefix tokens would be produced once per
+//! shared rank, possibly by different workers; it is emitted only at its
+//! *smallest* shared prefix rank (a merge scan of the two prefixes — the
+//! same `O(prefix)` work the stamp array does for the group-at-a-time
+//! executors). This makes shard outputs disjoint, so after the final sort by
+//! `(r, s)` the output is bit-for-bit identical to the sequential inline
+//! executor's.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use super::basic::InvertedIndex;
+use super::prefix::{prefix_lengths, Side};
+use super::{ExecContext, JoinPair, ShardPolicy};
+use crate::predicate::OverlapPredicate;
+use crate::set::SetCollection;
+use crate::stats::{timed_phase, Phase, SsJoinStats};
+use crate::weight::Weight;
+
+/// One unit of parallel work: a contiguous range of element ranks, plus an
+/// optional sub-range of the R posting list when a single heavy rank was
+/// split into several shards.
+#[derive(Debug, Clone)]
+struct Shard {
+    ranks: std::ops::Range<usize>,
+    /// `Some((lo, hi))` restricts processing to `r_postings(rank)[lo..hi]`;
+    /// only set for single-rank shards produced by splitting.
+    r_slice: Option<(usize, usize)>,
+    /// Planned cost in posting-product units.
+    cost: u64,
+}
+
+/// The shard plan for one execution.
+struct ShardPlan {
+    shards: Vec<Shard>,
+    cost_total: u64,
+    cost_max: u64,
+}
+
+/// Pack ranks into at most `threads · oversubscribe` shards of near-equal
+/// planned cost, splitting individual ranks whose posting product exceeds
+/// twice the target.
+fn plan_shards(
+    r_index: &InvertedIndex,
+    s_index: &InvertedIndex,
+    universe: usize,
+    threads: usize,
+    oversubscribe: usize,
+) -> ShardPlan {
+    let rank_cost = |t: usize| -> u64 {
+        let rp = r_index.postings(t as u32).len() as u64;
+        let sp = s_index.postings(t as u32).len() as u64;
+        rp * sp
+    };
+    let total: u64 = (0..universe).map(rank_cost).sum();
+    let target_shards = (threads * oversubscribe.max(1)).max(1) as u64;
+    let target = (total / target_shards).max(1);
+
+    let mut shards = Vec::new();
+    let mut cost_max = 0u64;
+    let mut push = |shard: Shard| {
+        cost_max = cost_max.max(shard.cost);
+        shards.push(shard);
+    };
+
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for t in 0..universe {
+        let c = rank_cost(t);
+        if c >= 2 * target {
+            // Close the open shard, then split this heavy rank by R posting
+            // sub-ranges.
+            if t > start {
+                push(Shard {
+                    ranks: start..t,
+                    r_slice: None,
+                    cost: acc,
+                });
+            }
+            let r_len = r_index.postings(t as u32).len();
+            let s_len = s_index.postings(t as u32).len().max(1) as u64;
+            let pieces = (c / target).clamp(1, r_len.max(1) as u64) as usize;
+            let base = r_len / pieces;
+            let extra = r_len % pieces;
+            let mut lo = 0usize;
+            for p in 0..pieces {
+                let len = base + usize::from(p < extra);
+                push(Shard {
+                    ranks: t..t + 1,
+                    r_slice: Some((lo, lo + len)),
+                    cost: len as u64 * s_len,
+                });
+                lo += len;
+            }
+            start = t + 1;
+            acc = 0;
+            continue;
+        }
+        acc += c;
+        if acc >= target {
+            push(Shard {
+                ranks: start..t + 1,
+                r_slice: None,
+                cost: acc,
+            });
+            start = t + 1;
+            acc = 0;
+        }
+    }
+    if start < universe {
+        push(Shard {
+            ranks: start..universe,
+            r_slice: None,
+            cost: acc,
+        });
+    }
+    ShardPlan {
+        shards,
+        cost_total: total,
+        cost_max,
+    }
+}
+
+/// First rank shared by two rank-ascending element slices. The caller
+/// guarantees at least one shared rank exists.
+fn first_shared_rank(a: &[(u32, Weight)], b: &[(u32, Weight)]) -> u32 {
+    let (mut i, mut j) = (0usize, 0usize);
+    loop {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return a[i].0,
+        }
+    }
+}
+
+/// Process one shard, appending qualifying pairs and accumulating counters.
+#[allow(clippy::too_many_arguments)]
+fn run_shard(
+    shard: &Shard,
+    r: &SetCollection,
+    s: &SetCollection,
+    pred: &OverlapPredicate,
+    ctx: &ExecContext,
+    r_index: &InvertedIndex,
+    s_index: &InvertedIndex,
+    r_lens: &[usize],
+    s_lens: &[usize],
+    pairs: &mut Vec<JoinPair>,
+    stats: &mut SsJoinStats,
+) {
+    for t in shard.ranks.clone() {
+        let rank = t as u32;
+        let r_post = r_index.postings(rank);
+        let r_post = match shard.r_slice {
+            Some((lo, hi)) => &r_post[lo..hi],
+            None => r_post,
+        };
+        let s_post = s_index.postings(rank);
+        if r_post.is_empty() || s_post.is_empty() {
+            continue;
+        }
+        for &rid in r_post {
+            let rset = r.set(rid);
+            let r_prefix = &rset.elements()[..r_lens[rid as usize]];
+            for &sid in s_post {
+                stats.join_tuples += 1;
+                let sset = s.set(sid);
+                let s_prefix = &sset.elements()[..s_lens[sid as usize]];
+                // Emit each candidate only at its smallest shared prefix
+                // rank — the cross-shard (and cross-rank) dedup rule.
+                if first_shared_rank(r_prefix, s_prefix) != rank {
+                    continue;
+                }
+                stats.candidate_pairs += 1;
+                if ctx.bitmap_filter {
+                    stats.bitmap_probes += 1;
+                    let required = pred.required_overlap(rset.norm(), sset.norm());
+                    if rset.bitmap_overlap_bound(sset) < required {
+                        stats.bitmap_prunes += 1;
+                        continue;
+                    }
+                }
+                stats.verified_pairs += 1;
+                let overlap = rset.overlap(sset);
+                if pred.check(overlap, rset.norm(), sset.norm()) {
+                    pairs.push(JoinPair {
+                        r: rid,
+                        s: sid,
+                        overlap,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::field_reassign_with_default)]
+pub(super) fn run(
+    r: &SetCollection,
+    s: &SetCollection,
+    pred: &OverlapPredicate,
+    ctx: &ExecContext,
+) -> (Vec<JoinPair>, SsJoinStats) {
+    let threads = ctx.threads.max(1);
+    let oversubscribe = match ctx.shard {
+        ShardPolicy::TokenShards { oversubscribe } => oversubscribe.max(1),
+        ShardPolicy::GroupChunks => 1,
+    };
+    let mut stats = SsJoinStats::default();
+
+    // Phase: prefix-filter — prefix lengths for both sides and *two* prefix
+    // inverted indexes (the R-side one is what makes rank-range shards a
+    // complete description of the candidate space).
+    let (r_lens, s_lens, r_index, s_index) =
+        timed_phase(&mut stats, ctx.stats, Phase::PrefixFilter, |stats| {
+            let r_lens = prefix_lengths(r, Side::R, pred, s.norm_range());
+            let s_lens = prefix_lengths(s, Side::S, pred, r.norm_range());
+            stats.prefix_tuples_r = r_lens.iter().map(|&l| l as u64).sum();
+            stats.prefix_tuples_s = s_lens.iter().map(|&l| l as u64).sum();
+            let r_index = InvertedIndex::build(r, Some(&r_lens));
+            let s_index = InvertedIndex::build(s, Some(&s_lens));
+            (r_lens, s_lens, r_index, s_index)
+        });
+
+    let (pairs, inner) = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
+        let plan = plan_shards(
+            &r_index,
+            &s_index,
+            r.universe_size(),
+            threads,
+            oversubscribe,
+        );
+        let mut agg = SsJoinStats::default();
+        agg.shards = plan.shards.len() as u64;
+        agg.shard_cost_max = plan.cost_max;
+        agg.shard_cost_total = plan.cost_total;
+
+        let taken: Vec<AtomicBool> = (0..plan.shards.len())
+            .map(|_| AtomicBool::new(false))
+            .collect();
+        let steals = AtomicU64::new(0);
+        let shards = &plan.shards;
+        let claim = |i: usize| -> bool { !taken[i].swap(true, Ordering::AcqRel) };
+
+        let mut results: Vec<Option<(Vec<JoinPair>, SsJoinStats)>> = Vec::new();
+        results.resize_with(threads, || None);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (w, slot) in results.iter_mut().enumerate() {
+                let (r_lens, s_lens) = (&r_lens, &s_lens);
+                let (r_index, s_index) = (&r_index, &s_index);
+                let (claim, steals) = (&claim, &steals);
+                handles.push(scope.spawn(move || {
+                    let mut pairs = Vec::new();
+                    let mut st = SsJoinStats::default();
+                    // Own shards first (round-robin assignment), then steal
+                    // whatever other workers have not claimed yet.
+                    for i in (w..shards.len()).step_by(threads) {
+                        if claim(i) {
+                            run_shard(
+                                &shards[i], r, s, pred, ctx, r_index, s_index, r_lens, s_lens,
+                                &mut pairs, &mut st,
+                            );
+                        }
+                    }
+                    for (i, shard) in shards.iter().enumerate() {
+                        if i % threads != w && claim(i) {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                            run_shard(
+                                shard, r, s, pred, ctx, r_index, s_index, r_lens, s_lens,
+                                &mut pairs, &mut st,
+                            );
+                        }
+                    }
+                    *slot = Some((pairs, st));
+                }));
+            }
+            for h in handles {
+                h.join().expect("partition worker panicked");
+            }
+        });
+
+        agg.shard_steals = steals.load(Ordering::Relaxed);
+        let mut pairs = Vec::new();
+        for slot in results {
+            let (p, st) = slot.expect("worker result present");
+            pairs.extend(p);
+            agg.merge(&st);
+        }
+        (pairs, agg)
+    });
+    stats.merge(&inner);
+    (pairs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::inline;
+    use super::*;
+    use crate::builder::{SsJoinInputBuilder, WeightScheme};
+    use crate::order::ElementOrder;
+
+    fn build(groups: Vec<Vec<String>>, scheme: WeightScheme) -> SetCollection {
+        let mut b = SsJoinInputBuilder::new(scheme, ElementOrder::FrequencyAsc);
+        let h = b.add_relation(groups);
+        b.build().collection(h).clone()
+    }
+
+    fn random_groups(n: usize, vocab: usize) -> Vec<Vec<String>> {
+        (0..n)
+            .map(|i| {
+                (0..(2 + i % 7))
+                    .map(|j| format!("v{}", (i * 13 + j * 17) % vocab))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn zipf_groups(n: usize) -> Vec<Vec<String>> {
+        // Every group shares a handful of stop words plus rarer tokens, so
+        // posting lengths are heavily skewed.
+        (0..n)
+            .map(|i| {
+                let mut g = vec!["the".to_string(), "of".to_string()];
+                g.push(format!("mid{}", i % 9));
+                g.push(format!("rare{i}"));
+                g.push(format!("rare{i}x"));
+                g
+            })
+            .collect()
+    }
+
+    fn sorted(mut pairs: Vec<JoinPair>) -> Vec<JoinPair> {
+        pairs.sort_unstable_by_key(|p| (p.r, p.s));
+        pairs
+    }
+
+    #[test]
+    fn matches_sequential_inline_exactly() {
+        for scheme in [WeightScheme::Unweighted, WeightScheme::Idf] {
+            let c = build(random_groups(90, 41), scheme);
+            for pred in [
+                OverlapPredicate::absolute(2.0),
+                OverlapPredicate::r_normalized(0.7),
+                OverlapPredicate::two_sided(0.5),
+            ] {
+                let seq = ExecContext::new();
+                let (p1, st1) = inline::run(&c, &c, &pred, &seq);
+                for threads in [2usize, 4] {
+                    let ctx = ExecContext::new().with_threads(threads);
+                    let (pn, stn) = run(&c, &c, &pred, &ctx);
+                    assert_eq!(sorted(p1.clone()), sorted(pn), "threads {threads}");
+                    // Schedule-independent counters match the sequential
+                    // inline executor's.
+                    assert_eq!(st1.join_tuples, stn.join_tuples);
+                    assert_eq!(st1.candidate_pairs, stn.candidate_pairs);
+                    assert_eq!(st1.verified_pairs, stn.verified_pairs);
+                    assert!(stn.shards > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_heavy_token_is_split() {
+        let c = build(zipf_groups(200), WeightScheme::Unweighted);
+        let pred = OverlapPredicate::absolute(4.0);
+        let ctx = ExecContext::new()
+            .with_threads(4)
+            .with_shard_policy(ShardPolicy::TokenShards { oversubscribe: 4 });
+        let (pairs, stats) = run(&c, &c, &pred, &ctx);
+        let (seq_pairs, _) = inline::run(&c, &c, &pred, &ExecContext::new());
+        assert_eq!(sorted(pairs), sorted(seq_pairs));
+        // The stop-word rank dominates total cost; splitting must keep the
+        // heaviest shard well below the whole workload.
+        assert!(stats.shards > 4, "shards {}", stats.shards);
+        assert!(
+            stats.shard_cost_max < stats.shard_cost_total / 2,
+            "max {} total {}",
+            stats.shard_cost_max,
+            stats.shard_cost_total
+        );
+    }
+
+    #[test]
+    fn bitmap_filter_prunes_without_changing_output() {
+        let c = build(random_groups(120, 61), WeightScheme::Idf);
+        let pred = OverlapPredicate::two_sided(0.8);
+        let plain = ExecContext::new().with_threads(3);
+        let filtered = plain.clone().with_bitmap_filter(true);
+        let (p0, st0) = run(&c, &c, &pred, &plain);
+        let (p1, st1) = run(&c, &c, &pred, &filtered);
+        assert_eq!(sorted(p0), sorted(p1));
+        assert_eq!(st1.bitmap_probes, st0.candidate_pairs);
+        assert!(st1.bitmap_prunes > 0, "{st1}");
+        assert_eq!(st1.verified_pairs + st1.bitmap_prunes, st0.verified_pairs);
+    }
+
+    #[test]
+    fn plan_covers_all_ranks_disjointly() {
+        let c = build(zipf_groups(64), WeightScheme::Unweighted);
+        let pred = OverlapPredicate::absolute(3.0);
+        let r_lens = prefix_lengths(&c, Side::R, &pred, c.norm_range());
+        let s_lens = prefix_lengths(&c, Side::S, &pred, c.norm_range());
+        let r_index = InvertedIndex::build(&c, Some(&r_lens));
+        let s_index = InvertedIndex::build(&c, Some(&s_lens));
+        let plan = plan_shards(&r_index, &s_index, c.universe_size(), 4, 4);
+        // Every rank is covered exactly once (counting split sub-shards via
+        // their posting sub-ranges).
+        let mut rank_cover = vec![0usize; c.universe_size()];
+        for shard in &plan.shards {
+            match shard.r_slice {
+                None => {
+                    for t in shard.ranks.clone() {
+                        rank_cover[t] += r_index.postings(t as u32).len().max(1);
+                    }
+                }
+                Some((lo, hi)) => {
+                    assert_eq!(shard.ranks.len(), 1);
+                    rank_cover[shard.ranks.start] += hi - lo;
+                }
+            }
+        }
+        for (t, &cover) in rank_cover.iter().enumerate() {
+            let expect = r_index.postings(t as u32).len().max(1);
+            assert_eq!(cover, expect, "rank {t}");
+        }
+        assert_eq!(
+            plan.cost_total,
+            plan.shards.iter().map(|s| s.cost).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn single_thread_context_still_correct() {
+        // threads=1 normally routes to the sequential path, but the executor
+        // itself must still be correct if called directly.
+        let c = build(random_groups(40, 23), WeightScheme::Unweighted);
+        let pred = OverlapPredicate::absolute(2.0);
+        let (pairs, _) = run(&c, &c, &pred, &ExecContext::new());
+        let (seq, _) = inline::run(&c, &c, &pred, &ExecContext::new());
+        assert_eq!(sorted(pairs), sorted(seq));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let c = build(vec![], WeightScheme::Unweighted);
+        let pred = OverlapPredicate::absolute(1.0);
+        let ctx = ExecContext::new().with_threads(2);
+        let (pairs, _) = run(&c, &c, &pred, &ctx);
+        assert!(pairs.is_empty());
+    }
+}

@@ -19,7 +19,7 @@
 
 use super::basic::InvertedIndex;
 use super::prefix::{prefix_lengths, Side};
-use super::{run_chunked, JoinPair};
+use super::{run_chunked, ExecContext, JoinPair};
 use crate::predicate::OverlapPredicate;
 use crate::set::SetCollection;
 use crate::stats::{timed_phase, Phase, SsJoinStats};
@@ -47,22 +47,23 @@ pub(super) fn run(
     r: &SetCollection,
     s: &SetCollection,
     pred: &OverlapPredicate,
-    threads: usize,
+    ctx: &ExecContext,
 ) -> (Vec<JoinPair>, SsJoinStats) {
     let mut stats = SsJoinStats::default();
 
-    let (r_lens, s_index, s_suffix) = timed_phase(&mut stats, Phase::PrefixFilter, |stats| {
-        let r_lens = prefix_lengths(r, Side::R, pred, s.norm_range());
-        let s_lens = prefix_lengths(s, Side::S, pred, r.norm_range());
-        stats.prefix_tuples_r = r_lens.iter().map(|&l| l as u64).sum();
-        stats.prefix_tuples_s = s_lens.iter().map(|&l| l as u64).sum();
-        let s_index = InvertedIndex::build(s, Some(&s_lens));
-        let s_suffix = suffix_weights(s);
-        (r_lens, s_index, s_suffix)
-    });
+    let (r_lens, s_index, s_suffix) =
+        timed_phase(&mut stats, ctx.stats, Phase::PrefixFilter, |stats| {
+            let r_lens = prefix_lengths(r, Side::R, pred, s.norm_range());
+            let s_lens = prefix_lengths(s, Side::S, pred, r.norm_range());
+            stats.prefix_tuples_r = r_lens.iter().map(|&l| l as u64).sum();
+            stats.prefix_tuples_s = s_lens.iter().map(|&l| l as u64).sum();
+            let s_index = InvertedIndex::build(s, Some(&s_lens));
+            let s_suffix = suffix_weights(s);
+            (r_lens, s_index, s_suffix)
+        });
 
-    let (pairs, inner) = timed_phase(&mut stats, Phase::SsJoin, |_| {
-        run_chunked(r.len(), threads, |range| {
+    let (pairs, inner) = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
+        run_chunked(r.len(), ctx.threads, |range| {
             let mut stats = SsJoinStats::default();
             let mut pairs = Vec::new();
             let mut stamp: Vec<u32> = vec![u32::MAX; s.len()];
@@ -129,6 +130,13 @@ pub(super) fn run(
                     if cand_bound[k] < required {
                         continue; // positional prune: skip the merge
                     }
+                    if ctx.bitmap_filter {
+                        stats.bitmap_probes += 1;
+                        if rset.bitmap_overlap_bound(sset) < required {
+                            stats.bitmap_prunes += 1;
+                            continue; // signature prune: skip the merge
+                        }
+                    }
                     stats.verified_pairs += 1;
                     let overlap = rset.overlap(sset);
                     if pred.check(overlap, rset.norm(), sset.norm()) {
@@ -178,8 +186,8 @@ mod tests {
                 OverlapPredicate::r_normalized(0.7),
                 OverlapPredicate::two_sided(0.6),
             ] {
-                let (mut a, _) = super::super::inline::run(&c, &c, &pred, 1);
-                let (mut b, _) = run(&c, &c, &pred, 1);
+                let (mut a, _) = super::super::inline::run(&c, &c, &pred, &ExecContext::new());
+                let (mut b, _) = run(&c, &c, &pred, &ExecContext::new());
                 a.sort_unstable_by_key(|p| (p.r, p.s));
                 b.sort_unstable_by_key(|p| (p.r, p.s));
                 assert_eq!(a, b, "scheme {scheme:?} pred {pred:?}");
@@ -210,8 +218,9 @@ mod tests {
         let c = b.build().collection(h).clone();
         let pred = OverlapPredicate::two_sided(0.9);
 
-        let (mut inline_pairs, inline_stats) = super::super::inline::run(&c, &c, &pred, 1);
-        let (mut pairs, pos_stats) = run(&c, &c, &pred, 1);
+        let (mut inline_pairs, inline_stats) =
+            super::super::inline::run(&c, &c, &pred, &ExecContext::new());
+        let (mut pairs, pos_stats) = run(&c, &c, &pred, &ExecContext::new());
         assert_eq!(pos_stats.candidate_pairs, inline_stats.candidate_pairs);
         assert!(
             pos_stats.verified_pairs < inline_stats.verified_pairs,
@@ -230,8 +239,8 @@ mod tests {
     fn parallel_matches_sequential() {
         let c = build(random_groups(64, 31), WeightScheme::Idf);
         let pred = OverlapPredicate::two_sided(0.5);
-        let (mut p1, _) = run(&c, &c, &pred, 1);
-        let (mut p4, _) = run(&c, &c, &pred, 4);
+        let (mut p1, _) = run(&c, &c, &pred, &ExecContext::new());
+        let (mut p4, _) = run(&c, &c, &pred, &ExecContext::new().with_threads(4));
         p1.sort_unstable_by_key(|p| (p.r, p.s));
         p4.sort_unstable_by_key(|p| (p.r, p.s));
         assert_eq!(p1, p4);
@@ -240,7 +249,12 @@ mod tests {
     #[test]
     fn empty_and_tiny_inputs() {
         let c = build(vec![vec!["only".to_string()]], WeightScheme::Unweighted);
-        let (pairs, _) = run(&c, &c, &OverlapPredicate::absolute(1.0), 1);
+        let (pairs, _) = run(
+            &c,
+            &c,
+            &OverlapPredicate::absolute(1.0),
+            &ExecContext::new(),
+        );
         assert_eq!(pairs.len(), 1);
     }
 }

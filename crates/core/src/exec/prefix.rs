@@ -16,7 +16,7 @@
 //! sets through the filter and merging them directly.
 
 use super::basic::InvertedIndex;
-use super::{run_chunked, JoinPair};
+use super::{run_chunked, ExecContext, JoinPair};
 use crate::hash::FxHashMap;
 use crate::predicate::{Interval, OverlapPredicate};
 use crate::set::SetCollection;
@@ -71,26 +71,27 @@ pub(crate) fn run_prefix_family(
     r: &SetCollection,
     s: &SetCollection,
     pred: &OverlapPredicate,
-    threads: usize,
+    ctx: &ExecContext,
     inline: bool,
 ) -> (Vec<JoinPair>, SsJoinStats) {
     let mut stats = SsJoinStats::default();
 
     // Phase: prefix-filter (computing prefixes and the prefix index).
-    let (r_lens, s_index, s_lens) = timed_phase(&mut stats, Phase::PrefixFilter, |stats| {
-        let r_lens = prefix_lengths(r, Side::R, pred, s.norm_range());
-        let s_lens = prefix_lengths(s, Side::S, pred, r.norm_range());
-        stats.prefix_tuples_r = r_lens.iter().map(|&l| l as u64).sum();
-        stats.prefix_tuples_s = s_lens.iter().map(|&l| l as u64).sum();
-        let s_index = InvertedIndex::build(s, Some(&s_lens));
-        (r_lens, s_index, s_lens)
-    });
+    let (r_lens, s_index, s_lens) =
+        timed_phase(&mut stats, ctx.stats, Phase::PrefixFilter, |stats| {
+            let r_lens = prefix_lengths(r, Side::R, pred, s.norm_range());
+            let s_lens = prefix_lengths(s, Side::S, pred, r.norm_range());
+            stats.prefix_tuples_r = r_lens.iter().map(|&l| l as u64).sum();
+            stats.prefix_tuples_s = s_lens.iter().map(|&l| l as u64).sum();
+            let s_index = InvertedIndex::build(s, Some(&s_lens));
+            (r_lens, s_index, s_lens)
+        });
     let _ = s_lens;
 
     // Phase: the SSJoin proper — prefix equi-join producing candidates, then
     // overlap recomputation per candidate.
-    let (pairs, inner) = timed_phase(&mut stats, Phase::SsJoin, |_| {
-        run_chunked(r.len(), threads, |range| {
+    let (pairs, inner) = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
+        run_chunked(r.len(), ctx.threads, |range| {
             let mut stats = SsJoinStats::default();
             let mut pairs = Vec::new();
             // Candidate dedup via a stamp array (reset-free across probes).
@@ -124,6 +125,14 @@ pub(crate) fn run_prefix_family(
                 if inline {
                     for &sid in &candidates {
                         let sset = s.set(sid);
+                        if ctx.bitmap_filter {
+                            stats.bitmap_probes += 1;
+                            let required = pred.required_overlap(rset.norm(), sset.norm());
+                            if rset.bitmap_overlap_bound(sset) < required {
+                                stats.bitmap_prunes += 1;
+                                continue; // signature proves the merge can't reach the threshold
+                            }
+                        }
                         let overlap = rset.overlap(sset);
                         stats.verified_pairs += 1;
                         if pred.check(overlap, rset.norm(), sset.norm()) {
@@ -177,9 +186,9 @@ pub(super) fn run(
     r: &SetCollection,
     s: &SetCollection,
     pred: &OverlapPredicate,
-    threads: usize,
+    ctx: &ExecContext,
 ) -> (Vec<JoinPair>, SsJoinStats) {
-    run_prefix_family(r, s, pred, threads, false)
+    run_prefix_family(r, s, pred, ctx, false)
 }
 
 #[cfg(test)]
@@ -210,7 +219,7 @@ mod tests {
         let pred = OverlapPredicate::absolute(4.0);
         let lens = prefix_lengths(&c, Side::R, &pred, c.norm_range());
         assert_eq!(lens, vec![2, 2]);
-        let (pairs, _) = run(&c, &c, &pred, 1);
+        let (pairs, _) = run(&c, &c, &pred, &ExecContext::new());
         let got: Vec<(u32, u32)> = pairs.iter().map(|p| (p.r, p.s)).collect();
         let mut got = got;
         got.sort_unstable();
@@ -233,8 +242,8 @@ mod tests {
                 OverlapPredicate::r_normalized(0.6),
                 OverlapPredicate::two_sided(0.5),
             ] {
-                let (mut a, _) = super::super::basic::run(&c, &c, &pred, 1);
-                let (mut b, _) = run(&c, &c, &pred, 1);
+                let (mut a, _) = super::super::basic::run(&c, &c, &pred, &ExecContext::new());
+                let (mut b, _) = run(&c, &c, &pred, &ExecContext::new());
                 a.sort_unstable_by_key(|p| (p.r, p.s));
                 b.sort_unstable_by_key(|p| (p.r, p.s));
                 assert_eq!(a, b, "scheme {scheme:?} pred {pred:?}");
@@ -251,8 +260,8 @@ mod tests {
             .collect();
         let c = build(groups, WeightScheme::Idf);
         let pred = OverlapPredicate::two_sided(0.9);
-        let (_, basic_stats) = super::super::basic::run(&c, &c, &pred, 1);
-        let (_, prefix_stats) = run(&c, &c, &pred, 1);
+        let (_, basic_stats) = super::super::basic::run(&c, &c, &pred, &ExecContext::new());
+        let (_, prefix_stats) = run(&c, &c, &pred, &ExecContext::new());
         assert!(
             prefix_stats.join_tuples < basic_stats.join_tuples / 2,
             "prefix {} vs basic {}",
@@ -293,8 +302,8 @@ mod tests {
             .collect();
         let c = build(groups, WeightScheme::Idf);
         let pred = OverlapPredicate::two_sided(0.5);
-        let (mut p1, _) = run(&c, &c, &pred, 1);
-        let (mut p4, _) = run(&c, &c, &pred, 4);
+        let (mut p1, _) = run(&c, &c, &pred, &ExecContext::new());
+        let (mut p4, _) = run(&c, &c, &pred, &ExecContext::new().with_threads(4));
         p1.sort_unstable_by_key(|p| (p.r, p.s));
         p4.sort_unstable_by_key(|p| (p.r, p.s));
         assert_eq!(p1, p4);

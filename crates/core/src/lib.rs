@@ -77,10 +77,13 @@ mod weight;
 
 pub use builder::{BuiltInput, NormKind, RelationHandle, SsJoinInputBuilder, WeightScheme};
 pub use error::{SsJoinError, SsJoinResult};
-pub use exec::{estimate_costs, ssjoin, Algorithm, JoinPair, SsJoinConfig, SsJoinOutput};
+pub use exec::{
+    estimate_costs, ssjoin, Algorithm, ExecContext, JoinPair, ShardPolicy, SsJoinConfig,
+    SsJoinOutput,
+};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use order::ElementOrder;
 pub use predicate::{Interval, NormExpr, OverlapPredicate};
 pub use set::{SetCollection, WeightedSet};
-pub use stats::{Phase, SsJoinStats};
+pub use stats::{Phase, SsJoinStats, StatsLevel};
 pub use weight::Weight;

@@ -19,10 +19,27 @@ pub struct WeightedSet {
     /// The group's *norm* — the normalization quantity predicates reference
     /// (string length, cardinality, or total weight, chosen by the builder).
     norm: f64,
+    /// 64-bit bitmap signature: bit `hash(rank) mod 64` is set for every
+    /// element. Used by [`WeightedSet::bitmap_overlap_bound`] to upper-bound
+    /// overlaps before a verification merge.
+    signature: u64,
+    /// Smallest element weight, cached for the bitmap overlap bound. Zero
+    /// for the empty set.
+    min_weight: Weight,
+}
+
+/// Signature bit for an element rank: a multiplicative hash spreads nearby
+/// ranks across the 64 bits so dense rank ranges don't collide.
+#[inline]
+fn signature_bit(rank: u32) -> u64 {
+    1u64 << ((rank as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 58)
 }
 
 impl WeightedSet {
-    /// Build from `(rank, weight)` pairs; sorts and validates.
+    /// Build from `(rank, weight)` pairs; sorts and validates. Derived state
+    /// (total weight, bitmap signature, minimum element weight) is computed
+    /// here, so every construction path — builder or deserialization — gets
+    /// it consistently.
     ///
     /// # Panics
     /// Panics on duplicate ranks — callers must ordinalize multisets first.
@@ -36,10 +53,20 @@ impl WeightedSet {
             );
         }
         let total = elements.iter().map(|&(_, w)| w).sum();
+        let signature = elements
+            .iter()
+            .fold(0u64, |sig, &(rank, _)| sig | signature_bit(rank));
+        let min_weight = elements
+            .iter()
+            .map(|&(_, w)| w)
+            .min()
+            .unwrap_or(Weight::ZERO);
         Self {
             elements,
             total,
             norm,
+            signature,
+            min_weight,
         }
     }
 
@@ -66,6 +93,39 @@ impl WeightedSet {
     /// The norm used by normalized predicates.
     pub fn norm(&self) -> f64 {
         self.norm
+    }
+
+    /// The set's 64-bit bitmap signature (bitwise OR of one hashed bit per
+    /// element).
+    pub fn signature(&self) -> u64 {
+        self.signature
+    }
+
+    /// Smallest element weight ([`Weight::ZERO`] for the empty set).
+    pub fn min_element_weight(&self) -> Weight {
+        self.min_weight
+    }
+
+    /// Upper bound on `wt(self ∩ other)` from the two bitmap signatures.
+    ///
+    /// Every bit set in `sig_r` but not in `sig_s` certifies at least one
+    /// element of `r` absent from `s` (anything hashing to that bit is not in
+    /// `s`), and distinct bits certify distinct elements; so
+    /// `wt(r \ s) ≥ popcount(sig_r & !sig_s) · min_weight(r)` and
+    /// `overlap ≤ wt(r) − popcount(sig_r & !sig_s) · min_weight(r)`.
+    /// The symmetric bound holds for `s`; the minimum of the two is returned.
+    /// Exact-overlap computation never exceeds this, so pruning candidates
+    /// whose bound falls below the required overlap is lossless.
+    pub fn bitmap_overlap_bound(&self, other: &WeightedSet) -> Weight {
+        let only_r = u64::from((self.signature & !other.signature).count_ones());
+        let only_s = u64::from((other.signature & !self.signature).count_ones());
+        let bound_r = self.total.saturating_sub(Weight::from_raw(
+            self.min_weight.raw().saturating_mul(only_r),
+        ));
+        let bound_s = other.total.saturating_sub(Weight::from_raw(
+            other.min_weight.raw().saturating_mul(only_s),
+        ));
+        bound_r.min(bound_s)
     }
 
     /// The β-prefix of Lemma 1: the shortest prefix (under the global order)
@@ -181,6 +241,12 @@ impl SetCollection {
     pub(crate) fn universe_tag(&self) -> u64 {
         self.universe_tag
     }
+
+    /// True when both collections come from the same builder run and thus
+    /// share one element universe — the precondition for joining them.
+    pub fn shares_universe(&self, other: &SetCollection) -> bool {
+        self.universe_tag == other.universe_tag
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +330,61 @@ mod tests {
         assert_eq!(c.tuple_count(), 3);
         assert_eq!(c.universe_size(), 2);
         assert_eq!(c.set(1).len(), 1);
+    }
+
+    #[test]
+    fn signature_and_min_weight_cached() {
+        let s = set(&[(1, 2.0), (7, 0.5), (40, 1.0)]);
+        assert_ne!(s.signature(), 0);
+        assert!(s.signature().count_ones() as usize <= s.len());
+        assert_eq!(s.min_element_weight(), w(0.5));
+        let e = set(&[]);
+        assert_eq!(e.signature(), 0);
+        assert_eq!(e.min_element_weight(), Weight::ZERO);
+    }
+
+    #[test]
+    fn bitmap_bound_never_below_overlap() {
+        // The bound must dominate the exact overlap for arbitrary set pairs.
+        let mk = |seed: u32, n: u32| {
+            set(&(0..n)
+                .map(|i| {
+                    let rank = (seed.wrapping_mul(31).wrapping_add(i * 17)) % 97;
+                    (rank, 0.5 + f64::from((rank * 7) % 5))
+                })
+                .collect::<std::collections::HashMap<u32, f64>>()
+                .into_iter()
+                .collect::<Vec<_>>())
+        };
+        for a_seed in 0..12u32 {
+            for b_seed in 0..12u32 {
+                let a = mk(a_seed, 3 + a_seed % 9);
+                let b = mk(b_seed, 3 + b_seed % 9);
+                let exact = a.overlap(&b);
+                let bound = a.bitmap_overlap_bound(&b);
+                assert!(
+                    bound >= exact,
+                    "bound {bound} < exact {exact} (seeds {a_seed},{b_seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_bound_prunes_disjoint_sets() {
+        // Fully disjoint signatures with unit weights: the bound collapses
+        // toward zero, far below the sets' totals.
+        let a = set(&[(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)]);
+        let b = set(&[(60, 1.0), (61, 1.0), (62, 1.0), (63, 1.0)]);
+        let bound = a.bitmap_overlap_bound(&b);
+        assert!(bound < a.total_weight());
+        assert!(bound >= a.overlap(&b));
+    }
+
+    #[test]
+    fn bitmap_bound_identical_sets_is_total() {
+        let a = set(&[(3, 1.5), (9, 2.0)]);
+        assert_eq!(a.bitmap_overlap_bound(&a), a.total_weight());
     }
 
     #[test]

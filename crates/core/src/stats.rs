@@ -41,6 +41,17 @@ impl Phase {
     }
 }
 
+/// How much instrumentation executors record into [`SsJoinStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsLevel {
+    /// Counters and per-phase wall times.
+    #[default]
+    Timed,
+    /// Counters only — phase clock reads are skipped and phase times stay
+    /// zero.
+    CountersOnly,
+}
+
 /// Statistics of one SSJoin execution.
 #[derive(Debug, Clone, Default)]
 pub struct SsJoinStats {
@@ -59,6 +70,21 @@ pub struct SsJoinStats {
     pub verified_pairs: u64,
     /// Pairs in the final result.
     pub output_pairs: u64,
+    /// Candidate pairs probed against the bitmap signature filter.
+    pub bitmap_probes: u64,
+    /// Candidate pairs rejected by the bitmap signature filter (no
+    /// verification merge performed).
+    pub bitmap_prunes: u64,
+    /// Token shards planned by the partitioned executor (0 when it did not
+    /// run).
+    pub shards: u64,
+    /// Shards executed by a worker other than their assigned owner
+    /// (work-stealing events; scheduling-dependent, advisory only).
+    pub shard_steals: u64,
+    /// Planned cost (posting-product units) of the heaviest shard.
+    pub shard_cost_max: u64,
+    /// Planned cost summed over all shards.
+    pub shard_cost_total: u64,
 }
 
 impl SsJoinStats {
@@ -97,6 +123,23 @@ impl SsJoinStats {
         self.candidate_pairs += other.candidate_pairs;
         self.verified_pairs += other.verified_pairs;
         self.output_pairs += other.output_pairs;
+        self.bitmap_probes += other.bitmap_probes;
+        self.bitmap_prunes += other.bitmap_prunes;
+        self.shards += other.shards;
+        self.shard_steals += other.shard_steals;
+        self.shard_cost_max = self.shard_cost_max.max(other.shard_cost_max);
+        self.shard_cost_total += other.shard_cost_total;
+    }
+
+    /// Shard load imbalance: heaviest shard cost over the ideal per-shard
+    /// cost (`total / shards`). `1.0` is perfect balance; `None` when the
+    /// partitioned executor did not run or planned no work.
+    pub fn shard_imbalance(&self) -> Option<f64> {
+        if self.shards == 0 || self.shard_cost_total == 0 {
+            return None;
+        }
+        let ideal = self.shard_cost_total as f64 / self.shards as f64;
+        Some(self.shard_cost_max as f64 / ideal)
     }
 }
 
@@ -114,16 +157,38 @@ impl fmt::Display for SsJoinStats {
             self.candidate_pairs,
             self.verified_pairs,
             self.output_pairs
-        )
+        )?;
+        if self.bitmap_probes > 0 {
+            write!(
+                f,
+                " bitmap_probes={} bitmap_prunes={}",
+                self.bitmap_probes, self.bitmap_prunes
+            )?;
+        }
+        if self.shards > 0 {
+            write!(
+                f,
+                " shards={} steals={} imbalance={:.2}",
+                self.shards,
+                self.shard_steals,
+                self.shard_imbalance().unwrap_or(1.0)
+            )?;
+        }
+        Ok(())
     }
 }
 
-/// Time a closure, attributing its duration to `phase`.
+/// Time a closure, attributing its duration to `phase`. Under
+/// [`StatsLevel::CountersOnly`] the clock reads are skipped.
 pub(crate) fn timed_phase<T>(
     stats: &mut SsJoinStats,
+    level: StatsLevel,
     phase: Phase,
     f: impl FnOnce(&mut SsJoinStats) -> T,
 ) -> T {
+    if level == StatsLevel::CountersOnly {
+        return f(stats);
+    }
     let start = std::time::Instant::now();
     let out = f(stats);
     stats.add_time(phase, start.elapsed());
@@ -164,13 +229,53 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn merge_partition_counters() {
+        let mut a = SsJoinStats::default();
+        a.bitmap_probes = 10;
+        a.bitmap_prunes = 4;
+        a.shards = 3;
+        a.shard_cost_max = 50;
+        a.shard_cost_total = 90;
+        let mut b = SsJoinStats::default();
+        b.bitmap_probes = 5;
+        b.shards = 1;
+        b.shard_steals = 2;
+        b.shard_cost_max = 70;
+        b.shard_cost_total = 70;
+        a.merge(&b);
+        assert_eq!(a.bitmap_probes, 15);
+        assert_eq!(a.bitmap_prunes, 4);
+        assert_eq!(a.shards, 4);
+        assert_eq!(a.shard_steals, 2);
+        assert_eq!(a.shard_cost_max, 70); // max, not sum
+        assert_eq!(a.shard_cost_total, 160);
+        let imb = a.shard_imbalance().unwrap();
+        assert!((imb - 70.0 / 40.0).abs() < 1e-9, "{imb}");
+    }
+
+    #[test]
+    fn imbalance_none_without_shards() {
+        assert_eq!(SsJoinStats::default().shard_imbalance(), None);
+    }
+
+    #[test]
     fn timed_phase_records() {
         let mut s = SsJoinStats::default();
-        let out = timed_phase(&mut s, Phase::Prep, |_| 42);
+        let out = timed_phase(&mut s, StatsLevel::Timed, Phase::Prep, |_| 42);
         assert_eq!(out, 42);
         // Duration may round to zero on coarse clocks; just ensure no panic
         // and display renders.
         let _ = s.to_string();
+    }
+
+    #[test]
+    fn counters_only_skips_timing() {
+        let mut s = SsJoinStats::default();
+        timed_phase(&mut s, StatsLevel::CountersOnly, Phase::Prep, |_| {
+            std::thread::sleep(Duration::from_millis(2));
+        });
+        assert_eq!(s.total_time(), Duration::ZERO);
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! Property-based tests: every physical implementation of SSJoin must agree
 //! with a brute-force oracle, for random inputs, weights, orders, and
-//! predicate shapes.
+//! predicate shapes. Inputs are driven by a seeded PRNG so every failure is
+//! reproducible from the iteration's seed.
 
-use proptest::prelude::*;
 use ssjoin_core::plan::{basic_plan, collection_to_relation, inline_plan, prefix_plan, run_plan};
 use ssjoin_core::{
-    ssjoin, Algorithm, ElementOrder, JoinPair, OverlapPredicate, SetCollection, SsJoinConfig,
-    SsJoinInputBuilder, WeightScheme,
+    ssjoin, Algorithm, ElementOrder, ExecContext, JoinPair, OverlapPredicate, SetCollection,
+    ShardPolicy, SsJoinConfig, SsJoinInputBuilder, WeightScheme,
 };
+use ssjoin_prng::{Rng, StdRng};
 use std::sync::Arc;
 
 /// Brute force: check every pair with the merge-based overlap.
@@ -28,26 +29,40 @@ fn pairs_to_keys(pairs: &[JoinPair]) -> Vec<(u32, u32)> {
     pairs.iter().map(|p| (p.r, p.s)).collect()
 }
 
-fn groups_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
-    proptest::collection::vec(proptest::collection::vec("[a-j]", 0..8), 1..20)
+/// 1–19 groups of 0–7 single-letter tokens from a 10-letter alphabet —
+/// small enough for the oracle, collision-heavy enough to exercise every
+/// code path.
+fn random_groups(rng: &mut StdRng) -> Vec<Vec<String>> {
+    let n = rng.gen_range(1usize..20);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(0usize..8);
+            (0..len)
+                .map(|_| {
+                    let c = b'a' + rng.gen_range(0u8..10);
+                    (c as char).to_string()
+                })
+                .collect()
+        })
+        .collect()
 }
 
-fn predicate_strategy() -> impl Strategy<Value = OverlapPredicate> {
-    prop_oneof![
-        (0.5f64..4.0).prop_map(OverlapPredicate::absolute),
-        (0.1f64..1.0).prop_map(OverlapPredicate::r_normalized),
-        (0.1f64..1.0).prop_map(OverlapPredicate::s_normalized),
-        (0.1f64..1.0).prop_map(OverlapPredicate::two_sided),
-    ]
+fn random_predicate(rng: &mut StdRng) -> OverlapPredicate {
+    match rng.gen_range(0u32..4) {
+        0 => OverlapPredicate::absolute(0.5 + 3.5 * rng.gen_f64()),
+        1 => OverlapPredicate::r_normalized(0.1 + 0.9 * rng.gen_f64()),
+        2 => OverlapPredicate::s_normalized(0.1 + 0.9 * rng.gen_f64()),
+        _ => OverlapPredicate::two_sided(0.1 + 0.9 * rng.gen_f64()),
+    }
 }
 
-fn order_strategy() -> impl Strategy<Value = ElementOrder> {
-    prop_oneof![
-        Just(ElementOrder::FrequencyAsc),
-        Just(ElementOrder::FrequencyDesc),
-        Just(ElementOrder::Lexicographic),
-        Just(ElementOrder::Hashed),
-    ]
+fn random_order(rng: &mut StdRng) -> ElementOrder {
+    match rng.gen_range(0u32..4) {
+        0 => ElementOrder::FrequencyAsc,
+        1 => ElementOrder::FrequencyDesc,
+        2 => ElementOrder::Lexicographic,
+        _ => ElementOrder::Hashed,
+    }
 }
 
 fn build_two(
@@ -63,21 +78,25 @@ fn build_two(
     (built.collection(rh).clone(), built.collection(sh).clone())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// All four fast-path algorithms agree with the oracle, for every
-    /// weighting scheme and global order.
-    #[test]
-    fn executors_match_oracle(
-        r_groups in groups_strategy(),
-        s_groups in groups_strategy(),
-        pred in predicate_strategy(),
-        order in order_strategy(),
-        idf in proptest::bool::ANY,
-    ) {
-        let scheme = if idf { WeightScheme::Idf } else { WeightScheme::Unweighted };
-        let (r, s) = build_two(r_groups, s_groups, scheme, order);
+/// All five fast-path algorithms agree with the oracle, for every weighting
+/// scheme and global order.
+#[test]
+fn executors_match_oracle() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xA110 + seed);
+        let scheme = if rng.gen_bool(0.5) {
+            WeightScheme::Idf
+        } else {
+            WeightScheme::Unweighted
+        };
+        let order = random_order(&mut rng);
+        let pred = random_predicate(&mut rng);
+        let (r, s) = build_two(
+            random_groups(&mut rng),
+            random_groups(&mut rng),
+            scheme,
+            order,
+        );
         let expect = oracle(&r, &s, &pred);
         for alg in [
             Algorithm::Basic,
@@ -87,105 +106,180 @@ proptest! {
             Algorithm::Auto,
         ] {
             let out = ssjoin(&r, &s, &pred, &SsJoinConfig::new(alg)).unwrap();
-            prop_assert_eq!(
+            assert_eq!(
                 pairs_to_keys(&out.pairs),
-                expect.clone(),
-                "algorithm {:?}, order {:?}, scheme {:?}",
-                alg, order, scheme
+                expect,
+                "seed {seed}, algorithm {alg:?}, order {order:?}, scheme {scheme:?}"
             );
         }
     }
+}
 
-    /// Overlap values reported by different algorithms are identical (exact
-    /// fixed-point, not merely approximately equal).
-    #[test]
-    fn overlaps_are_exact_across_algorithms(
-        groups in groups_strategy(),
-        pred in predicate_strategy(),
-    ) {
-        let (r, s) = build_two(groups.clone(), groups, WeightScheme::Idf,
-                               ElementOrder::FrequencyAsc);
+/// Overlap values reported by different algorithms are identical (exact
+/// fixed-point, not merely approximately equal).
+#[test]
+fn overlaps_are_exact_across_algorithms() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xEAAC + seed);
+        let pred = random_predicate(&mut rng);
+        let groups = random_groups(&mut rng);
+        let (r, s) = build_two(
+            groups.clone(),
+            groups,
+            WeightScheme::Idf,
+            ElementOrder::FrequencyAsc,
+        );
         let a = ssjoin(&r, &s, &pred, &SsJoinConfig::new(Algorithm::Basic)).unwrap();
         let b = ssjoin(&r, &s, &pred, &SsJoinConfig::new(Algorithm::Inline)).unwrap();
-        prop_assert_eq!(a.pairs, b.pairs);
+        assert_eq!(a.pairs, b.pairs, "seed {seed}");
     }
+}
 
-    /// The relational plans (Figures 7/8/9) agree with the fast path.
-    #[test]
-    fn relational_plans_match_fast_path(
-        groups in proptest::collection::vec(
-            proptest::collection::vec("[a-f]", 0..6), 1..12),
-        pred in predicate_strategy(),
-    ) {
-        let (r, s) = build_two(groups.clone(), groups, WeightScheme::Idf,
-                               ElementOrder::FrequencyAsc);
+/// The relational plans (Figures 7/8/9) agree with the fast path.
+#[test]
+fn relational_plans_match_fast_path() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x9E1A + seed);
+        let pred = random_predicate(&mut rng);
+        // Smaller inputs: the plan path materializes full intermediates.
+        let n = rng.gen_range(1usize..12);
+        let groups: Vec<Vec<String>> = (0..n)
+            .map(|_| {
+                let len = rng.gen_range(0usize..6);
+                (0..len)
+                    .map(|_| ((b'a' + rng.gen_range(0u8..6)) as char).to_string())
+                    .collect()
+            })
+            .collect();
+        let (r, s) = build_two(
+            groups.clone(),
+            groups,
+            WeightScheme::Idf,
+            ElementOrder::FrequencyAsc,
+        );
         let expect = ssjoin(&r, &s, &pred, &SsJoinConfig::new(Algorithm::Basic))
             .unwrap()
             .pairs;
 
         let r_rel = Arc::new(collection_to_relation(&r));
         let s_rel = Arc::new(collection_to_relation(&s));
-        let (basic, _) = run_plan(basic_plan(r_rel.clone(), s_rel.clone(), &pred).as_ref())
-            .unwrap();
-        prop_assert_eq!(&basic, &expect, "basic plan");
-        let (prefix, _) = run_plan(
-            prefix_plan(r_rel, s_rel, &pred, r.norm_range(), s.norm_range()).as_ref(),
-        )
-        .unwrap();
-        prop_assert_eq!(&prefix, &expect, "prefix plan");
-        let (inline, _) = run_plan(inline_plan(&r, &s, &pred).as_ref()).unwrap();
-        prop_assert_eq!(&inline, &expect, "inline plan");
-    }
-
-    /// Parallel execution is exactly equivalent to sequential.
-    #[test]
-    fn parallel_equals_sequential(
-        groups in groups_strategy(),
-        pred in predicate_strategy(),
-        threads in 2usize..5,
-    ) {
-        let (r, s) = build_two(groups.clone(), groups, WeightScheme::Unweighted,
-                               ElementOrder::FrequencyAsc);
-        for alg in [Algorithm::Basic, Algorithm::Inline] {
-            let seq = ssjoin(&r, &s, &pred, &SsJoinConfig::new(alg)).unwrap();
-            let par = ssjoin(&r, &s, &pred, &SsJoinConfig::new(alg).with_threads(threads))
+        let (basic, _) =
+            run_plan(basic_plan(r_rel.clone(), s_rel.clone(), &pred).as_ref()).unwrap();
+        assert_eq!(&basic, &expect, "basic plan, seed {seed}");
+        let (prefix, _) =
+            run_plan(prefix_plan(r_rel, s_rel, &pred, r.norm_range(), s.norm_range()).as_ref())
                 .unwrap();
-            prop_assert_eq!(seq.pairs, par.pairs, "algorithm {:?}", alg);
+        assert_eq!(&prefix, &expect, "prefix plan, seed {seed}");
+        let (inline, _) = run_plan(inline_plan(&r, &s, &pred).as_ref()).unwrap();
+        assert_eq!(&inline, &expect, "inline plan, seed {seed}");
+    }
+}
+
+/// Parallel execution — under both shard policies and with the bitmap
+/// signature filter on or off — is exactly equivalent to sequential: same
+/// pairs, same overlaps, for every algorithm.
+#[test]
+fn parallel_equals_sequential() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x5A4D + seed);
+        let pred = random_predicate(&mut rng);
+        let order = random_order(&mut rng);
+        let groups = random_groups(&mut rng);
+        let (r, s) = build_two(groups.clone(), groups, WeightScheme::Idf, order);
+        for alg in [
+            Algorithm::Basic,
+            Algorithm::PrefixFiltered,
+            Algorithm::Inline,
+            Algorithm::PositionalInline,
+            Algorithm::Auto,
+        ] {
+            let seq = ssjoin(&r, &s, &pred, &SsJoinConfig::new(alg)).unwrap();
+            for threads in [2usize, 8] {
+                for (shard, bitmap) in [
+                    (ShardPolicy::GroupChunks, false),
+                    (ShardPolicy::token_shards(), false),
+                    (ShardPolicy::token_shards(), true),
+                ] {
+                    let ctx = ExecContext::new()
+                        .with_threads(threads)
+                        .with_shard_policy(shard)
+                        .with_bitmap_filter(bitmap);
+                    let par =
+                        ssjoin(&r, &s, &pred, &SsJoinConfig::new(alg).with_exec(ctx)).unwrap();
+                    assert_eq!(
+                        seq.pairs, par.pairs,
+                        "seed {seed}, alg {alg:?}, threads {threads}, \
+                         shard {shard:?}, bitmap {bitmap}"
+                    );
+                }
+            }
         }
     }
+}
 
-    /// Monotonicity: raising an absolute threshold never adds pairs.
-    #[test]
-    fn threshold_monotonicity(
-        groups in groups_strategy(),
-        lo in 0.5f64..2.0,
-        delta in 0.1f64..2.0,
-    ) {
-        let (r, s) = build_two(groups.clone(), groups, WeightScheme::Unweighted,
-                               ElementOrder::FrequencyAsc);
-        let loose = ssjoin(&r, &s, &OverlapPredicate::absolute(lo),
-                           &SsJoinConfig::default()).unwrap();
-        let tight = ssjoin(&r, &s, &OverlapPredicate::absolute(lo + delta),
-                           &SsJoinConfig::default()).unwrap();
+/// Monotonicity: raising an absolute threshold never adds pairs.
+#[test]
+fn threshold_monotonicity() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x300 + seed);
+        let lo = 0.5 + 1.5 * rng.gen_f64();
+        let delta = 0.1 + 1.9 * rng.gen_f64();
+        let groups = random_groups(&mut rng);
+        let (r, s) = build_two(
+            groups.clone(),
+            groups,
+            WeightScheme::Unweighted,
+            ElementOrder::FrequencyAsc,
+        );
+        let loose = ssjoin(
+            &r,
+            &s,
+            &OverlapPredicate::absolute(lo),
+            &SsJoinConfig::default(),
+        )
+        .unwrap();
+        let tight = ssjoin(
+            &r,
+            &s,
+            &OverlapPredicate::absolute(lo + delta),
+            &SsJoinConfig::default(),
+        )
+        .unwrap();
         let loose_keys: std::collections::HashSet<_> =
             pairs_to_keys(&loose.pairs).into_iter().collect();
         for key in pairs_to_keys(&tight.pairs) {
-            prop_assert!(loose_keys.contains(&key));
+            assert!(loose_keys.contains(&key), "seed {seed}, key {key:?}");
         }
     }
+}
 
-    /// Self-join symmetry for symmetric predicates: (i, j) present iff
-    /// (j, i) present.
-    #[test]
-    fn self_join_symmetry(groups in groups_strategy(), alpha in 0.1f64..1.0) {
-        let (r, s) = build_two(groups.clone(), groups, WeightScheme::Idf,
-                               ElementOrder::FrequencyAsc);
-        let out = ssjoin(&r, &s, &OverlapPredicate::two_sided(alpha),
-                         &SsJoinConfig::default()).unwrap();
-        let keys: std::collections::HashSet<_> =
-            pairs_to_keys(&out.pairs).into_iter().collect();
+/// Self-join symmetry for symmetric predicates: (i, j) present iff (j, i)
+/// present.
+#[test]
+fn self_join_symmetry() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x55EF + seed);
+        let alpha = 0.1 + 0.9 * rng.gen_f64();
+        let groups = random_groups(&mut rng);
+        let (r, s) = build_two(
+            groups.clone(),
+            groups,
+            WeightScheme::Idf,
+            ElementOrder::FrequencyAsc,
+        );
+        let out = ssjoin(
+            &r,
+            &s,
+            &OverlapPredicate::two_sided(alpha),
+            &SsJoinConfig::default(),
+        )
+        .unwrap();
+        let keys: std::collections::HashSet<_> = pairs_to_keys(&out.pairs).into_iter().collect();
         for &(i, j) in &keys {
-            prop_assert!(keys.contains(&(j, i)), "missing mirror of ({i},{j})");
+            assert!(
+                keys.contains(&(j, i)),
+                "seed {seed}, missing mirror of ({i},{j})"
+            );
         }
     }
 }

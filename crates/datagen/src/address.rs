@@ -4,8 +4,7 @@
 use crate::errors::{ErrorModel, Perturber};
 use crate::vocab::{CITIES, STATES, STREET_NAMES, STREET_TYPES, UNITS};
 use crate::zipf::Zipf;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ssjoin_prng::{Rng, StdRng};
 
 /// Configuration for [`AddressCorpus::generate`].
 #[derive(Debug, Clone)]

@@ -2,7 +2,7 @@
 //! ("typing mistakes, differences in conventions, etc.").
 
 use crate::vocab::{STATES, STREET_TYPES, UNITS};
-use rand::Rng;
+use ssjoin_prng::Rng;
 
 /// Probabilities of each error class applied when perturbing a string.
 #[derive(Debug, Clone)]
@@ -169,8 +169,7 @@ fn swap_tokens<R: Rng + ?Sized>(rng: &mut R, s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ssjoin_prng::StdRng;
     use ssjoin_sim_shim::edit_distance_words;
 
     // Tiny local helper instead of a cross-crate dev-dependency.

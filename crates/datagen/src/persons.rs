@@ -3,8 +3,7 @@
 
 use crate::errors::{ErrorModel, Perturber};
 use crate::vocab::{FIRST_NAMES, LAST_NAMES};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ssjoin_prng::{Rng, StdRng};
 
 /// One person record with FD-source attributes.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -4,8 +4,7 @@
 
 use crate::errors::{ErrorModel, Perturber};
 use crate::zipf::Zipf;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ssjoin_prng::{Rng, StdRng};
 
 const BRANDS: &[&str] = &[
     "Microsoft",

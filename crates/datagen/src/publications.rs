@@ -4,8 +4,7 @@
 //! must come from shared titles.
 
 use crate::vocab::{FIRST_NAMES, LAST_NAMES, TITLE_WORDS};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ssjoin_prng::{Rng, StdRng};
 
 /// Configuration for [`PublicationCorpus::generate`].
 #[derive(Debug, Clone)]
@@ -63,7 +62,7 @@ impl PublicationCorpus {
             let name2 = format!("{last}, {}. {a}", first.chars().next().expect("nonempty"));
             identity.push((name1.clone(), name2.clone()));
 
-            let n_papers = rng.gen_range(config.papers_min..=config.papers_max);
+            let n_papers = rng.gen_range_inclusive(config.papers_min..=config.papers_max);
             for _ in 0..n_papers {
                 let title = random_title(&mut rng);
                 let both = rng.gen_bool(config.shared_fraction);
@@ -86,7 +85,7 @@ impl PublicationCorpus {
 }
 
 fn random_title(rng: &mut StdRng) -> String {
-    let len = rng.gen_range(4..8);
+    let len = rng.gen_range(4..8usize);
     let words: Vec<&str> = (0..len)
         .map(|_| TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())])
         .collect();

@@ -5,7 +5,7 @@
 //! small exact sampler: probabilities `p(k) ∝ 1 / k^s` over ranks
 //! `1..=n`, sampled by binary search over the precomputed CDF.
 
-use rand::Rng;
+use ssjoin_prng::Rng;
 
 /// A Zipf distribution over `0..n` (rank 0 is the most frequent).
 #[derive(Debug, Clone)]
@@ -50,7 +50,7 @@ impl Zipf {
 
     /// Sample a rank in `0..n`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+        let u: f64 = rng.gen_f64();
         match self
             .cdf
             .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
@@ -64,8 +64,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ssjoin_prng::StdRng;
 
     #[test]
     fn uniform_when_s_zero() {

@@ -92,7 +92,7 @@ pub fn cooccurrence_join(
         kind: config.kind,
         weights: config.weights,
         algorithm: config.algorithm,
-        threads: 1,
+        exec: Default::default(),
         order: Default::default(),
     };
     let out = jaccard_join_tokens(r_groups, s_groups, &jconfig)?;

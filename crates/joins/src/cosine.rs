@@ -19,8 +19,8 @@
 
 use crate::common::{MatchPair, SimilarityJoinOutput};
 use ssjoin_core::{
-    ssjoin, Algorithm, ElementOrder, NormExpr, NormKind, OverlapPredicate, Phase, SsJoinConfig,
-    SsJoinInputBuilder, SsJoinResult, WeightScheme,
+    ssjoin, Algorithm, ElementOrder, ExecContext, NormExpr, NormKind, OverlapPredicate, Phase,
+    SsJoinConfig, SsJoinInputBuilder, SsJoinResult, WeightScheme,
 };
 use ssjoin_text::{Tokenizer, WordTokenizer};
 use std::time::Instant;
@@ -32,8 +32,8 @@ pub struct CosineConfig {
     pub threshold: f64,
     /// SSJoin physical algorithm.
     pub algorithm: Algorithm,
-    /// Worker threads.
-    pub threads: usize,
+    /// Execution context (threads, shard policy, bitmap filter).
+    pub exec: ExecContext,
 }
 
 impl CosineConfig {
@@ -46,13 +46,19 @@ impl CosineConfig {
         Self {
             threshold,
             algorithm: Algorithm::Inline,
-            threads: 1,
+            exec: ExecContext::new(),
         }
     }
 
     /// Override the SSJoin algorithm.
     pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;
+        self
+    }
+
+    /// Replace the whole execution context.
+    pub fn with_exec(mut self, exec: ExecContext) -> Self {
+        self.exec = exec;
         self
     }
 }
@@ -80,7 +86,7 @@ pub fn cosine_join_tokens(
     )]);
     let ss_config = SsJoinConfig {
         algorithm: config.algorithm,
-        threads: config.threads,
+        exec: config.exec.clone(),
     };
     let r_col = built.collection(rh);
     let s_col = built.collection(sh);

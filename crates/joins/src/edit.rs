@@ -22,8 +22,8 @@
 
 use crate::common::{MatchPair, SimilarityJoinOutput};
 use ssjoin_core::{
-    ssjoin, Algorithm, ElementOrder, NormExpr, NormKind, OverlapPredicate, Phase, SsJoinConfig,
-    SsJoinInputBuilder, SsJoinResult, WeightScheme,
+    ssjoin, Algorithm, ElementOrder, ExecContext, NormExpr, NormKind, OverlapPredicate, Phase,
+    SsJoinConfig, SsJoinInputBuilder, SsJoinResult, WeightScheme,
 };
 use ssjoin_sim::edit_similarity_at_least;
 use ssjoin_text::{QGramTokenizer, Tokenizer};
@@ -39,8 +39,9 @@ pub struct EditJoinConfig {
     pub threshold: f64,
     /// SSJoin physical algorithm.
     pub algorithm: Algorithm,
-    /// Worker threads for the SSJoin.
-    pub threads: usize,
+    /// Execution context for the SSJoin (threads, shard policy, bitmap
+    /// filter).
+    pub exec: ExecContext,
     /// Global element order (ablation hook; the default is the paper's).
     pub order: ElementOrder,
 }
@@ -56,7 +57,7 @@ impl EditJoinConfig {
             q: 3,
             threshold,
             algorithm: Algorithm::Inline,
-            threads: 1,
+            exec: ExecContext::new(),
             order: ElementOrder::FrequencyAsc,
         }
     }
@@ -145,7 +146,7 @@ pub fn edit_similarity_join(
     )]);
     let ss_config = SsJoinConfig {
         algorithm: config.algorithm,
-        threads: config.threads,
+        exec: config.exec.clone(),
     };
     let out = ssjoin(
         built.collection(rh),

@@ -22,8 +22,8 @@
 use crate::common::{MatchPair, SimilarityJoinOutput};
 use crate::edit::{edit_similarity_join, EditJoinConfig};
 use ssjoin_core::{
-    ssjoin, Algorithm, ElementOrder, OverlapPredicate, Phase, SsJoinConfig, SsJoinInputBuilder,
-    SsJoinResult, SsJoinStats, WeightScheme,
+    ssjoin, Algorithm, ElementOrder, ExecContext, OverlapPredicate, Phase, SsJoinConfig,
+    SsJoinInputBuilder, SsJoinResult, SsJoinStats, WeightScheme,
 };
 use ssjoin_sim::{ges, GesConfig};
 use ssjoin_text::{Tokenizer, WordTokenizer};
@@ -40,8 +40,9 @@ pub struct GesJoinConfig {
     pub beta: f64,
     /// SSJoin physical algorithm for the candidate join.
     pub algorithm: Algorithm,
-    /// Worker threads.
-    pub threads: usize,
+    /// Execution context for the candidate SSJoin (threads, shard policy,
+    /// bitmap filter).
+    pub exec: ExecContext,
     /// Brute-force mode: skip candidate generation and verify every pair
     /// (exact reference, used for recall measurement).
     pub exhaustive: bool,
@@ -58,7 +59,7 @@ impl GesJoinConfig {
             threshold,
             beta: 0.85,
             algorithm: Algorithm::Inline,
-            threads: 1,
+            exec: ExecContext::new(),
             exhaustive: false,
         }
     }
@@ -175,7 +176,7 @@ pub fn ges_join(
         let pred = OverlapPredicate::r_normalized(margin);
         let ss_config = SsJoinConfig {
             algorithm: config.algorithm,
-            threads: config.threads,
+            exec: config.exec.clone(),
         };
         let out = ssjoin(
             built.collection(rh),

@@ -9,8 +9,8 @@
 
 use crate::common::{MatchPair, SimilarityJoinOutput};
 use ssjoin_core::{
-    ssjoin, Algorithm, ElementOrder, OverlapPredicate, Phase, SsJoinConfig, SsJoinInputBuilder,
-    SsJoinResult, WeightScheme,
+    ssjoin, Algorithm, ElementOrder, ExecContext, OverlapPredicate, Phase, SsJoinConfig,
+    SsJoinInputBuilder, SsJoinResult, WeightScheme,
 };
 use ssjoin_text::{Tokenizer, WordTokenizer};
 use std::time::Instant;
@@ -35,8 +35,8 @@ pub struct JaccardConfig {
     pub weights: WeightScheme,
     /// SSJoin physical algorithm.
     pub algorithm: Algorithm,
-    /// Worker threads.
-    pub threads: usize,
+    /// Execution context (threads, shard policy, bitmap filter).
+    pub exec: ExecContext,
     /// Global element order.
     pub order: ElementOrder,
 }
@@ -62,7 +62,7 @@ impl JaccardConfig {
             kind,
             weights: WeightScheme::Idf,
             algorithm: Algorithm::Inline,
-            threads: 1,
+            exec: ExecContext::new(),
             order: ElementOrder::FrequencyAsc,
         }
     }
@@ -87,7 +87,13 @@ impl JaccardConfig {
 
     /// Override the worker thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+        self.exec.threads = threads;
+        self
+    }
+
+    /// Replace the whole execution context.
+    pub fn with_exec(mut self, exec: ExecContext) -> Self {
+        self.exec = exec;
         self
     }
 }
@@ -114,7 +120,7 @@ pub fn jaccard_join_tokens(
     };
     let ss_config = SsJoinConfig {
         algorithm: config.algorithm,
-        threads: config.threads,
+        exec: config.exec.clone(),
     };
     let r_col = built.collection(rh);
     let s_col = built.collection(sh);

@@ -157,7 +157,7 @@ impl EditMatcher {
                 (self.q as f64 / c).ceil() as usize
             };
             for (&len, rids) in &self.by_len {
-                if len >= cutoff.min(usize::MAX) && cutoff != usize::MAX {
+                if len >= cutoff && cutoff != usize::MAX {
                     continue; // pair bound applies via the reference side
                 }
                 // Length filter relative to the query.

@@ -44,7 +44,7 @@ pub fn soundex_join(
         kind: JaccardKind::Resemblance,
         weights: WeightScheme::Unweighted,
         algorithm: config.algorithm,
-        threads: 1,
+        exec: Default::default(),
         order: Default::default(),
     };
     jaccard_join_tokens(r_groups, s_groups, &jconfig)

@@ -1,26 +1,40 @@
 //! Property-based tests: every packaged similarity join against brute
 //! force on random inputs — including the short strings where the q-gram
-//! bound is vacuous, which the joins claim to handle exactly.
+//! bound is vacuous, which the joins claim to handle exactly. Inputs are
+//! driven by a seeded PRNG so every failure is reproducible from the
+//! iteration's seed.
 
-use proptest::prelude::*;
 use ssjoin_core::{Algorithm, WeightScheme};
 use ssjoin_joins::{
     edit_similarity_join, hamming_join, jaccard_join, soft_fd_join, EditJoinConfig, EditMatcher,
     HammingJoinConfig, JaccardConfig, SoftFdConfig,
 };
+use ssjoin_prng::{Rng, StdRng};
 use ssjoin_sim::{edit_similarity, hamming_distance, jaccard_resemblance};
 use ssjoin_text::{Tokenizer, WordTokenizer};
 
-fn corpus_strategy() -> impl Strategy<Value = Vec<String>> {
-    proptest::collection::vec("[abc ]{0,14}", 1..10)
+/// A random string over `pool` with length in `0..=max_len`.
+fn random_string(rng: &mut StdRng, pool: &[char], max_len: usize) -> String {
+    let len = rng.gen_range_inclusive(0..=max_len);
+    (0..len).map(|_| pool[rng.gen_index(pool.len())]).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// 1–9 strings of up to 14 chars over {a, b, c, space} — word-boundary and
+/// empty-string heavy.
+fn random_corpus(rng: &mut StdRng) -> Vec<String> {
+    let n = rng.gen_range(1usize..10);
+    (0..n)
+        .map(|_| random_string(rng, &['a', 'b', 'c', ' '], 14))
+        .collect()
+}
 
-    /// The edit join is exact for arbitrary (including very short) strings.
-    #[test]
-    fn edit_join_exact(data in corpus_strategy(), theta in 0.3f64..0.95) {
+/// The edit join is exact for arbitrary (including very short) strings.
+#[test]
+fn edit_join_exact() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0xED17 + seed);
+        let data = random_corpus(&mut rng);
+        let theta = 0.3 + 0.65 * rng.gen_f64();
         let mut expect = Vec::new();
         for (i, a) in data.iter().enumerate() {
             for (j, b) in data.iter().enumerate() {
@@ -29,21 +43,37 @@ proptest! {
                 }
             }
         }
-        for alg in [Algorithm::Basic, Algorithm::Inline, Algorithm::PositionalInline] {
+        for alg in [
+            Algorithm::Basic,
+            Algorithm::Inline,
+            Algorithm::PositionalInline,
+        ] {
             let out = edit_similarity_join(
-                &data, &data, &EditJoinConfig::new(theta).with_algorithm(alg),
-            ).unwrap();
-            prop_assert_eq!(out.keys(), expect.clone(), "alg {:?} theta {}", alg, theta);
+                &data,
+                &data,
+                &EditJoinConfig::new(theta).with_algorithm(alg),
+            )
+            .unwrap();
+            assert_eq!(out.keys(), expect, "seed {seed} alg {alg:?} theta {theta}");
         }
     }
+}
 
-    /// The prebuilt matcher returns exactly the brute-force matches, in
-    /// similarity order.
-    #[test]
-    fn matcher_exact(refs in corpus_strategy(), query in "[abc ]{0,14}",
-                     theta in 0.3f64..0.95) {
+/// The prebuilt matcher returns exactly the brute-force matches, in
+/// similarity order.
+#[test]
+fn matcher_exact() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x3A7C + seed);
+        let refs = random_corpus(&mut rng);
+        let query = random_string(&mut rng, &['a', 'b', 'c', ' '], 14);
+        let theta = 0.3 + 0.65 * rng.gen_f64();
         let matcher = EditMatcher::build(refs.clone(), 3);
-        let got: Vec<u32> = matcher.matches(&query, theta).into_iter().map(|m| m.index).collect();
+        let got: Vec<u32> = matcher
+            .matches(&query, theta)
+            .into_iter()
+            .map(|m| m.index)
+            .collect();
         let mut expect: Vec<(u32, f64)> = refs
             .iter()
             .enumerate()
@@ -53,12 +83,21 @@ proptest! {
             })
             .collect();
         expect.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        prop_assert_eq!(got, expect.into_iter().map(|(i, _)| i).collect::<Vec<_>>());
+        assert_eq!(
+            got,
+            expect.into_iter().map(|(i, _)| i).collect::<Vec<_>>(),
+            "seed {seed}"
+        );
     }
+}
 
-    /// Unweighted Jaccard resemblance join is exact.
-    #[test]
-    fn jaccard_join_exact(data in corpus_strategy(), theta in 0.2f64..1.0) {
+/// Unweighted Jaccard resemblance join is exact.
+#[test]
+fn jaccard_join_exact() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x1ACC + seed);
+        let data = random_corpus(&mut rng);
+        let theta = 0.2 + 0.8 * rng.gen_f64();
         let tok = WordTokenizer::new().lowercased();
         let groups: Vec<Vec<String>> = data.iter().map(|s| tok.tokenize(s)).collect();
         let mut expect = Vec::new();
@@ -76,13 +115,20 @@ proptest! {
         }
         let cfg = JaccardConfig::resemblance(theta).with_weights(WeightScheme::Unweighted);
         let out = jaccard_join(&data, &data, &cfg).unwrap();
-        prop_assert_eq!(out.keys(), expect);
+        assert_eq!(out.keys(), expect, "seed {seed} theta {theta}");
     }
+}
 
-    /// Hamming join is exact.
-    #[test]
-    fn hamming_join_exact(data in proptest::collection::vec("[01]{0,8}", 1..10),
-                          k in 0usize..4) {
+/// Hamming join is exact.
+#[test]
+fn hamming_join_exact() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x4A33 + seed);
+        let n = rng.gen_range(1usize..10);
+        let data: Vec<String> = (0..n)
+            .map(|_| random_string(&mut rng, &['0', '1'], 8))
+            .collect();
+        let k = rng.gen_range(0usize..4);
         let mut expect = Vec::new();
         for (i, a) in data.iter().enumerate() {
             for (j, b) in data.iter().enumerate() {
@@ -94,26 +140,38 @@ proptest! {
         let out = hamming_join(&data, &data, &HammingJoinConfig::new(k)).unwrap();
         let mut got = out.keys();
         got.sort_unstable();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "seed {seed} k {k}");
     }
+}
 
-    /// Soft-FD join is exact for arbitrary attribute data.
-    #[test]
-    fn soft_fd_exact(
-        rows in proptest::collection::vec(
-            proptest::collection::vec("[ab]{0,2}", 3..=3), 1..12),
-        k in 1usize..=3,
-    ) {
+/// Soft-FD join is exact for arbitrary attribute data.
+#[test]
+fn soft_fd_exact() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x50FD + seed);
+        let n = rng.gen_range(1usize..12);
+        let rows: Vec<Vec<String>> = (0..n)
+            .map(|_| {
+                (0..3)
+                    .map(|_| random_string(&mut rng, &['a', 'b'], 2))
+                    .collect()
+            })
+            .collect();
+        let k = rng.gen_range_inclusive(1usize..=3);
         let mut expect = Vec::new();
         for (i, a) in rows.iter().enumerate() {
             for (j, b) in rows.iter().enumerate() {
-                let agree = a.iter().zip(b).filter(|(x, y)| x == y && !x.is_empty()).count();
+                let agree = a
+                    .iter()
+                    .zip(b)
+                    .filter(|(x, y)| x == y && !x.is_empty())
+                    .count();
                 if agree >= k {
                     expect.push((i as u32, j as u32));
                 }
             }
         }
         let out = soft_fd_join(&rows, &rows, &SoftFdConfig::new(k)).unwrap();
-        prop_assert_eq!(out.keys(), expect);
+        assert_eq!(out.keys(), expect, "seed {seed} k {k}");
     }
 }

@@ -1,0 +1,211 @@
+//! Minimal deterministic pseudo-random number generation.
+//!
+//! The workspace runs in hermetic environments with no access to crates.io,
+//! so everything that needs randomness — the synthetic-corpus generators and
+//! the randomized property tests — draws from this small, self-contained
+//! generator instead of an external crate. The API mirrors the subset of
+//! `rand` the workspace used (`StdRng::seed_from_u64`, `gen_range`,
+//! `gen_bool`), so call sites read the same.
+//!
+//! The generator is PCG-XSH-RR 64/32 (O'Neill 2014): a 64-bit LCG state
+//! with an xorshift-rotate output permutation. It is deterministic across
+//! platforms and good enough for corpus synthesis and test-input generation;
+//! it is **not** cryptographically secure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+const MULTIPLIER: u64 = 6364136223846793005;
+
+/// Types that can be sampled uniformly from a `Range` by [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Widen to `u64` for arithmetic.
+    fn to_u64(self) -> u64;
+    /// Narrow back after sampling; the value is guaranteed in range.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// The random-generation operations the workspace uses. Implemented by
+/// [`StdRng`]; generic call sites take `R: Rng + ?Sized`.
+pub trait Rng {
+    /// Next raw 32 bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of [0, 1]");
+        self.gen_f64() < p
+    }
+
+    /// Uniform sample from `range`.
+    ///
+    /// Uses 64-bit multiply-shift reduction (Lemire); the modulo bias at the
+    /// range widths used here is far below anything the consumers can
+    /// observe.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        let lo = range.start.to_u64();
+        let hi = range.end.to_u64();
+        assert!(lo < hi, "gen_range called with an empty range");
+        let width = hi - lo;
+        let sampled = ((u128::from(self.next_u64()) * u128::from(width)) >> 64) as u64;
+        T::from_u64(lo + sampled)
+    }
+
+    /// Uniform sample from the inclusive `range`.
+    ///
+    /// # Panics
+    /// Panics if `start > end`.
+    fn gen_range_inclusive<T: SampleUniform>(&mut self, range: std::ops::RangeInclusive<T>) -> T {
+        let lo = range.start().to_u64();
+        let hi = range.end().to_u64();
+        assert!(lo <= hi, "gen_range_inclusive called with an empty range");
+        let width = u128::from(hi - lo) + 1;
+        let sampled = ((u128::from(self.next_u64()) * width) >> 64) as u64;
+        T::from_u64(lo + sampled)
+    }
+
+    /// Uniform index into a non-empty slice.
+    fn gen_index(&mut self, len: usize) -> usize {
+        self.gen_range(0..len)
+    }
+}
+
+/// A seedable PCG-XSH-RR 64/32 generator — the workspace's standard RNG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    state: u64,
+    inc: u64,
+}
+
+impl StdRng {
+    /// Deterministic generator from a 64-bit seed. Equal seeds produce equal
+    /// streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // Standard PCG seeding: advance once with the seed mixed in.
+        let mut rng = Self {
+            state: 0,
+            inc: (seed << 1) | 1,
+        };
+        rng.step();
+        rng.state = rng.state.wrapping_add(seed ^ 0x9e3779b97f4a7c15);
+        rng.step();
+        rng
+    }
+
+    fn step(&mut self) {
+        self.state = self.state.wrapping_mul(MULTIPLIER).wrapping_add(self.inc);
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.step();
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same: Vec<u64> = (0..8)
+            .map(|_| StdRng::seed_from_u64(42).next_u64())
+            .collect();
+        assert!((0..8).any(|_| c.next_u64() != same[0]), "seeds must differ");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20u32);
+            assert!((10..20).contains(&v));
+            let u = rng.gen_range(0..3usize);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "hits {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        StdRng::seed_from_u64(0).gen_range(5..5u32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn bad_probability_rejected() {
+        StdRng::seed_from_u64(0).gen_bool(1.5);
+    }
+}

@@ -1,7 +1,8 @@
 //! Property-based tests for the relational engine: operators against naive
-//! reference implementations on random relations.
+//! reference implementations on random relations, driven by a seeded PRNG
+//! so every failure is reproducible from the iteration's seed.
 
-use proptest::prelude::*;
+use ssjoin_prng::{Rng, StdRng};
 use ssjoin_relational::{
     AggFunc, AggSpec, DataType, Distinct, ExecContext, Expr, Filter, GroupBy, HashJoin, MergeJoin,
     PlanNode, Relation, Scan, Schema, Sort, SortKey, Value,
@@ -18,22 +19,36 @@ fn int_relation(rows: Vec<(i64, i64)>) -> Arc<Relation> {
     Arc::new(Relation::new(schema, rows).unwrap())
 }
 
-fn rows_strategy() -> impl Strategy<Value = Vec<(i64, i64)>> {
-    proptest::collection::vec((0i64..8, -5i64..5), 0..40)
+/// 0–39 rows with keys in 0..8 (collision-heavy) and values in -5..5.
+fn random_rows(rng: &mut StdRng) -> Vec<(i64, i64)> {
+    let n = rng.gen_range(0usize..40);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0u32..8) as i64,
+                rng.gen_range(0u32..10) as i64 - 5,
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    /// Hash join and merge join agree with the nested-loop reference.
-    #[test]
-    fn joins_match_nested_loop(l in rows_strategy(), r in rows_strategy()) {
+/// Hash join and merge join agree with the nested-loop reference.
+#[test]
+fn joins_match_nested_loop() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x101 + seed);
+        let l = random_rows(&mut rng);
+        let r = random_rows(&mut rng);
         let expect: Vec<Vec<Value>> = {
             let mut out = Vec::new();
             for &(lk, lv) in &l {
                 for &(rk, rv) in &r {
                     if lk == rk {
                         out.push(vec![
-                            Value::Int(lk), Value::Int(lv),
-                            Value::Int(rk), Value::Int(rv),
+                            Value::Int(lk),
+                            Value::Int(lv),
+                            Value::Int(rk),
+                            Value::Int(rv),
                         ]);
                     }
                 }
@@ -49,16 +64,25 @@ proptest! {
         )
         .execute(&mut ExecContext::new())
         .unwrap();
-        let m = MergeJoin::on(Box::new(Scan::new(lr)), Box::new(Scan::new(rr)), &[("k", "k")])
-            .execute(&mut ExecContext::new())
-            .unwrap();
-        prop_assert_eq!(h.sorted_rows(), expect.clone());
-        prop_assert_eq!(m.sorted_rows(), expect);
+        let m = MergeJoin::on(
+            Box::new(Scan::new(lr)),
+            Box::new(Scan::new(rr)),
+            &[("k", "k")],
+        )
+        .execute(&mut ExecContext::new())
+        .unwrap();
+        assert_eq!(h.sorted_rows(), expect, "hash join, seed {seed}");
+        assert_eq!(m.sorted_rows(), expect, "merge join, seed {seed}");
     }
+}
 
-    /// GroupBy sums match a HashMap fold; HAVING filters exactly.
-    #[test]
-    fn group_by_matches_fold(rows in rows_strategy(), cutoff in -20i64..20) {
+/// GroupBy sums match a HashMap fold; HAVING filters exactly.
+#[test]
+fn group_by_matches_fold() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x202 + seed);
+        let rows = random_rows(&mut rng);
+        let cutoff = rng.gen_range(0u32..40) as i64 - 20;
         let mut expect: HashMap<i64, (i64, i64)> = HashMap::new(); // k -> (count, sum)
         for &(k, v) in &rows {
             let e = expect.entry(k).or_insert((0, 0));
@@ -78,23 +102,27 @@ proptest! {
         for row in out.rows() {
             let k = row[0].as_i64().unwrap();
             let (n, sv) = expect[&k];
-            prop_assert_eq!(row[1].as_i64().unwrap(), n);
-            prop_assert_eq!(row[2].as_i64().unwrap(), sv);
-            prop_assert!(sv >= cutoff);
+            assert_eq!(row[1].as_i64().unwrap(), n, "seed {seed}");
+            assert_eq!(row[2].as_i64().unwrap(), sv, "seed {seed}");
+            assert!(sv >= cutoff, "seed {seed}");
         }
         let expected_groups = expect.values().filter(|&&(_, sv)| sv >= cutoff).count();
-        prop_assert_eq!(out.len(), expected_groups);
+        assert_eq!(out.len(), expected_groups, "seed {seed}");
     }
+}
 
-    /// Distinct removes exactly the duplicates; Sort orders totally.
-    #[test]
-    fn distinct_and_sort(rows in rows_strategy()) {
+/// Distinct removes exactly the duplicates; Sort orders totally.
+#[test]
+fn distinct_and_sort() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x303 + seed);
+        let rows = random_rows(&mut rng);
         let rel = int_relation(rows.clone());
         let d = Distinct::new(Box::new(Scan::new(rel.clone())))
             .execute(&mut ExecContext::new())
             .unwrap();
         let unique: std::collections::HashSet<(i64, i64)> = rows.iter().copied().collect();
-        prop_assert_eq!(d.len(), unique.len());
+        assert_eq!(d.len(), unique.len(), "seed {seed}");
 
         let s = Sort::new(
             Box::new(Scan::new(rel)),
@@ -105,24 +133,26 @@ proptest! {
         for w in s.rows().windows(2) {
             let (k0, v0) = (w[0][0].as_i64().unwrap(), w[0][1].as_i64().unwrap());
             let (k1, v1) = (w[1][0].as_i64().unwrap(), w[1][1].as_i64().unwrap());
-            prop_assert!(k0 < k1 || (k0 == k1 && v0 >= v1));
+            assert!(k0 < k1 || (k0 == k1 && v0 >= v1), "seed {seed}");
         }
     }
+}
 
-    /// Filter keeps exactly the rows satisfying the predicate.
-    #[test]
-    fn filter_is_exact(rows in rows_strategy(), cut in -5i64..5) {
+/// Filter keeps exactly the rows satisfying the predicate.
+#[test]
+fn filter_is_exact() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x404 + seed);
+        let rows = random_rows(&mut rng);
+        let cut = rng.gen_range(0u32..10) as i64 - 5;
         let rel = int_relation(rows.clone());
-        let out = Filter::new(
-            Box::new(Scan::new(rel)),
-            Expr::col("v").gt(Expr::lit(cut)),
-        )
-        .execute(&mut ExecContext::new())
-        .unwrap();
+        let out = Filter::new(Box::new(Scan::new(rel)), Expr::col("v").gt(Expr::lit(cut)))
+            .execute(&mut ExecContext::new())
+            .unwrap();
         let expect = rows.iter().filter(|&&(_, v)| v > cut).count();
-        prop_assert_eq!(out.len(), expect);
+        assert_eq!(out.len(), expect, "seed {seed}");
         for row in out.rows() {
-            prop_assert!(row[1].as_i64().unwrap() > cut);
+            assert!(row[1].as_i64().unwrap() > cut, "seed {seed}");
         }
     }
 }

@@ -1,147 +1,235 @@
-//! Property-based tests for similarity functions.
+//! Property-based tests for similarity functions, driven by a seeded PRNG
+//! so every failure is reproducible from the iteration's seed.
 
-use proptest::prelude::*;
+use ssjoin_prng::{Rng, StdRng};
 use ssjoin_sim::*;
 use ssjoin_text::{QGramTokenizer, Tokenizer};
 
-proptest! {
-    /// Levenshtein is a metric: identity, symmetry (triangle tested on
-    /// triples below).
-    #[test]
-    fn levenshtein_identity_and_symmetry(a in "[a-d]{0,12}", b in "[a-d]{0,12}") {
-        prop_assert_eq!(levenshtein(&a, &a), 0);
-        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
-    }
+/// A random lowercase string over the first `alphabet` letters with length
+/// in `lo..=hi`.
+fn random_lower(rng: &mut StdRng, alphabet: u8, lo: usize, hi: usize) -> String {
+    let len = rng.gen_range_inclusive(lo..=hi);
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..alphabet)) as char)
+        .collect()
+}
 
-    #[test]
-    fn levenshtein_triangle(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
-        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
-    }
+/// A random vector of short tokens over `alphabet` letters.
+fn random_tokens(
+    rng: &mut StdRng,
+    alphabet: u8,
+    max_token_len: usize,
+    max_n: usize,
+) -> Vec<String> {
+    let n = rng.gen_range_inclusive(0..=max_n);
+    (0..n)
+        .map(|_| random_lower(rng, alphabet, 1, max_token_len))
+        .collect()
+}
 
-    /// Edit distance is bounded by the longer length and at least the length
-    /// difference.
-    #[test]
-    fn levenshtein_bounds(a in "[a-e]{0,16}", b in "[a-e]{0,16}") {
+/// Levenshtein is a metric: identity and symmetry.
+#[test]
+fn levenshtein_identity_and_symmetry() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x1E5 + seed);
+        let a = random_lower(&mut rng, 4, 0, 12);
+        let b = random_lower(&mut rng, 4, 0, 12);
+        assert_eq!(levenshtein(&a, &a), 0, "seed {seed}");
+        assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a), "seed {seed}");
+    }
+}
+
+#[test]
+fn levenshtein_triangle() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x7A1 + seed);
+        let a = random_lower(&mut rng, 3, 0, 8);
+        let b = random_lower(&mut rng, 3, 0, 8);
+        let c = random_lower(&mut rng, 3, 0, 8);
+        assert!(
+            levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c),
+            "seed {seed}: a={a:?} b={b:?} c={c:?}"
+        );
+    }
+}
+
+/// Edit distance is bounded by the longer length and at least the length
+/// difference.
+#[test]
+fn levenshtein_bounds() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0xB0 + seed);
+        let a = random_lower(&mut rng, 5, 0, 16);
+        let b = random_lower(&mut rng, 5, 0, 16);
         let d = levenshtein(&a, &b);
         let (la, lb) = (a.chars().count(), b.chars().count());
-        prop_assert!(d <= la.max(lb));
-        prop_assert!(d >= la.abs_diff(lb));
+        assert!(d <= la.max(lb), "seed {seed}");
+        assert!(d >= la.abs_diff(lb), "seed {seed}");
     }
+}
 
-    /// Banded verifier agrees with the full DP for all budgets.
-    #[test]
-    fn banded_matches_full(a in "[a-c]{0,14}", b in "[a-c]{0,14}", k in 0usize..8) {
+/// Banded verifier agrees with the full DP for all budgets.
+#[test]
+fn banded_matches_full() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0xBA2 + seed);
+        let a = random_lower(&mut rng, 3, 0, 14);
+        let b = random_lower(&mut rng, 3, 0, 14);
+        let k = rng.gen_range(0usize..8);
         let d = levenshtein(&a, &b);
         match levenshtein_within(&a, &b, k) {
             Some(got) => {
-                prop_assert_eq!(got, d);
-                prop_assert!(d <= k);
+                assert_eq!(got, d, "seed {seed}");
+                assert!(d <= k, "seed {seed}");
             }
-            None => prop_assert!(d > k),
+            None => assert!(d > k, "seed {seed}"),
         }
     }
+}
 
-    /// Property 4 of the paper: strings within edit distance ε share at
-    /// least max(|σ1|,|σ2|) − q + 1 − ε·q q-grams (as a multiset overlap).
-    #[test]
-    fn qgram_overlap_lower_bound(a in "[a-c]{3,14}", b in "[a-c]{3,14}", q in 1usize..4) {
+/// Property 4 of the paper: strings within edit distance ε share at least
+/// max(|σ1|,|σ2|) − q + 1 − ε·q q-grams (as a multiset overlap).
+#[test]
+fn qgram_overlap_lower_bound() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x46B + seed);
+        let a = random_lower(&mut rng, 3, 3, 14);
+        let b = random_lower(&mut rng, 3, 3, 14);
+        let q = rng.gen_range(1usize..4);
         let eps = levenshtein(&a, &b);
         let tok = QGramTokenizer::new(q);
         let ga = tok.tokenize(&a);
         let gb = tok.tokenize(&b);
         let max_len = a.chars().count().max(b.chars().count());
         let bound = max_len as i64 - q as i64 + 1 - (eps * q) as i64;
-        prop_assert!(
+        assert!(
             (overlap(&ga, &gb) as i64) >= bound,
-            "overlap {} < bound {} for a={:?} b={:?} q={} eps={}",
-            overlap(&ga, &gb), bound, a, b, q, eps
+            "seed {seed}: overlap {} < bound {bound} for a={a:?} b={b:?} q={q} eps={eps}",
+            overlap(&ga, &gb)
         );
     }
+}
 
-    /// Jaccard containment dominates resemblance; both in [0,1].
-    #[test]
-    fn jaccard_ranges(
-        a in proptest::collection::vec("[a-c]{1,2}", 0..12),
-        b in proptest::collection::vec("[a-c]{1,2}", 0..12),
-    ) {
+/// Jaccard containment dominates resemblance; both in [0,1].
+#[test]
+fn jaccard_ranges() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x1AC + seed);
+        let a = random_tokens(&mut rng, 3, 2, 11);
+        let b = random_tokens(&mut rng, 3, 2, 11);
         let jc = jaccard_containment(&a, &b);
         let jr = jaccard_resemblance(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&jc));
-        prop_assert!((0.0..=1.0).contains(&jr));
-        prop_assert!(jc + 1e-12 >= jr);
+        assert!((0.0..=1.0).contains(&jc), "seed {seed}");
+        assert!((0.0..=1.0).contains(&jr), "seed {seed}");
+        assert!(jc + 1e-12 >= jr, "seed {seed}");
         // Symmetry of resemblance.
-        prop_assert!((jr - jaccard_resemblance(&b, &a)).abs() < 1e-12);
+        assert!(
+            (jr - jaccard_resemblance(&b, &a)).abs() < 1e-12,
+            "seed {seed}"
+        );
     }
+}
 
-    /// JR(a,b) >= alpha implies max(JC(a,b), JC(b,a)) >= alpha — the rewrite
-    /// Figure 4 relies on.
-    #[test]
-    fn resemblance_implies_containment(
-        a in proptest::collection::vec("[a-b]{1,2}", 1..10),
-        b in proptest::collection::vec("[a-b]{1,2}", 1..10),
-    ) {
+/// JR(a,b) >= alpha implies max(JC(a,b), JC(b,a)) >= alpha — the rewrite
+/// Figure 4 relies on.
+#[test]
+fn resemblance_implies_containment() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x4E5 + seed);
+        let mut a = random_tokens(&mut rng, 2, 2, 9);
+        let mut b = random_tokens(&mut rng, 2, 2, 9);
+        if a.is_empty() {
+            a.push("a".to_string());
+        }
+        if b.is_empty() {
+            b.push("b".to_string());
+        }
         let jr = jaccard_resemblance(&a, &b);
         let jc = jaccard_containment(&a, &b).max(jaccard_containment(&b, &a));
-        prop_assert!(jc + 1e-12 >= jr);
+        assert!(jc + 1e-12 >= jr, "seed {seed}");
     }
+}
 
-    /// Overlap is bounded by both multiset sizes.
-    #[test]
-    fn overlap_bounds(
-        a in proptest::collection::vec("[a-c]", 0..16),
-        b in proptest::collection::vec("[a-c]", 0..16),
-    ) {
+/// Overlap is bounded by both multiset sizes.
+#[test]
+fn overlap_bounds() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x0B5 + seed);
+        let a = random_tokens(&mut rng, 3, 1, 16);
+        let b = random_tokens(&mut rng, 3, 1, 16);
         let o = overlap(&a, &b);
-        prop_assert!(o <= a.len());
-        prop_assert!(o <= b.len());
+        assert!(o <= a.len(), "seed {seed}");
+        assert!(o <= b.len(), "seed {seed}");
     }
+}
 
-    /// GES is in [0,1], 1 on identical sequences, and threshold-monotone in
-    /// the clamp.
-    #[test]
-    fn ges_range(
-        a in proptest::collection::vec("[a-c]{1,4}", 0..6),
-        b in proptest::collection::vec("[a-c]{1,4}", 0..6),
-    ) {
+/// GES is in [0,1] and 1 on identical sequences.
+#[test]
+fn ges_range() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x6E5 + seed);
+        let a = random_tokens(&mut rng, 3, 4, 5);
+        let b = random_tokens(&mut rng, 3, 4, 5);
         let g = ges(&a, &b, &|_| 1.0, GesConfig::default());
-        prop_assert!((0.0..=1.0).contains(&g));
+        assert!((0.0..=1.0).contains(&g), "seed {seed}");
         let gid = ges(&a, &a, &|_| 1.0, GesConfig::default());
-        prop_assert_eq!(gid, 1.0);
+        assert_eq!(gid, 1.0, "seed {seed}");
     }
+}
 
-    /// GES upper-bounds: transformation cost <= delete-all + insert-all, so
-    /// GES >= 0 trivially; and GES(a,b) = 1 iff cost 0 for unit weights on
-    /// nonempty a.
-    #[test]
-    fn ges_one_means_equal(
-        a in proptest::collection::vec("[a-b]{1,3}", 1..5),
-        b in proptest::collection::vec("[a-b]{1,3}", 1..5),
-    ) {
+/// GES(a,b) = 1 implies a = b for unit weights on nonempty sequences.
+#[test]
+fn ges_one_means_equal() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x0E1 + seed);
+        let mut a = random_tokens(&mut rng, 2, 3, 4);
+        let mut b = random_tokens(&mut rng, 2, 3, 4);
+        if a.is_empty() {
+            a.push("a".to_string());
+        }
+        if b.is_empty() {
+            b.push("b".to_string());
+        }
         let g = ges(&a, &b, &|_| 1.0, GesConfig::default());
         if (g - 1.0).abs() < 1e-12 {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "seed {seed}");
         }
     }
+}
 
-    /// Hamming distance: defined iff equal length; symmetric; bounded.
-    #[test]
-    fn hamming_properties(a in "[a-c]{0,12}", b in "[a-c]{0,12}") {
+/// Hamming distance: defined iff equal length; symmetric; bounded.
+#[test]
+fn hamming_properties() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x4A3 + seed);
+        let a = random_lower(&mut rng, 3, 0, 12);
+        let b = random_lower(&mut rng, 3, 0, 12);
         match hamming_distance(&a, &b) {
             Some(d) => {
-                prop_assert_eq!(a.chars().count(), b.chars().count());
-                prop_assert!(d <= a.chars().count());
-                prop_assert_eq!(hamming_distance(&b, &a), Some(d));
+                assert_eq!(a.chars().count(), b.chars().count(), "seed {seed}");
+                assert!(d <= a.chars().count(), "seed {seed}");
+                assert_eq!(hamming_distance(&b, &a), Some(d), "seed {seed}");
                 // Hamming upper-bounds Levenshtein.
-                prop_assert!(levenshtein(&a, &b) <= d);
+                assert!(levenshtein(&a, &b) <= d, "seed {seed}");
             }
-            None => prop_assert_ne!(a.chars().count(), b.chars().count()),
+            None => assert_ne!(a.chars().count(), b.chars().count(), "seed {seed}"),
         }
     }
+}
 
-    /// edit_similarity_at_least agrees with computing the similarity.
-    #[test]
-    fn threshold_udf_agrees(a in "[a-c]{0,10}", b in "[a-c]{0,10}", alpha in 0.0f64..1.0) {
+/// edit_similarity_at_least agrees with computing the similarity.
+#[test]
+fn threshold_udf_agrees() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x7D0 + seed);
+        let a = random_lower(&mut rng, 3, 0, 10);
+        let b = random_lower(&mut rng, 3, 0, 10);
+        let alpha = rng.gen_f64();
         let expect = edit_similarity(&a, &b) >= alpha - 1e-9;
-        prop_assert_eq!(edit_similarity_at_least(&a, &b, alpha), expect);
+        assert_eq!(
+            edit_similarity_at_least(&a, &b, alpha),
+            expect,
+            "seed {seed}"
+        );
     }
 }

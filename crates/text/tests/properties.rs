@@ -1,68 +1,119 @@
-//! Property-based tests for tokenizers and ordinalization.
+//! Property-based tests for tokenizers and ordinalization, driven by a
+//! seeded PRNG so every failure is reproducible from the iteration's seed.
 
-use proptest::prelude::*;
+use ssjoin_prng::{Rng, StdRng};
 use ssjoin_text::{ordinalize, qgram_count, Normalizer, QGramTokenizer, Tokenizer, WordTokenizer};
 use std::collections::{HashMap, HashSet};
 
-proptest! {
-    /// Unpadded q-gram count always matches the closed-form formula.
-    #[test]
-    fn qgram_token_count_matches_formula(s in "\\PC{0,64}", q in 1usize..6) {
+/// A random string over a mixed pool: ASCII letters, digits, punctuation,
+/// whitespace, and multi-byte characters — the hostile shapes proptest's
+/// `\PC` regex used to generate.
+fn random_text(rng: &mut StdRng, max_len: usize) -> String {
+    const POOL: &[char] = &[
+        'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Z', '0', '9', ' ', '\t', '-', '_', '.', ',', '!', '#',
+        'é', 'ß', 'λ', '漢', '字', '🦀',
+    ];
+    let len = rng.gen_range_inclusive(0..=max_len);
+    (0..len).map(|_| POOL[rng.gen_index(POOL.len())]).collect()
+}
+
+/// A random lowercase ASCII string with length in `lo..=hi`.
+fn random_lower(rng: &mut StdRng, alphabet: u8, lo: usize, hi: usize) -> String {
+    let len = rng.gen_range_inclusive(lo..=hi);
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..alphabet)) as char)
+        .collect()
+}
+
+/// A random vector of short tokens over `alphabet` letters.
+fn random_tokens(rng: &mut StdRng, alphabet: u8, max_n: usize) -> Vec<String> {
+    let n = rng.gen_range_inclusive(0..=max_n);
+    (0..n).map(|_| random_lower(rng, alphabet, 1, 2)).collect()
+}
+
+/// Unpadded q-gram count always matches the closed-form formula.
+#[test]
+fn qgram_token_count_matches_formula() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x41 + seed);
+        let s = random_text(&mut rng, 64);
+        let q = rng.gen_range(1usize..6);
         let t = QGramTokenizer::new(q);
         let len = s.chars().count();
-        prop_assert_eq!(t.tokenize(&s).len(), qgram_count(len, q));
+        assert_eq!(t.tokenize(&s).len(), qgram_count(len, q), "seed {seed}");
     }
+}
 
-    /// Every unpadded q-gram of a long-enough string has exactly q chars.
-    #[test]
-    fn qgrams_have_length_q(s in "[a-z]{6,40}", q in 1usize..6) {
+/// Every unpadded q-gram of a long-enough string has exactly q chars.
+#[test]
+fn qgrams_have_length_q() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x42 + seed);
+        let s = random_lower(&mut rng, 26, 6, 40);
+        let q = rng.gen_range(1usize..6);
         let t = QGramTokenizer::new(q);
         for g in t.tokenize(&s) {
-            prop_assert_eq!(g.chars().count(), q);
+            assert_eq!(g.chars().count(), q, "seed {seed}");
         }
     }
+}
 
-    /// Padded tokenization of a non-empty string yields len + q - 1 grams,
-    /// each of length q.
-    #[test]
-    fn padded_counts(s in "[a-z]{1,40}", q in 1usize..6) {
+/// Padded tokenization of a non-empty string yields len + q - 1 grams, each
+/// of length q.
+#[test]
+fn padded_counts() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x43 + seed);
+        let s = random_lower(&mut rng, 26, 1, 40);
+        let q = rng.gen_range(1usize..6);
         let t = QGramTokenizer::padded(q, '#');
         let grams = t.tokenize(&s);
-        prop_assert_eq!(grams.len(), s.chars().count() + q - 1);
+        assert_eq!(grams.len(), s.chars().count() + q - 1, "seed {seed}");
         for g in &grams {
-            prop_assert_eq!(g.chars().count(), q);
+            assert_eq!(g.chars().count(), q, "seed {seed}");
         }
     }
+}
 
-    /// Concatenating unpadded q-grams' first characters recovers the string
-    /// prefix (sliding-window structure).
-    #[test]
-    fn qgrams_are_sliding_windows(s in "[a-z]{4,30}") {
+/// Each unpadded q-gram is the sliding window starting at its index.
+#[test]
+fn qgrams_are_sliding_windows() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x44 + seed);
+        let s = random_lower(&mut rng, 26, 4, 30);
         let q = 3;
         let grams = QGramTokenizer::new(q).tokenize(&s);
         let chars: Vec<char> = s.chars().collect();
         for (i, g) in grams.iter().enumerate() {
             let expect: String = chars[i..i + q].iter().collect();
-            prop_assert_eq!(g, &expect);
+            assert_eq!(g, &expect, "seed {seed}");
         }
     }
+}
 
-    /// Ordinalization preserves multiset cardinality and token content.
-    #[test]
-    fn ordinalize_preserves_tokens(tokens in proptest::collection::vec("[a-c]{1,2}", 0..32)) {
+/// Ordinalization preserves multiset cardinality and token content.
+#[test]
+fn ordinalize_preserves_tokens() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x45 + seed);
+        let tokens = random_tokens(&mut rng, 3, 31);
         let out = ordinalize(tokens.clone());
-        prop_assert_eq!(out.len(), tokens.len());
+        assert_eq!(out.len(), tokens.len(), "seed {seed}");
         for (orig, ord) in tokens.iter().zip(&out) {
-            prop_assert_eq!(orig, &ord.token);
+            assert_eq!(orig, &ord.token, "seed {seed}");
         }
         // Ordinalized pairs are all distinct (that is the point).
         let set: HashSet<_> = out.iter().collect();
-        prop_assert_eq!(set.len(), out.len());
+        assert_eq!(set.len(), out.len(), "seed {seed}");
     }
+}
 
-    /// For each token, ordinals are exactly 1..=count.
-    #[test]
-    fn ordinals_are_dense(tokens in proptest::collection::vec("[a-b]", 0..32)) {
+/// For each token, ordinals are exactly 1..=count.
+#[test]
+fn ordinals_are_dense() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x46 + seed);
+        let tokens = random_tokens(&mut rng, 2, 31);
         let out = ordinalize(tokens);
         let mut per_token: HashMap<&str, Vec<u32>> = HashMap::new();
         for t in &out {
@@ -70,25 +121,33 @@ proptest! {
         }
         for ords in per_token.values() {
             let expect: Vec<u32> = (1..=ords.len() as u32).collect();
-            prop_assert_eq!(ords, &expect);
+            assert_eq!(ords, &expect, "seed {seed}");
         }
     }
+}
 
-    /// Normalization is idempotent.
-    #[test]
-    fn normalize_idempotent(s in "\\PC{0,64}") {
+/// Normalization is idempotent.
+#[test]
+fn normalize_idempotent() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x47 + seed);
+        let s = random_text(&mut rng, 64);
         let n = Normalizer::default();
         let once = n.normalize(&s);
-        prop_assert_eq!(n.normalize(&once), once);
+        assert_eq!(n.normalize(&once), once, "seed {seed}");
     }
+}
 
-    /// Word tokens never contain delimiters and are never empty.
-    #[test]
-    fn word_tokens_clean(s in "\\PC{0,64}") {
+/// Word tokens never contain delimiters and are never empty.
+#[test]
+fn word_tokens_clean() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x48 + seed);
+        let s = random_text(&mut rng, 64);
         let t = WordTokenizer::new();
         for w in t.tokenize(&s) {
-            prop_assert!(!w.is_empty());
-            prop_assert!(w.chars().all(|c| c.is_alphanumeric()));
+            assert!(!w.is_empty(), "seed {seed}");
+            assert!(w.chars().all(|c| c.is_alphanumeric()), "seed {seed}");
         }
     }
 }

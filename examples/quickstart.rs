@@ -2,11 +2,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use ssjoin::core::{
-    ssjoin, Algorithm, ElementOrder, OverlapPredicate, SsJoinConfig, SsJoinInputBuilder,
-    WeightScheme,
-};
 use ssjoin::joins::{jaccard_join, JaccardConfig};
+use ssjoin::{Algorithm, ElementOrder, OverlapPredicate, SsJoin, SsJoinInputBuilder, WeightScheme};
 
 fn main() {
     // ── 1. The raw operator ────────────────────────────────────────────
@@ -37,15 +34,14 @@ fn main() {
     let built = builder.build();
 
     // "At least 60% of the R group's cities must co-occur" — the 1-sided
-    // normalized predicate of Example 2.
-    let pred = OverlapPredicate::r_normalized(0.6);
-    let out = ssjoin(
-        built.collection(rh),
-        built.collection(sh),
-        &pred,
-        &SsJoinConfig::new(Algorithm::Inline),
-    )
-    .expect("collections share a universe");
+    // normalized predicate of Example 2. `SsJoin` is the unified entry
+    // point: algorithm, threads, shard policy, and candidate filters hang
+    // off one builder.
+    let out = SsJoin::between(built.collection(rh), built.collection(sh))
+        .predicate(OverlapPredicate::r_normalized(0.6))
+        .algorithm(Algorithm::Inline)
+        .run()
+        .expect("collections share a universe");
 
     println!("SSJoin on state/city co-occurrence:");
     for pair in &out.pairs {

@@ -23,6 +23,32 @@
 //!
 //! ## Quickstart
 //!
+//! The [`SsJoin`] builder is the unified entry point — it drives both the
+//! fused fast-path executors and the relational-plan fidelity path, with
+//! threads, shard policy, and the bitmap signature filter as knobs:
+//!
+//! ```
+//! use ssjoin::{Algorithm, OverlapPredicate, SsJoin, SsJoinInputBuilder};
+//! use ssjoin::{ElementOrder, WeightScheme};
+//!
+//! let mut b = SsJoinInputBuilder::new(WeightScheme::Idf, ElementOrder::FrequencyAsc);
+//! b.add_relation(vec![
+//!     vec!["100".into(), "main".into(), "st".into()],
+//!     vec!["100".into(), "main".into(), "street".into()],
+//! ]);
+//! let input = b.build();
+//! let out = SsJoin::new(&input)
+//!     .predicate(OverlapPredicate::two_sided(0.5))
+//!     .algorithm(Algorithm::Inline)
+//!     .threads(2)
+//!     .bitmap_filter(true)
+//!     .run()
+//!     .unwrap();
+//! assert!(out.pairs.iter().any(|p| (p.r, p.s) == (0, 1)));
+//! ```
+//!
+//! Packaged similarity joins sit one level up:
+//!
 //! ```
 //! use ssjoin::joins::{jaccard_join, JaccardConfig};
 //!
@@ -48,11 +74,310 @@ pub use ssjoin_text as text;
 
 // Most-used items at the crate root for ergonomic imports.
 pub use ssjoin_core::{
-    ssjoin, Algorithm, ElementOrder, OverlapPredicate, SsJoinConfig, SsJoinInputBuilder,
-    WeightScheme,
+    ssjoin, Algorithm, ElementOrder, ExecContext, OverlapPredicate, ShardPolicy, SsJoinConfig,
+    SsJoinInputBuilder, StatsLevel, WeightScheme,
 };
 pub use ssjoin_joins::{
     cluster_pairs, cooccurrence_join, cosine_join, edit_similarity_join, ges_join, jaccard_join,
     soft_fd_join, top_k_matches, CosineConfig, EditJoinConfig, GesJoinConfig, JaccardConfig,
     SoftFdConfig, TopKConfig,
 };
+
+use ssjoin_core::plan::{basic_plan, collection_to_relation, inline_plan, prefix_plan, run_plan};
+use ssjoin_core::{
+    estimate_costs, BuiltInput, SetCollection, SsJoinError, SsJoinOutput, SsJoinResult, SsJoinStats,
+};
+use std::sync::Arc;
+
+/// Which execution engine an [`SsJoin`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The fused in-memory executors (`ssjoin_core::exec`) — the fast path.
+    /// Honors every [`ExecContext`] knob: threads, shard policy, bitmap
+    /// filter, instrumentation level.
+    #[default]
+    Fast,
+    /// The literal relational operator trees of `ssjoin_core::plan`
+    /// (Figures 7–9 of the paper) — the fidelity path. Runs sequentially;
+    /// thread, shard, and bitmap settings are ignored.
+    RelationalPlan,
+}
+
+enum JoinInput<'a> {
+    Built(&'a BuiltInput),
+    Pair(&'a SetCollection, &'a SetCollection),
+}
+
+/// One entry point for the whole stack: pick the input, the predicate, the
+/// algorithm, the execution context, and the engine, then [`run`].
+///
+/// With a [`BuiltInput`] holding one relation the join is a self-join; with
+/// two or more, the first two relations play R and S (override with
+/// [`SsJoin::between`] for explicit collections).
+///
+/// ```
+/// use ssjoin::{Algorithm, OverlapPredicate, SsJoin, SsJoinInputBuilder};
+/// use ssjoin::{ElementOrder, WeightScheme};
+///
+/// let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
+/// b.add_relation(vec![
+///     vec!["a".to_string(), "b".to_string(), "c".to_string()],
+///     vec!["b".to_string(), "c".to_string(), "d".to_string()],
+/// ]);
+/// let input = b.build();
+///
+/// let out = SsJoin::new(&input)
+///     .predicate(OverlapPredicate::absolute(2.0))
+///     .algorithm(Algorithm::Inline)
+///     .threads(2)
+///     .run()
+///     .unwrap();
+/// assert!(out.pairs.iter().any(|p| (p.r, p.s) == (0, 1)));
+/// ```
+///
+/// [`run`]: SsJoin::run
+pub struct SsJoin<'a> {
+    input: JoinInput<'a>,
+    predicate: Option<OverlapPredicate>,
+    config: SsJoinConfig,
+    engine: Engine,
+}
+
+impl<'a> SsJoin<'a> {
+    /// Join over a built input: self-join of its only relation, or the first
+    /// two relations as R and S.
+    pub fn new(input: &'a BuiltInput) -> Self {
+        Self {
+            input: JoinInput::Built(input),
+            predicate: None,
+            config: SsJoinConfig::default(),
+            engine: Engine::default(),
+        }
+    }
+
+    /// Join two explicit collections (they must share a builder run).
+    pub fn between(r: &'a SetCollection, s: &'a SetCollection) -> Self {
+        Self {
+            input: JoinInput::Pair(r, s),
+            predicate: None,
+            config: SsJoinConfig::default(),
+            engine: Engine::default(),
+        }
+    }
+
+    /// Set the overlap predicate (required).
+    pub fn predicate(mut self, pred: OverlapPredicate) -> Self {
+        self.predicate = Some(pred);
+        self
+    }
+
+    /// Choose the physical algorithm (default: [`Algorithm::Inline`]).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.config.algorithm = algorithm;
+        self
+    }
+
+    /// Set the worker thread count (fast path only).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.exec.threads = threads;
+        self
+    }
+
+    /// Set the parallel work-partitioning strategy (fast path only).
+    pub fn shard_policy(mut self, shard: ShardPolicy) -> Self {
+        self.config.exec.shard = shard;
+        self
+    }
+
+    /// Enable or disable the bitmap signature filter (fast path only).
+    pub fn bitmap_filter(mut self, on: bool) -> Self {
+        self.config.exec.bitmap_filter = on;
+        self
+    }
+
+    /// Set the instrumentation level (fast path only).
+    pub fn stats_level(mut self, level: StatsLevel) -> Self {
+        self.config.exec.stats = level;
+        self
+    }
+
+    /// Replace the whole execution context in one call.
+    pub fn exec(mut self, exec: ExecContext) -> Self {
+        self.config.exec = exec;
+        self
+    }
+
+    /// Choose the engine (default: [`Engine::Fast`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Execute the join.
+    pub fn run(self) -> SsJoinResult<SsJoinOutput> {
+        let (r, s) = match self.input {
+            JoinInput::Built(b) => {
+                let cs = b.collections();
+                match cs.len() {
+                    0 => return Err(SsJoinError::Config("built input holds no relations".into())),
+                    1 => (&cs[0], &cs[0]),
+                    _ => (&cs[0], &cs[1]),
+                }
+            }
+            JoinInput::Pair(r, s) => (r, s),
+        };
+        let pred = self.predicate.ok_or_else(|| {
+            SsJoinError::Config("no overlap predicate set; call .predicate(..)".into())
+        })?;
+        match self.engine {
+            Engine::Fast => ssjoin(r, s, &pred, &self.config),
+            Engine::RelationalPlan => run_relational(r, s, &pred, self.config.algorithm),
+        }
+    }
+}
+
+/// Execute the join as a relational operator tree (Figures 7–9).
+fn run_relational(
+    r: &SetCollection,
+    s: &SetCollection,
+    pred: &OverlapPredicate,
+    algorithm: Algorithm,
+) -> SsJoinResult<SsJoinOutput> {
+    if !r.shares_universe(s) {
+        return Err(SsJoinError::UniverseMismatch);
+    }
+    let algorithm = match algorithm {
+        Algorithm::Auto => estimate_costs(r, s, pred).choice(),
+        a => a,
+    };
+    let plan = match algorithm {
+        Algorithm::Basic => basic_plan(
+            Arc::new(collection_to_relation(r)),
+            Arc::new(collection_to_relation(s)),
+            pred,
+        ),
+        Algorithm::PrefixFiltered => prefix_plan(
+            Arc::new(collection_to_relation(r)),
+            Arc::new(collection_to_relation(s)),
+            pred,
+            r.norm_range(),
+            s.norm_range(),
+        ),
+        Algorithm::Inline => inline_plan(r, s, pred),
+        Algorithm::PositionalInline => {
+            return Err(SsJoinError::Config(
+                "PositionalInline has no relational-plan formulation; use Engine::Fast".into(),
+            ))
+        }
+        Algorithm::Auto => unreachable!("Auto resolved above"),
+    };
+    let (pairs, ctx) = run_plan(plan.as_ref()).map_err(|e| SsJoinError::Plan(e.to_string()))?;
+    #[allow(clippy::field_reassign_with_default)]
+    let stats = {
+        let mut st = SsJoinStats::default();
+        // The candidate equi-join's output rows are the plan-path analogue
+        // of the fast path's join_tuples counter (zero for the basic plan,
+        // whose join is labeled differently).
+        st.join_tuples = ctx.rows_for("prefix_join") as u64;
+        st.output_pairs = pairs.len() as u64;
+        st
+    };
+    Ok(SsJoinOutput {
+        pairs,
+        stats,
+        algorithm_used: algorithm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addresses_input() -> BuiltInput {
+        let groups: Vec<Vec<String>> = (0..24)
+            .map(|i| {
+                (0..(3 + i % 4))
+                    .map(|j| format!("tok{}", (i * 5 + j * 7) % 19))
+                    .collect()
+            })
+            .collect();
+        let mut b = SsJoinInputBuilder::new(WeightScheme::Idf, ElementOrder::FrequencyAsc);
+        b.add_relation(groups);
+        b.build()
+    }
+
+    #[test]
+    fn facade_fast_path_self_join() {
+        let input = addresses_input();
+        let out = SsJoin::new(&input)
+            .predicate(OverlapPredicate::two_sided(0.6))
+            .algorithm(Algorithm::Inline)
+            .run()
+            .unwrap();
+        assert!(out.pairs.len() >= input.collections()[0].len());
+    }
+
+    #[test]
+    fn facade_engines_agree() {
+        let input = addresses_input();
+        let pred = OverlapPredicate::two_sided(0.6);
+        for alg in [
+            Algorithm::Basic,
+            Algorithm::PrefixFiltered,
+            Algorithm::Inline,
+        ] {
+            let fast = SsJoin::new(&input)
+                .predicate(pred.clone())
+                .algorithm(alg)
+                .run()
+                .unwrap();
+            let plan = SsJoin::new(&input)
+                .predicate(pred.clone())
+                .algorithm(alg)
+                .engine(Engine::RelationalPlan)
+                .run()
+                .unwrap();
+            let f: Vec<(u32, u32)> = fast.pairs.iter().map(|p| (p.r, p.s)).collect();
+            let p: Vec<(u32, u32)> = plan.pairs.iter().map(|p| (p.r, p.s)).collect();
+            assert_eq!(f, p, "alg {alg:?}");
+        }
+    }
+
+    #[test]
+    fn facade_parallel_with_bitmap_matches_sequential() {
+        let input = addresses_input();
+        let pred = OverlapPredicate::two_sided(0.5);
+        let seq = SsJoin::new(&input)
+            .predicate(pred.clone())
+            .algorithm(Algorithm::Inline)
+            .run()
+            .unwrap();
+        let par = SsJoin::new(&input)
+            .predicate(pred)
+            .algorithm(Algorithm::Inline)
+            .threads(4)
+            .shard_policy(ShardPolicy::token_shards())
+            .bitmap_filter(true)
+            .run()
+            .unwrap();
+        assert_eq!(seq.pairs, par.pairs);
+    }
+
+    #[test]
+    fn facade_missing_predicate_is_config_error() {
+        let input = addresses_input();
+        let err = SsJoin::new(&input).run();
+        assert!(matches!(err, Err(SsJoinError::Config(_))));
+    }
+
+    #[test]
+    fn facade_positional_plan_rejected() {
+        let input = addresses_input();
+        let err = SsJoin::new(&input)
+            .predicate(OverlapPredicate::absolute(1.0))
+            .algorithm(Algorithm::PositionalInline)
+            .engine(Engine::RelationalPlan)
+            .run();
+        assert!(matches!(err, Err(SsJoinError::Config(_))));
+    }
+}
