@@ -1,12 +1,14 @@
 //! Ablation of §4.3.4: candidate verification by joining back to the base
 //! relations (prefix-filtered) vs merging inline-carried sets. Same
-//! candidates, different verification machinery.
+//! candidates, different verification machinery — plus a micro-benchmark of
+//! the overlap kernels themselves on synthetic skew profiles.
 
-use ssjoin_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssjoin_bench::criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssjoin_bench::evaluation_corpus;
+use ssjoin_core::kernel::verify_overlap;
 use ssjoin_core::{
-    ssjoin, Algorithm, ElementOrder, OverlapPredicate, SsJoinConfig, SsJoinInputBuilder,
-    WeightScheme,
+    ssjoin, Algorithm, ElementOrder, OverlapKernel, OverlapPredicate, SsJoinConfig,
+    SsJoinInputBuilder, SsJoinStats, WeightScheme,
 };
 use ssjoin_text::{Tokenizer, WordTokenizer};
 
@@ -52,5 +54,49 @@ fn bench_verify(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_verify);
+fn bench_kernels(c: &mut Criterion) {
+    // Synthetic skew: per bucket, one long set and many short sets that
+    // share a few of its head tokens — the profile where the threshold
+    // bound rejects most pairs early and galloping skips the long tail.
+    // Zero-padded tokens + lexicographic order keep element ranks aligned
+    // with the generation order.
+    let mut groups: Vec<Vec<String>> = Vec::new();
+    for b in 0..4 {
+        groups.push((0..256).map(|i| format!("b{b}t{i:04}")).collect());
+        for s in 0..32 {
+            groups.push((0..4).map(|i| format!("b{b}t{:04}", s * 3 + i)).collect());
+        }
+    }
+    let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::Lexicographic);
+    let h = b.add_relation(groups);
+    let collection = b.build().collection(h).clone();
+    let pred = OverlapPredicate::two_sided(0.85);
+
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(10);
+    for kernel in [
+        OverlapKernel::Linear,
+        OverlapKernel::EarlyExit,
+        OverlapKernel::Adaptive,
+    ] {
+        g.bench_function(kernel.name(), |bench| {
+            bench.iter(|| {
+                let mut stats = SsJoinStats::default();
+                let mut accepted = 0u64;
+                for a in collection.iter() {
+                    for other in collection.iter() {
+                        let required = pred.required_overlap(a.norm(), other.norm());
+                        if verify_overlap(kernel, a, other, required, &mut stats).is_some() {
+                            accepted += 1;
+                        }
+                    }
+                }
+                black_box((accepted, stats.merge_steps))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_verify, bench_kernels);
 criterion_main!(benches);

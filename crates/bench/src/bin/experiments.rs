@@ -5,9 +5,11 @@
 //! ```
 //!
 //! Experiments: `table1 fig10 fig11 fig12 fig13 table2 naive ablation-order
-//! ablation-cost` (default: all). `--scale 1.0` is the paper's 25,000-row
-//! corpus; smaller values shrink every dataset proportionally for quick
-//! runs.
+//! ablation-cost ablation-positional ablation-shard ablation-kernel`
+//! (default: all). `--scale 1.0` is the paper's 25,000-row corpus; smaller
+//! values shrink every dataset proportionally for quick runs. `--json`
+//! writes the run to `BENCH_<n>.json` (`--pr n`, default 2) or to an
+//! explicit `--out PATH`.
 //!
 //! Absolute times are *not* expected to match the paper (different hardware,
 //! different substrate); the claims under reproduction are the shapes: which
@@ -17,7 +19,9 @@
 use ssjoin_baselines::{naive_join, GravanoConfig, GravanoJoin};
 use ssjoin_bench::report::{count, ms, Report, Table};
 use ssjoin_bench::{corpus_with_rows, evaluation_corpus, PAPER_THRESHOLDS, TABLE2_ROWS};
-use ssjoin_core::{estimate_costs, Algorithm, ElementOrder, ExecContext, Phase, ShardPolicy};
+use ssjoin_core::{
+    estimate_costs, Algorithm, ElementOrder, ExecContext, OverlapKernel, Phase, ShardPolicy,
+};
 use ssjoin_joins::{
     dedupe_self_pairs, edit_similarity_join, ges_join, jaccard_join, EditJoinConfig, GesJoinConfig,
     JaccardConfig,
@@ -29,6 +33,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
     let mut emit_json = false;
+    let mut pr = 2u32;
+    let mut out: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -41,10 +47,22 @@ fn main() {
                     .expect("--scale needs a float argument");
             }
             "--json" => emit_json = true,
+            "--pr" => {
+                i += 1;
+                pr = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--pr needs an integer argument");
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args.get(i).expect("--out needs a path argument").clone());
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--scale F] [--json] [table1|fig10|fig11|fig12|fig13|table2|naive|ablation-order|ablation-cost|ablation-positional|ablation-shard|all]...\n\
-                     --json additionally writes the run as BENCH_1.json"
+                    "usage: experiments [--scale F] [--json] [--pr N] [--out PATH] [table1|fig10|fig11|fig12|fig13|table2|naive|ablation-order|ablation-cost|ablation-positional|ablation-shard|ablation-kernel|all]...\n\
+                     --json additionally writes the run as BENCH_<N>.json (--pr N, default 2),\n\
+                     or to an explicit --out PATH"
                 );
                 return;
             }
@@ -52,6 +70,7 @@ fn main() {
         }
         i += 1;
     }
+    let out_path = out.unwrap_or_else(|| format!("BENCH_{pr}.json"));
     let mut report = Report::new(emit_json);
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
         // `table1` prints Figure 11 from the same (expensive) baseline
@@ -67,6 +86,7 @@ fn main() {
             "ablation-cost",
             "ablation-positional",
             "ablation-shard",
+            "ablation-kernel",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -90,13 +110,14 @@ fn main() {
             "ablation-cost" => ablation_cost(scale, &mut report),
             "ablation-positional" => ablation_positional(scale, &mut report),
             "ablation-shard" => ablation_shard(scale, &mut report),
+            "ablation-kernel" => ablation_kernel(scale, &mut report),
             other => eprintln!("unknown experiment {other:?}, skipping"),
         }
     }
-    match report.write_json("BENCH_1.json", scale) {
-        Ok(true) => println!("\nwrote BENCH_1.json"),
+    match report.write_json(&out_path, scale) {
+        Ok(true) => println!("\nwrote {out_path}"),
         Ok(false) => {}
-        Err(e) => eprintln!("failed to write BENCH_1.json: {e}"),
+        Err(e) => eprintln!("failed to write {out_path}: {e}"),
     }
 }
 
@@ -573,5 +594,188 @@ fn ablation_shard(scale: f64, report: &mut Report) {
     report.metric_str(
         "ablation_shard.output_equal",
         if all_equal { "true" } else { "false" },
+    );
+}
+
+/// Ablation (tentpole): the threshold-aware verification kernels on the
+/// inline Jaccard join over the Zipf-weighted evaluation corpus. The
+/// early-exit merge abandons a candidate as soon as the remaining suffix
+/// weight cannot reach the required overlap; the adaptive kernel
+/// additionally gallops when the candidate sets differ wildly in length.
+/// All kernels must produce identical output — only `merge_steps` (and the
+/// wall clock) may move.
+fn ablation_kernel(scale: f64, report: &mut Report) {
+    let data = evaluation_corpus(scale).records;
+    let theta = 0.85;
+
+    let run_with = |kernel: OverlapKernel| {
+        let cfg = JaccardConfig::resemblance(theta)
+            .with_algorithm(Algorithm::Inline)
+            .with_exec(ExecContext::new().with_kernel(kernel));
+        let start = Instant::now();
+        let out = jaccard_join(&data, &data, &cfg).expect("jaccard join");
+        (out, start.elapsed())
+    };
+
+    let mut t = Table::new(
+        format!("Ablation — overlap kernel (Jaccard {theta}, inline)"),
+        &[
+            "Kernel",
+            "Total ms",
+            "Verified",
+            "Merge steps",
+            "Early exits",
+            "Gallop probes",
+            "Pairs",
+            "Output equal",
+        ],
+    );
+
+    let (linear, linear_t) = run_with(OverlapKernel::Linear);
+    let linear_keys = linear.keys();
+    let mut all_equal = true;
+    let mut linear_steps = 0u64;
+    let mut adaptive_steps = 0u64;
+    let mut adaptive_ms = f64::NAN;
+    for kernel in [
+        OverlapKernel::Linear,
+        OverlapKernel::EarlyExit,
+        OverlapKernel::Adaptive,
+    ] {
+        let (out, elapsed) = if kernel == OverlapKernel::Linear {
+            (linear.clone(), linear_t)
+        } else {
+            run_with(kernel)
+        };
+        let equal = out.keys() == linear_keys;
+        all_equal &= equal;
+        match kernel {
+            OverlapKernel::Linear => linear_steps = out.stats.merge_steps,
+            OverlapKernel::Adaptive => {
+                adaptive_steps = out.stats.merge_steps;
+                adaptive_ms = elapsed.as_secs_f64() * 1e3;
+            }
+            _ => {}
+        }
+        t.row(vec![
+            kernel.name().into(),
+            ms(elapsed),
+            count(out.stats.verified_pairs),
+            count(out.stats.merge_steps),
+            count(out.stats.early_exits),
+            count(out.stats.gallop_probes),
+            count(dedupe_self_pairs(&out.pairs).len() as u64),
+            if equal { "yes".into() } else { "NO".into() },
+        ]);
+        report.metric_u64(
+            format!("ablation_kernel.{}.merge_steps", kernel.name()),
+            out.stats.merge_steps,
+        );
+        report.metric_u64(
+            format!("ablation_kernel.{}.early_exits", kernel.name()),
+            out.stats.early_exits,
+        );
+        report.metric_u64(
+            format!("ablation_kernel.{}.gallop_probes", kernel.name()),
+            out.stats.gallop_probes,
+        );
+        report.metric_f64(
+            format!("ablation_kernel.{}.total_ms", kernel.name()),
+            elapsed.as_secs_f64() * 1e3,
+        );
+    }
+    report.table(t);
+    assert!(all_equal, "kernel choice must not change the join output");
+
+    report.metric_f64("ablation_kernel.linear_ms", linear_t.as_secs_f64() * 1e3);
+    report.metric_f64("ablation_kernel.adaptive_ms", adaptive_ms);
+    report.metric_f64(
+        "ablation_kernel.merge_step_reduction",
+        1.0 - adaptive_steps as f64 / linear_steps.max(1) as f64,
+    );
+    report.metric_str(
+        "ablation_kernel.output_equal",
+        if all_equal { "true" } else { "false" },
+    );
+
+    // Second panel: a skewed containment workload. Two-sided resemblance
+    // bounds the length ratio of surviving candidates, so the galloping path
+    // never fires above; a containment join of short probe sets against long
+    // reference sets produces candidates with ~16× length skew — the regime
+    // the adaptive kernel's galloping targets.
+    let n_long = ((200.0 * scale).round() as usize).max(8);
+    let n_short = ((600.0 * scale).round() as usize).max(24);
+    let long_recs: Vec<String> = (0..n_long)
+        .map(|i| {
+            (0..64)
+                .map(|j| format!("z{:03}", (i * 7 + j) % 200))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    let short_recs: Vec<String> = (0..n_short)
+        .map(|k| {
+            (0..4)
+                .map(|j| format!("z{:03}", (k * 7 + j) % 200))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+
+    let run_skew = |kernel: OverlapKernel| {
+        let cfg = JaccardConfig::containment(0.9)
+            .with_algorithm(Algorithm::Inline)
+            .with_exec(ExecContext::new().with_kernel(kernel));
+        let start = Instant::now();
+        let out = jaccard_join(&short_recs, &long_recs, &cfg).expect("containment join");
+        (out, start.elapsed())
+    };
+
+    let mut skew_t = Table::new(
+        format!("Ablation — overlap kernel, skewed containment (4 vs 64 tokens, {n_short}×{n_long} sets)"),
+        &[
+            "Kernel",
+            "Total ms",
+            "Merge steps",
+            "Early exits",
+            "Gallop probes",
+            "Pairs",
+            "Output equal",
+        ],
+    );
+    let (skew_linear, _) = run_skew(OverlapKernel::Linear);
+    let skew_keys = skew_linear.keys();
+    let mut skew_equal = true;
+    for kernel in [
+        OverlapKernel::Linear,
+        OverlapKernel::EarlyExit,
+        OverlapKernel::Adaptive,
+    ] {
+        let (out, elapsed) = run_skew(kernel);
+        let equal = out.keys() == skew_keys;
+        skew_equal &= equal;
+        skew_t.row(vec![
+            kernel.name().into(),
+            ms(elapsed),
+            count(out.stats.merge_steps),
+            count(out.stats.early_exits),
+            count(out.stats.gallop_probes),
+            count(out.pairs.len() as u64),
+            if equal { "yes".into() } else { "NO".into() },
+        ]);
+        report.metric_u64(
+            format!("ablation_kernel.skew.{}.merge_steps", kernel.name()),
+            out.stats.merge_steps,
+        );
+        report.metric_u64(
+            format!("ablation_kernel.skew.{}.gallop_probes", kernel.name()),
+            out.stats.gallop_probes,
+        );
+    }
+    report.table(skew_t);
+    assert!(skew_equal, "kernel choice must not change the join output");
+    report.metric_str(
+        "ablation_kernel.skew.output_equal",
+        if skew_equal { "true" } else { "false" },
     );
 }

@@ -15,7 +15,7 @@
 
 use crate::hash::FxHashMap;
 use crate::order::ElementOrder;
-use crate::set::{SetCollection, WeightedSet};
+use crate::set::SetCollection;
 use crate::weight::Weight;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -224,16 +224,20 @@ impl SsJoinInputBuilder {
                     .iter()
                     .map(|&eid| (rank_of_eid[eid as usize], weights_by_eid[eid as usize]))
                     .collect();
-                let provisional = WeightedSet::new(elems, 0.0);
                 let norm = match &rel.norm {
-                    NormKind::TotalWeight => provisional.total_weight().to_f64(),
-                    NormKind::SqrtTotalWeight => provisional.total_weight().to_f64().sqrt(),
-                    NormKind::Cardinality => provisional.len() as f64,
+                    NormKind::TotalWeight => elems.iter().map(|&(_, w)| w).sum::<Weight>().to_f64(),
+                    NormKind::SqrtTotalWeight => elems
+                        .iter()
+                        .map(|&(_, w)| w)
+                        .sum::<Weight>()
+                        .to_f64()
+                        .sqrt(),
+                    NormKind::Cardinality => elems.len() as f64,
                     NormKind::Custom(norms) => norms[gi],
                 };
-                sets.push(WeightedSet::new(provisional.elements().to_vec(), norm));
+                sets.push((elems, norm));
             }
-            collections.push(SetCollection::new(sets, universe, tag));
+            collections.push(SetCollection::from_sets(sets, universe, tag));
         }
 
         BuiltInput {
@@ -383,9 +387,8 @@ mod tests {
         // rare tokens (freq 1), i.e. have the largest rank.
         let (token, _) = built.element((built.universe_size() - 1) as u32);
         assert_eq!(token, "common");
-        for set in c.sets() {
-            let ranks: Vec<u32> = set.elements().iter().map(|&(r, _)| r).collect();
-            assert!(ranks.windows(2).all(|w| w[0] < w[1]));
+        for set in c.iter() {
+            assert!(set.ranks().windows(2).all(|w| w[0] < w[1]));
         }
     }
 

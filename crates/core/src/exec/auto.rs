@@ -64,13 +64,13 @@ pub fn estimate_costs(
     let universe = r.universe_size();
     let mut freq_r = vec![0u32; universe];
     let mut freq_s = vec![0u32; universe];
-    for set in r.sets() {
-        for &(rank, _) in set.elements() {
+    for set in r.iter() {
+        for &rank in set.ranks() {
             freq_r[rank as usize] += 1;
         }
     }
-    for set in s.sets() {
-        for &(rank, _) in set.elements() {
+    for set in s.iter() {
+        for &rank in set.ranks() {
             freq_s[rank as usize] += 1;
         }
     }
@@ -84,13 +84,13 @@ pub fn estimate_costs(
     let s_lens = prefix_lengths(s, Side::S, pred, r.norm_range());
     let mut pfreq_r = vec![0u32; universe];
     let mut pfreq_s = vec![0u32; universe];
-    for (set, &len) in r.sets().iter().zip(&r_lens) {
-        for &(rank, _) in &set.elements()[..len] {
+    for (set, &len) in r.iter().zip(&r_lens) {
+        for &rank in &set.ranks()[..len] {
             pfreq_r[rank as usize] += 1;
         }
     }
-    for (set, &len) in s.sets().iter().zip(&s_lens) {
-        for &(rank, _) in &set.elements()[..len] {
+    for (set, &len) in s.iter().zip(&s_lens) {
+        for &rank in &set.ranks()[..len] {
             pfreq_s[rank as usize] += 1;
         }
     }

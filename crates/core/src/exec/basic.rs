@@ -24,9 +24,9 @@ impl InvertedIndex {
     /// index for the filtered ones.
     pub(crate) fn build(collection: &SetCollection, lens: Option<&[usize]>) -> Self {
         let mut postings: Vec<Vec<u32>> = vec![Vec::new(); collection.universe_size()];
-        for (id, set) in collection.sets().iter().enumerate() {
+        for (id, set) in collection.iter().enumerate() {
             let n = lens.map_or(set.len(), |l| l[id]);
-            for &(rank, _) in &set.elements()[..n] {
+            for &rank in &set.ranks()[..n] {
                 postings[rank as usize].push(id as u32);
             }
         }
@@ -58,7 +58,7 @@ pub(super) fn run(
             let mut touched: Vec<u32> = Vec::new();
             for rid in range {
                 let rset = r.set(rid as u32);
-                for &(rank, w) in rset.elements() {
+                for (&rank, &w) in rset.ranks().iter().zip(rset.weights()) {
                     for &sid in index.postings(rank) {
                         if acc[sid as usize].is_zero() {
                             touched.push(sid);

@@ -17,6 +17,7 @@ mod prefix;
 pub use auto::estimate_costs;
 
 use crate::error::{SsJoinError, SsJoinResult};
+use crate::kernel::OverlapKernel;
 use crate::predicate::OverlapPredicate;
 use crate::set::SetCollection;
 use crate::stats::SsJoinStats;
@@ -120,6 +121,9 @@ pub struct ExecContext {
     /// the required overlap, before the verification merge (prefix-family
     /// executors only). Lossless; changes counters but never output.
     pub bitmap_filter: bool,
+    /// Overlap kernel used by verification merges. All kernels produce
+    /// identical output; they differ in how much work rejection costs.
+    pub kernel: OverlapKernel,
     /// Instrumentation level.
     pub stats: StatsLevel,
 }
@@ -131,6 +135,7 @@ impl ExecContext {
             threads: 1,
             shard: ShardPolicy::default(),
             bitmap_filter: false,
+            kernel: OverlapKernel::default(),
             stats: StatsLevel::default(),
         }
     }
@@ -150,6 +155,12 @@ impl ExecContext {
     /// Enable or disable the bitmap signature filter.
     pub fn with_bitmap_filter(mut self, on: bool) -> Self {
         self.bitmap_filter = on;
+        self
+    }
+
+    /// Set the overlap kernel used by verification merges.
+    pub fn with_kernel(mut self, kernel: OverlapKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -211,6 +222,12 @@ impl SsJoinConfig {
     /// Enable or disable the bitmap signature filter.
     pub fn with_bitmap_filter(mut self, on: bool) -> Self {
         self.exec.bitmap_filter = on;
+        self
+    }
+
+    /// Set the overlap kernel used by verification merges.
+    pub fn with_kernel(mut self, kernel: OverlapKernel) -> Self {
+        self.exec.kernel = kernel;
         self
     }
 

@@ -29,10 +29,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use super::basic::InvertedIndex;
 use super::prefix::{prefix_lengths, Side};
 use super::{ExecContext, JoinPair, ShardPolicy};
+use crate::kernel::verify_overlap;
 use crate::predicate::OverlapPredicate;
 use crate::set::SetCollection;
 use crate::stats::{timed_phase, Phase, SsJoinStats};
-use crate::weight::Weight;
 
 /// One unit of parallel work: a contiguous range of element ranks, plus an
 /// optional sub-range of the R posting list when a single heavy rank was
@@ -138,15 +138,15 @@ fn plan_shards(
     }
 }
 
-/// First rank shared by two rank-ascending element slices. The caller
-/// guarantees at least one shared rank exists.
-fn first_shared_rank(a: &[(u32, Weight)], b: &[(u32, Weight)]) -> u32 {
+/// First rank shared by two rank-ascending slices. The caller guarantees at
+/// least one shared rank exists.
+fn first_shared_rank(a: &[u32], b: &[u32]) -> u32 {
     let (mut i, mut j) = (0usize, 0usize);
     loop {
-        match a[i].0.cmp(&b[j].0) {
+        match a[i].cmp(&b[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => return a[i].0,
+            std::cmp::Ordering::Equal => return a[i],
         }
     }
 }
@@ -179,28 +179,29 @@ fn run_shard(
         }
         for &rid in r_post {
             let rset = r.set(rid);
-            let r_prefix = &rset.elements()[..r_lens[rid as usize]];
+            let r_prefix = &rset.ranks()[..r_lens[rid as usize]];
             for &sid in s_post {
                 stats.join_tuples += 1;
                 let sset = s.set(sid);
-                let s_prefix = &sset.elements()[..s_lens[sid as usize]];
+                let s_prefix = &sset.ranks()[..s_lens[sid as usize]];
                 // Emit each candidate only at its smallest shared prefix
                 // rank — the cross-shard (and cross-rank) dedup rule.
                 if first_shared_rank(r_prefix, s_prefix) != rank {
                     continue;
                 }
                 stats.candidate_pairs += 1;
+                let required = pred.required_overlap(rset.norm(), sset.norm());
                 if ctx.bitmap_filter {
                     stats.bitmap_probes += 1;
-                    let required = pred.required_overlap(rset.norm(), sset.norm());
                     if rset.bitmap_overlap_bound(sset) < required {
                         stats.bitmap_prunes += 1;
                         continue;
                     }
                 }
                 stats.verified_pairs += 1;
-                let overlap = rset.overlap(sset);
-                if pred.check(overlap, rset.norm(), sset.norm()) {
+                // Same fused kernel as the sequential inline executor, so
+                // counters stay schedule-independent.
+                if let Some(overlap) = verify_overlap(ctx.kernel, rset, sset, required, stats) {
                     pairs.push(JoinPair {
                         r: rid,
                         s: sid,

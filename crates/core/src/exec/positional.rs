@@ -20,29 +20,15 @@
 use super::basic::InvertedIndex;
 use super::prefix::{prefix_lengths, Side};
 use super::{run_chunked, ExecContext, JoinPair};
+use crate::kernel::verify_overlap;
 use crate::predicate::OverlapPredicate;
 use crate::set::SetCollection;
 use crate::stats::{timed_phase, Phase, SsJoinStats};
 use crate::weight::Weight;
 
-/// Per-set suffix weight sums: `suffix[i] = Σ weights of elements[i..]`.
-fn suffix_weights(collection: &SetCollection) -> Vec<Vec<Weight>> {
-    collection
-        .sets()
-        .iter()
-        .map(|set| {
-            let elems = set.elements();
-            let mut suffix = vec![Weight::ZERO; elems.len() + 1];
-            for i in (0..elems.len()).rev() {
-                suffix[i] = suffix[i + 1] + elems[i].1;
-            }
-            suffix
-        })
-        .collect()
-}
-
 /// Positional posting: set id, element position within the set, shared with
-/// the inverted index's rank dimension.
+/// the inverted index's rank dimension. Suffix weight tables come
+/// precomputed from the [`SetCollection`] arena.
 pub(super) fn run(
     r: &SetCollection,
     s: &SetCollection,
@@ -51,16 +37,14 @@ pub(super) fn run(
 ) -> (Vec<JoinPair>, SsJoinStats) {
     let mut stats = SsJoinStats::default();
 
-    let (r_lens, s_index, s_suffix) =
-        timed_phase(&mut stats, ctx.stats, Phase::PrefixFilter, |stats| {
-            let r_lens = prefix_lengths(r, Side::R, pred, s.norm_range());
-            let s_lens = prefix_lengths(s, Side::S, pred, r.norm_range());
-            stats.prefix_tuples_r = r_lens.iter().map(|&l| l as u64).sum();
-            stats.prefix_tuples_s = s_lens.iter().map(|&l| l as u64).sum();
-            let s_index = InvertedIndex::build(s, Some(&s_lens));
-            let s_suffix = suffix_weights(s);
-            (r_lens, s_index, s_suffix)
-        });
+    let (r_lens, s_index) = timed_phase(&mut stats, ctx.stats, Phase::PrefixFilter, |stats| {
+        let r_lens = prefix_lengths(r, Side::R, pred, s.norm_range());
+        let s_lens = prefix_lengths(s, Side::S, pred, r.norm_range());
+        stats.prefix_tuples_r = r_lens.iter().map(|&l| l as u64).sum();
+        stats.prefix_tuples_s = s_lens.iter().map(|&l| l as u64).sum();
+        let s_index = InvertedIndex::build(s, Some(&s_lens));
+        (r_lens, s_index)
+    });
 
     let (pairs, inner) = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
         run_chunked(r.len(), ctx.threads, |range| {
@@ -84,23 +68,19 @@ pub(super) fn run(
                 cand_accum.clear();
                 cand_bound.clear();
 
-                // Suffix weights of the R set (positions plen.. contribute
-                // to the bound too, so compute over the full set).
-                let relems = rset.elements();
-                let mut r_suffix = vec![Weight::ZERO; relems.len() + 1];
-                for i in (0..relems.len()).rev() {
-                    r_suffix[i] = r_suffix[i + 1] + relems[i].1;
-                }
-
-                for (i, &(rank, w)) in relems[..plen].iter().enumerate() {
+                for (i, (&rank, &w)) in rset.ranks()[..plen]
+                    .iter()
+                    .zip(&rset.weights()[..plen])
+                    .enumerate()
+                {
                     for &sid in s_index.postings(rank) {
                         stats.join_tuples += 1;
                         let sset = s.set(sid);
                         // Position of `rank` within the S set (binary search
                         // over the rank-sorted elements).
                         let j = sset
-                            .elements()
-                            .binary_search_by_key(&rank, |&(rk, _)| rk)
+                            .ranks()
+                            .binary_search(&rank)
                             .expect("posting implies membership");
                         let k = if stamp[sid as usize] != rid as u32 {
                             stamp[sid as usize] = rid as u32;
@@ -113,8 +93,9 @@ pub(super) fn run(
                             slot[sid as usize] as usize
                         };
                         cand_accum[k] += w;
-                        // Bound from the positions *after* this match.
-                        let rem = r_suffix[i + 1].min(s_suffix[sid as usize][j + 1]);
+                        // Bound from the positions *after* this match, using
+                        // the arena's precomputed suffix weight tables.
+                        let rem = rset.suffix_weight(i + 1).min(sset.suffix_weight(j + 1));
                         cand_bound[k] = cand_accum[k] + rem;
                     }
                 }
@@ -138,8 +119,11 @@ pub(super) fn run(
                         }
                     }
                     stats.verified_pairs += 1;
-                    let overlap = rset.overlap(sset);
-                    if pred.check(overlap, rset.norm(), sset.norm()) {
+                    // HAVING fused into the kernel: Some exactly when the
+                    // overlap reaches `required`.
+                    if let Some(overlap) =
+                        verify_overlap(ctx.kernel, rset, sset, required, &mut stats)
+                    {
                         pairs.push(JoinPair {
                             r: rid as u32,
                             s: sid,

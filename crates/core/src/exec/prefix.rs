@@ -18,6 +18,7 @@
 use super::basic::InvertedIndex;
 use super::{run_chunked, ExecContext, JoinPair};
 use crate::hash::FxHashMap;
+use crate::kernel::verify_overlap;
 use crate::predicate::{Interval, OverlapPredicate};
 use crate::set::SetCollection;
 use crate::stats::{timed_phase, Phase, SsJoinStats};
@@ -45,7 +46,6 @@ pub(crate) fn prefix_lengths(
     };
     let range = Interval::new(lo, hi);
     collection
-        .sets()
         .iter()
         .map(|set| {
             if set.is_empty() {
@@ -76,17 +76,17 @@ pub(crate) fn run_prefix_family(
 ) -> (Vec<JoinPair>, SsJoinStats) {
     let mut stats = SsJoinStats::default();
 
-    // Phase: prefix-filter (computing prefixes and the prefix index).
-    let (r_lens, s_index, s_lens) =
-        timed_phase(&mut stats, ctx.stats, Phase::PrefixFilter, |stats| {
-            let r_lens = prefix_lengths(r, Side::R, pred, s.norm_range());
-            let s_lens = prefix_lengths(s, Side::S, pred, r.norm_range());
-            stats.prefix_tuples_r = r_lens.iter().map(|&l| l as u64).sum();
-            stats.prefix_tuples_s = s_lens.iter().map(|&l| l as u64).sum();
-            let s_index = InvertedIndex::build(s, Some(&s_lens));
-            (r_lens, s_index, s_lens)
-        });
-    let _ = s_lens;
+    // Phase: prefix-filter (computing prefixes and the prefix index). Only
+    // the R-side lengths and the S-side prefix index escape the phase; the
+    // S-side lengths are consumed by the index build.
+    let (r_lens, s_index) = timed_phase(&mut stats, ctx.stats, Phase::PrefixFilter, |stats| {
+        let r_lens = prefix_lengths(r, Side::R, pred, s.norm_range());
+        let s_lens = prefix_lengths(s, Side::S, pred, r.norm_range());
+        stats.prefix_tuples_r = r_lens.iter().map(|&l| l as u64).sum();
+        stats.prefix_tuples_s = s_lens.iter().map(|&l| l as u64).sum();
+        let s_index = InvertedIndex::build(s, Some(&s_lens));
+        (r_lens, s_index)
+    });
 
     // Phase: the SSJoin proper — prefix equi-join producing candidates, then
     // overlap recomputation per candidate.
@@ -107,7 +107,7 @@ pub(crate) fn run_prefix_family(
                     continue;
                 }
                 candidates.clear();
-                for &(rank, _) in &rset.elements()[..plen] {
+                for &rank in &rset.ranks()[..plen] {
                     for &sid in s_index.postings(rank) {
                         stats.join_tuples += 1;
                         if stamp[sid as usize] != rid as u32 {
@@ -125,17 +125,20 @@ pub(crate) fn run_prefix_family(
                 if inline {
                     for &sid in &candidates {
                         let sset = s.set(sid);
+                        let required = pred.required_overlap(rset.norm(), sset.norm());
                         if ctx.bitmap_filter {
                             stats.bitmap_probes += 1;
-                            let required = pred.required_overlap(rset.norm(), sset.norm());
                             if rset.bitmap_overlap_bound(sset) < required {
                                 stats.bitmap_prunes += 1;
                                 continue; // signature proves the merge can't reach the threshold
                             }
                         }
-                        let overlap = rset.overlap(sset);
                         stats.verified_pairs += 1;
-                        if pred.check(overlap, rset.norm(), sset.norm()) {
+                        // The HAVING check is fused into the kernel: Some
+                        // exactly when overlap >= required.
+                        if let Some(overlap) =
+                            verify_overlap(ctx.kernel, rset, sset, required, &mut stats)
+                        {
                             pairs.push(JoinPair {
                                 r: rid as u32,
                                 s: sid,
@@ -154,13 +157,13 @@ pub(crate) fn run_prefix_family(
                     // Figure 9.)
                     for &sid in &candidates {
                         r_table.clear();
-                        for &(rank, w) in rset.elements() {
+                        for (&rank, &w) in rset.ranks().iter().zip(rset.weights()) {
                             r_table.insert(rank, w);
                         }
                         let sset = s.set(sid);
                         let mut overlap = Weight::ZERO;
-                        for &(rank, _) in sset.elements() {
-                            if let Some(&w) = r_table.get(&rank) {
+                        for rank in sset.ranks() {
+                            if let Some(&w) = r_table.get(rank) {
                                 overlap += w;
                             }
                         }

@@ -18,7 +18,7 @@
 //! ```
 
 use crate::builder::BuiltInput;
-use crate::set::{SetCollection, WeightedSet};
+use crate::set::SetCollection;
 use crate::weight::Weight;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -73,10 +73,10 @@ pub fn save_built_input<P: AsRef<Path>>(input: &BuiltInput, path: P) -> io::Resu
     w_u32(&mut w, collections.len() as u32)?;
     for c in collections {
         w_u64(&mut w, c.len() as u64)?;
-        for set in c.sets() {
+        for set in c.iter() {
             w_f64(&mut w, set.norm())?;
             w_u32(&mut w, set.len() as u32)?;
-            for &(rank, weight) in set.elements() {
+            for (&rank, &weight) in set.ranks().iter().zip(set.weights()) {
                 w_u32(&mut w, rank)?;
                 w_u64(&mut w, weight.raw())?;
             }
@@ -129,9 +129,9 @@ pub fn load_built_input<P: AsRef<Path>>(path: P) -> io::Result<BuiltInput> {
                 }
                 elements.push((rank, Weight::from_raw(r_u64(&mut r)?)));
             }
-            sets.push(WeightedSet::new(elements, norm));
+            sets.push((elements, norm));
         }
-        collections.push(SetCollection::new(sets, universe, tag));
+        collections.push(SetCollection::from_sets(sets, universe, tag));
     }
     Ok(BuiltInput::from_parts(collections, element_meta, weights))
 }
@@ -175,7 +175,7 @@ mod tests {
         assert_eq!(loaded.collections().len(), 2);
         for (lc, ic) in loaded.collections().iter().zip(input.collections()) {
             assert_eq!(lc.len(), ic.len());
-            for (ls, is) in lc.sets().iter().zip(ic.sets()) {
+            for (ls, is) in lc.iter().zip(ic.iter()) {
                 assert_eq!(ls, is);
             }
         }

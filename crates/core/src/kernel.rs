@@ -1,0 +1,405 @@
+//! Threshold-aware overlap kernels.
+//!
+//! Candidate verification — computing `wt(r ∩ s)` and comparing it against
+//! the predicate's required overlap — dominates SSJoin runtime once the
+//! prefix filter has pruned the candidate space. These kernels fuse the
+//! HAVING comparison into the merge itself: they return `Some(overlap)`
+//! exactly when `overlap >= required`, and may return `None` *early*, as
+//! soon as the accumulated weight plus the smallest remaining suffix weight
+//! provably cannot reach `required`.
+//!
+//! The early-exit bound: at merge state `(i, j)` over sets `a` and `b`, any
+//! element still matchable lies in `a[i..] ∩ b[j..]`, whose weight is at
+//! most `min(suffix_a[i], suffix_b[j])` — the precomputed suffix cumulative
+//! weights of [`crate::set::SetRef`]. If
+//! `acc + min(suffix_a[i], suffix_b[j]) < required`, no continuation of the
+//! merge reaches the threshold, so the pair is rejected without touching the
+//! remaining elements. The exit fires only on rejection; an accepted pair is
+//! merged to completion so the reported overlap is exact.
+//!
+//! Three kernels are offered via [`OverlapKernel`]:
+//! - [`OverlapKernel::Linear`] — full two-pointer merge, then the threshold
+//!   comparison. The correctness oracle.
+//! - [`OverlapKernel::EarlyExit`] — two-pointer merge with the suffix-weight
+//!   bound checked each step.
+//! - [`OverlapKernel::Adaptive`] (default) — early-exit merge, switching to a
+//!   galloping probe of the longer side when the length ratio exceeds
+//!   [`GALLOP_CROSSOVER`], for the skewed candidate pairs the
+//!   frequency-ascending order `O` produces.
+//!
+//! All three agree bit-for-bit on acceptance and on the returned overlap;
+//! they differ only in how much work rejection costs. The counters
+//! `merge_steps`, `early_exits`, and `gallop_probes` in
+//! [`crate::SsJoinStats`] make the difference observable.
+
+use crate::set::SetRef;
+use crate::stats::SsJoinStats;
+use crate::weight::Weight;
+use std::cmp::Ordering;
+
+/// Overlap kernel used for candidate verification, selected via
+/// [`crate::ExecContext::with_kernel`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum OverlapKernel {
+    /// Full linear merge followed by the threshold comparison; never exits
+    /// early. The correctness oracle and the paper's literal `Overlap`
+    /// aggregate.
+    Linear,
+    /// Linear merge that abandons a pair as soon as the suffix-weight bound
+    /// proves it cannot reach the required overlap.
+    EarlyExit,
+    /// Early-exit merge that switches to galloping (exponential probe plus
+    /// binary search) on the longer side when the candidate pair's length
+    /// ratio is at least [`GALLOP_CROSSOVER`].
+    #[default]
+    Adaptive,
+}
+
+impl OverlapKernel {
+    /// Kernel name as used by the experiments harness (`linear`,
+    /// `early-exit`, `adaptive`).
+    pub fn name(self) -> &'static str {
+        match self {
+            OverlapKernel::Linear => "linear",
+            OverlapKernel::EarlyExit => "early-exit",
+            OverlapKernel::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// Length ratio (longer / shorter) at which [`OverlapKernel::Adaptive`]
+/// switches from stepwise merging to galloping the longer side.
+pub const GALLOP_CROSSOVER: usize = 8;
+
+/// Verify one candidate pair with the selected kernel: returns
+/// `Some(wt(a ∩ b))` iff the overlap reaches `required`, updating the
+/// kernel counters in `stats`.
+#[inline]
+pub fn verify_overlap(
+    kernel: OverlapKernel,
+    a: SetRef<'_>,
+    b: SetRef<'_>,
+    required: Weight,
+    stats: &mut SsJoinStats,
+) -> Option<Weight> {
+    match kernel {
+        OverlapKernel::Linear => {
+            let ov = merge_full(a, b, &mut stats.merge_steps);
+            (ov >= required).then_some(ov)
+        }
+        OverlapKernel::EarlyExit => overlap_at_least(a, b, required, stats),
+        OverlapKernel::Adaptive => {
+            let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+            if !short.is_empty() && long.len() / short.len() >= GALLOP_CROSSOVER {
+                overlap_gallop(short, long, required, stats)
+            } else {
+                overlap_at_least(a, b, required, stats)
+            }
+        }
+    }
+}
+
+/// Full two-pointer merge of two rank-sorted sets, counting each advance in
+/// `steps`. Backing for [`SetRef::overlap`] and [`OverlapKernel::Linear`].
+pub(crate) fn merge_full(a: SetRef<'_>, b: SetRef<'_>, steps: &mut u64) -> Weight {
+    let (ar, aw) = (a.ranks(), a.weights());
+    let (br, bw) = (b.ranks(), b.weights());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut acc = Weight::ZERO;
+    while i < ar.len() && j < br.len() {
+        *steps += 1;
+        match ar[i].cmp(&br[j]) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                debug_assert_eq!(
+                    aw[i], bw[j],
+                    "element weights must agree across a shared universe"
+                );
+                acc += aw[i];
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    acc
+}
+
+/// Threshold-aware merge: returns `Some(wt(a ∩ b))` iff it reaches
+/// `required`, abandoning the merge (and returning `None`) as soon as
+/// `acc + min(suffix_a[i], suffix_b[j]) < required`. Exposed for the
+/// property tests that pit it against the linear oracle.
+pub fn overlap_at_least(
+    a: SetRef<'_>,
+    b: SetRef<'_>,
+    required: Weight,
+    stats: &mut SsJoinStats,
+) -> Option<Weight> {
+    let (ar, aw) = (a.ranks(), a.weights());
+    let (br, bw) = (b.ranks(), b.weights());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut acc = Weight::ZERO;
+    while i < ar.len() && j < br.len() {
+        if acc + a.suffix_weight(i).min(b.suffix_weight(j)) < required {
+            stats.early_exits += 1;
+            return None;
+        }
+        stats.merge_steps += 1;
+        match ar[i].cmp(&br[j]) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                debug_assert_eq!(
+                    aw[i], bw[j],
+                    "element weights must agree across a shared universe"
+                );
+                acc += aw[i];
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    (acc >= required).then_some(acc)
+}
+
+/// Galloping variant for skewed-length pairs: walks the `short` set and
+/// locates each rank in `long` by exponential probe plus binary search,
+/// applying the same suffix-weight early-exit bound per short element.
+/// Exposed for the property tests that pit it against the linear oracle.
+pub fn overlap_gallop(
+    short: SetRef<'_>,
+    long: SetRef<'_>,
+    required: Weight,
+    stats: &mut SsJoinStats,
+) -> Option<Weight> {
+    let lr = long.ranks();
+    let mut j = 0usize;
+    let mut acc = Weight::ZERO;
+    for (i, (&rank, &w)) in short.ranks().iter().zip(short.weights()).enumerate() {
+        if j >= lr.len() {
+            break;
+        }
+        if acc + short.suffix_weight(i).min(long.suffix_weight(j)) < required {
+            stats.early_exits += 1;
+            return None;
+        }
+        let pos = gallop_seek(lr, j, rank, &mut stats.gallop_probes);
+        j = pos;
+        if pos < lr.len() && lr[pos] == rank {
+            debug_assert_eq!(
+                w,
+                long.weights()[pos],
+                "element weights must agree across a shared universe"
+            );
+            acc += w;
+            j += 1;
+        }
+    }
+    (acc >= required).then_some(acc)
+}
+
+/// First index in `ranks[from..]` holding a value `>= target` (exponential
+/// probe from `from`, then binary search over the bracketed window). Every
+/// rank comparison increments `probes`.
+fn gallop_seek(ranks: &[u32], from: usize, target: u32, probes: &mut u64) -> usize {
+    let len = ranks.len();
+    let mut lo = from;
+    let mut hi = len;
+    let mut bound = 1usize;
+    loop {
+        let idx = from + bound;
+        if idx >= len {
+            break;
+        }
+        *probes += 1;
+        if ranks[idx] < target {
+            lo = idx + 1;
+            bound <<= 1;
+        } else {
+            hi = idx + 1;
+            break;
+        }
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        *probes += 1;
+        if ranks[mid] < target {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::SetCollection;
+
+    fn w(x: f64) -> Weight {
+        Weight::from_f64(x)
+    }
+
+    fn pair(a: &[(u32, f64)], b: &[(u32, f64)]) -> SetCollection {
+        SetCollection::from_sets(
+            vec![
+                (a.iter().map(|&(r, x)| (r, w(x))).collect(), 0.0),
+                (b.iter().map(|&(r, x)| (r, w(x))).collect(), 0.0),
+            ],
+            1 << 16,
+            0,
+        )
+    }
+
+    /// All three kernels must agree on acceptance and overlap value.
+    fn check_all(c: &SetCollection, required: Weight) {
+        let (a, b) = (c.set(0), c.set(1));
+        let exact = a.overlap(b);
+        let oracle = (exact >= required).then_some(exact);
+        for kernel in [
+            OverlapKernel::Linear,
+            OverlapKernel::EarlyExit,
+            OverlapKernel::Adaptive,
+        ] {
+            let mut st = SsJoinStats::default();
+            assert_eq!(
+                verify_overlap(kernel, a, b, required, &mut st),
+                oracle,
+                "{kernel:?} disagrees with oracle at required={required}"
+            );
+            let mut st = SsJoinStats::default();
+            assert_eq!(
+                verify_overlap(kernel, b, a, required, &mut st),
+                oracle,
+                "{kernel:?} (swapped) disagrees with oracle at required={required}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_agree_basic() {
+        let c = pair(
+            &[(1, 1.0), (2, 2.0), (5, 0.5), (9, 1.0)],
+            &[(2, 2.0), (3, 9.0), (5, 0.5)],
+        );
+        for req in [0.0, 1.0, 2.5, 2.6, 100.0] {
+            check_all(&c, Weight::from_f64_threshold(req));
+        }
+    }
+
+    #[test]
+    fn kernels_agree_edge_shapes() {
+        type Shape = [(u32, f64)];
+        let shapes: &[(&Shape, &Shape)] = &[
+            (&[], &[]),
+            (&[], &[(1, 1.0)]),
+            (&[(3, 2.0)], &[(3, 2.0)]),
+            (&[(3, 2.0)], &[(4, 2.0)]),
+            (&[(0, 1.0), (2, 1.0)], &[(1, 5.0), (3, 5.0)]),
+        ];
+        for &(a, b) in shapes {
+            let c = pair(a, b);
+            for req in [0.0, 0.5, 1.0, 2.0, 3.0] {
+                check_all(&c, Weight::from_f64_threshold(req));
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_fires_on_hopeless_pair() {
+        // Long disjoint tails: requiring more than the (empty) overlap must
+        // abandon the merge before walking both lists.
+        let a: Vec<(u32, f64)> = (0..64).map(|i| (i * 2, 1.0)).collect();
+        let b: Vec<(u32, f64)> = (0..64).map(|i| (i * 2 + 1, 1.0)).collect();
+        let c = pair(&a, &b);
+        let mut st = SsJoinStats::default();
+        let out = verify_overlap(
+            OverlapKernel::EarlyExit,
+            c.set(0),
+            c.set(1),
+            w(10.0),
+            &mut st,
+        );
+        assert_eq!(out, None);
+        assert_eq!(st.early_exits, 1);
+        let mut lin = SsJoinStats::default();
+        let _ = verify_overlap(OverlapKernel::Linear, c.set(0), c.set(1), w(10.0), &mut lin);
+        assert!(
+            st.merge_steps < lin.merge_steps,
+            "early exit did not save merge steps ({} vs {})",
+            st.merge_steps,
+            lin.merge_steps
+        );
+    }
+
+    #[test]
+    fn accepted_pairs_report_exact_overlap() {
+        // Acceptance must merge to the end: the returned overlap is exact
+        // even when the threshold was already met mid-merge.
+        let c = pair(
+            &[(0, 5.0), (1, 5.0), (2, 1.0)],
+            &[(0, 5.0), (1, 5.0), (2, 1.0)],
+        );
+        let mut st = SsJoinStats::default();
+        let out = verify_overlap(
+            OverlapKernel::EarlyExit,
+            c.set(0),
+            c.set(1),
+            w(6.0),
+            &mut st,
+        );
+        assert_eq!(out, Some(w(11.0)));
+    }
+
+    #[test]
+    fn adaptive_gallops_on_skew() {
+        let short: Vec<(u32, f64)> = vec![(100, 1.0), (500, 1.0)];
+        let long: Vec<(u32, f64)> = (0..1000).map(|i| (i, 1.0)).collect();
+        let c = pair(&short, &long);
+        let mut st = SsJoinStats::default();
+        let out = verify_overlap(
+            OverlapKernel::Adaptive,
+            c.set(0),
+            c.set(1),
+            Weight::ZERO,
+            &mut st,
+        );
+        assert_eq!(out, Some(w(2.0)));
+        assert!(st.gallop_probes > 0, "skewed pair did not gallop");
+        assert!(
+            st.gallop_probes < 1000,
+            "galloping should probe far fewer than a linear walk"
+        );
+    }
+
+    #[test]
+    fn gallop_seek_positions() {
+        let ranks = [2u32, 4, 4, 7, 9, 12];
+        let mut probes = 0u64;
+        assert_eq!(gallop_seek(&ranks, 0, 0, &mut probes), 0);
+        assert_eq!(gallop_seek(&ranks, 0, 2, &mut probes), 0);
+        assert_eq!(gallop_seek(&ranks, 0, 5, &mut probes), 3);
+        assert_eq!(gallop_seek(&ranks, 0, 12, &mut probes), 5);
+        assert_eq!(gallop_seek(&ranks, 0, 13, &mut probes), 6);
+        assert_eq!(gallop_seek(&ranks, 3, 9, &mut probes), 4);
+        assert_eq!(gallop_seek(&ranks, 6, 1, &mut probes), 6);
+        assert!(probes > 0);
+    }
+
+    #[test]
+    fn required_zero_always_accepts() {
+        let c = pair(&[(1, 1.0)], &[(2, 1.0)]);
+        for kernel in [
+            OverlapKernel::Linear,
+            OverlapKernel::EarlyExit,
+            OverlapKernel::Adaptive,
+        ] {
+            let mut st = SsJoinStats::default();
+            assert_eq!(
+                verify_overlap(kernel, c.set(0), c.set(1), Weight::ZERO, &mut st),
+                Some(Weight::ZERO)
+            );
+        }
+    }
+}

@@ -68,6 +68,7 @@ mod error;
 pub mod exec;
 mod hash;
 pub mod io;
+pub mod kernel;
 mod order;
 pub mod plan;
 mod predicate;
@@ -82,8 +83,9 @@ pub use exec::{
     SsJoinOutput,
 };
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use kernel::OverlapKernel;
 pub use order::ElementOrder;
 pub use predicate::{Interval, NormExpr, OverlapPredicate};
-pub use set::{SetCollection, WeightedSet};
+pub use set::{SetCollection, SetRef};
 pub use stats::{Phase, SsJoinStats, StatsLevel};
 pub use weight::Weight;

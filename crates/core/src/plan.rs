@@ -34,8 +34,8 @@ pub fn collection_to_relation(c: &SetCollection) -> Relation {
         ("norm", DataType::Float),
     ]);
     let mut rows = Vec::with_capacity(c.tuple_count());
-    for (id, set) in c.sets().iter().enumerate() {
-        for &(rank, w) in set.elements() {
+    for (id, set) in c.iter().enumerate() {
+        for (&rank, &w) in set.ranks().iter().zip(set.weights()) {
             rows.push(vec![
                 Value::Int(id as i64),
                 Value::Int(rank as i64),
@@ -214,10 +214,11 @@ pub fn prefix_plan(
 
 /// Encode a group's full element list as the inline string representation of
 /// §4.3.4 ("concatenating all elements together separating them by a special
-/// marker"): `rank:raw_weight,rank:raw_weight,…` in rank order.
-pub fn encode_inline_set(elements: &[(u32, Weight)]) -> String {
-    let mut out = String::with_capacity(elements.len() * 8);
-    for (i, &(rank, w)) in elements.iter().enumerate() {
+/// marker"): `rank:raw_weight,rank:raw_weight,…` in rank order. Takes the
+/// parallel rank/weight columns of the CSR arena directly.
+pub fn encode_inline_set(ranks: &[u32], weights: &[Weight]) -> String {
+    let mut out = String::with_capacity(ranks.len() * 8);
+    for (i, (&rank, &w)) in ranks.iter().zip(weights).enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -291,7 +292,7 @@ fn inline_relation(
         return Relation::empty(schema);
     };
     let range = Interval::new(lo, hi);
-    for (id, set) in c.sets().iter().enumerate() {
+    for (id, set) in c.iter().enumerate() {
         if set.is_empty() {
             continue;
         }
@@ -304,8 +305,8 @@ fn inline_relation(
             continue;
         }
         let plen = set.prefix_len(set.total_weight().saturating_sub(lb));
-        let encoded = Value::str(encode_inline_set(set.elements()));
-        for &(rank, _) in &set.elements()[..plen] {
+        let encoded = Value::str(encode_inline_set(set.ranks(), set.weights()));
+        for &rank in &set.ranks()[..plen] {
             rows.push(vec![
                 Value::Int(id as i64),
                 Value::Int(rank as i64),
@@ -476,16 +477,17 @@ mod tests {
 
     #[test]
     fn inline_encoding_roundtrip() {
-        let elems = vec![
-            (3u32, Weight::from_f64(1.5)),
-            (9, Weight::ONE),
-            (100, Weight::from_f64(0.25)),
-        ];
-        let enc = encode_inline_set(&elems);
+        let ranks = [3u32, 9, 100];
+        let weights = [Weight::from_f64(1.5), Weight::ONE, Weight::from_f64(0.25)];
+        let enc = encode_inline_set(&ranks, &weights);
         let dec = decode_inline_set(&enc).unwrap();
         assert_eq!(
             dec,
-            elems.iter().map(|&(r, w)| (r, w.raw())).collect::<Vec<_>>()
+            ranks
+                .iter()
+                .zip(&weights)
+                .map(|(&r, &w)| (r, w.raw()))
+                .collect::<Vec<_>>()
         );
         assert!(decode_inline_set("").unwrap().is_empty());
         assert!(decode_inline_set("garbage").is_err());
@@ -494,8 +496,9 @@ mod tests {
 
     #[test]
     fn inline_overlap_udf() {
-        let a = encode_inline_set(&[(1, Weight::ONE), (5, Weight::ONE)]);
-        let b = encode_inline_set(&[(5, Weight::ONE), (9, Weight::ONE)]);
+        let one = [Weight::ONE, Weight::ONE];
+        let a = encode_inline_set(&[1, 5], &one);
+        let b = encode_inline_set(&[5, 9], &one);
         assert_eq!(inline_overlap(&a, &b).unwrap(), Weight::ONE.raw());
         assert_eq!(inline_overlap(&a, "").unwrap(), 0);
     }

@@ -1,32 +1,25 @@
-//! Weighted sets and set collections.
+//! Weighted sets and set collections, stored in a flat CSR arena.
 //!
-//! A [`WeightedSet`] is one group of the SSJoin input: the (ordinalized,
-//! weighted) set of `B` values sharing one `A` value. Elements are dense
-//! `u32` *ranks* — positions in the global order `O` — so "sorted by `O`"
-//! is an integer sort and prefix extraction is a scan. A [`SetCollection`]
-//! is one side (R or S) of the join.
+//! A set is one group of the SSJoin input: the (ordinalized, weighted) set
+//! of `B` values sharing one `A` value. Elements are dense `u32` *ranks* —
+//! positions in the global order `O` — so "sorted by `O`" is an integer sort
+//! and prefix extraction is a scan.
+//!
+//! A [`SetCollection`] is one side (R or S) of the join. Instead of boxing
+//! one heap allocation per group, the collection holds a single contiguous
+//! **compressed-sparse-row arena**: one `ranks` array, one parallel
+//! `weights` array, one parallel `suffix` array of cumulative suffix
+//! weights, and an `offsets` array delimiting each set's slice. Per-set
+//! derived state (total weight, norm, 64-bit bitmap signature, minimum
+//! element weight) lives in parallel per-set arrays. Index builds and
+//! verification merges therefore stream cache-friendly structure-of-arrays
+//! memory with no pointer chasing.
+//!
+//! [`SetRef`] is the borrowed per-set view handed to executors and overlap
+//! kernels (see [`crate::kernel`]); it is `Copy` and carries the arena
+//! slices plus the derived scalars.
 
 use crate::weight::Weight;
-
-/// One weighted set (group), with elements sorted by global rank.
-#[derive(Debug, Clone, PartialEq)]
-pub struct WeightedSet {
-    /// Elements as `(rank, weight)` pairs, ascending by rank, no duplicate
-    /// ranks (multisets are ordinalized before reaching this type).
-    elements: Vec<(u32, Weight)>,
-    /// Cached total weight.
-    total: Weight,
-    /// The group's *norm* — the normalization quantity predicates reference
-    /// (string length, cardinality, or total weight, chosen by the builder).
-    norm: f64,
-    /// 64-bit bitmap signature: bit `hash(rank) mod 64` is set for every
-    /// element. Used by [`WeightedSet::bitmap_overlap_bound`] to upper-bound
-    /// overlaps before a verification merge.
-    signature: u64,
-    /// Smallest element weight, cached for the bitmap overlap bound. Zero
-    /// for the empty set.
-    min_weight: Weight,
-}
 
 /// Signature bit for an element rank: a multiplicative hash spreads nearby
 /// ranks across the 64 bits so dense rank ranges don't collide.
@@ -35,74 +28,91 @@ fn signature_bit(rank: u32) -> u64 {
     1u64 << ((rank as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 58)
 }
 
-impl WeightedSet {
-    /// Build from `(rank, weight)` pairs; sorts and validates. Derived state
-    /// (total weight, bitmap signature, minimum element weight) is computed
-    /// here, so every construction path — builder or deserialization — gets
-    /// it consistently.
-    ///
-    /// # Panics
-    /// Panics on duplicate ranks — callers must ordinalize multisets first.
-    pub fn new(mut elements: Vec<(u32, Weight)>, norm: f64) -> Self {
-        elements.sort_unstable_by_key(|&(rank, _)| rank);
-        for w in elements.windows(2) {
-            assert_ne!(
-                w[0].0, w[1].0,
-                "duplicate rank {}; ordinalize multisets first",
-                w[0].0
-            );
-        }
-        let total = elements.iter().map(|&(_, w)| w).sum();
-        let signature = elements
-            .iter()
-            .fold(0u64, |sig, &(rank, _)| sig | signature_bit(rank));
-        let min_weight = elements
-            .iter()
-            .map(|&(_, w)| w)
-            .min()
-            .unwrap_or(Weight::ZERO);
-        Self {
-            elements,
-            total,
-            norm,
-            signature,
-            min_weight,
-        }
+/// A borrowed view of one weighted set inside a [`SetCollection`] arena.
+///
+/// Cheap to copy (a few slices and scalars); all read paths — prefix
+/// extraction, index builds, overlap merges, signature pruning — go through
+/// this view.
+#[derive(Debug, Clone, Copy)]
+pub struct SetRef<'a> {
+    /// Element ranks, ascending, no duplicates.
+    ranks: &'a [u32],
+    /// Element weights, parallel to `ranks`.
+    weights: &'a [Weight],
+    /// Suffix cumulative weights: `suffix[i] = Σ weights[i..]`.
+    suffix: &'a [Weight],
+    norm: f64,
+    total: Weight,
+    signature: u64,
+    min_weight: Weight,
+}
+
+impl PartialEq for SetRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        // Derived state is a function of (ranks, weights), so comparing the
+        // primary columns plus the norm is full structural equality.
+        self.ranks == other.ranks && self.weights == other.weights && self.norm == other.norm
+    }
+}
+
+impl<'a> SetRef<'a> {
+    /// Element ranks, ascending by the global order, no duplicates.
+    pub fn ranks(self) -> &'a [u32] {
+        self.ranks
     }
 
-    /// Elements as `(rank, weight)`, ascending by rank.
-    pub fn elements(&self) -> &[(u32, Weight)] {
-        &self.elements
+    /// Element weights, parallel to [`SetRef::ranks`].
+    pub fn weights(self) -> &'a [Weight] {
+        self.weights
+    }
+
+    /// Precomputed suffix cumulative weights: `suffix_weights()[i]` is the
+    /// total weight of elements `i..`. Same length as the set.
+    pub fn suffix_weights(self) -> &'a [Weight] {
+        self.suffix
+    }
+
+    /// Total weight of elements `i..` (`Weight::ZERO` at `i == len`).
+    ///
+    /// # Panics
+    /// Panics if `i > len`.
+    #[inline]
+    pub fn suffix_weight(self, i: usize) -> Weight {
+        if i == self.suffix.len() {
+            Weight::ZERO
+        } else {
+            self.suffix[i]
+        }
     }
 
     /// Number of elements.
-    pub fn len(&self) -> usize {
-        self.elements.len()
+    pub fn len(self) -> usize {
+        self.ranks.len()
     }
 
     /// True if the set is empty.
-    pub fn is_empty(&self) -> bool {
-        self.elements.is_empty()
+    pub fn is_empty(self) -> bool {
+        self.ranks.is_empty()
     }
 
     /// Total weight `wt(s)`.
-    pub fn total_weight(&self) -> Weight {
+    pub fn total_weight(self) -> Weight {
         self.total
     }
 
     /// The norm used by normalized predicates.
-    pub fn norm(&self) -> f64 {
+    pub fn norm(self) -> f64 {
         self.norm
     }
 
     /// The set's 64-bit bitmap signature (bitwise OR of one hashed bit per
     /// element).
-    pub fn signature(&self) -> u64 {
+    pub fn signature(self) -> u64 {
         self.signature
     }
 
     /// Smallest element weight ([`Weight::ZERO`] for the empty set).
-    pub fn min_element_weight(&self) -> Weight {
+    pub fn min_element_weight(self) -> Weight {
         self.min_weight
     }
 
@@ -116,7 +126,7 @@ impl WeightedSet {
     /// The symmetric bound holds for `s`; the minimum of the two is returned.
     /// Exact-overlap computation never exceeds this, so pruning candidates
     /// whose bound falls below the required overlap is lossless.
-    pub fn bitmap_overlap_bound(&self, other: &WeightedSet) -> Weight {
+    pub fn bitmap_overlap_bound(self, other: SetRef<'_>) -> Weight {
         let only_r = u64::from((self.signature & !other.signature).count_ones());
         let only_s = u64::from((other.signature & !self.signature).count_ones());
         let bound_r = self.total.saturating_sub(Weight::from_raw(
@@ -132,84 +142,173 @@ impl WeightedSet {
     /// whose weights sum to *strictly more than* `beta`. Returns the number
     /// of elements in the prefix (possibly the whole set if the total does
     /// not exceed `beta`; callers that need "can never match" detection
-    /// compare thresholds with [`WeightedSet::total_weight`] first).
-    pub fn prefix_len(&self, beta: Weight) -> usize {
+    /// compare thresholds with [`SetRef::total_weight`] first).
+    pub fn prefix_len(self, beta: Weight) -> usize {
+        // suffix[0] = total, so the prefix exceeds β exactly when the weight
+        // *behind* position i drops below total − β: total − suffix[i+1] > β.
         let mut acc = Weight::ZERO;
-        for (i, &(_, w)) in self.elements.iter().enumerate() {
+        for (i, &w) in self.weights.iter().enumerate() {
             acc += w;
             if acc > beta {
                 return i + 1;
             }
         }
-        self.elements.len()
+        self.weights.len()
     }
 
-    /// Weighted overlap `wt(self ∩ other)` by merging the two rank-sorted
-    /// element lists. Since both sides of a join share the universe, a
-    /// shared rank contributes its (identical) element weight.
-    pub fn overlap(&self, other: &WeightedSet) -> Weight {
-        let (mut i, mut j) = (0usize, 0usize);
-        let a = &self.elements;
-        let b = &other.elements;
-        let mut acc = Weight::ZERO;
-        while i < a.len() && j < b.len() {
-            match a[i].0.cmp(&b[j].0) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    debug_assert_eq!(
-                        a[i].1, b[j].1,
-                        "element weights must agree across a shared universe"
-                    );
-                    acc += a[i].1;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        acc
+    /// Weighted overlap `wt(self ∩ other)` by a full merge of the two
+    /// rank-sorted element lists — the [`crate::kernel::OverlapKernel::Linear`]
+    /// correctness oracle, without threshold awareness or counters.
+    pub fn overlap(self, other: SetRef<'_>) -> Weight {
+        crate::kernel::merge_full(self, other, &mut 0)
     }
 }
 
-/// One side (R or S) of an SSJoin: a vector of weighted sets. The index of a
-/// set in the collection is its group id.
+/// One side (R or S) of an SSJoin: a CSR arena of weighted sets. The index
+/// of a set in the collection is its group id.
 #[derive(Debug, Clone)]
 pub struct SetCollection {
-    sets: Vec<WeightedSet>,
+    /// Set boundaries: set `i` occupies arena positions
+    /// `offsets[i]..offsets[i+1]`. Length `len + 1`, starts at 0.
+    offsets: Vec<u32>,
+    /// All element ranks, set-major, ascending within each set.
+    ranks: Vec<u32>,
+    /// All element weights, parallel to `ranks`.
+    weights: Vec<Weight>,
+    /// Suffix cumulative weights, parallel to `ranks`: within a set spanning
+    /// `lo..hi`, `suffix[k] = Σ weights[k..hi]`.
+    suffix: Vec<Weight>,
+    /// Per-set norms.
+    norms: Vec<f64>,
+    /// Per-set total weights.
+    totals: Vec<Weight>,
+    /// Per-set 64-bit bitmap signatures.
+    signatures: Vec<u64>,
+    /// Per-set minimum element weights.
+    min_weights: Vec<Weight>,
     /// Number of distinct element ranks in the shared universe.
     universe_size: usize,
     /// Identifies the builder run that produced this collection; collections
     /// may only be joined with collections from the same run.
     universe_tag: u64,
+    /// Cached smallest/largest norm across groups (`None` when empty).
+    norm_range: Option<(f64, f64)>,
 }
 
 impl SetCollection {
-    pub(crate) fn new(sets: Vec<WeightedSet>, universe_size: usize, universe_tag: u64) -> Self {
+    /// Build the arena from per-set `(elements, norm)` pairs; sorts and
+    /// validates each element list and computes all derived state (totals,
+    /// suffix weight tables, bitmap signatures, minimum weights, the cached
+    /// norm range) in one pass, so every construction path — builder or
+    /// deserialization — gets it consistently.
+    ///
+    /// # Panics
+    /// Panics on duplicate ranks within a set — callers must ordinalize
+    /// multisets first — and if the total element count overflows the `u32`
+    /// offset space.
+    pub(crate) fn from_sets(
+        sets: Vec<(Vec<(u32, Weight)>, f64)>,
+        universe_size: usize,
+        universe_tag: u64,
+    ) -> Self {
+        let tuple_count: usize = sets.iter().map(|(e, _)| e.len()).sum();
+        assert!(
+            tuple_count <= u32::MAX as usize,
+            "set collection exceeds u32 offset space"
+        );
+        let n = sets.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut ranks = Vec::with_capacity(tuple_count);
+        let mut weights = Vec::with_capacity(tuple_count);
+        let mut suffix = vec![Weight::ZERO; tuple_count];
+        let mut norms = Vec::with_capacity(n);
+        let mut totals = Vec::with_capacity(n);
+        let mut signatures = Vec::with_capacity(n);
+        let mut min_weights = Vec::with_capacity(n);
+        let mut norm_range: Option<(f64, f64)> = None;
+
+        for (mut elems, norm) in sets {
+            elems.sort_unstable_by_key(|&(rank, _)| rank);
+            for w in elems.windows(2) {
+                assert_ne!(
+                    w[0].0, w[1].0,
+                    "duplicate rank {}; ordinalize multisets first",
+                    w[0].0
+                );
+            }
+            let start = ranks.len();
+            let mut signature = 0u64;
+            let mut min_weight: Option<Weight> = None;
+            for &(rank, w) in &elems {
+                ranks.push(rank);
+                weights.push(w);
+                signature |= signature_bit(rank);
+                min_weight = Some(min_weight.map_or(w, |m| m.min(w)));
+            }
+            // Suffix cumulative weights by a reverse scan; the set total
+            // falls out as suffix[start].
+            let mut acc = Weight::ZERO;
+            for k in (start..ranks.len()).rev() {
+                acc += weights[k];
+                suffix[k] = acc;
+            }
+            offsets.push(ranks.len() as u32);
+            norms.push(norm);
+            totals.push(acc);
+            signatures.push(signature);
+            min_weights.push(min_weight.unwrap_or(Weight::ZERO));
+            norm_range = Some(match norm_range {
+                None => (norm, norm),
+                Some((lo, hi)) => (lo.min(norm), hi.max(norm)),
+            });
+        }
+
         Self {
-            sets,
+            offsets,
+            ranks,
+            weights,
+            suffix,
+            norms,
+            totals,
+            signatures,
+            min_weights,
             universe_size,
             universe_tag,
+            norm_range,
         }
     }
 
-    /// The sets; index = group id.
-    pub fn sets(&self) -> &[WeightedSet] {
-        &self.sets
+    /// One set by group id, as a borrowed arena view.
+    #[inline]
+    pub fn set(&self, id: u32) -> SetRef<'_> {
+        let i = id as usize;
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        SetRef {
+            ranks: &self.ranks[lo..hi],
+            weights: &self.weights[lo..hi],
+            suffix: &self.suffix[lo..hi],
+            norm: self.norms[i],
+            total: self.totals[i],
+            signature: self.signatures[i],
+            min_weight: self.min_weights[i],
+        }
     }
 
-    /// One set by group id.
-    pub fn set(&self, id: u32) -> &WeightedSet {
-        &self.sets[id as usize]
+    /// Iterate over all sets in group-id order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = SetRef<'_>> {
+        (0..self.len() as u32).map(|id| self.set(id))
     }
 
     /// Number of groups.
     pub fn len(&self) -> usize {
-        self.sets.len()
+        self.norms.len()
     }
 
     /// True if there are no groups.
     pub fn is_empty(&self) -> bool {
-        self.sets.is_empty()
+        self.norms.is_empty()
     }
 
     /// Number of distinct element ranks in the universe this collection was
@@ -220,22 +319,16 @@ impl SetCollection {
 
     /// Total `(group, element)` tuples — the row count of the normalized
     /// relational representation (the "SSJoin input size" of Table 2).
+    /// O(1): it is the arena length.
     pub fn tuple_count(&self) -> usize {
-        self.sets.iter().map(WeightedSet::len).sum()
+        self.ranks.len()
     }
 
     /// Smallest and largest norm across groups (used to lower-bound partner
-    /// norms during prefix extraction). `None` when empty.
+    /// norms during prefix extraction). `None` when empty. Cached at
+    /// construction — O(1).
     pub fn norm_range(&self) -> Option<(f64, f64)> {
-        let mut it = self.sets.iter().map(WeightedSet::norm);
-        let first = it.next()?;
-        let mut lo = first;
-        let mut hi = first;
-        for n in it {
-            lo = lo.min(n);
-            hi = hi.max(n);
-        }
-        Some((lo, hi))
+        self.norm_range
     }
 
     pub(crate) fn universe_tag(&self) -> u64 {
@@ -257,48 +350,69 @@ mod tests {
         Weight::from_f64(x)
     }
 
-    fn set(elems: &[(u32, f64)]) -> WeightedSet {
-        WeightedSet::new(elems.iter().map(|&(r, x)| (r, w(x))).collect(), 0.0)
+    fn collection(sets: &[&[(u32, f64)]]) -> SetCollection {
+        SetCollection::from_sets(
+            sets.iter()
+                .map(|elems| (elems.iter().map(|&(r, x)| (r, w(x))).collect(), 0.0))
+                .collect(),
+            64,
+            0,
+        )
     }
 
     #[test]
     fn construction_sorts() {
-        let s = set(&[(5, 1.0), (2, 1.0), (9, 1.0)]);
-        let ranks: Vec<u32> = s.elements().iter().map(|&(r, _)| r).collect();
-        assert_eq!(ranks, vec![2, 5, 9]);
+        let c = collection(&[&[(5, 1.0), (2, 1.0), (9, 1.0)]]);
+        let s = c.set(0);
+        assert_eq!(s.ranks(), &[2, 5, 9]);
         assert_eq!(s.total_weight(), w(3.0));
     }
 
     #[test]
     #[should_panic(expected = "duplicate rank")]
     fn duplicate_ranks_panic() {
-        set(&[(1, 1.0), (1, 1.0)]);
+        collection(&[&[(1, 1.0), (1, 1.0)]]);
+    }
+
+    #[test]
+    fn suffix_weights_precomputed() {
+        let c = collection(&[&[(1, 1.0), (2, 2.0), (5, 0.5)], &[(0, 4.0)]]);
+        let s = c.set(0);
+        assert_eq!(s.suffix_weights(), &[w(3.5), w(2.5), w(0.5)]);
+        assert_eq!(s.suffix_weight(0), s.total_weight());
+        assert_eq!(s.suffix_weight(3), Weight::ZERO);
+        assert_eq!(c.set(1).suffix_weights(), &[w(4.0)]);
+        let e = collection(&[&[]]);
+        assert_eq!(e.set(0).suffix_weight(0), Weight::ZERO);
     }
 
     #[test]
     fn overlap_merge() {
-        let a = set(&[(1, 1.0), (2, 2.0), (5, 0.5)]);
-        let b = set(&[(2, 2.0), (3, 9.0), (5, 0.5)]);
-        assert_eq!(a.overlap(&b), w(2.5));
-        assert_eq!(b.overlap(&a), w(2.5));
-        assert_eq!(a.overlap(&a), a.total_weight());
+        let c = collection(&[
+            &[(1, 1.0), (2, 2.0), (5, 0.5)],
+            &[(2, 2.0), (3, 9.0), (5, 0.5)],
+        ]);
+        let (a, b) = (c.set(0), c.set(1));
+        assert_eq!(a.overlap(b), w(2.5));
+        assert_eq!(b.overlap(a), w(2.5));
+        assert_eq!(a.overlap(a), a.total_weight());
     }
 
     #[test]
     fn overlap_disjoint_and_empty() {
-        let a = set(&[(1, 1.0)]);
-        let b = set(&[(2, 1.0)]);
-        let e = set(&[]);
-        assert_eq!(a.overlap(&b), Weight::ZERO);
-        assert_eq!(a.overlap(&e), Weight::ZERO);
-        assert_eq!(e.overlap(&e), Weight::ZERO);
+        let c = collection(&[&[(1, 1.0)], &[(2, 1.0)], &[]]);
+        let (a, b, e) = (c.set(0), c.set(1), c.set(2));
+        assert_eq!(a.overlap(b), Weight::ZERO);
+        assert_eq!(a.overlap(e), Weight::ZERO);
+        assert_eq!(e.overlap(e), Weight::ZERO);
     }
 
     #[test]
     fn prefix_len_unweighted_matches_property8() {
         // Property 8: |s| = h, overlap >= k ⇒ the (h − k + 1)-prefix hits.
         // β = h − k, and with unit weights prefix_len = β + 1 = h − k + 1.
-        let s = set(&[(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0), (4, 1.0)]);
+        let c = collection(&[&[(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0), (4, 1.0)]]);
+        let s = c.set(0);
         let k = 4.0;
         let beta = s
             .total_weight()
@@ -308,7 +422,8 @@ mod tests {
 
     #[test]
     fn prefix_len_weighted() {
-        let s = set(&[(0, 5.0), (1, 1.0), (2, 1.0)]);
+        let c = collection(&[&[(0, 5.0), (1, 1.0), (2, 1.0)]]);
+        let s = c.set(0);
         // β = 0: the first element already exceeds it.
         assert_eq!(s.prefix_len(Weight::ZERO), 1);
         // β = 5.5: need first two elements (5 + 1 > 5.5).
@@ -319,26 +434,29 @@ mod tests {
 
     #[test]
     fn prefix_len_empty_set() {
-        let e = set(&[]);
-        assert_eq!(e.prefix_len(Weight::ZERO), 0);
+        let c = collection(&[&[]]);
+        assert_eq!(c.set(0).prefix_len(Weight::ZERO), 0);
     }
 
     #[test]
     fn collection_accessors() {
-        let c = SetCollection::new(vec![set(&[(0, 1.0), (1, 1.0)]), set(&[(1, 1.0)])], 2, 7);
+        let c = collection(&[&[(0, 1.0), (1, 1.0)], &[(1, 1.0)]]);
         assert_eq!(c.len(), 2);
         assert_eq!(c.tuple_count(), 3);
-        assert_eq!(c.universe_size(), 2);
+        assert_eq!(c.universe_size(), 64);
         assert_eq!(c.set(1).len(), 1);
+        assert_eq!(c.iter().count(), 2);
+        assert_eq!(c.iter().map(SetRef::len).sum::<usize>(), 3);
     }
 
     #[test]
     fn signature_and_min_weight_cached() {
-        let s = set(&[(1, 2.0), (7, 0.5), (40, 1.0)]);
+        let c = collection(&[&[(1, 2.0), (7, 0.5), (40, 1.0)], &[]]);
+        let s = c.set(0);
         assert_ne!(s.signature(), 0);
         assert!(s.signature().count_ones() as usize <= s.len());
         assert_eq!(s.min_element_weight(), w(0.5));
-        let e = set(&[]);
+        let e = c.set(1);
         assert_eq!(e.signature(), 0);
         assert_eq!(e.min_element_weight(), Weight::ZERO);
     }
@@ -346,22 +464,30 @@ mod tests {
     #[test]
     fn bitmap_bound_never_below_overlap() {
         // The bound must dominate the exact overlap for arbitrary set pairs.
-        let mk = |seed: u32, n: u32| {
-            set(&(0..n)
+        let mk = |seed: u32, n: u32| -> Vec<(u32, Weight)> {
+            (0..n)
                 .map(|i| {
                     let rank = (seed.wrapping_mul(31).wrapping_add(i * 17)) % 97;
                     (rank, 0.5 + f64::from((rank * 7) % 5))
                 })
                 .collect::<std::collections::HashMap<u32, f64>>()
                 .into_iter()
-                .collect::<Vec<_>>())
+                .map(|(r, x)| (r, w(x)))
+                .collect()
         };
         for a_seed in 0..12u32 {
             for b_seed in 0..12u32 {
-                let a = mk(a_seed, 3 + a_seed % 9);
-                let b = mk(b_seed, 3 + b_seed % 9);
-                let exact = a.overlap(&b);
-                let bound = a.bitmap_overlap_bound(&b);
+                let c = SetCollection::from_sets(
+                    vec![
+                        (mk(a_seed, 3 + a_seed % 9), 0.0),
+                        (mk(b_seed, 3 + b_seed % 9), 0.0),
+                    ],
+                    97,
+                    0,
+                );
+                let (a, b) = (c.set(0), c.set(1));
+                let exact = a.overlap(b);
+                let bound = a.bitmap_overlap_bound(b);
                 assert!(
                     bound >= exact,
                     "bound {bound} < exact {exact} (seeds {a_seed},{b_seed})"
@@ -374,25 +500,37 @@ mod tests {
     fn bitmap_bound_prunes_disjoint_sets() {
         // Fully disjoint signatures with unit weights: the bound collapses
         // toward zero, far below the sets' totals.
-        let a = set(&[(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)]);
-        let b = set(&[(60, 1.0), (61, 1.0), (62, 1.0), (63, 1.0)]);
-        let bound = a.bitmap_overlap_bound(&b);
+        let c = collection(&[
+            &[(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)],
+            &[(60, 1.0), (61, 1.0), (62, 1.0), (63, 1.0)],
+        ]);
+        let (a, b) = (c.set(0), c.set(1));
+        let bound = a.bitmap_overlap_bound(b);
         assert!(bound < a.total_weight());
-        assert!(bound >= a.overlap(&b));
+        assert!(bound >= a.overlap(b));
     }
 
     #[test]
     fn bitmap_bound_identical_sets_is_total() {
-        let a = set(&[(3, 1.5), (9, 2.0)]);
-        assert_eq!(a.bitmap_overlap_bound(&a), a.total_weight());
+        let c = collection(&[&[(3, 1.5), (9, 2.0)]]);
+        let a = c.set(0);
+        assert_eq!(a.bitmap_overlap_bound(a), a.total_weight());
     }
 
     #[test]
-    fn norm_range() {
-        let mk = |n: f64| WeightedSet::new(vec![(0, Weight::ONE)], n);
-        let c = SetCollection::new(vec![mk(3.0), mk(1.0), mk(2.0)], 1, 0);
+    fn norm_range_cached() {
+        let mk = |n: f64| (vec![(0u32, Weight::ONE)], n);
+        let c = SetCollection::from_sets(vec![mk(3.0), mk(1.0), mk(2.0)], 1, 0);
         assert_eq!(c.norm_range(), Some((1.0, 3.0)));
-        let empty = SetCollection::new(vec![], 0, 0);
+        let empty = SetCollection::from_sets(vec![], 0, 0);
         assert_eq!(empty.norm_range(), None);
+    }
+
+    #[test]
+    fn set_ref_equality_is_structural() {
+        let c1 = collection(&[&[(1, 1.0), (4, 2.0)]]);
+        let c2 = collection(&[&[(1, 1.0), (4, 2.0)], &[(1, 1.0), (4, 2.5)]]);
+        assert_eq!(c1.set(0), c2.set(0));
+        assert_ne!(c1.set(0), c2.set(1));
     }
 }

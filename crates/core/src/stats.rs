@@ -85,6 +85,16 @@ pub struct SsJoinStats {
     pub shard_cost_max: u64,
     /// Planned cost summed over all shards.
     pub shard_cost_total: u64,
+    /// Element-comparison steps taken by verification merge kernels
+    /// (two-pointer advances; galloping lookups count probes instead).
+    pub merge_steps: u64,
+    /// Verification merges abandoned early because the accumulated overlap
+    /// plus the remaining suffix weight could not reach the required
+    /// threshold.
+    pub early_exits: u64,
+    /// Rank comparisons performed by the galloping kernel's exponential
+    /// probes and binary searches.
+    pub gallop_probes: u64,
 }
 
 impl SsJoinStats {
@@ -129,6 +139,9 @@ impl SsJoinStats {
         self.shard_steals += other.shard_steals;
         self.shard_cost_max = self.shard_cost_max.max(other.shard_cost_max);
         self.shard_cost_total += other.shard_cost_total;
+        self.merge_steps += other.merge_steps;
+        self.early_exits += other.early_exits;
+        self.gallop_probes += other.gallop_probes;
     }
 
     /// Shard load imbalance: heaviest shard cost over the ideal per-shard
@@ -172,6 +185,13 @@ impl fmt::Display for SsJoinStats {
                 self.shards,
                 self.shard_steals,
                 self.shard_imbalance().unwrap_or(1.0)
+            )?;
+        }
+        if self.merge_steps > 0 || self.early_exits > 0 || self.gallop_probes > 0 {
+            write!(
+                f,
+                " merge_steps={} early_exits={} gallop_probes={}",
+                self.merge_steps, self.early_exits, self.gallop_probes
             )?;
         }
         Ok(())
@@ -243,8 +263,14 @@ mod tests {
         b.shard_steals = 2;
         b.shard_cost_max = 70;
         b.shard_cost_total = 70;
+        b.merge_steps = 11;
+        b.early_exits = 3;
+        b.gallop_probes = 7;
         a.merge(&b);
         assert_eq!(a.bitmap_probes, 15);
+        assert_eq!(a.merge_steps, 11);
+        assert_eq!(a.early_exits, 3);
+        assert_eq!(a.gallop_probes, 7);
         assert_eq!(a.bitmap_prunes, 4);
         assert_eq!(a.shards, 4);
         assert_eq!(a.shard_steals, 2);

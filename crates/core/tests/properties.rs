@@ -3,10 +3,12 @@
 //! predicate shapes. Inputs are driven by a seeded PRNG so every failure is
 //! reproducible from the iteration's seed.
 
+use ssjoin_core::kernel::{overlap_at_least, overlap_gallop, verify_overlap};
 use ssjoin_core::plan::{basic_plan, collection_to_relation, inline_plan, prefix_plan, run_plan};
 use ssjoin_core::{
-    ssjoin, Algorithm, ElementOrder, ExecContext, JoinPair, OverlapPredicate, SetCollection,
-    ShardPolicy, SsJoinConfig, SsJoinInputBuilder, WeightScheme,
+    ssjoin, Algorithm, ElementOrder, ExecContext, JoinPair, OverlapKernel, OverlapPredicate,
+    SetCollection, ShardPolicy, SsJoinConfig, SsJoinInputBuilder, SsJoinStats, Weight,
+    WeightScheme,
 };
 use ssjoin_prng::{Rng, StdRng};
 use std::sync::Arc;
@@ -14,8 +16,8 @@ use std::sync::Arc;
 /// Brute force: check every pair with the merge-based overlap.
 fn oracle(r: &SetCollection, s: &SetCollection, pred: &OverlapPredicate) -> Vec<(u32, u32)> {
     let mut out = Vec::new();
-    for (i, rs) in r.sets().iter().enumerate() {
-        for (j, ss) in s.sets().iter().enumerate() {
+    for (i, rs) in r.iter().enumerate() {
+        for (j, ss) in s.iter().enumerate() {
             let ov = rs.overlap(ss);
             if pred.check(ov, rs.norm(), ss.norm()) {
                 out.push((i as u32, j as u32));
@@ -210,6 +212,117 @@ fn parallel_equals_sequential() {
                         seq.pairs, par.pairs,
                         "seed {seed}, alg {alg:?}, threads {threads}, \
                          shard {shard:?}, bitmap {bitmap}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The threshold-aware kernels (early-exit and galloping) agree with the
+/// full linear merge on random weighted sets — including empty, singleton,
+/// disjoint, identical, and heavily skewed-length pairs — at thresholds
+/// below, at, and above the exact overlap.
+#[test]
+fn kernels_agree_with_linear_oracle() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xCE12 + seed);
+        // Shape mixture: empty, singleton, random small sets, one long set
+        // plus a tiny subset of it (the skewed-length case galloping is for).
+        let mut groups: Vec<Vec<String>> = vec![vec![], vec!["solo".to_string()]];
+        groups.extend(random_groups(&mut rng));
+        groups.push((0..200).map(|i| format!("L{i:03}")).collect());
+        groups.push(
+            (0..3)
+                .map(|k| format!("L{:03}", 50 * (k + 1) + rng.gen_range(0u8..40) as usize))
+                .collect(),
+        );
+        let (c, _) = build_two(
+            groups.clone(),
+            groups,
+            WeightScheme::Idf,
+            ElementOrder::FrequencyAsc,
+        );
+        for i in 0..c.len() as u32 {
+            for j in 0..c.len() as u32 {
+                let (a, b) = (c.set(i), c.set(j));
+                let exact = a.overlap(b);
+                // Thresholds straddling the exact overlap, plus the extremes.
+                let requireds = [
+                    Weight::ZERO,
+                    Weight::from_raw(exact.raw() / 2),
+                    exact,
+                    exact + Weight::EPSILON,
+                    a.total_weight().max(b.total_weight()) + Weight::ONE,
+                ];
+                for required in requireds {
+                    let want = (exact >= required).then_some(exact);
+                    let mut st = SsJoinStats::default();
+                    assert_eq!(
+                        overlap_at_least(a, b, required, &mut st),
+                        want,
+                        "early-exit: seed {seed} pair ({i},{j}) required {required}"
+                    );
+                    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+                    assert_eq!(
+                        overlap_gallop(short, long, required, &mut st),
+                        want,
+                        "gallop: seed {seed} pair ({i},{j}) required {required}"
+                    );
+                    for kernel in [
+                        OverlapKernel::Linear,
+                        OverlapKernel::EarlyExit,
+                        OverlapKernel::Adaptive,
+                    ] {
+                        assert_eq!(
+                            verify_overlap(kernel, a, b, required, &mut st),
+                            want,
+                            "{kernel:?}: seed {seed} pair ({i},{j}) required {required}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Kernel choice never changes the join output: every algorithm produces
+/// bit-for-bit identical pairs under Linear, EarlyExit, and Adaptive, at
+/// thread counts 1, 2, and 8.
+#[test]
+fn kernel_choice_never_changes_output() {
+    for seed in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(0xBEEF + seed);
+        let pred = random_predicate(&mut rng);
+        let order = random_order(&mut rng);
+        let groups = random_groups(&mut rng);
+        let (r, s) = build_two(groups.clone(), groups, WeightScheme::Idf, order);
+        for alg in [
+            Algorithm::Basic,
+            Algorithm::PrefixFiltered,
+            Algorithm::Inline,
+            Algorithm::PositionalInline,
+            Algorithm::Auto,
+        ] {
+            let baseline = ssjoin(
+                &r,
+                &s,
+                &pred,
+                &SsJoinConfig::new(alg).with_kernel(OverlapKernel::Linear),
+            )
+            .unwrap();
+            for kernel in [
+                OverlapKernel::Linear,
+                OverlapKernel::EarlyExit,
+                OverlapKernel::Adaptive,
+            ] {
+                for threads in [1usize, 2, 8] {
+                    let ctx = ExecContext::new().with_threads(threads).with_kernel(kernel);
+                    let out =
+                        ssjoin(&r, &s, &pred, &SsJoinConfig::new(alg).with_exec(ctx)).unwrap();
+                    assert_eq!(
+                        baseline.pairs, out.pairs,
+                        "seed {seed}, alg {alg:?}, kernel {kernel:?}, threads {threads}"
                     );
                 }
             }
