@@ -25,7 +25,7 @@ fn bench_ordering(c: &mut Criterion) {
     ] {
         let mut b = SsJoinInputBuilder::new(WeightScheme::Idf, order);
         let h = b.add_relation(groups.clone());
-        let collection = b.build().collection(h).clone();
+        let collection = b.build().unwrap().collection(h).clone();
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("{order:?}")),
             &collection,

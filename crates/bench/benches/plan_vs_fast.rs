@@ -17,7 +17,7 @@ fn bench_plan_vs_fast(c: &mut Criterion) {
     let groups: Vec<Vec<String>> = corpus.records.iter().map(|s| tok.tokenize(s)).collect();
     let mut b = SsJoinInputBuilder::new(WeightScheme::Idf, ElementOrder::FrequencyAsc);
     let h = b.add_relation(groups);
-    let collection = b.build().collection(h).clone();
+    let collection = b.build().unwrap().collection(h).clone();
     let pred = OverlapPredicate::two_sided(0.85);
     let rel = Arc::new(collection_to_relation(&collection));
 

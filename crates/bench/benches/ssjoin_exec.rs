@@ -15,7 +15,7 @@ fn build_collection(rows: f64) -> SetCollection {
     let groups: Vec<Vec<String>> = corpus.records.iter().map(|s| tok.tokenize(s)).collect();
     let mut b = SsJoinInputBuilder::new(WeightScheme::Idf, ElementOrder::FrequencyAsc);
     let h = b.add_relation(groups);
-    b.build().collection(h).clone()
+    b.build().unwrap().collection(h).clone()
 }
 
 fn bench_exec(c: &mut Criterion) {

@@ -18,7 +18,7 @@ fn bench_verify(c: &mut Criterion) {
     let groups: Vec<Vec<String>> = corpus.records.iter().map(|s| tok.tokenize(s)).collect();
     let mut b = SsJoinInputBuilder::new(WeightScheme::Idf, ElementOrder::FrequencyAsc);
     let h = b.add_relation(groups);
-    let collection = b.build().collection(h).clone();
+    let collection = b.build().unwrap().collection(h).clone();
 
     let mut g = c.benchmark_group("verification");
     g.sample_size(10);
@@ -69,7 +69,7 @@ fn bench_kernels(c: &mut Criterion) {
     }
     let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::Lexicographic);
     let h = b.add_relation(groups);
-    let collection = b.build().collection(h).clone();
+    let collection = b.build().unwrap().collection(h).clone();
     let pred = OverlapPredicate::two_sided(0.85);
 
     let mut g = c.benchmark_group("kernels");

@@ -5,7 +5,8 @@
 //! ```
 //!
 //! Experiments: `table1 fig10 fig11 fig12 fig13 table2 naive ablation-order
-//! ablation-cost ablation-positional ablation-shard ablation-kernel`
+//! ablation-cost ablation-positional ablation-shard ablation-kernel
+//! ablation-budget`
 //! (default: all). `--scale 1.0` is the paper's 25,000-row corpus; smaller
 //! values shrink every dataset proportionally for quick runs. `--json`
 //! writes the run to `BENCH_<n>.json` (`--pr n`, default 2) or to an
@@ -20,14 +21,15 @@ use ssjoin_baselines::{naive_join, GravanoConfig, GravanoJoin};
 use ssjoin_bench::report::{count, ms, Report, Table};
 use ssjoin_bench::{corpus_with_rows, evaluation_corpus, PAPER_THRESHOLDS, TABLE2_ROWS};
 use ssjoin_core::{
-    estimate_costs, Algorithm, ElementOrder, ExecContext, OverlapKernel, Phase, ShardPolicy,
+    estimate_costs, ssjoin, Algorithm, BudgetCause, ElementOrder, ExecBudget, ExecContext,
+    OverlapKernel, Phase, ShardPolicy, SsJoinError,
 };
 use ssjoin_joins::{
     dedupe_self_pairs, edit_similarity_join, ges_join, jaccard_join, EditJoinConfig, GesJoinConfig,
     JaccardConfig,
 };
 use ssjoin_sim::edit_similarity;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,7 +62,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--scale F] [--json] [--pr N] [--out PATH] [table1|fig10|fig11|fig12|fig13|table2|naive|ablation-order|ablation-cost|ablation-positional|ablation-shard|ablation-kernel|all]...\n\
+                    "usage: experiments [--scale F] [--json] [--pr N] [--out PATH] [table1|fig10|fig11|fig12|fig13|table2|naive|ablation-order|ablation-cost|ablation-positional|ablation-shard|ablation-kernel|ablation-budget|all]...\n\
                      --json additionally writes the run as BENCH_<N>.json (--pr N, default 2),\n\
                      or to an explicit --out PATH"
                 );
@@ -87,6 +89,7 @@ fn main() {
             "ablation-positional",
             "ablation-shard",
             "ablation-kernel",
+            "ablation-budget",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -111,6 +114,7 @@ fn main() {
             "ablation-positional" => ablation_positional(scale, &mut report),
             "ablation-shard" => ablation_shard(scale, &mut report),
             "ablation-kernel" => ablation_kernel(scale, &mut report),
+            "ablation-budget" => ablation_budget(scale, &mut report),
             other => eprintln!("unknown experiment {other:?}, skipping"),
         }
     }
@@ -489,7 +493,7 @@ fn ablation_cost(scale: f64, report: &mut Report) {
             ElementOrder::FrequencyAsc,
         );
         let h = b.add_relation(groups);
-        let built = b.build();
+        let built = b.build().expect("build collection");
         let c = built.collection(h);
         let est = estimate_costs(c, c, &ssjoin_core::OverlapPredicate::two_sided(theta));
 
@@ -777,5 +781,150 @@ fn ablation_kernel(scale: f64, report: &mut Report) {
     report.metric_str(
         "ablation_kernel.skew.output_equal",
         if skew_equal { "true" } else { "false" },
+    );
+}
+
+/// Ablation (tentpole): the budgeted-execution machinery. Two claims. First,
+/// the checkpoint instrumentation is effectively free: attaching a budget
+/// whose limits can never trip costs <2% over the unbudgeted run on the
+/// Zipf-weighted panel. Second, a `Duration::ZERO` deadline aborts every
+/// executor — basic, prefix, inline, positional, and the token-sharded
+/// partition — in a small fraction of the unbounded runtime, returning the
+/// typed `BudgetExceeded(Deadline)` error instead of panicking.
+fn ablation_budget(scale: f64, report: &mut Report) {
+    let data = evaluation_corpus(scale).records;
+    let theta = 0.85;
+
+    let time_join = |alg: Algorithm, exec: ExecContext| {
+        let cfg = JaccardConfig::resemblance(theta)
+            .with_algorithm(alg)
+            .with_exec(exec);
+        let start = Instant::now();
+        let out = jaccard_join(&data, &data, &cfg).expect("jaccard join");
+        (out, start.elapsed())
+    };
+    // Median of three to keep the overhead figure out of scheduler noise.
+    let median3 = |alg: Algorithm, exec: &ExecContext| {
+        let mut runs: Vec<_> = (0..3).map(|_| time_join(alg, exec.clone())).collect();
+        runs.sort_by_key(|(_, t)| *t);
+        runs.swap_remove(1)
+    };
+
+    let generous = ExecContext::new().with_budget(
+        ExecBudget::default()
+            .with_max_candidate_pairs(u64::MAX)
+            .with_max_output_pairs(u64::MAX)
+            .with_deadline(Duration::from_secs(3_600)),
+    );
+    let (base_out, base_t) = median3(Algorithm::Inline, &ExecContext::new());
+    let (budget_out, budget_t) = median3(Algorithm::Inline, &generous);
+    assert_eq!(
+        base_out.keys(),
+        budget_out.keys(),
+        "a non-tripping budget must not change the output"
+    );
+    let overhead_pct = (budget_t.as_secs_f64() / base_t.as_secs_f64().max(1e-9) - 1.0) * 100.0;
+
+    let mut t = Table::new(
+        format!("Ablation — budget checkpoint overhead (Jaccard {theta}, inline, median of 3)"),
+        &["Config", "Total ms", "Budget checks", "Pairs"],
+    );
+    t.row(vec![
+        "no budget".into(),
+        ms(base_t),
+        count(base_out.stats.budget_checks),
+        count(base_out.pairs.len() as u64),
+    ]);
+    t.row(vec![
+        "generous budget".into(),
+        ms(budget_t),
+        count(budget_out.stats.budget_checks),
+        count(budget_out.pairs.len() as u64),
+    ]);
+    report.table(t);
+
+    // The deadline panel times the core `ssjoin` call on a pre-built
+    // collection so tokenization and index construction — which the deadline
+    // does not govern — stay out of both measurements.
+    let groups: Vec<Vec<String>> = data
+        .iter()
+        .map(|s| {
+            use ssjoin_text::Tokenizer;
+            ssjoin_text::WordTokenizer::new().lowercased().tokenize(s)
+        })
+        .collect();
+    let mut b = ssjoin_core::SsJoinInputBuilder::new(
+        ssjoin_core::WeightScheme::Idf,
+        ElementOrder::FrequencyAsc,
+    );
+    let h = b.add_relation(groups);
+    let built = b.build().expect("build collection");
+    let c = built.collection(h);
+    let pred = ssjoin_core::OverlapPredicate::two_sided(theta);
+
+    let shards = ExecContext::new()
+        .with_threads(4)
+        .with_shard_policy(ShardPolicy::token_shards());
+    let configs: [(&str, Algorithm, ExecContext); 5] = [
+        ("basic", Algorithm::Basic, ExecContext::new()),
+        ("prefix", Algorithm::PrefixFiltered, ExecContext::new()),
+        ("inline", Algorithm::Inline, ExecContext::new()),
+        (
+            "positional",
+            Algorithm::PositionalInline,
+            ExecContext::new(),
+        ),
+        ("partition (4 threads)", Algorithm::Inline, shards),
+    ];
+    let mut d = Table::new(
+        "Ablation — Duration::ZERO deadline abort, per executor (core join only)",
+        &["Executor", "Unbounded ms", "Abort ms", "Error"],
+    );
+    let mut worst_abort = Duration::ZERO;
+    for (label, alg, exec) in configs {
+        let cfg = ssjoin_core::SsJoinConfig::new(alg).with_exec(exec.clone());
+        let start = Instant::now();
+        let _ = ssjoin(c, c, &pred, &cfg).expect("unbounded join");
+        let full_t = start.elapsed();
+
+        let cfg = ssjoin_core::SsJoinConfig::new(alg)
+            .with_exec(exec.with_budget(ExecBudget::default().with_deadline(Duration::ZERO)));
+        let start = Instant::now();
+        let err = ssjoin(c, c, &pred, &cfg).expect_err("zero deadline must abort");
+        let abort_t = start.elapsed();
+        worst_abort = worst_abort.max(abort_t);
+        assert!(
+            matches!(
+                err,
+                SsJoinError::BudgetExceeded {
+                    which: BudgetCause::Deadline,
+                    ..
+                }
+            ),
+            "{label}: expected BudgetExceeded(Deadline), got {err}"
+        );
+        d.row(vec![
+            label.into(),
+            ms(full_t),
+            ms(abort_t),
+            "BudgetExceeded(Deadline)".into(),
+        ]);
+    }
+    report.table(d);
+
+    report.metric_f64("ablation_budget.base_ms", base_t.as_secs_f64() * 1e3);
+    report.metric_f64("ablation_budget.budgeted_ms", budget_t.as_secs_f64() * 1e3);
+    report.metric_f64("ablation_budget.overhead_pct", overhead_pct);
+    report.metric_u64(
+        "ablation_budget.budget_checks",
+        budget_out.stats.budget_checks,
+    );
+    report.metric_f64(
+        "ablation_budget.worst_abort_ms",
+        worst_abort.as_secs_f64() * 1e3,
+    );
+    report.metric_str(
+        "ablation_budget.overhead_under_2pct",
+        if overhead_pct < 2.0 { "true" } else { "false" },
     );
 }

@@ -13,6 +13,7 @@
 //! 4. the global order `O` is fixed (ascending frequency by default,
 //!    §4.3.2) and every element is renamed to its dense *rank* in `O`.
 
+use crate::error::{SsJoinError, SsJoinResult};
 use crate::hash::FxHashMap;
 use crate::order::ElementOrder;
 use crate::set::SetCollection;
@@ -98,28 +99,53 @@ impl SsJoinInputBuilder {
 
     /// Add a relation with an explicit norm derivation.
     ///
-    /// # Panics
-    /// Panics if `NormKind::Custom` norms do not match the group count.
+    /// `NormKind::Custom` norms must have one value per group; the arity is
+    /// validated by [`SsJoinInputBuilder::build`], which reports a mismatch
+    /// as [`SsJoinError::InvalidInput`].
     pub fn add_relation_with_norm(
         &mut self,
         groups: Vec<Vec<String>>,
         norm: NormKind,
     ) -> RelationHandle {
-        if let NormKind::Custom(norms) = &norm {
-            assert_eq!(
-                norms.len(),
-                groups.len(),
-                "custom norms must have one value per group"
-            );
-        }
         let handle = RelationHandle(self.relations.len());
         self.relations.push(RelationData { groups, norm });
         handle
     }
 
     /// Materialize every relation into a [`SetCollection`].
-    pub fn build(self) -> BuiltInput {
+    ///
+    /// # Errors
+    /// Returns [`SsJoinError::InvalidInput`] when `NormKind::Custom` norms do
+    /// not have one value per group, [`SsJoinError::TooManyGroups`] when a
+    /// relation holds more groups than `u32` ids can address (group ids are
+    /// capped at `u32::MAX - 1`, reserving `u32::MAX` as an executor
+    /// sentinel), and [`SsJoinError::TooManyElements`] when the interned
+    /// token/element universe or a collection's tuple arena overflows the
+    /// `u32` id space.
+    pub fn build(self) -> SsJoinResult<BuiltInput> {
         let tag = fresh_universe_tag();
+
+        // Validate up front: custom-norm arity and the group-id space.
+        // Group ids must stay strictly below u32::MAX because executors use
+        // u32::MAX as a stamp-array sentinel.
+        for (ri, rel) in self.relations.iter().enumerate() {
+            if rel.groups.len() >= u32::MAX as usize {
+                return Err(SsJoinError::TooManyGroups {
+                    relation: ri,
+                    groups: rel.groups.len(),
+                });
+            }
+            if let NormKind::Custom(norms) = &rel.norm {
+                if norms.len() != rel.groups.len() {
+                    return Err(SsJoinError::InvalidInput(format!(
+                        "custom norms must have one value per group: relation {ri} \
+                         has {} groups but {} norms",
+                        rel.groups.len(),
+                        norms.len()
+                    )));
+                }
+            }
+        }
 
         // Pass 1: intern tokens and ordinalized elements; count frequencies.
         let mut token_ids: FxHashMap<String, u32> = FxHashMap::default();
@@ -142,6 +168,11 @@ impl SsJoinInputBuilder {
                     let tid = match token_ids.get(token.as_str()) {
                         Some(&t) => t,
                         None => {
+                            if tokens.len() >= u32::MAX as usize {
+                                return Err(SsJoinError::TooManyElements {
+                                    elements: tokens.len() + 1,
+                                });
+                            }
                             let t = tokens.len() as u32;
                             tokens.push(token.clone());
                             token_ids.insert(token.clone(), t);
@@ -158,6 +189,11 @@ impl SsJoinInputBuilder {
                     let eid = match element_ids.get(&key) {
                         Some(&e) => e,
                         None => {
+                            if elements.len() >= u32::MAX as usize {
+                                return Err(SsJoinError::TooManyElements {
+                                    elements: elements.len() + 1,
+                                });
+                            }
                             let e = elements.len() as u32;
                             elements.push(key);
                             element_ids.insert(key, e);
@@ -237,19 +273,20 @@ impl SsJoinInputBuilder {
                 };
                 sets.push((elems, norm));
             }
-            collections.push(SetCollection::from_sets(sets, universe, tag));
+            collections.push(SetCollection::from_sets(sets, universe, tag)?);
         }
 
-        BuiltInput {
+        Ok(BuiltInput {
             collections,
             element_meta,
             weights_by_rank,
-        }
+        })
     }
 }
 
 /// The output of [`SsJoinInputBuilder::build`]: the collections plus the
 /// shared universe metadata.
+#[derive(Debug)]
 pub struct BuiltInput {
     collections: Vec<SetCollection>,
     /// `(token, ordinal)` per rank.
@@ -316,7 +353,7 @@ mod tests {
     fn unweighted_overlap_counts_elements() {
         let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
         let h = b.add_relation(vec![toks(&["a", "b", "c"]), toks(&["b", "c", "d"])]);
-        let built = b.build();
+        let built = b.build().unwrap();
         let c = built.collection(h);
         assert_eq!(c.len(), 2);
         assert_eq!(c.set(0).overlap(c.set(1)), Weight::from_f64(2.0));
@@ -327,7 +364,7 @@ mod tests {
         // {x, x} vs {x}: multiset overlap is 1, not 2.
         let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
         let h = b.add_relation(vec![toks(&["x", "x"]), toks(&["x"])]);
-        let built = b.build();
+        let built = b.build().unwrap();
         let c = built.collection(h);
         assert_eq!(c.set(0).len(), 2); // (x,1), (x,2)
         assert_eq!(c.set(0).overlap(c.set(1)), Weight::ONE);
@@ -339,7 +376,7 @@ mod tests {
         let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
         let r = b.add_relation(vec![toks(&["p", "q"])]);
         let s = b.add_relation(vec![toks(&["q", "z"])]);
-        let built = b.build();
+        let built = b.build().unwrap();
         let overlap = built
             .collection(r)
             .set(0)
@@ -357,7 +394,7 @@ mod tests {
             toks(&["the", "c"]),
             toks(&["the", "d"]),
         ]);
-        let built = b.build();
+        let built = b.build().unwrap();
         let c = built.collection(h);
         // Under FrequencyAsc the rare elements come first; "the" (freq 4) is
         // the last rank.
@@ -381,7 +418,7 @@ mod tests {
             toks(&["common", "rare2"]),
             toks(&["common"]),
         ]);
-        let built = b.build();
+        let built = b.build().unwrap();
         let c = built.collection(h);
         // In every set containing it, "common" (freq 3) must sort after the
         // rare tokens (freq 1), i.e. have the largest rank.
@@ -399,17 +436,21 @@ mod tests {
         let card = b.add_relation_with_norm(groups.clone(), NormKind::Cardinality);
         let custom = b.add_relation_with_norm(groups.clone(), NormKind::Custom(vec![42.0]));
         let total = b.add_relation_with_norm(groups, NormKind::TotalWeight);
-        let built = b.build();
+        let built = b.build().unwrap();
         assert_eq!(built.collection(card).set(0).norm(), 3.0);
         assert_eq!(built.collection(custom).set(0).norm(), 42.0);
         assert_eq!(built.collection(total).set(0).norm(), 3.0); // unit weights
     }
 
     #[test]
-    #[should_panic(expected = "one value per group")]
     fn custom_norm_arity_checked() {
         let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
         b.add_relation_with_norm(vec![toks(&["a"])], NormKind::Custom(vec![1.0, 2.0]));
+        let err = b.build().unwrap_err();
+        assert!(
+            matches!(&err, SsJoinError::InvalidInput(m) if m.contains("one value per group")),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -417,7 +458,7 @@ mod tests {
         let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
         let h = b.add_relation(vec![vec![], toks(&["only"])]);
         let e = b.add_relation(vec![]);
-        let built = b.build();
+        let built = b.build().unwrap();
         assert_eq!(built.collection(h).set(0).len(), 0);
         assert_eq!(built.collection(h).set(1).len(), 1);
         assert!(built.collection(e).is_empty());
@@ -429,7 +470,7 @@ mod tests {
             let mut b =
                 SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
             let h = b.add_relation(vec![toks(&["a"])]);
-            let built = b.build();
+            let built = b.build().unwrap();
             built.collection(h).clone()
         };
         let c1 = build();

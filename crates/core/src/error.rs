@@ -1,5 +1,7 @@
 //! Error type for SSJoin operations.
 
+use crate::budget::BudgetCause;
+use crate::stats::SsJoinStats;
 use std::fmt;
 
 /// Errors raised by SSJoin construction or execution.
@@ -14,6 +16,34 @@ pub enum SsJoinError {
     Predicate(String),
     /// Failure in the relational-plan formulation.
     Plan(String),
+    /// Malformed input data (e.g. custom norms whose arity does not match
+    /// the group count, or duplicate element ranks within one set).
+    InvalidInput(String),
+    /// A relation holds more groups than `u32` ids can address.
+    TooManyGroups {
+        /// Index of the offending relation in builder insertion order.
+        relation: usize,
+        /// Number of groups in that relation.
+        groups: usize,
+    },
+    /// The element universe or a collection's tuple arena exceeds the `u32`
+    /// id/offset space.
+    TooManyElements {
+        /// Number of elements that overflowed the id space.
+        elements: usize,
+    },
+    /// An I/O failure while persisting or loading built inputs.
+    Io(String),
+    /// The execution exceeded a resource limit of its
+    /// [`crate::ExecBudget`], or its [`crate::CancelToken`] was cancelled.
+    /// Carries the statistics accumulated up to the abort, so callers can
+    /// see how far the run got.
+    BudgetExceeded {
+        /// The limit that aborted the run.
+        which: BudgetCause,
+        /// Statistics merged across all workers at the moment of abort.
+        partial_stats: Box<SsJoinStats>,
+    },
 }
 
 impl fmt::Display for SsJoinError {
@@ -25,11 +55,30 @@ impl fmt::Display for SsJoinError {
             SsJoinError::Config(m) => write!(f, "invalid configuration: {m}"),
             SsJoinError::Predicate(m) => write!(f, "invalid predicate: {m}"),
             SsJoinError::Plan(m) => write!(f, "relational plan error: {m}"),
+            SsJoinError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            SsJoinError::TooManyGroups { relation, groups } => write!(
+                f,
+                "relation {relation} has {groups} groups, which exceeds the u32 group-id space"
+            ),
+            SsJoinError::TooManyElements { elements } => write!(
+                f,
+                "{elements} elements exceed the u32 id/offset space"
+            ),
+            SsJoinError::Io(m) => write!(f, "i/o error: {m}"),
+            SsJoinError::BudgetExceeded { which, .. } => {
+                write!(f, "execution budget exceeded: {which}")
+            }
         }
     }
 }
 
 impl std::error::Error for SsJoinError {}
+
+impl From<std::io::Error> for SsJoinError {
+    fn from(e: std::io::Error) -> Self {
+        SsJoinError::Io(e.to_string())
+    }
+}
 
 /// Result alias.
 pub type SsJoinResult<T> = std::result::Result<T, SsJoinError>;

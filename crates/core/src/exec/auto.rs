@@ -18,6 +18,7 @@
 
 use super::prefix::{prefix_lengths, Side};
 use super::{inline, ExecContext, JoinPair};
+use crate::budget::BudgetState;
 use crate::predicate::OverlapPredicate;
 use crate::set::SetCollection;
 use crate::stats::SsJoinStats;
@@ -122,15 +123,16 @@ pub(super) fn run(
     s: &SetCollection,
     pred: &OverlapPredicate,
     ctx: &ExecContext,
+    budget: &BudgetState,
 ) -> (Vec<JoinPair>, SsJoinStats, Algorithm) {
     let est = estimate_costs(r, s, pred);
     match est.choice() {
         Algorithm::Basic => {
-            let (p, st) = super::basic::run(r, s, pred, ctx);
+            let (p, st) = super::basic::run(r, s, pred, ctx, budget);
             (p, st, Algorithm::Basic)
         }
         _ => {
-            let (p, st) = inline::run(r, s, pred, ctx);
+            let (p, st) = inline::run(r, s, pred, ctx, budget);
             (p, st, Algorithm::Inline)
         }
     }
@@ -145,7 +147,7 @@ mod tests {
     fn build(groups: Vec<Vec<String>>, scheme: WeightScheme) -> SetCollection {
         let mut b = SsJoinInputBuilder::new(scheme, ElementOrder::FrequencyAsc);
         let h = b.add_relation(groups);
-        b.build().collection(h).clone()
+        b.build().unwrap().collection(h).clone()
     }
 
     #[test]
@@ -156,7 +158,13 @@ mod tests {
         let c = build(groups, WeightScheme::Unweighted);
         let pred = OverlapPredicate::absolute(2.0);
         let est = estimate_costs(&c, &c, &pred);
-        let (_, stats) = super::super::basic::run(&c, &c, &pred, &ExecContext::new());
+        let (_, stats) = super::super::basic::run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
         assert_eq!(est.basic_join_tuples, stats.join_tuples);
     }
 
@@ -168,7 +176,13 @@ mod tests {
         let c = build(groups, WeightScheme::Idf);
         let pred = OverlapPredicate::two_sided(0.8);
         let est = estimate_costs(&c, &c, &pred);
-        let (_, stats) = super::super::prefix::run(&c, &c, &pred, &ExecContext::new());
+        let (_, stats) = super::super::prefix::run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
         assert_eq!(est.prefix_join_tuples, stats.join_tuples);
     }
 
@@ -216,8 +230,20 @@ mod tests {
             .collect();
         let c = build(groups, WeightScheme::Idf);
         let pred = OverlapPredicate::two_sided(0.6);
-        let (mut auto_pairs, _, _) = run(&c, &c, &pred, &ExecContext::new());
-        let (mut basic_pairs, _) = super::super::basic::run(&c, &c, &pred, &ExecContext::new());
+        let (mut auto_pairs, _, _) = run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
+        let (mut basic_pairs, _) = super::super::basic::run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
         auto_pairs.sort_unstable_by_key(|p| (p.r, p.s));
         basic_pairs.sort_unstable_by_key(|p| (p.r, p.s));
         assert_eq!(auto_pairs, basic_pairs);

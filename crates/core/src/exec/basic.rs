@@ -8,6 +8,7 @@
 //! quantity §4.1 identifies as the bottleneck on frequent elements.
 
 use super::{run_chunked, ExecContext, JoinPair};
+use crate::budget::BudgetState;
 use crate::predicate::OverlapPredicate;
 use crate::set::SetCollection;
 use crate::stats::{timed_phase, Phase, SsJoinStats};
@@ -43,11 +44,18 @@ pub(super) fn run(
     s: &SetCollection,
     pred: &OverlapPredicate,
     ctx: &ExecContext,
+    budget: &BudgetState,
 ) -> (Vec<JoinPair>, SsJoinStats) {
     let mut stats = SsJoinStats::default();
+    if !budget.proceed() {
+        return (Vec::new(), stats);
+    }
     let index = timed_phase(&mut stats, ctx.stats, Phase::Prep, |_| {
         InvertedIndex::build(s, None)
     });
+    if !budget.proceed() {
+        return (Vec::new(), stats);
+    }
 
     let (pairs, inner) = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
         run_chunked(r.len(), ctx.threads, |range| {
@@ -57,6 +65,7 @@ pub(super) fn run(
             let mut acc: Vec<Weight> = vec![Weight::ZERO; s.len()];
             let mut touched: Vec<u32> = Vec::new();
             for rid in range {
+                let out_before = pairs.len();
                 let rset = r.set(rid as u32);
                 for (&rank, &w) in rset.ranks().iter().zip(rset.weights()) {
                     for &sid in index.postings(rank) {
@@ -82,7 +91,13 @@ pub(super) fn run(
                         });
                     }
                 }
+                let cand_delta = touched.len() as u64;
                 touched.clear();
+                // Budget checkpoint: one per probe group, charging the
+                // candidates and outputs this group produced.
+                if !budget.checkpoint(cand_delta, (pairs.len() - out_before) as u64) {
+                    break;
+                }
             }
             (pairs, stats)
         })
@@ -104,7 +119,7 @@ mod tests {
     fn build(groups: Vec<Vec<String>>) -> SetCollection {
         let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
         let h = b.add_relation(groups);
-        let built = b.build();
+        let built = b.build().unwrap();
         built.collection(h).clone()
     }
 
@@ -116,7 +131,13 @@ mod tests {
             toks(&["x", "y"]),
         ]);
         let pred = OverlapPredicate::absolute(2.0);
-        let (mut pairs, stats) = run(&c, &c, &pred, &ExecContext::new());
+        let (mut pairs, stats) = run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
         pairs.sort_unstable_by_key(|p| (p.r, p.s));
         // Self-pairs (0,0),(1,1),(2,2) plus (0,1),(1,0).
         let got: Vec<(u32, u32)> = pairs.iter().map(|p| (p.r, p.s)).collect();
@@ -129,7 +150,13 @@ mod tests {
     fn overlap_values_correct() {
         let c = build(vec![toks(&["a", "b", "c"]), toks(&["b", "c", "d"])]);
         let pred = OverlapPredicate::absolute(1.0);
-        let (pairs, _) = run(&c, &c, &pred, &ExecContext::new());
+        let (pairs, _) = run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
         let p01 = pairs.iter().find(|p| p.r == 0 && p.s == 1).unwrap();
         assert_eq!(p01.overlap, Weight::from_f64(2.0));
     }
@@ -138,7 +165,13 @@ mod tests {
     fn zero_overlap_pairs_never_emitted() {
         let c = build(vec![toks(&["a"]), toks(&["b"])]);
         let pred = OverlapPredicate::absolute(-10.0); // clamps to epsilon
-        let (pairs, _) = run(&c, &c, &pred, &ExecContext::new());
+        let (pairs, _) = run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
         let got: Vec<(u32, u32)> = pairs.iter().map(|p| (p.r, p.s)).collect();
         assert_eq!(got, vec![(0, 0), (1, 1)]);
     }
@@ -154,8 +187,20 @@ mod tests {
             .collect();
         let c = build(groups);
         let pred = OverlapPredicate::absolute(2.0);
-        let (mut p1, _) = run(&c, &c, &pred, &ExecContext::new());
-        let (mut p4, _) = run(&c, &c, &pred, &ExecContext::new().with_threads(4));
+        let (mut p1, _) = run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
+        let (mut p4, _) = run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new().with_threads(4),
+            &BudgetState::unlimited(),
+        );
         p1.sort_unstable_by_key(|p| (p.r, p.s));
         p4.sort_unstable_by_key(|p| (p.r, p.s));
         assert_eq!(p1, p4);
@@ -166,10 +211,24 @@ mod tests {
         let e = build(vec![]);
         let c = build(vec![toks(&["a"])]);
         let pred = OverlapPredicate::absolute(1.0);
-        assert!(run(&e, &e, &pred, &ExecContext::new()).0.is_empty());
+        assert!(run(
+            &e,
+            &e,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited()
+        )
+        .0
+        .is_empty());
         // Note: e and c come from different builders here, so only same-
         // builder combinations are meaningful; the public API enforces that.
-        let (pairs, _) = run(&c, &c, &pred, &ExecContext::new());
+        let (pairs, _) = run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
         assert_eq!(pairs.len(), 1);
     }
 }

@@ -9,6 +9,7 @@
 
 use super::prefix::run_prefix_family;
 use super::{ExecContext, JoinPair};
+use crate::budget::BudgetState;
 use crate::predicate::OverlapPredicate;
 use crate::set::SetCollection;
 use crate::stats::SsJoinStats;
@@ -18,11 +19,12 @@ pub(super) fn run(
     s: &SetCollection,
     pred: &OverlapPredicate,
     ctx: &ExecContext,
+    budget: &BudgetState,
 ) -> (Vec<JoinPair>, SsJoinStats) {
     if ctx.use_token_shards() {
-        return super::partition::run(r, s, pred, ctx);
+        return super::partition::run(r, s, pred, ctx, budget);
     }
-    run_prefix_family(r, s, pred, ctx, true)
+    run_prefix_family(r, s, pred, ctx, true, budget)
 }
 
 #[cfg(test)]
@@ -34,7 +36,7 @@ mod tests {
     fn build(groups: Vec<Vec<String>>, scheme: WeightScheme) -> SetCollection {
         let mut b = SsJoinInputBuilder::new(scheme, ElementOrder::FrequencyAsc);
         let h = b.add_relation(groups);
-        b.build().collection(h).clone()
+        b.build().unwrap().collection(h).clone()
     }
 
     fn random_groups(n: usize, vocab: usize) -> Vec<Vec<String>> {
@@ -56,9 +58,27 @@ mod tests {
             OverlapPredicate::two_sided(0.6),
             OverlapPredicate::s_normalized(0.8),
         ] {
-            let (mut basic, _) = super::super::basic::run(&c, &c, &pred, &ExecContext::new());
-            let (mut prefix, _) = super::super::prefix::run(&c, &c, &pred, &ExecContext::new());
-            let (mut inline, _) = run(&c, &c, &pred, &ExecContext::new());
+            let (mut basic, _) = super::super::basic::run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+            );
+            let (mut prefix, _) = super::super::prefix::run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+            );
+            let (mut inline, _) = run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+            );
             basic.sort_unstable_by_key(|p| (p.r, p.s));
             prefix.sort_unstable_by_key(|p| (p.r, p.s));
             inline.sort_unstable_by_key(|p| (p.r, p.s));
@@ -71,7 +91,13 @@ mod tests {
     fn verification_work_equals_candidates() {
         let c = build(random_groups(40, 19), WeightScheme::Unweighted);
         let pred = OverlapPredicate::two_sided(0.5);
-        let (_, stats) = run(&c, &c, &pred, &ExecContext::new());
+        let (_, stats) = run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
         assert_eq!(stats.candidate_pairs, stats.verified_pairs);
         assert!(stats.candidate_pairs > 0);
     }
@@ -80,8 +106,20 @@ mod tests {
     fn parallel_matches_sequential() {
         let c = build(random_groups(64, 31), WeightScheme::Idf);
         let pred = OverlapPredicate::two_sided(0.5);
-        let (mut p1, _) = run(&c, &c, &pred, &ExecContext::new());
-        let (mut p3, _) = run(&c, &c, &pred, &ExecContext::new().with_threads(3));
+        let (mut p1, _) = run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
+        let (mut p3, _) = run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new().with_threads(3),
+            &BudgetState::unlimited(),
+        );
         p1.sort_unstable_by_key(|p| (p.r, p.s));
         p3.sort_unstable_by_key(|p| (p.r, p.s));
         assert_eq!(p1, p3);

@@ -16,6 +16,7 @@ mod prefix;
 
 pub use auto::estimate_costs;
 
+use crate::budget::{estimate_memory_bytes, BudgetState, CancelToken, ExecBudget};
 use crate::error::{SsJoinError, SsJoinResult};
 use crate::kernel::OverlapKernel;
 use crate::predicate::OverlapPredicate;
@@ -126,6 +127,14 @@ pub struct ExecContext {
     pub kernel: OverlapKernel,
     /// Instrumentation level.
     pub stats: StatsLevel,
+    /// Resource limits (candidate pairs, output pairs, deadline, memory).
+    /// Unlimited by default; exceeding any limit aborts the run with
+    /// [`SsJoinError::BudgetExceeded`].
+    pub budget: ExecBudget,
+    /// Cooperative cancellation token. `None` by default; when set, calling
+    /// [`CancelToken::cancel`] on any clone aborts the run at the next
+    /// checkpoint.
+    pub cancel: Option<CancelToken>,
 }
 
 impl ExecContext {
@@ -137,6 +146,8 @@ impl ExecContext {
             bitmap_filter: false,
             kernel: OverlapKernel::default(),
             stats: StatsLevel::default(),
+            budget: ExecBudget::default(),
+            cancel: None,
         }
     }
 
@@ -167,6 +178,18 @@ impl ExecContext {
     /// Set the instrumentation level.
     pub fn with_stats(mut self, stats: StatsLevel) -> Self {
         self.stats = stats;
+        self
+    }
+
+    /// Set the execution budget.
+    pub fn with_budget(mut self, budget: ExecBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attach a cooperative cancellation token.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -231,6 +254,18 @@ impl SsJoinConfig {
         self
     }
 
+    /// Set the execution budget.
+    pub fn with_budget(mut self, budget: ExecBudget) -> Self {
+        self.exec.budget = budget;
+        self
+    }
+
+    /// Attach a cooperative cancellation token.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.exec.cancel = Some(token);
+        self
+    }
+
     /// The configured worker thread count.
     pub fn threads(&self) -> usize {
         self.exec.threads
@@ -242,6 +277,15 @@ impl SsJoinConfig {
 /// Both collections must come from the same [`crate::SsJoinInputBuilder`]
 /// run (they must share the element universe); `R` and `S` may be the same
 /// collection (self-join).
+///
+/// # Budgets and cancellation
+///
+/// When the context carries an [`ExecBudget`] limit or a [`CancelToken`],
+/// every executor checks it cooperatively at chunk/shard granularity.
+/// Exceeding a limit (or a cancel) aborts cleanly across all worker threads
+/// and returns [`SsJoinError::BudgetExceeded`] with the statistics gathered
+/// so far — a run either completes with correct, complete results or fails
+/// with that typed error; it never returns a silently truncated result.
 pub fn ssjoin(
     r: &SetCollection,
     s: &SetCollection,
@@ -255,27 +299,45 @@ pub fn ssjoin(
     if ctx.threads == 0 {
         return Err(SsJoinError::Config("threads must be at least 1".into()));
     }
-    let (mut pairs, stats, used) = match config.algorithm {
+    let budget = BudgetState::new(&ctx.budget, ctx.cancel.as_ref());
+    // Memory preflight: refuse runs whose index + scratch estimate already
+    // exceeds the cap, before allocating anything.
+    if let Some(limit) = ctx.budget.max_memory_bytes {
+        if estimate_memory_bytes(r, s) > limit {
+            budget.trip_memory();
+        }
+    }
+    // Entry checkpoint: an already-passed deadline (e.g. `Duration::ZERO`)
+    // or a pre-cancelled token aborts before any phase runs. Executors
+    // re-check at their own phase boundaries and per chunk/shard.
+    let _ = budget.proceed();
+    let (mut pairs, mut stats, used) = match config.algorithm {
         Algorithm::Basic => {
-            let (p, st) = basic::run(r, s, pred, ctx);
+            let (p, st) = basic::run(r, s, pred, ctx, &budget);
             (p, st, Algorithm::Basic)
         }
         Algorithm::PrefixFiltered => {
-            let (p, st) = prefix::run(r, s, pred, ctx);
+            let (p, st) = prefix::run(r, s, pred, ctx, &budget);
             (p, st, Algorithm::PrefixFiltered)
         }
         Algorithm::Inline => {
-            let (p, st) = inline::run(r, s, pred, ctx);
+            let (p, st) = inline::run(r, s, pred, ctx, &budget);
             (p, st, Algorithm::Inline)
         }
         Algorithm::PositionalInline => {
-            let (p, st) = positional::run(r, s, pred, ctx);
+            let (p, st) = positional::run(r, s, pred, ctx, &budget);
             (p, st, Algorithm::PositionalInline)
         }
-        Algorithm::Auto => auto::run(r, s, pred, ctx),
+        Algorithm::Auto => auto::run(r, s, pred, ctx, &budget),
     };
+    stats.budget_checks = budget.checks();
+    if let Some(which) = budget.cause() {
+        return Err(SsJoinError::BudgetExceeded {
+            which,
+            partial_stats: Box::new(stats),
+        });
+    }
     pairs.sort_unstable_by_key(|p| (p.r, p.s));
-    let mut stats = stats;
     stats.output_pairs = pairs.len() as u64;
     Ok(SsJoinOutput {
         pairs,
@@ -320,14 +382,21 @@ where
             }));
         }
         for h in handles {
-            h.join().expect("ssjoin worker panicked");
+            // Library code never panics by contract; if a worker still
+            // unwinds (e.g. through a caller-supplied predicate), re-raise
+            // the panic on the coordinating thread instead of swallowing it
+            // — dropping the chunk would silently truncate the result.
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
         }
     });
 
     let mut pairs = Vec::new();
     let mut stats = SsJoinStats::default();
     for slot in results {
-        let (p, st) = slot.expect("worker result present");
+        // Every worker that joined cleanly filled its slot.
+        let (p, st) = slot.unwrap_or_default();
         pairs.extend(p);
         stats.merge(&st);
     }
@@ -346,7 +415,7 @@ mod tests {
             let mut b =
                 SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
             let h = b.add_relation(vec![vec!["a".to_string()]]);
-            b.build().collection(h).clone()
+            b.build().unwrap().collection(h).clone()
         };
         let (c1, c2) = (build(), build());
         let err = ssjoin(
@@ -362,7 +431,7 @@ mod tests {
     fn zero_threads_rejected() {
         let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
         let h = b.add_relation(vec![vec!["a".to_string()]]);
-        let built = b.build();
+        let built = b.build().unwrap();
         let c = built.collection(h);
         let cfg = SsJoinConfig::new(Algorithm::Basic).with_threads(0);
         let err = ssjoin(c, c, &OverlapPredicate::absolute(1.0), &cfg);
@@ -381,7 +450,7 @@ mod tests {
             "x".to_string(),
             "z".to_string(),
         ]]);
-        let built = b.build();
+        let built = b.build().unwrap();
         for alg in [
             Algorithm::Basic,
             Algorithm::PrefixFiltered,

@@ -29,6 +29,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use super::basic::InvertedIndex;
 use super::prefix::{prefix_lengths, Side};
 use super::{ExecContext, JoinPair, ShardPolicy};
+use crate::budget::BudgetState;
 use crate::kernel::verify_overlap;
 use crate::predicate::OverlapPredicate;
 use crate::set::SetCollection;
@@ -152,6 +153,8 @@ fn first_shared_rank(a: &[u32], b: &[u32]) -> u32 {
 }
 
 /// Process one shard, appending qualifying pairs and accumulating counters.
+/// Returns `false` when the budget tripped mid-shard and the caller should
+/// stop taking work.
 #[allow(clippy::too_many_arguments)]
 fn run_shard(
     shard: &Shard,
@@ -165,8 +168,11 @@ fn run_shard(
     s_lens: &[usize],
     pairs: &mut Vec<JoinPair>,
     stats: &mut SsJoinStats,
-) {
+    budget: &BudgetState,
+) -> bool {
     for t in shard.ranks.clone() {
+        let cand_before = stats.candidate_pairs;
+        let out_before = pairs.len();
         let rank = t as u32;
         let r_post = r_index.postings(rank);
         let r_post = match shard.r_slice {
@@ -210,7 +216,16 @@ fn run_shard(
                 }
             }
         }
+        // Budget checkpoint: one per rank, charging the candidates and
+        // outputs this rank produced across its full posting product.
+        if !budget.checkpoint(
+            stats.candidate_pairs - cand_before,
+            (pairs.len() - out_before) as u64,
+        ) {
+            return false;
+        }
     }
+    true
 }
 
 #[allow(clippy::field_reassign_with_default)]
@@ -219,6 +234,7 @@ pub(super) fn run(
     s: &SetCollection,
     pred: &OverlapPredicate,
     ctx: &ExecContext,
+    budget: &BudgetState,
 ) -> (Vec<JoinPair>, SsJoinStats) {
     let threads = ctx.threads.max(1);
     let oversubscribe = match ctx.shard {
@@ -226,6 +242,9 @@ pub(super) fn run(
         ShardPolicy::GroupChunks => 1,
     };
     let mut stats = SsJoinStats::default();
+    if !budget.proceed() {
+        return (Vec::new(), stats);
+    }
 
     // Phase: prefix-filter — prefix lengths for both sides and *two* prefix
     // inverted indexes (the R-side one is what makes rank-range shards a
@@ -240,6 +259,9 @@ pub(super) fn run(
             let s_index = InvertedIndex::build(s, Some(&s_lens));
             (r_lens, s_lens, r_index, s_index)
         });
+    if !budget.proceed() {
+        return (Vec::new(), stats);
+    }
 
     let (pairs, inner) = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
         let plan = plan_shards(
@@ -272,22 +294,32 @@ pub(super) fn run(
                 handles.push(scope.spawn(move || {
                     let mut pairs = Vec::new();
                     let mut st = SsJoinStats::default();
+                    let mut live = true;
                     // Own shards first (round-robin assignment), then steal
-                    // whatever other workers have not claimed yet.
+                    // whatever other workers have not claimed yet. A tripped
+                    // budget stops this worker from taking further shards;
+                    // the other workers observe the shared cause at their
+                    // next checkpoint.
                     for i in (w..shards.len()).step_by(threads) {
+                        if !live {
+                            break;
+                        }
                         if claim(i) {
-                            run_shard(
+                            live = run_shard(
                                 &shards[i], r, s, pred, ctx, r_index, s_index, r_lens, s_lens,
-                                &mut pairs, &mut st,
+                                &mut pairs, &mut st, budget,
                             );
                         }
                     }
                     for (i, shard) in shards.iter().enumerate() {
+                        if !live {
+                            break;
+                        }
                         if i % threads != w && claim(i) {
                             steals.fetch_add(1, Ordering::Relaxed);
-                            run_shard(
+                            live = run_shard(
                                 shard, r, s, pred, ctx, r_index, s_index, r_lens, s_lens,
-                                &mut pairs, &mut st,
+                                &mut pairs, &mut st, budget,
                             );
                         }
                     }
@@ -295,14 +327,20 @@ pub(super) fn run(
                 }));
             }
             for h in handles {
-                h.join().expect("partition worker panicked");
+                // Propagate worker panics without introducing a new panic
+                // site of our own.
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
             }
         });
 
         agg.shard_steals = steals.load(Ordering::Relaxed);
         let mut pairs = Vec::new();
         for slot in results {
-            let (p, st) = slot.expect("worker result present");
+            // A missing slot is impossible once every handle joined cleanly;
+            // default to empty rather than panic.
+            let (p, st) = slot.unwrap_or_default();
             pairs.extend(p);
             agg.merge(&st);
         }
@@ -322,7 +360,7 @@ mod tests {
     fn build(groups: Vec<Vec<String>>, scheme: WeightScheme) -> SetCollection {
         let mut b = SsJoinInputBuilder::new(scheme, ElementOrder::FrequencyAsc);
         let h = b.add_relation(groups);
-        b.build().collection(h).clone()
+        b.build().unwrap().collection(h).clone()
     }
 
     fn random_groups(n: usize, vocab: usize) -> Vec<Vec<String>> {
@@ -364,10 +402,10 @@ mod tests {
                 OverlapPredicate::two_sided(0.5),
             ] {
                 let seq = ExecContext::new();
-                let (p1, st1) = inline::run(&c, &c, &pred, &seq);
+                let (p1, st1) = inline::run(&c, &c, &pred, &seq, &BudgetState::unlimited());
                 for threads in [2usize, 4] {
                     let ctx = ExecContext::new().with_threads(threads);
-                    let (pn, stn) = run(&c, &c, &pred, &ctx);
+                    let (pn, stn) = run(&c, &c, &pred, &ctx, &BudgetState::unlimited());
                     assert_eq!(sorted(p1.clone()), sorted(pn), "threads {threads}");
                     // Schedule-independent counters match the sequential
                     // inline executor's.
@@ -387,8 +425,14 @@ mod tests {
         let ctx = ExecContext::new()
             .with_threads(4)
             .with_shard_policy(ShardPolicy::TokenShards { oversubscribe: 4 });
-        let (pairs, stats) = run(&c, &c, &pred, &ctx);
-        let (seq_pairs, _) = inline::run(&c, &c, &pred, &ExecContext::new());
+        let (pairs, stats) = run(&c, &c, &pred, &ctx, &BudgetState::unlimited());
+        let (seq_pairs, _) = inline::run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
         assert_eq!(sorted(pairs), sorted(seq_pairs));
         // The stop-word rank dominates total cost; splitting must keep the
         // heaviest shard well below the whole workload.
@@ -407,8 +451,8 @@ mod tests {
         let pred = OverlapPredicate::two_sided(0.8);
         let plain = ExecContext::new().with_threads(3);
         let filtered = plain.clone().with_bitmap_filter(true);
-        let (p0, st0) = run(&c, &c, &pred, &plain);
-        let (p1, st1) = run(&c, &c, &pred, &filtered);
+        let (p0, st0) = run(&c, &c, &pred, &plain, &BudgetState::unlimited());
+        let (p1, st1) = run(&c, &c, &pred, &filtered, &BudgetState::unlimited());
         assert_eq!(sorted(p0), sorted(p1));
         assert_eq!(st1.bitmap_probes, st0.candidate_pairs);
         assert!(st1.bitmap_prunes > 0, "{st1}");
@@ -456,8 +500,20 @@ mod tests {
         // itself must still be correct if called directly.
         let c = build(random_groups(40, 23), WeightScheme::Unweighted);
         let pred = OverlapPredicate::absolute(2.0);
-        let (pairs, _) = run(&c, &c, &pred, &ExecContext::new());
-        let (seq, _) = inline::run(&c, &c, &pred, &ExecContext::new());
+        let (pairs, _) = run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
+        let (seq, _) = inline::run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
         assert_eq!(sorted(pairs), sorted(seq));
     }
 
@@ -466,7 +522,7 @@ mod tests {
         let c = build(vec![], WeightScheme::Unweighted);
         let pred = OverlapPredicate::absolute(1.0);
         let ctx = ExecContext::new().with_threads(2);
-        let (pairs, _) = run(&c, &c, &pred, &ctx);
+        let (pairs, _) = run(&c, &c, &pred, &ctx, &BudgetState::unlimited());
         assert!(pairs.is_empty());
     }
 }

@@ -20,6 +20,7 @@
 use super::basic::InvertedIndex;
 use super::prefix::{prefix_lengths, Side};
 use super::{run_chunked, ExecContext, JoinPair};
+use crate::budget::BudgetState;
 use crate::kernel::verify_overlap;
 use crate::predicate::OverlapPredicate;
 use crate::set::SetCollection;
@@ -34,8 +35,12 @@ pub(super) fn run(
     s: &SetCollection,
     pred: &OverlapPredicate,
     ctx: &ExecContext,
+    budget: &BudgetState,
 ) -> (Vec<JoinPair>, SsJoinStats) {
     let mut stats = SsJoinStats::default();
+    if !budget.proceed() {
+        return (Vec::new(), stats);
+    }
 
     let (r_lens, s_index) = timed_phase(&mut stats, ctx.stats, Phase::PrefixFilter, |stats| {
         let r_lens = prefix_lengths(r, Side::R, pred, s.norm_range());
@@ -45,6 +50,9 @@ pub(super) fn run(
         let s_index = InvertedIndex::build(s, Some(&s_lens));
         (r_lens, s_index)
     });
+    if !budget.proceed() {
+        return (Vec::new(), stats);
+    }
 
     let (pairs, inner) = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
         run_chunked(r.len(), ctx.threads, |range| {
@@ -59,6 +67,7 @@ pub(super) fn run(
             let mut cand_bound: Vec<Weight> = Vec::new();
 
             for rid in range {
+                let out_before = pairs.len();
                 let rset = r.set(rid as u32);
                 let plen = r_lens[rid];
                 if plen == 0 {
@@ -78,10 +87,13 @@ pub(super) fn run(
                         let sset = s.set(sid);
                         // Position of `rank` within the S set (binary search
                         // over the rank-sorted elements).
-                        let j = sset
-                            .ranks()
-                            .binary_search(&rank)
-                            .expect("posting implies membership");
+                        // A posting implies membership, so the search must
+                        // succeed; degrade to skipping the posting rather
+                        // than panicking if the index were ever inconsistent.
+                        let Ok(j) = sset.ranks().binary_search(&rank) else {
+                            debug_assert!(false, "posting without membership");
+                            continue;
+                        };
                         let k = if stamp[sid as usize] != rid as u32 {
                             stamp[sid as usize] = rid as u32;
                             slot[sid as usize] = cand_sids.len() as u32;
@@ -131,6 +143,11 @@ pub(super) fn run(
                         });
                     }
                 }
+                // Budget checkpoint: one per probe group, charging the
+                // candidates generated and outputs emitted for this group.
+                if !budget.checkpoint(cand_sids.len() as u64, (pairs.len() - out_before) as u64) {
+                    break;
+                }
             }
             (pairs, stats)
         })
@@ -148,7 +165,7 @@ mod tests {
     fn build(groups: Vec<Vec<String>>, scheme: WeightScheme) -> SetCollection {
         let mut b = SsJoinInputBuilder::new(scheme, ElementOrder::FrequencyAsc);
         let h = b.add_relation(groups);
-        b.build().collection(h).clone()
+        b.build().unwrap().collection(h).clone()
     }
 
     fn random_groups(n: usize, vocab: usize) -> Vec<Vec<String>> {
@@ -170,8 +187,20 @@ mod tests {
                 OverlapPredicate::r_normalized(0.7),
                 OverlapPredicate::two_sided(0.6),
             ] {
-                let (mut a, _) = super::super::inline::run(&c, &c, &pred, &ExecContext::new());
-                let (mut b, _) = run(&c, &c, &pred, &ExecContext::new());
+                let (mut a, _) = super::super::inline::run(
+                    &c,
+                    &c,
+                    &pred,
+                    &ExecContext::new(),
+                    &BudgetState::unlimited(),
+                );
+                let (mut b, _) = run(
+                    &c,
+                    &c,
+                    &pred,
+                    &ExecContext::new(),
+                    &BudgetState::unlimited(),
+                );
                 a.sort_unstable_by_key(|p| (p.r, p.s));
                 b.sort_unstable_by_key(|p| (p.r, p.s));
                 assert_eq!(a, b, "scheme {scheme:?} pred {pred:?}");
@@ -199,12 +228,23 @@ mod tests {
         }
         let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::Lexicographic);
         let h = b.add_relation(groups);
-        let c = b.build().collection(h).clone();
+        let c = b.build().unwrap().collection(h).clone();
         let pred = OverlapPredicate::two_sided(0.9);
 
-        let (mut inline_pairs, inline_stats) =
-            super::super::inline::run(&c, &c, &pred, &ExecContext::new());
-        let (mut pairs, pos_stats) = run(&c, &c, &pred, &ExecContext::new());
+        let (mut inline_pairs, inline_stats) = super::super::inline::run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
+        let (mut pairs, pos_stats) = run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
         assert_eq!(pos_stats.candidate_pairs, inline_stats.candidate_pairs);
         assert!(
             pos_stats.verified_pairs < inline_stats.verified_pairs,
@@ -223,8 +263,20 @@ mod tests {
     fn parallel_matches_sequential() {
         let c = build(random_groups(64, 31), WeightScheme::Idf);
         let pred = OverlapPredicate::two_sided(0.5);
-        let (mut p1, _) = run(&c, &c, &pred, &ExecContext::new());
-        let (mut p4, _) = run(&c, &c, &pred, &ExecContext::new().with_threads(4));
+        let (mut p1, _) = run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
+        let (mut p4, _) = run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new().with_threads(4),
+            &BudgetState::unlimited(),
+        );
         p1.sort_unstable_by_key(|p| (p.r, p.s));
         p4.sort_unstable_by_key(|p| (p.r, p.s));
         assert_eq!(p1, p4);
@@ -238,6 +290,7 @@ mod tests {
             &c,
             &OverlapPredicate::absolute(1.0),
             &ExecContext::new(),
+            &BudgetState::unlimited(),
         );
         assert_eq!(pairs.len(), 1);
     }

@@ -17,6 +17,7 @@
 
 use super::basic::InvertedIndex;
 use super::{run_chunked, ExecContext, JoinPair};
+use crate::budget::BudgetState;
 use crate::hash::FxHashMap;
 use crate::kernel::verify_overlap;
 use crate::predicate::{Interval, OverlapPredicate};
@@ -73,8 +74,12 @@ pub(crate) fn run_prefix_family(
     pred: &OverlapPredicate,
     ctx: &ExecContext,
     inline: bool,
+    budget: &BudgetState,
 ) -> (Vec<JoinPair>, SsJoinStats) {
     let mut stats = SsJoinStats::default();
+    if !budget.proceed() {
+        return (Vec::new(), stats);
+    }
 
     // Phase: prefix-filter (computing prefixes and the prefix index). Only
     // the R-side lengths and the S-side prefix index escape the phase; the
@@ -87,6 +92,9 @@ pub(crate) fn run_prefix_family(
         let s_index = InvertedIndex::build(s, Some(&s_lens));
         (r_lens, s_index)
     });
+    if !budget.proceed() {
+        return (Vec::new(), stats);
+    }
 
     // Phase: the SSJoin proper — prefix equi-join producing candidates, then
     // overlap recomputation per candidate.
@@ -101,6 +109,16 @@ pub(crate) fn run_prefix_family(
             let mut r_table: FxHashMap<u32, Weight> = FxHashMap::default();
 
             for rid in range {
+                // The stamp array uses `u32::MAX` as its "never seen"
+                // sentinel; group ids are capped at `u32::MAX - 1` by the
+                // builder's TooManyGroups check, so a real rid can never
+                // alias the sentinel.
+                debug_assert_ne!(
+                    rid as u32,
+                    u32::MAX,
+                    "rid collides with the stamp sentinel; collection exceeds the id space"
+                );
+                let out_before = pairs.len();
                 let rset = r.set(rid as u32);
                 let plen = r_lens[rid];
                 if plen == 0 {
@@ -121,6 +139,11 @@ pub(crate) fn run_prefix_family(
                     continue;
                 }
                 candidates.sort_unstable();
+                // Budget checkpoint before verification: candidate work for
+                // this probe is known, verification is the expensive tail.
+                if !budget.checkpoint(candidates.len() as u64, 0) {
+                    break;
+                }
 
                 if inline {
                     for &sid in &candidates {
@@ -177,6 +200,9 @@ pub(crate) fn run_prefix_family(
                         }
                     }
                 }
+                if !budget.checkpoint(0, (pairs.len() - out_before) as u64) {
+                    break;
+                }
             }
             (pairs, stats)
         })
@@ -190,8 +216,9 @@ pub(super) fn run(
     s: &SetCollection,
     pred: &OverlapPredicate,
     ctx: &ExecContext,
+    budget: &BudgetState,
 ) -> (Vec<JoinPair>, SsJoinStats) {
-    run_prefix_family(r, s, pred, ctx, false)
+    run_prefix_family(r, s, pred, ctx, false, budget)
 }
 
 #[cfg(test)]
@@ -207,7 +234,7 @@ mod tests {
     fn build(groups: Vec<Vec<String>>, scheme: WeightScheme) -> SetCollection {
         let mut b = SsJoinInputBuilder::new(scheme, ElementOrder::FrequencyAsc);
         let h = b.add_relation(groups);
-        b.build().collection(h).clone()
+        b.build().unwrap().collection(h).clone()
     }
 
     #[test]
@@ -222,7 +249,13 @@ mod tests {
         let pred = OverlapPredicate::absolute(4.0);
         let lens = prefix_lengths(&c, Side::R, &pred, c.norm_range());
         assert_eq!(lens, vec![2, 2]);
-        let (pairs, _) = run(&c, &c, &pred, &ExecContext::new());
+        let (pairs, _) = run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
         let got: Vec<(u32, u32)> = pairs.iter().map(|p| (p.r, p.s)).collect();
         let mut got = got;
         got.sort_unstable();
@@ -245,8 +278,20 @@ mod tests {
                 OverlapPredicate::r_normalized(0.6),
                 OverlapPredicate::two_sided(0.5),
             ] {
-                let (mut a, _) = super::super::basic::run(&c, &c, &pred, &ExecContext::new());
-                let (mut b, _) = run(&c, &c, &pred, &ExecContext::new());
+                let (mut a, _) = super::super::basic::run(
+                    &c,
+                    &c,
+                    &pred,
+                    &ExecContext::new(),
+                    &BudgetState::unlimited(),
+                );
+                let (mut b, _) = run(
+                    &c,
+                    &c,
+                    &pred,
+                    &ExecContext::new(),
+                    &BudgetState::unlimited(),
+                );
                 a.sort_unstable_by_key(|p| (p.r, p.s));
                 b.sort_unstable_by_key(|p| (p.r, p.s));
                 assert_eq!(a, b, "scheme {scheme:?} pred {pred:?}");
@@ -263,8 +308,20 @@ mod tests {
             .collect();
         let c = build(groups, WeightScheme::Idf);
         let pred = OverlapPredicate::two_sided(0.9);
-        let (_, basic_stats) = super::super::basic::run(&c, &c, &pred, &ExecContext::new());
-        let (_, prefix_stats) = run(&c, &c, &pred, &ExecContext::new());
+        let (_, basic_stats) = super::super::basic::run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
+        let (_, prefix_stats) = run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
         assert!(
             prefix_stats.join_tuples < basic_stats.join_tuples / 2,
             "prefix {} vs basic {}",
@@ -280,7 +337,7 @@ mod tests {
         let groups = vec![toks(&["a"]), toks(&["b", "c", "d", "e", "f"])];
         let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
         let h = b.add_relation_with_norm(groups, NormKind::Cardinality);
-        let c = b.build().collection(h).clone();
+        let c = b.build().unwrap().collection(h).clone();
         let pred = OverlapPredicate::absolute(3.0);
         let lens = prefix_lengths(&c, Side::R, &pred, c.norm_range());
         assert_eq!(lens[0], 0);
@@ -305,8 +362,20 @@ mod tests {
             .collect();
         let c = build(groups, WeightScheme::Idf);
         let pred = OverlapPredicate::two_sided(0.5);
-        let (mut p1, _) = run(&c, &c, &pred, &ExecContext::new());
-        let (mut p4, _) = run(&c, &c, &pred, &ExecContext::new().with_threads(4));
+        let (mut p1, _) = run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new(),
+            &BudgetState::unlimited(),
+        );
+        let (mut p4, _) = run(
+            &c,
+            &c,
+            &pred,
+            &ExecContext::new().with_threads(4),
+            &BudgetState::unlimited(),
+        );
         p1.sort_unstable_by_key(|p| (p.r, p.s));
         p4.sort_unstable_by_key(|p| (p.r, p.s));
         assert_eq!(p1, p4);

@@ -18,6 +18,7 @@
 //! ```
 
 use crate::builder::BuiltInput;
+use crate::error::{SsJoinError, SsJoinResult};
 use crate::set::SetCollection;
 use crate::weight::Weight;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -51,12 +52,15 @@ fn r_f64<R: Read>(r: &mut R) -> io::Result<f64> {
     Ok(f64::from_le_bytes(b))
 }
 
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg)
+fn bad(msg: &str) -> SsJoinError {
+    SsJoinError::Io(msg.to_string())
 }
 
 /// Serialize a built input to `path`.
-pub fn save_built_input<P: AsRef<Path>>(input: &BuiltInput, path: P) -> io::Result<()> {
+///
+/// # Errors
+/// Returns [`SsJoinError::Io`] on any filesystem failure.
+pub fn save_built_input<P: AsRef<Path>>(input: &BuiltInput, path: P) -> SsJoinResult<()> {
     let mut w = BufWriter::new(std::fs::File::create(path)?);
     w.write_all(MAGIC)?;
     w_u32(&mut w, VERSION)?;
@@ -82,12 +86,18 @@ pub fn save_built_input<P: AsRef<Path>>(input: &BuiltInput, path: P) -> io::Resu
             }
         }
     }
-    w.flush()
+    w.flush()?;
+    Ok(())
 }
 
 /// Deserialize a built input from `path`. All restored collections share a
 /// fresh universe tag.
-pub fn load_built_input<P: AsRef<Path>>(path: P) -> io::Result<BuiltInput> {
+///
+/// # Errors
+/// Returns [`SsJoinError::Io`] on filesystem failures or malformed files,
+/// and propagates collection-construction errors (e.g.
+/// [`SsJoinError::TooManyElements`]) from the decoded data.
+pub fn load_built_input<P: AsRef<Path>>(path: P) -> SsJoinResult<BuiltInput> {
     let mut r = BufReader::new(std::fs::File::open(path)?);
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
@@ -131,7 +141,7 @@ pub fn load_built_input<P: AsRef<Path>>(path: P) -> io::Result<BuiltInput> {
             }
             sets.push((elements, norm));
         }
-        collections.push(SetCollection::from_sets(sets, universe, tag));
+        collections.push(SetCollection::from_sets(sets, universe, tag)?);
     }
     Ok(BuiltInput::from_parts(collections, element_meta, weights))
 }
@@ -157,7 +167,7 @@ mod tests {
             .collect();
         b.add_relation(groups.clone());
         b.add_relation(groups[..10].to_vec());
-        b.build()
+        b.build().unwrap()
     }
 
     #[test]

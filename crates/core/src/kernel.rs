@@ -250,6 +250,7 @@ mod tests {
             1 << 16,
             0,
         )
+        .unwrap()
     }
 
     /// All three kernels must agree on acceptance and overlap value.

@@ -46,7 +46,7 @@
 //! let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
 //! let rh = b.add_relation(r);
 //! let sh = b.add_relation(s);
-//! let input = b.build();
+//! let input = b.build().unwrap();
 //!
 //! // Absolute overlap ≥ 2 — "states sharing at least two cities".
 //! let pred = OverlapPredicate::absolute(2.0);
@@ -63,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod builder;
 mod error;
 pub mod exec;
@@ -76,6 +77,7 @@ mod set;
 mod stats;
 mod weight;
 
+pub use budget::{estimate_memory_bytes, BudgetCause, CancelToken, ExecBudget};
 pub use builder::{BuiltInput, NormKind, RelationHandle, SsJoinInputBuilder, WeightScheme};
 pub use error::{SsJoinError, SsJoinResult};
 pub use exec::{

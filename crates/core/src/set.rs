@@ -19,6 +19,7 @@
 //! kernels (see [`crate::kernel`]); it is `Copy` and carries the arena
 //! slices plus the derived scalars.
 
+use crate::error::{SsJoinError, SsJoinResult};
 use crate::weight::Weight;
 
 /// Signature bit for an element rank: a multiplicative hash spreads nearby
@@ -202,20 +203,22 @@ impl SetCollection {
     /// norm range) in one pass, so every construction path — builder or
     /// deserialization — gets it consistently.
     ///
-    /// # Panics
-    /// Panics on duplicate ranks within a set — callers must ordinalize
-    /// multisets first — and if the total element count overflows the `u32`
-    /// offset space.
+    /// # Errors
+    /// Returns [`SsJoinError::InvalidInput`] on duplicate ranks within a set
+    /// — callers must ordinalize multisets first — and
+    /// [`SsJoinError::TooManyElements`] if the total element count overflows
+    /// the `u32` offset space.
     pub(crate) fn from_sets(
         sets: Vec<(Vec<(u32, Weight)>, f64)>,
         universe_size: usize,
         universe_tag: u64,
-    ) -> Self {
+    ) -> SsJoinResult<Self> {
         let tuple_count: usize = sets.iter().map(|(e, _)| e.len()).sum();
-        assert!(
-            tuple_count <= u32::MAX as usize,
-            "set collection exceeds u32 offset space"
-        );
+        if tuple_count > u32::MAX as usize {
+            return Err(SsJoinError::TooManyElements {
+                elements: tuple_count,
+            });
+        }
         let n = sets.len();
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0u32);
@@ -231,11 +234,12 @@ impl SetCollection {
         for (mut elems, norm) in sets {
             elems.sort_unstable_by_key(|&(rank, _)| rank);
             for w in elems.windows(2) {
-                assert_ne!(
-                    w[0].0, w[1].0,
-                    "duplicate rank {}; ordinalize multisets first",
-                    w[0].0
-                );
+                if w[0].0 == w[1].0 {
+                    return Err(SsJoinError::InvalidInput(format!(
+                        "duplicate rank {}; ordinalize multisets first",
+                        w[0].0
+                    )));
+                }
             }
             let start = ranks.len();
             let mut signature = 0u64;
@@ -264,7 +268,7 @@ impl SetCollection {
             });
         }
 
-        Self {
+        Ok(Self {
             offsets,
             ranks,
             weights,
@@ -276,7 +280,7 @@ impl SetCollection {
             universe_size,
             universe_tag,
             norm_range,
-        }
+        })
     }
 
     /// One set by group id, as a borrowed arena view.
@@ -358,6 +362,7 @@ mod tests {
             64,
             0,
         )
+        .unwrap()
     }
 
     #[test]
@@ -369,9 +374,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate rank")]
-    fn duplicate_ranks_panic() {
-        collection(&[&[(1, 1.0), (1, 1.0)]]);
+    fn duplicate_ranks_rejected() {
+        let r = SetCollection::from_sets(vec![(vec![(1, w(1.0)), (1, w(1.0))], 0.0)], 64, 0);
+        assert!(matches!(r, Err(SsJoinError::InvalidInput(_))), "{r:?}");
     }
 
     #[test]
@@ -484,7 +489,8 @@ mod tests {
                     ],
                     97,
                     0,
-                );
+                )
+                .unwrap();
                 let (a, b) = (c.set(0), c.set(1));
                 let exact = a.overlap(b);
                 let bound = a.bitmap_overlap_bound(b);
@@ -520,9 +526,9 @@ mod tests {
     #[test]
     fn norm_range_cached() {
         let mk = |n: f64| (vec![(0u32, Weight::ONE)], n);
-        let c = SetCollection::from_sets(vec![mk(3.0), mk(1.0), mk(2.0)], 1, 0);
+        let c = SetCollection::from_sets(vec![mk(3.0), mk(1.0), mk(2.0)], 1, 0).unwrap();
         assert_eq!(c.norm_range(), Some((1.0, 3.0)));
-        let empty = SetCollection::from_sets(vec![], 0, 0);
+        let empty = SetCollection::from_sets(vec![], 0, 0).unwrap();
         assert_eq!(empty.norm_range(), None);
     }
 

@@ -53,7 +53,10 @@ pub enum StatsLevel {
 }
 
 /// Statistics of one SSJoin execution.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq`/`Eq` compare every field (all counters and durations), so a
+/// stats record can ride inside [`crate::SsJoinError::BudgetExceeded`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SsJoinStats {
     /// Wall time per phase.
     phase_times: [Duration; 4],
@@ -95,6 +98,9 @@ pub struct SsJoinStats {
     /// Rank comparisons performed by the galloping kernel's exponential
     /// probes and binary searches.
     pub gallop_probes: u64,
+    /// Budget checkpoints taken (0 when no limit and no cancel token was
+    /// set — the inactive fast path skips counting entirely).
+    pub budget_checks: u64,
 }
 
 impl SsJoinStats {
@@ -142,6 +148,7 @@ impl SsJoinStats {
         self.merge_steps += other.merge_steps;
         self.early_exits += other.early_exits;
         self.gallop_probes += other.gallop_probes;
+        self.budget_checks += other.budget_checks;
     }
 
     /// Shard load imbalance: heaviest shard cost over the ideal per-shard
@@ -179,13 +186,13 @@ impl fmt::Display for SsJoinStats {
             )?;
         }
         if self.shards > 0 {
-            write!(
-                f,
-                " shards={} steals={} imbalance={:.2}",
-                self.shards,
-                self.shard_steals,
-                self.shard_imbalance().unwrap_or(1.0)
-            )?;
+            write!(f, " shards={} steals={}", self.shards, self.shard_steals)?;
+            // Shards planned but zero total cost (no work at all) has no
+            // meaningful imbalance ratio — print n/a, not a fabricated 1.00.
+            match self.shard_imbalance() {
+                Some(imb) => write!(f, " imbalance={imb:.2}")?,
+                None => f.write_str(" imbalance=n/a")?,
+            }
         }
         if self.merge_steps > 0 || self.early_exits > 0 || self.gallop_probes > 0 {
             write!(
@@ -238,14 +245,51 @@ mod tests {
         a.join_tuples = 5;
         a.output_pairs = 1;
         a.add_time(Phase::Filter, Duration::from_millis(1));
+        a.shard_cost_max = 40;
+        a.shard_cost_total = 60;
+        a.budget_checks = 2;
         let mut b = SsJoinStats::default();
         b.join_tuples = 7;
         b.output_pairs = 2;
         b.add_time(Phase::Filter, Duration::from_millis(4));
+        b.shard_cost_max = 25;
+        b.shard_cost_total = 30;
+        b.budget_checks = 3;
         a.merge(&b);
         assert_eq!(a.join_tuples, 12);
         assert_eq!(a.output_pairs, 3);
         assert_eq!(a.time(Phase::Filter), Duration::from_millis(5));
+        // shard_cost_max takes the max across workers — every other counter
+        // sums. Merging the other way around must agree.
+        assert_eq!(a.shard_cost_max, 40);
+        assert_eq!(a.shard_cost_total, 90);
+        assert_eq!(a.budget_checks, 5);
+        let mut c = SsJoinStats::default();
+        c.shard_cost_max = 25;
+        let mut d = SsJoinStats::default();
+        d.shard_cost_max = 40;
+        c.merge(&d);
+        assert_eq!(c.shard_cost_max, 40, "max is order-independent");
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn display_imbalance_na_when_shards_planned_but_no_work() {
+        let mut s = SsJoinStats::default();
+        s.shards = 4; // planned, but every shard had zero posting product
+        s.shard_cost_total = 0;
+        let rendered = s.to_string();
+        assert!(
+            rendered.contains("imbalance=n/a"),
+            "expected n/a in {rendered:?}"
+        );
+        s.shard_cost_total = 80;
+        s.shard_cost_max = 40;
+        let rendered = s.to_string();
+        assert!(
+            rendered.contains("imbalance=2.00"),
+            "expected ratio in {rendered:?}"
+        );
     }
 
     #[test]

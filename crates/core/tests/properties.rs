@@ -76,7 +76,7 @@ fn build_two(
     let mut b = SsJoinInputBuilder::new(scheme, order);
     let rh = b.add_relation(r_groups);
     let sh = b.add_relation(s_groups);
-    let built = b.build();
+    let built = b.build().unwrap();
     (built.collection(rh).clone(), built.collection(sh).clone())
 }
 

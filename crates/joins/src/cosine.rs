@@ -73,7 +73,7 @@ pub fn cosine_join_tokens(
     let mut builder = SsJoinInputBuilder::new(WeightScheme::IdfSquared, ElementOrder::FrequencyAsc);
     let rh = builder.add_relation_with_norm(r_groups, NormKind::SqrtTotalWeight);
     let sh = builder.add_relation_with_norm(s_groups, NormKind::SqrtTotalWeight);
-    let built = builder.build();
+    let built = builder.build()?;
     let prep = prep_start.elapsed();
 
     // Overlap ≥ α·‖r‖·‖s‖.

@@ -129,7 +129,7 @@ pub fn edit_similarity_join(
     let mut builder = SsJoinInputBuilder::new(WeightScheme::Unweighted, config.order);
     let rh = builder.add_relation_with_norm(r_groups, NormKind::Custom(r_lens.clone()));
     let sh = builder.add_relation_with_norm(s_groups, NormKind::Custom(s_lens.clone()));
-    let built = builder.build();
+    let built = builder.build()?;
     let prep = prep_start.elapsed();
 
     // SSJoin with the Property-4 predicate:
@@ -278,6 +278,71 @@ mod tests {
         let expect = brute_force(&data, &data, alpha);
         assert_eq!(out.keys(), expect);
         assert!(out.keys().contains(&(0, 1)));
+    }
+
+    #[test]
+    fn short_zero_shared_qgram_pairs_found_every_algorithm() {
+        // Strings below the Property-4 cutoff that share *zero* q-grams must
+        // still be found by the brute-force route, regardless of the SSJoin
+        // algorithm the candidate phase runs.
+        let alpha = 0.5; // one substitution over length 2 → similarity 0.5
+        let data = strings(&["ab", "ax", "xy", "xz", "abcdefghij"]);
+        let expect = brute_force(&data, &data, alpha);
+        assert!(expect.contains(&(0, 1)), "sanity: (ab, ax) qualifies");
+        assert!(expect.contains(&(2, 3)), "sanity: (xy, xz) qualifies");
+        for alg in [
+            Algorithm::Basic,
+            Algorithm::PrefixFiltered,
+            Algorithm::Inline,
+            Algorithm::PositionalInline,
+            Algorithm::Auto,
+        ] {
+            let cfg = EditJoinConfig::new(alpha).with_algorithm(alg);
+            let out = edit_similarity_join(&data, &data, &cfg).unwrap();
+            assert_eq!(out.keys(), expect, "alg {alg:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_coefficient_routes_everything_brute_force() {
+        // α = 0.5, q = 3 → coefficient 1 − 0.5·3 = −0.5 ≤ 0: no length is
+        // safe and the cutoff is usize::MAX, so the whole join must fall
+        // back to the exact brute-force route and still be correct.
+        let cfg = EditJoinConfig::new(0.5);
+        assert_eq!(cfg.short_cutoff(), usize::MAX);
+        let data = strings(&["hello world", "hello worlds", "abcd", "abce", "zzz"]);
+        let expect = brute_force(&data, &data, 0.5);
+        let out = edit_similarity_join(&data, &data, &cfg).unwrap();
+        assert_eq!(out.keys(), expect);
+        assert!(out.keys().contains(&(0, 1)));
+        assert!(out.keys().contains(&(2, 3)));
+    }
+
+    #[test]
+    fn asymmetric_short_sides_covered() {
+        // Short strings only on one side: the brute-force route crosses the
+        // short strings of *both* sides, so a short-R × short-S pair sharing
+        // no q-gram is found even when the collections differ.
+        let r = strings(&["ab", "longer string here"]);
+        let s = strings(&["ax", "completely different text"]);
+        let alpha = 0.5;
+        let expect = brute_force(&r, &s, alpha);
+        assert!(expect.contains(&(0, 0)));
+        let out = edit_similarity_join(&r, &s, &EditJoinConfig::new(alpha)).unwrap();
+        assert_eq!(out.keys(), expect);
+    }
+
+    #[test]
+    fn empty_strings_in_input() {
+        // Empty strings tokenize to the empty q-gram set (see ssjoin-text);
+        // ES("", "") = 1 must still be emitted via the brute-force route and
+        // ("", non-empty) must not qualify at high thresholds.
+        let data = strings(&["", "", "abc"]);
+        let alpha = 0.9;
+        let expect = brute_force(&data, &data, alpha);
+        assert!(expect.contains(&(0, 1)), "two empty strings are identical");
+        let out = edit_similarity_join(&data, &data, &EditJoinConfig::new(alpha)).unwrap();
+        assert_eq!(out.keys(), expect);
     }
 
     #[test]

@@ -169,7 +169,7 @@ pub fn ges_join(
         let mut builder = SsJoinInputBuilder::new(WeightScheme::Idf, ElementOrder::FrequencyAsc);
         let rh = builder.add_relation(r_expanded);
         let sh = builder.add_relation(s_expanded);
-        let built = builder.build();
+        let built = builder.build()?;
         stats.add_time(Phase::Prep, prep_start.elapsed());
 
         let margin = (config.threshold - (1.0 - config.beta)).max(0.05);

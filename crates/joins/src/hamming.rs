@@ -62,7 +62,7 @@ pub fn hamming_join(
     let mut builder = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
     let rh = builder.add_relation_with_norm(r_groups, NormKind::Custom(r_norms));
     let sh = builder.add_relation_with_norm(s_groups, NormKind::Custom(s_norms));
-    let built = builder.build();
+    let built = builder.build()?;
     let prep = prep_start.elapsed();
 
     // Overlap ≥ max(L_r, L_s) − k.

@@ -111,7 +111,7 @@ pub fn jaccard_join_tokens(
     let mut builder = SsJoinInputBuilder::new(config.weights, config.order);
     let rh = builder.add_relation(r_groups);
     let sh = builder.add_relation(s_groups);
-    let built = builder.build();
+    let built = builder.build()?;
     let prep = prep_start.elapsed();
 
     let pred = match config.kind {

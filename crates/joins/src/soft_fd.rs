@@ -92,7 +92,7 @@ pub fn soft_fd_join(
     let mut builder = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
     let rh = builder.add_relation(r_groups);
     let sh = builder.add_relation(s_groups);
-    let built = builder.build();
+    let built = builder.build()?;
     let prep = prep_start.elapsed();
 
     let pred = OverlapPredicate::absolute(config.k as f64);

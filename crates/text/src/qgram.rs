@@ -8,13 +8,18 @@
 //! Two conventions are supported:
 //!
 //! * **Unpadded** — exactly the `len − q + 1` contiguous q-grams (the
-//!   convention Property 4 is stated for). Strings shorter than `q` produce
-//!   a single token consisting of the whole string, so no input maps to an
-//!   empty set.
+//!   convention Property 4 is stated for). Non-empty strings shorter than
+//!   `q` produce a single token consisting of the whole string, so no
+//!   non-empty input maps to an empty set.
 //! * **Padded** — the string is extended with `q − 1` copies of a pad
 //!   character on each side, producing `len + q − 1` q-grams. Padding makes
 //!   errors at string boundaries count as much as interior errors, the
 //!   convention of Gravano et al. (VLDB 2001).
+//!
+//! Under **both** conventions the empty string tokenizes to the empty
+//! multiset: there is no substring content to fingerprint, and an artificial
+//! `""` or all-pad token would make every pair of empty strings look like an
+//! exact q-gram match while sharing nothing with any non-empty string.
 
 use crate::Tokenizer;
 
@@ -64,36 +69,30 @@ impl QGramTokenizer {
         self.pad
     }
 
-    /// Number of q-grams produced for a string of `len` characters.
+    /// Number of q-grams produced for a string of `len` characters. Agrees
+    /// exactly with `tokenize(..).len()` for every `(len, q, pad)`.
     pub fn count_for_len(&self, len: usize) -> usize {
-        if self.pad {
-            // Padded: len + q - 1 windows (for len >= 1); empty string -> q-1
-            // windows of pure padding would be all identical and useless, so
-            // we produce a single all-pad token for the empty string too.
-            if len == 0 {
-                1
-            } else {
-                len + self.q - 1
-            }
+        if len == 0 {
+            // Both conventions: the empty string has no q-grams.
+            0
+        } else if self.pad {
+            len + self.q - 1
         } else {
             qgram_count(len, self.q)
         }
     }
 
     fn tokenize_chars(&self, chars: &[char]) -> Vec<String> {
+        if chars.is_empty() {
+            // Both conventions: the empty string tokenizes to no q-grams.
+            return Vec::new();
+        }
         if self.pad {
             let padding = vec![self.pad_char; self.q - 1];
             let mut padded = Vec::with_capacity(chars.len() + 2 * (self.q - 1));
             padded.extend_from_slice(&padding);
             padded.extend_from_slice(chars);
             padded.extend_from_slice(&padding);
-            if padded.len() < self.q {
-                // Only possible for q = 1 with an empty input.
-                return vec![self.pad_char.to_string()];
-            }
-            if chars.is_empty() {
-                return vec![padding.iter().chain(padding.iter()).take(self.q).collect()];
-            }
             windows_to_strings(&padded, self.q)
         } else {
             if chars.len() < self.q {
@@ -120,12 +119,15 @@ impl Tokenizer for QGramTokenizer {
 }
 
 /// Number of contiguous (unpadded) q-grams of a string of `len` characters:
-/// `max(len − q + 1, 1)`.
+/// `max(len − q + 1, 1)` for non-empty strings, `0` for the empty string.
 ///
 /// The floor of 1 reflects the tokenizer's behaviour of emitting the whole
-/// string as a single token when it is shorter than `q`.
+/// string as a single token when it is non-empty but shorter than `q`; the
+/// empty string has no substring content and tokenizes to nothing.
 pub fn qgram_count(len: usize, q: usize) -> usize {
-    if len >= q {
+    if len == 0 {
+        0
+    } else if len >= q {
         len - q + 1
     } else {
         1
@@ -152,7 +154,14 @@ mod tests {
     fn unpadded_short_string_is_single_token() {
         let t = QGramTokenizer::new(3);
         assert_eq!(t.tokenize("ab"), vec!["ab"]);
-        assert_eq!(t.tokenize(""), vec![""]);
+    }
+
+    #[test]
+    fn empty_string_has_no_qgrams_either_convention() {
+        for t in [QGramTokenizer::new(3), QGramTokenizer::padded(3, '#')] {
+            assert_eq!(t.tokenize(""), Vec::<String>::new(), "{t:?}");
+            assert_eq!(t.token_count(""), 0, "{t:?}");
+        }
     }
 
     #[test]
@@ -192,8 +201,9 @@ mod tests {
     #[test]
     fn padded_q1_empty() {
         let t = QGramTokenizer::padded(1, '#');
-        assert_eq!(t.tokenize(""), vec!["#"]);
-        assert_eq!(t.token_count(""), 1);
+        assert_eq!(t.tokenize(""), Vec::<String>::new());
+        assert_eq!(t.token_count(""), 0);
+        assert_eq!(t.tokenize("a"), vec!["a"]);
     }
 
     #[test]
@@ -201,13 +211,39 @@ mod tests {
         assert_eq!(qgram_count(10, 3), 8);
         assert_eq!(qgram_count(3, 3), 1);
         assert_eq!(qgram_count(2, 3), 1);
-        assert_eq!(qgram_count(0, 3), 1);
+        assert_eq!(qgram_count(1, 3), 1);
+        assert_eq!(qgram_count(0, 3), 0);
+        assert_eq!(qgram_count(0, 1), 0);
     }
 
     #[test]
     #[should_panic(expected = "q must be at least 1")]
     fn zero_q_panics() {
         QGramTokenizer::new(0);
+    }
+
+    #[test]
+    fn count_matches_tokenize_exhaustively() {
+        // Satellite property: count_for_len agrees exactly with the
+        // tokenizer output length for every (len, q, pad) combination.
+        for q in 1..=4usize {
+            for pad in [false, true] {
+                let t = if pad {
+                    QGramTokenizer::padded(q, '#')
+                } else {
+                    QGramTokenizer::new(q)
+                };
+                for len in 0..=8usize {
+                    let s: String = (0..len).map(|i| (b'a' + (i % 26) as u8) as char).collect();
+                    assert_eq!(
+                        t.tokenize(&s).len(),
+                        t.count_for_len(len),
+                        "len {len} q {q} pad {pad}"
+                    );
+                    assert_eq!(t.token_count(&s), t.count_for_len(len));
+                }
+            }
+        }
     }
 
     #[test]

@@ -44,6 +44,45 @@ fn qgram_token_count_matches_formula() {
     }
 }
 
+/// Both conventions: tokenize length equals count_for_len for every
+/// (len, q, pad) in the satellite grid len 0..=8 × q 1..=4, plus random
+/// longer strings.
+#[test]
+fn token_count_agrees_with_tokenize_all_conventions() {
+    for q in 1usize..=4 {
+        for pad in [false, true] {
+            let t = if pad {
+                QGramTokenizer::padded(q, '#')
+            } else {
+                QGramTokenizer::new(q)
+            };
+            for len in 0usize..=8 {
+                let s = "x".repeat(len);
+                assert_eq!(
+                    t.tokenize(&s).len(),
+                    t.count_for_len(len),
+                    "len {len} q {q} pad {pad}"
+                );
+            }
+        }
+    }
+    for seed in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0x51 + seed);
+        let s = random_text(&mut rng, 48);
+        let q = rng.gen_range(1usize..5);
+        let t = if rng.gen_bool(0.5) {
+            QGramTokenizer::padded(q, '$')
+        } else {
+            QGramTokenizer::new(q)
+        };
+        assert_eq!(
+            t.tokenize(&s).len(),
+            t.count_for_len(s.chars().count()),
+            "seed {seed}"
+        );
+    }
+}
+
 /// Every unpadded q-gram of a long-enough string has exactly q chars.
 #[test]
 fn qgrams_have_length_q() {

@@ -31,7 +31,7 @@ fn main() {
     let mut builder = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
     let rh = builder.add_relation(to_groups(&states_r));
     let sh = builder.add_relation(to_groups(&states_s));
-    let built = builder.build();
+    let built = builder.build().unwrap();
 
     // "At least 60% of the R group's cities must co-occur" — the 1-sided
     // normalized predicate of Example 2. `SsJoin` is the unified entry

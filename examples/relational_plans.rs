@@ -21,7 +21,7 @@ fn main() {
 
     let mut builder = SsJoinInputBuilder::new(WeightScheme::Idf, ElementOrder::FrequencyAsc);
     let h = builder.add_relation(groups);
-    let built = builder.build();
+    let built = builder.build().unwrap();
     let collection = built.collection(h);
     let pred = OverlapPredicate::two_sided(0.8);
 

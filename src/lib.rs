@@ -36,7 +36,7 @@
 //!     vec!["100".into(), "main".into(), "st".into()],
 //!     vec!["100".into(), "main".into(), "street".into()],
 //! ]);
-//! let input = b.build();
+//! let input = b.build().unwrap();
 //! let out = SsJoin::new(&input)
 //!     .predicate(OverlapPredicate::two_sided(0.5))
 //!     .algorithm(Algorithm::Inline)
@@ -74,8 +74,8 @@ pub use ssjoin_text as text;
 
 // Most-used items at the crate root for ergonomic imports.
 pub use ssjoin_core::{
-    ssjoin, Algorithm, ElementOrder, ExecContext, OverlapPredicate, ShardPolicy, SsJoinConfig,
-    SsJoinInputBuilder, StatsLevel, WeightScheme,
+    ssjoin, Algorithm, BudgetCause, CancelToken, ElementOrder, ExecBudget, ExecContext,
+    OverlapPredicate, ShardPolicy, SsJoinConfig, SsJoinInputBuilder, StatsLevel, WeightScheme,
 };
 pub use ssjoin_joins::{
     cluster_pairs, cooccurrence_join, cosine_join, edit_similarity_join, ges_join, jaccard_join,
@@ -124,7 +124,7 @@ enum JoinInput<'a> {
 ///     vec!["a".to_string(), "b".to_string(), "c".to_string()],
 ///     vec!["b".to_string(), "c".to_string(), "d".to_string()],
 /// ]);
-/// let input = b.build();
+/// let input = b.build().unwrap();
 ///
 /// let out = SsJoin::new(&input)
 ///     .predicate(OverlapPredicate::absolute(2.0))
@@ -198,6 +198,22 @@ impl<'a> SsJoin<'a> {
     /// Set the instrumentation level (fast path only).
     pub fn stats_level(mut self, level: StatsLevel) -> Self {
         self.config.exec.stats = level;
+        self
+    }
+
+    /// Set the execution budget (fast path only): candidate/output/deadline/
+    /// memory limits that abort the run with
+    /// [`SsJoinError::BudgetExceeded`] instead of running unbounded.
+    pub fn budget(mut self, budget: ExecBudget) -> Self {
+        self.config.exec.budget = budget;
+        self
+    }
+
+    /// Attach a cooperative cancellation token (fast path only). Calling
+    /// [`CancelToken::cancel`] on any clone aborts the run at the next
+    /// checkpoint.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.config.exec.cancel = Some(token);
         self
     }
 
@@ -303,7 +319,7 @@ mod tests {
             .collect();
         let mut b = SsJoinInputBuilder::new(WeightScheme::Idf, ElementOrder::FrequencyAsc);
         b.add_relation(groups);
-        b.build()
+        b.build().unwrap()
     }
 
     #[test]
@@ -361,6 +377,44 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(seq.pairs, par.pairs);
+    }
+
+    #[test]
+    fn facade_budget_and_cancel_are_honored() {
+        let input = addresses_input();
+        let pred = OverlapPredicate::two_sided(0.3);
+        // A one-candidate budget must abort with the typed error.
+        let err = SsJoin::new(&input)
+            .predicate(pred.clone())
+            .algorithm(Algorithm::Inline)
+            .budget(ExecBudget::default().with_max_candidate_pairs(1))
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                ssjoin_core::SsJoinError::BudgetExceeded { which, .. }
+                    if *which == BudgetCause::CandidatePairs
+            ),
+            "{err:?}"
+        );
+        // A pre-cancelled token aborts before any work happens.
+        let token = CancelToken::new();
+        token.cancel();
+        let err = SsJoin::new(&input)
+            .predicate(pred)
+            .algorithm(Algorithm::Inline)
+            .cancel_token(token)
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                ssjoin_core::SsJoinError::BudgetExceeded { which, .. }
+                    if *which == BudgetCause::Cancelled
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -110,7 +110,7 @@ fn figure_plans_from_strings() {
     let groups: Vec<Vec<String>> = addresses.iter().map(|s| tok.tokenize(s)).collect();
     let mut b = SsJoinInputBuilder::new(WeightScheme::Idf, ElementOrder::FrequencyAsc);
     let h = b.add_relation(groups);
-    let built = b.build();
+    let built = b.build().unwrap();
     let c = built.collection(h);
     let pred = OverlapPredicate::two_sided(0.6);
 

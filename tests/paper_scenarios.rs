@@ -19,7 +19,7 @@ fn example_1_absolute_overlap() {
     let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
     let r = b.add_relation(qgram_groups(&["Microsoft Corp"]));
     let s = b.add_relation(qgram_groups(&["Mcrosoft Corp"]));
-    let built = b.build();
+    let built = b.build().unwrap();
 
     let rc = built.collection(r);
     let sc = built.collection(s);
@@ -60,7 +60,7 @@ fn example_2_normalized_predicates() {
     let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
     let r = b.add_relation(qgram_groups(&["Microsoft Corp"]));
     let s = b.add_relation(qgram_groups(&["Mcrosoft Corp"]));
-    let built = b.build();
+    let built = b.build().unwrap();
 
     for pred in [
         OverlapPredicate::absolute(10.0),
@@ -119,7 +119,7 @@ fn section_4_2_prefix_example() {
     ];
     let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::Lexicographic);
     let h = b.add_relation(groups);
-    let built = b.build();
+    let built = b.build().unwrap();
     let c = built.collection(h);
     let out = ssjoin(
         c,
