@@ -5,11 +5,11 @@
 //! ```
 //!
 //! Experiments: `table1 fig10 fig11 fig12 fig13 table2 naive ablation-order
-//! ablation-cost ablation-positional ablation-shard ablation-kernel
-//! ablation-budget`
+//! ablation-cost ablation-positional ablation-shard ablation-workspace
+//! ablation-kernel ablation-budget`
 //! (default: all). `--scale 1.0` is the paper's 25,000-row corpus; smaller
 //! values shrink every dataset proportionally for quick runs. `--json`
-//! writes the run to `BENCH_<n>.json` (`--pr n`, default 2) or to an
+//! writes the run to `BENCH_<n>.json` (`--pr n`, default 5) or to an
 //! explicit `--out PATH`.
 //!
 //! Absolute times are *not* expected to match the paper (different hardware,
@@ -35,7 +35,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
     let mut emit_json = false;
-    let mut pr = 2u32;
+    let mut pr = 5u32;
     let mut out: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut i = 0;
@@ -62,8 +62,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--scale F] [--json] [--pr N] [--out PATH] [table1|fig10|fig11|fig12|fig13|table2|naive|ablation-order|ablation-cost|ablation-positional|ablation-shard|ablation-kernel|ablation-budget|all]...\n\
-                     --json additionally writes the run as BENCH_<N>.json (--pr N, default 2),\n\
+                    "usage: experiments [--scale F] [--json] [--pr N] [--out PATH] [table1|fig10|fig11|fig12|fig13|table2|naive|ablation-order|ablation-cost|ablation-positional|ablation-shard|ablation-workspace|ablation-kernel|ablation-budget|all]...\n\
+                     --json additionally writes the run as BENCH_<N>.json (--pr N, default 5),\n\
                      or to an explicit --out PATH"
                 );
                 return;
@@ -88,6 +88,7 @@ fn main() {
             "ablation-cost",
             "ablation-positional",
             "ablation-shard",
+            "ablation-workspace",
             "ablation-kernel",
             "ablation-budget",
         ]
@@ -113,6 +114,7 @@ fn main() {
             "ablation-cost" => ablation_cost(scale, &mut report),
             "ablation-positional" => ablation_positional(scale, &mut report),
             "ablation-shard" => ablation_shard(scale, &mut report),
+            "ablation-workspace" => ablation_workspace(scale, &mut report),
             "ablation-kernel" => ablation_kernel(scale, &mut report),
             "ablation-budget" => ablation_budget(scale, &mut report),
             other => eprintln!("unknown experiment {other:?}, skipping"),
@@ -557,6 +559,7 @@ fn ablation_shard(scale: f64, report: &mut Report) {
 
     let mut speedup_8t = f64::NAN;
     let mut prunes_8t = 0u64;
+    let mut effective_8t = 0u64;
     let mut all_equal = true;
     for (threads, bitmap) in [(2usize, false), (8, false), (8, true)] {
         let exec = ExecContext::new()
@@ -568,6 +571,7 @@ fn ablation_shard(scale: f64, report: &mut Report) {
         all_equal &= equal;
         if threads == 8 {
             speedup_8t = seq_t.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+            effective_8t = out.stats.effective_threads;
         }
         if bitmap {
             prunes_8t = out.stats.bitmap_prunes;
@@ -592,12 +596,137 @@ fn ablation_shard(scale: f64, report: &mut Report) {
     assert!(all_equal, "parallel output must match sequential exactly");
 
     report.metric_u64("ablation_shard.cores", cores as u64);
+    report.metric_u64("ablation_shard.effective_threads_8t", effective_8t);
     report.metric_f64("ablation_shard.seq_ms", seq_t.as_secs_f64() * 1e3);
     report.metric_f64("ablation_shard.speedup_8t", speedup_8t);
     report.metric_u64("ablation_shard.bitmap_prunes_8t", prunes_8t);
     report.metric_str(
         "ablation_shard.output_equal",
         if all_equal { "true" } else { "false" },
+    );
+}
+
+/// Ablation (tentpole): the reusable [`ssjoin_core::JoinWorkspace`]. A
+/// data-cleaning pipeline joins a stream of record batches; reusing one
+/// workspace across the stream amortizes every pool — CSR index arenas,
+/// prefix-length vectors, stamp arrays, candidate and output buffers — that
+/// fresh-workspace runs must re-allocate per batch. The reused path must
+/// reproduce the fresh output bit-for-bit (that is the zero-allocation hot
+/// path's correctness contract; the counting-allocator test in
+/// `crates/core/tests/zero_alloc.rs` proves the "zero" part).
+fn ablation_workspace(scale: f64, report: &mut Report) {
+    use ssjoin_core::{ssjoin_with, JoinWorkspace, SsJoinConfig};
+    use ssjoin_text::Tokenizer;
+
+    let records = evaluation_corpus(scale).records;
+    let theta = 0.85;
+    // Small batches are the regime workspace reuse targets: a streaming
+    // cleaning pipeline joining record micro-batches, where per-batch pool
+    // allocation is a large fraction of each join.
+    let batch = 4usize;
+    // Collection construction is not under test: pre-build one collection
+    // per batch, then time only the join sweeps.
+    let built: Vec<_> = records
+        .chunks(batch)
+        .map(|chunk| {
+            let groups: Vec<Vec<String>> = chunk
+                .iter()
+                .map(|s| ssjoin_text::WordTokenizer::new().lowercased().tokenize(s))
+                .collect();
+            let mut b = ssjoin_core::SsJoinInputBuilder::new(
+                ssjoin_core::WeightScheme::Idf,
+                ElementOrder::FrequencyAsc,
+            );
+            let h = b.add_relation(groups);
+            (b.build().expect("build batch collection"), h)
+        })
+        .collect();
+    let collections: Vec<_> = built.iter().map(|(b, h)| b.collection(*h)).collect();
+    let pred = ssjoin_core::OverlapPredicate::two_sided(theta);
+    let cfg = SsJoinConfig::new(Algorithm::Auto);
+
+    // Each timed sweep replays the whole batch stream several times so the
+    // measurement is long enough to sit above scheduler noise.
+    let rounds = 8usize;
+    let cold_sweep = || {
+        let start = Instant::now();
+        let mut keys: Vec<(u32, u32)> = Vec::new();
+        for round in 0..rounds {
+            for c in &collections {
+                let mut ws = JoinWorkspace::new();
+                let run = ssjoin_with(c, c, &pred, &cfg, &mut ws).expect("cold join");
+                if round == 0 {
+                    keys.extend(run.pairs.iter().map(|p| (p.r, p.s)));
+                }
+            }
+        }
+        (keys, start.elapsed())
+    };
+    let warm_sweep = |ws: &mut JoinWorkspace| {
+        let start = Instant::now();
+        let mut keys: Vec<(u32, u32)> = Vec::new();
+        for round in 0..rounds {
+            for c in &collections {
+                let run = ssjoin_with(c, c, &pred, &cfg, ws).expect("warm join");
+                if round == 0 {
+                    keys.extend(run.pairs.iter().map(|p| (p.r, p.s)));
+                }
+            }
+        }
+        (keys, start.elapsed())
+    };
+
+    // Interleave cold and warm sweeps and compare medians, so slow drift in
+    // the host (frequency scaling, co-tenants) hits both sides equally; the
+    // reused workspace is pre-warmed with one untimed sweep so the measured
+    // runs see only the steady state.
+    let mut ws = JoinWorkspace::new();
+    let _ = warm_sweep(&mut ws);
+    let mut cold_runs = Vec::new();
+    let mut warm_runs = Vec::new();
+    for _ in 0..7 {
+        cold_runs.push(cold_sweep());
+        warm_runs.push(warm_sweep(&mut ws));
+    }
+    cold_runs.sort_by_key(|(_, t)| *t);
+    let (cold_keys, cold_t) = cold_runs.swap_remove(3);
+    warm_runs.sort_by_key(|(_, t)| *t);
+    let (warm_keys, warm_t) = warm_runs.swap_remove(3);
+
+    let equal = cold_keys == warm_keys;
+    let reduction = 1.0 - warm_t.as_secs_f64() / cold_t.as_secs_f64().max(1e-9);
+
+    let mut t = Table::new(
+        format!(
+            "Ablation — workspace reuse (Jaccard {theta}, auto, {} batches of ≤{batch} records)",
+            collections.len()
+        ),
+        &["Config", "Sweep ms", "Pairs", "Output equal"],
+    );
+    t.row(vec![
+        "fresh workspace per batch".into(),
+        ms(cold_t),
+        count(cold_keys.len() as u64),
+        "baseline".into(),
+    ]);
+    t.row(vec![
+        "one reused workspace".into(),
+        ms(warm_t),
+        count(warm_keys.len() as u64),
+        if equal { "yes".into() } else { "NO".into() },
+    ]);
+    report.table(t);
+    assert!(equal, "reused workspace must reproduce fresh output");
+
+    report.metric_u64("ablation_workspace.batches", collections.len() as u64);
+    report.metric_f64("ablation_workspace.cold_ms", cold_t.as_secs_f64() * 1e3);
+    report.metric_f64("ablation_workspace.warm_ms", warm_t.as_secs_f64() * 1e3);
+    report.metric_f64("ablation_workspace.latency_reduction", reduction);
+    report.metric_u64("ablation_workspace.bytes_reserved", ws.bytes_reserved());
+    report.metric_u64("ablation_workspace.workspace_reuses", ws.reuses());
+    report.metric_str(
+        "ablation_workspace.output_equal",
+        if equal { "true" } else { "false" },
     );
 }
 

@@ -308,17 +308,19 @@ impl BudgetState {
 /// [`ExecBudget::max_memory_bytes`].
 ///
 /// The model covers the dominant allocations shared by the executors: the
-/// inverted-index posting arenas (up to both sides for the partitioned
-/// executor: one `u32` per tuple plus one `Vec` header per universe rank per
-/// side), the dense per-probe scratch arrays over S ids, and the per-set
-/// prefix-length tables. It is deliberately a slight over-estimate — the
-/// check exists to refuse runs that would obviously blow a caller's memory
-/// envelope, not to account bytes exactly.
+/// CSR inverted indexes (per side: `universe + 1` offsets, `universe`
+/// cursors, and one `u32` posting per tuple), the dense per-probe scratch
+/// arrays over S ids, and the per-set prefix-length tables. It is
+/// deliberately a slight over-estimate — the check exists to refuse runs
+/// that would obviously blow a caller's memory envelope, not to account
+/// bytes exactly.
 pub fn estimate_memory_bytes(r: &SetCollection, s: &SetCollection) -> u64 {
-    const VEC_HEADER: u64 = 24; // ptr + len + cap
     let universe = r.universe_size().max(s.universe_size()) as u64;
     let tuples = (r.tuple_count() + s.tuple_count()) as u64;
-    let postings = 2 * universe * VEC_HEADER + tuples * 4;
+    // Two CSR indexes in the worst case (partitioned executor): offsets
+    // (universe + 1) + cursors (universe) of 4 bytes each per side, plus the
+    // shared posting arenas.
+    let postings = 2 * (2 * universe + 1) * 4 + tuples * 4;
     // Dense S-side scratch: weight accumulator (8) + stamp (4) + slot (4),
     // per worker in the worst case is ignored — one copy is charged because
     // chunked workers share the candidate space roughly evenly.

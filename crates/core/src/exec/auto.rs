@@ -14,10 +14,13 @@
 //!   sizes.
 //!
 //! Both estimates are computable from histograms in one linear pass —
-//! exactly what a query optimizer would do with catalog statistics.
+//! exactly what a query optimizer would do with catalog statistics. The
+//! histograms live in the [`JoinWorkspace`] so a reused workspace estimates
+//! without allocating.
 
-use super::prefix::{prefix_lengths, Side};
-use super::{inline, ExecContext, JoinPair};
+use super::prefix::{prefix_lengths_into, Side};
+use super::workspace::JoinWorkspace;
+use super::{inline, ExecContext};
 use crate::budget::BudgetState;
 use crate::predicate::OverlapPredicate;
 use crate::set::SetCollection;
@@ -56,15 +59,45 @@ impl CostEstimate {
     }
 }
 
-/// Estimate plan costs from element-frequency histograms.
-pub fn estimate_costs(
+/// Clamp a requested worker count to what the host can actually run in
+/// parallel. A request above `available_parallelism` cannot speed anything
+/// up — it only adds scheduling noise and makes "speedup" claims on small
+/// hosts dishonest — so the effective count is recorded in
+/// [`SsJoinStats::effective_threads`](crate::stats::SsJoinStats).
+pub(crate) fn effective_threads(requested: usize) -> usize {
+    // `available_parallelism` probes cgroup files on Linux (and allocates
+    // doing so); cache it once so the per-run clamp stays allocation-free.
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let cores = *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    requested.min(cores).max(1)
+}
+
+/// Estimate plan costs from element-frequency histograms held in the
+/// workspace (no allocations once the workspace is warm).
+pub(crate) fn estimate_costs_into(
     r: &SetCollection,
     s: &SetCollection,
     pred: &OverlapPredicate,
+    ws: &mut JoinWorkspace,
 ) -> CostEstimate {
     let universe = r.universe_size();
-    let mut freq_r = vec![0u32; universe];
-    let mut freq_s = vec![0u32; universe];
+    let JoinWorkspace {
+        r_lens,
+        s_lens,
+        freq_r,
+        freq_s,
+        pfreq_r,
+        pfreq_s,
+        ..
+    } = ws;
+    freq_r.clear();
+    freq_r.resize(universe, 0);
+    freq_s.clear();
+    freq_s.resize(universe, 0);
     for set in r.iter() {
         for &rank in set.ranks() {
             freq_r[rank as usize] += 1;
@@ -77,27 +110,29 @@ pub fn estimate_costs(
     }
     let basic_join_tuples: u64 = freq_r
         .iter()
-        .zip(&freq_s)
+        .zip(&*freq_s)
         .map(|(&a, &b)| a as u64 * b as u64)
         .sum();
 
-    let r_lens = prefix_lengths(r, Side::R, pred, s.norm_range());
-    let s_lens = prefix_lengths(s, Side::S, pred, r.norm_range());
-    let mut pfreq_r = vec![0u32; universe];
-    let mut pfreq_s = vec![0u32; universe];
-    for (set, &len) in r.iter().zip(&r_lens) {
+    prefix_lengths_into(r, Side::R, pred, s.norm_range(), r_lens);
+    prefix_lengths_into(s, Side::S, pred, r.norm_range(), s_lens);
+    pfreq_r.clear();
+    pfreq_r.resize(universe, 0);
+    pfreq_s.clear();
+    pfreq_s.resize(universe, 0);
+    for (set, &len) in r.iter().zip(&*r_lens) {
         for &rank in &set.ranks()[..len] {
             pfreq_r[rank as usize] += 1;
         }
     }
-    for (set, &len) in s.iter().zip(&s_lens) {
+    for (set, &len) in s.iter().zip(&*s_lens) {
         for &rank in &set.ranks()[..len] {
             pfreq_s[rank as usize] += 1;
         }
     }
     let prefix_join_tuples: u64 = pfreq_r
         .iter()
-        .zip(&pfreq_s)
+        .zip(&*pfreq_s)
         .map(|(&a, &b)| a as u64 * b as u64)
         .sum();
 
@@ -118,23 +153,31 @@ pub fn estimate_costs(
     }
 }
 
+/// Estimate plan costs from element-frequency histograms.
+pub fn estimate_costs(
+    r: &SetCollection,
+    s: &SetCollection,
+    pred: &OverlapPredicate,
+) -> CostEstimate {
+    let mut ws = JoinWorkspace::new();
+    estimate_costs_into(r, s, pred, &mut ws)
+}
+
 pub(super) fn run(
     r: &SetCollection,
     s: &SetCollection,
     pred: &OverlapPredicate,
     ctx: &ExecContext,
     budget: &BudgetState,
-) -> (Vec<JoinPair>, SsJoinStats, Algorithm) {
-    let est = estimate_costs(r, s, pred);
+    ws: &mut JoinWorkspace,
+) -> (SsJoinStats, Algorithm) {
+    let est = estimate_costs_into(r, s, pred, ws);
     match est.choice() {
-        Algorithm::Basic => {
-            let (p, st) = super::basic::run(r, s, pred, ctx, budget);
-            (p, st, Algorithm::Basic)
-        }
-        _ => {
-            let (p, st) = inline::run(r, s, pred, ctx, budget);
-            (p, st, Algorithm::Inline)
-        }
+        Algorithm::Basic => (
+            super::basic::run(r, s, pred, ctx, budget, ws),
+            Algorithm::Basic,
+        ),
+        _ => (inline::run(r, s, pred, ctx, budget, ws), Algorithm::Inline),
     }
 }
 
@@ -142,12 +185,23 @@ pub(super) fn run(
 mod tests {
     use super::*;
     use crate::builder::{SsJoinInputBuilder, WeightScheme};
+    use crate::exec::workspace::collect;
     use crate::order::ElementOrder;
 
     fn build(groups: Vec<Vec<String>>, scheme: WeightScheme) -> SetCollection {
         let mut b = SsJoinInputBuilder::new(scheme, ElementOrder::FrequencyAsc);
         let h = b.add_relation(groups);
         b.build().unwrap().collection(h).clone()
+    }
+
+    #[test]
+    fn effective_threads_clamps_to_host() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(effective_threads(1), 1);
+        assert_eq!(effective_threads(usize::MAX), cores);
+        assert_eq!(effective_threads(0), 1);
     }
 
     #[test]
@@ -158,13 +212,16 @@ mod tests {
         let c = build(groups, WeightScheme::Unweighted);
         let pred = OverlapPredicate::absolute(2.0);
         let est = estimate_costs(&c, &c, &pred);
-        let (_, stats) = super::super::basic::run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
+        let (_, stats) = collect(|ws| {
+            super::super::basic::run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
         assert_eq!(est.basic_join_tuples, stats.join_tuples);
     }
 
@@ -176,14 +233,34 @@ mod tests {
         let c = build(groups, WeightScheme::Idf);
         let pred = OverlapPredicate::two_sided(0.8);
         let est = estimate_costs(&c, &c, &pred);
-        let (_, stats) = super::super::prefix::run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
+        let (_, stats) = collect(|ws| {
+            super::super::prefix::run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
         assert_eq!(est.prefix_join_tuples, stats.join_tuples);
+    }
+
+    #[test]
+    fn reused_workspace_estimates_identically() {
+        let groups: Vec<Vec<String>> = (0..40)
+            .map(|i| (0..5).map(|j| format!("y{}", (i * 3 + j) % 17)).collect())
+            .collect();
+        let c = build(groups, WeightScheme::Idf);
+        let mut ws = JoinWorkspace::new();
+        for pred in [
+            OverlapPredicate::absolute(2.0),
+            OverlapPredicate::two_sided(0.7),
+        ] {
+            let fresh = estimate_costs(&c, &c, &pred);
+            let reused = estimate_costs_into(&c, &c, &pred, &mut ws);
+            assert_eq!(fresh, reused, "pred {pred:?}");
+        }
     }
 
     #[test]
@@ -230,20 +307,26 @@ mod tests {
             .collect();
         let c = build(groups, WeightScheme::Idf);
         let pred = OverlapPredicate::two_sided(0.6);
-        let (mut auto_pairs, _, _) = run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
-        let (mut basic_pairs, _) = super::super::basic::run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
+        let (mut auto_pairs, _) = collect(|ws| {
+            run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
+        let (mut basic_pairs, _) = collect(|ws| {
+            super::super::basic::run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
         auto_pairs.sort_unstable_by_key(|p| (p.r, p.s));
         basic_pairs.sort_unstable_by_key(|p| (p.r, p.s));
         assert_eq!(auto_pairs, basic_pairs);

@@ -7,6 +7,7 @@
 //! Every posting hit is one tuple of the equi-join result, which is the
 //! quantity §4.1 identifies as the bottleneck on frequent elements.
 
+use super::workspace::JoinWorkspace;
 use super::{run_chunked, ExecContext, JoinPair};
 use crate::budget::BudgetState;
 use crate::predicate::OverlapPredicate;
@@ -14,56 +15,44 @@ use crate::set::SetCollection;
 use crate::stats::{timed_phase, Phase, SsJoinStats};
 use crate::weight::Weight;
 
-/// Inverted index: element rank → ids of sets containing it.
-pub(crate) struct InvertedIndex {
-    postings: Vec<Vec<u32>>,
-}
-
-impl InvertedIndex {
-    /// Index the first `lens[id]` elements of every set (or all elements
-    /// when `lens` is `None`) — full index for the basic algorithm, prefix
-    /// index for the filtered ones.
-    pub(crate) fn build(collection: &SetCollection, lens: Option<&[usize]>) -> Self {
-        let mut postings: Vec<Vec<u32>> = vec![Vec::new(); collection.universe_size()];
-        for (id, set) in collection.iter().enumerate() {
-            let n = lens.map_or(set.len(), |l| l[id]);
-            for &rank in &set.ranks()[..n] {
-                postings[rank as usize].push(id as u32);
-            }
-        }
-        Self { postings }
-    }
-
-    pub(crate) fn postings(&self, rank: u32) -> &[u32] {
-        &self.postings[rank as usize]
-    }
-}
-
 pub(super) fn run(
     r: &SetCollection,
     s: &SetCollection,
     pred: &OverlapPredicate,
     ctx: &ExecContext,
     budget: &BudgetState,
-) -> (Vec<JoinPair>, SsJoinStats) {
+    ws: &mut JoinWorkspace,
+) -> SsJoinStats {
     let mut stats = SsJoinStats::default();
     if !budget.proceed() {
-        return (Vec::new(), stats);
+        return stats;
     }
-    let index = timed_phase(&mut stats, ctx.stats, Phase::Prep, |_| {
-        InvertedIndex::build(s, None)
+    let JoinWorkspace {
+        s_index,
+        workers,
+        out,
+        ..
+    } = ws;
+    timed_phase(&mut stats, ctx.stats, Phase::Prep, |_| {
+        s_index.build(s, None);
     });
     if !budget.proceed() {
-        return (Vec::new(), stats);
+        return stats;
     }
+    let index = &*s_index;
 
-    let (pairs, inner) = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
-        run_chunked(r.len(), ctx.threads, |range| {
+    let inner = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
+        run_chunked(r.len(), ctx.threads, workers, out, |range, scratch| {
             let mut stats = SsJoinStats::default();
-            let mut pairs = Vec::new();
             // Dense per-probe accumulator over S ids, reset via touch list.
-            let mut acc: Vec<Weight> = vec![Weight::ZERO; s.len()];
-            let mut touched: Vec<u32> = Vec::new();
+            // The clear + resize refills every slot with zero, so values a
+            // previous run (or an aborted probe) left behind cannot leak.
+            scratch.acc.clear();
+            scratch.acc.resize(s.len(), Weight::ZERO);
+            scratch.touched.clear();
+            let acc = &mut scratch.acc;
+            let touched = &mut scratch.touched;
+            let pairs = &mut scratch.pairs;
             for rid in range {
                 let out_before = pairs.len();
                 let rset = r.set(rid as u32);
@@ -79,7 +68,7 @@ pub(super) fn run(
                 stats.candidate_pairs += touched.len() as u64;
                 stats.verified_pairs += touched.len() as u64;
                 touched.sort_unstable();
-                for &sid in &touched {
+                for &sid in touched.iter() {
                     let overlap = acc[sid as usize];
                     acc[sid as usize] = Weight::ZERO;
                     let sset = s.set(sid);
@@ -99,17 +88,18 @@ pub(super) fn run(
                     break;
                 }
             }
-            (pairs, stats)
+            stats
         })
     });
     stats.merge(&inner);
-    (pairs, stats)
+    stats
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::{SsJoinInputBuilder, WeightScheme};
+    use crate::exec::workspace::collect;
     use crate::order::ElementOrder;
 
     fn toks(v: &[&str]) -> Vec<String> {
@@ -131,13 +121,16 @@ mod tests {
             toks(&["x", "y"]),
         ]);
         let pred = OverlapPredicate::absolute(2.0);
-        let (mut pairs, stats) = run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
+        let (mut pairs, stats) = collect(|ws| {
+            run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
         pairs.sort_unstable_by_key(|p| (p.r, p.s));
         // Self-pairs (0,0),(1,1),(2,2) plus (0,1),(1,0).
         let got: Vec<(u32, u32)> = pairs.iter().map(|p| (p.r, p.s)).collect();
@@ -150,13 +143,16 @@ mod tests {
     fn overlap_values_correct() {
         let c = build(vec![toks(&["a", "b", "c"]), toks(&["b", "c", "d"])]);
         let pred = OverlapPredicate::absolute(1.0);
-        let (pairs, _) = run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
+        let (pairs, _) = collect(|ws| {
+            run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
         let p01 = pairs.iter().find(|p| p.r == 0 && p.s == 1).unwrap();
         assert_eq!(p01.overlap, Weight::from_f64(2.0));
     }
@@ -165,13 +161,16 @@ mod tests {
     fn zero_overlap_pairs_never_emitted() {
         let c = build(vec![toks(&["a"]), toks(&["b"])]);
         let pred = OverlapPredicate::absolute(-10.0); // clamps to epsilon
-        let (pairs, _) = run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
+        let (pairs, _) = collect(|ws| {
+            run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
         let got: Vec<(u32, u32)> = pairs.iter().map(|p| (p.r, p.s)).collect();
         assert_eq!(got, vec![(0, 0), (1, 1)]);
     }
@@ -187,20 +186,26 @@ mod tests {
             .collect();
         let c = build(groups);
         let pred = OverlapPredicate::absolute(2.0);
-        let (mut p1, _) = run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
-        let (mut p4, _) = run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new().with_threads(4),
-            &BudgetState::unlimited(),
-        );
+        let (mut p1, _) = collect(|ws| {
+            run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
+        let (mut p4, _) = collect(|ws| {
+            run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new().with_threads(4),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
         p1.sort_unstable_by_key(|p| (p.r, p.s));
         p4.sort_unstable_by_key(|p| (p.r, p.s));
         assert_eq!(p1, p4);
@@ -211,24 +216,29 @@ mod tests {
         let e = build(vec![]);
         let c = build(vec![toks(&["a"])]);
         let pred = OverlapPredicate::absolute(1.0);
-        assert!(run(
-            &e,
-            &e,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited()
-        )
-        .0
-        .is_empty());
+        let (empty_pairs, _) = collect(|ws| {
+            run(
+                &e,
+                &e,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
+        assert!(empty_pairs.is_empty());
         // Note: e and c come from different builders here, so only same-
         // builder combinations are meaningful; the public API enforces that.
-        let (pairs, _) = run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
+        let (pairs, _) = collect(|ws| {
+            run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
         assert_eq!(pairs.len(), 1);
     }
 }

@@ -8,7 +8,8 @@
 //! prefix-filtered implementation and usually the best of the three.
 
 use super::prefix::run_prefix_family;
-use super::{ExecContext, JoinPair};
+use super::workspace::JoinWorkspace;
+use super::ExecContext;
 use crate::budget::BudgetState;
 use crate::predicate::OverlapPredicate;
 use crate::set::SetCollection;
@@ -20,17 +21,19 @@ pub(super) fn run(
     pred: &OverlapPredicate,
     ctx: &ExecContext,
     budget: &BudgetState,
-) -> (Vec<JoinPair>, SsJoinStats) {
+    ws: &mut JoinWorkspace,
+) -> SsJoinStats {
     if ctx.use_token_shards() {
-        return super::partition::run(r, s, pred, ctx, budget);
+        return super::partition::run(r, s, pred, ctx, budget, ws);
     }
-    run_prefix_family(r, s, pred, ctx, true, budget)
+    run_prefix_family(r, s, pred, ctx, true, budget, ws)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::{SsJoinInputBuilder, WeightScheme};
+    use crate::exec::workspace::collect;
     use crate::order::ElementOrder;
 
     fn build(groups: Vec<Vec<String>>, scheme: WeightScheme) -> SetCollection {
@@ -58,27 +61,36 @@ mod tests {
             OverlapPredicate::two_sided(0.6),
             OverlapPredicate::s_normalized(0.8),
         ] {
-            let (mut basic, _) = super::super::basic::run(
-                &c,
-                &c,
-                &pred,
-                &ExecContext::new(),
-                &BudgetState::unlimited(),
-            );
-            let (mut prefix, _) = super::super::prefix::run(
-                &c,
-                &c,
-                &pred,
-                &ExecContext::new(),
-                &BudgetState::unlimited(),
-            );
-            let (mut inline, _) = run(
-                &c,
-                &c,
-                &pred,
-                &ExecContext::new(),
-                &BudgetState::unlimited(),
-            );
+            let (mut basic, _) = collect(|ws| {
+                super::super::basic::run(
+                    &c,
+                    &c,
+                    &pred,
+                    &ExecContext::new(),
+                    &BudgetState::unlimited(),
+                    ws,
+                )
+            });
+            let (mut prefix, _) = collect(|ws| {
+                super::super::prefix::run(
+                    &c,
+                    &c,
+                    &pred,
+                    &ExecContext::new(),
+                    &BudgetState::unlimited(),
+                    ws,
+                )
+            });
+            let (mut inline, _) = collect(|ws| {
+                run(
+                    &c,
+                    &c,
+                    &pred,
+                    &ExecContext::new(),
+                    &BudgetState::unlimited(),
+                    ws,
+                )
+            });
             basic.sort_unstable_by_key(|p| (p.r, p.s));
             prefix.sort_unstable_by_key(|p| (p.r, p.s));
             inline.sort_unstable_by_key(|p| (p.r, p.s));
@@ -91,13 +103,16 @@ mod tests {
     fn verification_work_equals_candidates() {
         let c = build(random_groups(40, 19), WeightScheme::Unweighted);
         let pred = OverlapPredicate::two_sided(0.5);
-        let (_, stats) = run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
+        let (_, stats) = collect(|ws| {
+            run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
         assert_eq!(stats.candidate_pairs, stats.verified_pairs);
         assert!(stats.candidate_pairs > 0);
     }
@@ -106,20 +121,26 @@ mod tests {
     fn parallel_matches_sequential() {
         let c = build(random_groups(64, 31), WeightScheme::Idf);
         let pred = OverlapPredicate::two_sided(0.5);
-        let (mut p1, _) = run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
-        let (mut p3, _) = run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new().with_threads(3),
-            &BudgetState::unlimited(),
-        );
+        let (mut p1, _) = collect(|ws| {
+            run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
+        let (mut p3, _) = collect(|ws| {
+            run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new().with_threads(3),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
         p1.sort_unstable_by_key(|p| (p.r, p.s));
         p3.sort_unstable_by_key(|p| (p.r, p.s));
         assert_eq!(p1, p3);

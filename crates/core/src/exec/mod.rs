@@ -13,8 +13,12 @@ mod inline;
 mod partition;
 mod positional;
 mod prefix;
+mod workspace;
 
 pub use auto::estimate_costs;
+pub use workspace::JoinWorkspace;
+
+use workspace::WorkerScratch;
 
 use crate::budget::{estimate_memory_bytes, BudgetState, CancelToken, ExecBudget};
 use crate::error::{SsJoinError, SsJoinResult};
@@ -272,11 +276,29 @@ impl SsJoinConfig {
     }
 }
 
+/// The result of an SSJoin execution into a caller-owned
+/// [`JoinWorkspace`]: the pairs borrow the workspace's pooled output
+/// buffer, so repeated joins allocate no output vector either.
+#[derive(Debug)]
+pub struct SsJoinRun<'w> {
+    /// Qualifying pairs, sorted by `(r, s)`, borrowed from the workspace.
+    pub pairs: &'w [JoinPair],
+    /// Phase timings and counters.
+    pub stats: SsJoinStats,
+    /// The algorithm that actually ran (differs from the configured one only
+    /// under [`Algorithm::Auto`]).
+    pub algorithm_used: Algorithm,
+}
+
 /// Execute the SSJoin operator `R SSJoin_pred S`.
 ///
 /// Both collections must come from the same [`crate::SsJoinInputBuilder`]
 /// run (they must share the element universe); `R` and `S` may be the same
 /// collection (self-join).
+///
+/// Every call allocates (and drops) a fresh [`JoinWorkspace`]; callers
+/// running repeated joins should keep a workspace and use [`ssjoin_with`],
+/// which reuses every transient buffer across runs.
 ///
 /// # Budgets and cancellation
 ///
@@ -292,6 +314,45 @@ pub fn ssjoin(
     pred: &OverlapPredicate,
     config: &SsJoinConfig,
 ) -> SsJoinResult<SsJoinOutput> {
+    let mut ws = JoinWorkspace::new();
+    let (stats, used) = ssjoin_into(r, s, pred, config, &mut ws)?;
+    Ok(SsJoinOutput {
+        pairs: std::mem::take(&mut ws.out),
+        stats,
+        algorithm_used: used,
+    })
+}
+
+/// Execute the SSJoin operator into a caller-owned [`JoinWorkspace`].
+///
+/// Identical semantics to [`ssjoin`] — same output, same stats, same budget
+/// behaviour — but every transient buffer (inverted indexes, prefix tables,
+/// stamp arrays, candidate and output buffers, shard plans) comes from the
+/// workspace's pools. After the workspace has warmed on a first run of
+/// comparable scale, subsequent sequential runs perform zero heap
+/// allocations on the hot path.
+pub fn ssjoin_with<'w>(
+    r: &SetCollection,
+    s: &SetCollection,
+    pred: &OverlapPredicate,
+    config: &SsJoinConfig,
+    ws: &'w mut JoinWorkspace,
+) -> SsJoinResult<SsJoinRun<'w>> {
+    let (stats, used) = ssjoin_into(r, s, pred, config, ws)?;
+    Ok(SsJoinRun {
+        pairs: &ws.out,
+        stats,
+        algorithm_used: used,
+    })
+}
+
+fn ssjoin_into(
+    r: &SetCollection,
+    s: &SetCollection,
+    pred: &OverlapPredicate,
+    config: &SsJoinConfig,
+    ws: &mut JoinWorkspace,
+) -> SsJoinResult<(SsJoinStats, Algorithm)> {
     if r.universe_tag() != s.universe_tag() {
         return Err(SsJoinError::UniverseMismatch);
     }
@@ -299,6 +360,17 @@ pub fn ssjoin(
     if ctx.threads == 0 {
         return Err(SsJoinError::Config("threads must be at least 1".into()));
     }
+    // Clamp the worker count to the host's parallelism: more workers than
+    // cores only adds scheduling overhead, and benchmarks on small hosts
+    // would otherwise report fictitious "8-thread" numbers.
+    let effective = auto::effective_threads(ctx.threads);
+    let clamped;
+    let ctx = if effective == ctx.threads {
+        ctx
+    } else {
+        clamped = ctx.clone().with_threads(effective);
+        &clamped
+    };
     let budget = BudgetState::new(&ctx.budget, ctx.cancel.as_ref());
     // Memory preflight: refuse runs whose index + scratch estimate already
     // exceeds the cap, before allocating anything.
@@ -311,39 +383,41 @@ pub fn ssjoin(
     // or a pre-cancelled token aborts before any phase runs. Executors
     // re-check at their own phase boundaries and per chunk/shard.
     let _ = budget.proceed();
-    let (mut pairs, mut stats, used) = match config.algorithm {
-        Algorithm::Basic => {
-            let (p, st) = basic::run(r, s, pred, ctx, &budget);
-            (p, st, Algorithm::Basic)
-        }
-        Algorithm::PrefixFiltered => {
-            let (p, st) = prefix::run(r, s, pred, ctx, &budget);
-            (p, st, Algorithm::PrefixFiltered)
-        }
-        Algorithm::Inline => {
-            let (p, st) = inline::run(r, s, pred, ctx, &budget);
-            (p, st, Algorithm::Inline)
-        }
-        Algorithm::PositionalInline => {
-            let (p, st) = positional::run(r, s, pred, ctx, &budget);
-            (p, st, Algorithm::PositionalInline)
-        }
-        Algorithm::Auto => auto::run(r, s, pred, ctx, &budget),
+    ws.begin_run();
+    let (mut stats, used) = match config.algorithm {
+        Algorithm::Basic => (basic::run(r, s, pred, ctx, &budget, ws), Algorithm::Basic),
+        Algorithm::PrefixFiltered => (
+            prefix::run(r, s, pred, ctx, &budget, ws),
+            Algorithm::PrefixFiltered,
+        ),
+        Algorithm::Inline => (inline::run(r, s, pred, ctx, &budget, ws), Algorithm::Inline),
+        Algorithm::PositionalInline => (
+            positional::run(r, s, pred, ctx, &budget, ws),
+            Algorithm::PositionalInline,
+        ),
+        Algorithm::Auto => auto::run(r, s, pred, ctx, &budget, ws),
     };
     stats.budget_checks = budget.checks();
+    stats.effective_threads = effective as u64;
+    stats.workspace_reuses = ws.reuses();
+    stats.bytes_reserved = ws.bytes_reserved();
     if let Some(which) = budget.cause() {
         return Err(SsJoinError::BudgetExceeded {
             which,
             partial_stats: Box::new(stats),
         });
     }
-    pairs.sort_unstable_by_key(|p| (p.r, p.s));
-    stats.output_pairs = pairs.len() as u64;
-    Ok(SsJoinOutput {
-        pairs,
-        stats,
-        algorithm_used: used,
-    })
+    // Executors emit in `(r, s)` order by construction — chunked workers
+    // concatenate in ascending-rid chunk order, and the partitioned executor
+    // k-way merges its sorted shard runs — so no global sort runs here.
+    debug_assert!(
+        ws.out
+            .windows(2)
+            .all(|w| (w[0].r, w[0].s) < (w[1].r, w[1].s)),
+        "executor output must arrive (r, s)-sorted and duplicate-free"
+    );
+    stats.output_pairs = ws.out.len() as u64;
+    Ok((stats, used))
 }
 
 /// Split `0..n` into at most `threads` contiguous chunks.
@@ -361,24 +435,45 @@ pub(crate) fn chunk_ranges(n: usize, threads: usize) -> Vec<std::ops::Range<usiz
     out
 }
 
-/// Run `work` over R-id chunks, possibly in parallel, merging pair vectors
-/// and counter-only stats. Phase timing is the caller's responsibility.
-pub(crate) fn run_chunked<F>(n: usize, threads: usize, work: F) -> (Vec<JoinPair>, SsJoinStats)
+/// Run `work` over R-id chunks, possibly in parallel. Each invocation gets a
+/// dedicated [`WorkerScratch`] whose `pairs` buffer it must append output
+/// to; pairs land in `out` in chunk order (so a per-chunk sorted stream
+/// concatenates into a globally `(r, s)`-sorted one), and counter-only stats
+/// are merged. Phase timing is the caller's responsibility.
+pub(crate) fn run_chunked<F>(
+    n: usize,
+    threads: usize,
+    workers: &mut Vec<WorkerScratch>,
+    out: &mut Vec<JoinPair>,
+    work: F,
+) -> SsJoinStats
 where
-    F: Fn(std::ops::Range<usize>) -> (Vec<JoinPair>, SsJoinStats) + Sync,
+    F: Fn(std::ops::Range<usize>, &mut WorkerScratch) -> SsJoinStats + Sync,
 {
-    if threads <= 1 || n < 2 {
-        return work(0..n);
+    let threads = threads.max(1).min(n.max(1));
+    if workers.len() < threads {
+        workers.resize_with(threads, WorkerScratch::default);
+    }
+    if threads <= 1 {
+        // Sequential fast path: no spawn, no copy — the worker's pair buffer
+        // and the output buffer swap roles so results land in `out` without
+        // a memcpy (capacities stay pooled either way).
+        let scratch = &mut workers[0];
+        scratch.pairs.clear();
+        std::mem::swap(out, &mut scratch.pairs);
+        let stats = work(0..n, scratch);
+        std::mem::swap(out, &mut scratch.pairs);
+        return stats;
     }
     let ranges = chunk_ranges(n, threads);
-    let mut results: Vec<Option<(Vec<JoinPair>, SsJoinStats)>> = Vec::new();
-    results.resize_with(ranges.len(), || None);
+    let used = ranges.len();
     std::thread::scope(|scope| {
         let work = &work;
         let mut handles = Vec::new();
-        for (slot, range) in results.iter_mut().zip(ranges) {
+        for (scratch, range) in workers[..used].iter_mut().zip(ranges) {
             handles.push(scope.spawn(move || {
-                *slot = Some(work(range));
+                scratch.pairs.clear();
+                scratch.stats = work(range, scratch);
             }));
         }
         for h in handles {
@@ -392,15 +487,12 @@ where
         }
     });
 
-    let mut pairs = Vec::new();
     let mut stats = SsJoinStats::default();
-    for slot in results {
-        // Every worker that joined cleanly filled its slot.
-        let (p, st) = slot.unwrap_or_default();
-        pairs.extend(p);
-        stats.merge(&st);
+    for scratch in workers[..used].iter() {
+        out.extend_from_slice(&scratch.pairs);
+        stats.merge(&scratch.stats);
     }
-    (pairs, stats)
+    stats
 }
 
 #[cfg(test)]
@@ -489,19 +581,23 @@ mod tests {
     #[test]
     #[allow(clippy::field_reassign_with_default)]
     fn run_chunked_merges() {
-        let (pairs, stats) = run_chunked(10, 4, |range| {
-            let pairs = range
-                .map(|i| JoinPair {
+        for threads in [1usize, 4] {
+            let mut workers = Vec::new();
+            let mut pairs = Vec::new();
+            let stats = run_chunked(10, threads, &mut workers, &mut pairs, |range, scratch| {
+                scratch.pairs.extend(range.map(|i| JoinPair {
                     r: i as u32,
                     s: 0,
                     overlap: Weight::ONE,
-                })
-                .collect();
-            let mut st = SsJoinStats::default();
-            st.join_tuples = 1;
-            (pairs, st)
-        });
-        assert_eq!(pairs.len(), 10);
-        assert_eq!(stats.join_tuples, 4); // one per chunk
+                }));
+                let mut st = SsJoinStats::default();
+                st.join_tuples = 1;
+                st
+            });
+            assert_eq!(pairs.len(), 10, "threads {threads}");
+            // Chunk-order concatenation keeps rids ascending.
+            assert!(pairs.windows(2).all(|w| w[0].r < w[1].r));
+            assert_eq!(stats.join_tuples, threads as u64); // one per chunk
+        }
     }
 }

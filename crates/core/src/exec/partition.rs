@@ -7,27 +7,30 @@
 //! longer than its neighbours, and one worker serializes the join.
 //!
 //! This executor shards the *candidate space* by prefix token instead. Both
-//! sides get a prefix inverted index; the candidate pairs generated at rank
-//! `t` are exactly `r_postings(t) × s_postings(t)`, so the planned cost of a
-//! rank is that product and shards are contiguous rank ranges packed to
-//! near-equal cost. A rank too heavy for one shard is split further by
-//! sub-slicing its R posting list, so even a single stop-word token spreads
-//! across workers. Shards are executed by scoped workers; a worker that
-//! drains its own shards steals untaken ones (claimed via atomic
-//! compare-and-swap), and steal events are counted.
+//! sides get a prefix inverted index (built in parallel from per-worker
+//! partial indexes; see [`super::workspace::build_csr_parallel`]); the
+//! candidate pairs generated at rank `t` are exactly
+//! `r_postings(t) × s_postings(t)`, so the planned cost of a rank is that
+//! product and shards are contiguous rank ranges packed to near-equal cost.
+//! A rank too heavy for one shard is split further by sub-slicing its R
+//! posting list, so even a single stop-word token spreads across workers.
+//! Shards are executed by scoped workers; a worker that drains its own
+//! shards steals untaken ones (claimed via atomic compare-and-swap), and
+//! steal events are counted.
 //!
 //! A candidate pair sharing several prefix tokens would be produced once per
 //! shared rank, possibly by different workers; it is emitted only at its
 //! *smallest* shared prefix rank (a merge scan of the two prefixes — the
 //! same `O(prefix)` work the stamp array does for the group-at-a-time
-//! executors). This makes shard outputs disjoint, so after the final sort by
-//! `(r, s)` the output is bit-for-bit identical to the sequential inline
-//! executor's.
+//! executors). This makes shard outputs disjoint; each worker sorts each
+//! shard's pairs locally and the workspace k-way merges the per-shard runs,
+//! which reconstructs the unique `(r, s)`-sorted interleaving — bit-for-bit
+//! the sequential inline executor's output, with no global sort.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use super::basic::InvertedIndex;
-use super::prefix::{prefix_lengths, Side};
+use super::prefix::{prefix_lengths_into, Side};
+use super::workspace::{build_csr_parallel, CsrIndex, JoinWorkspace};
 use super::{ExecContext, JoinPair, ShardPolicy};
 use crate::budget::BudgetState;
 use crate::kernel::verify_overlap;
@@ -39,7 +42,7 @@ use crate::stats::{timed_phase, Phase, SsJoinStats};
 /// optional sub-range of the R posting list when a single heavy rank was
 /// split into several shards.
 #[derive(Debug, Clone)]
-struct Shard {
+pub(crate) struct Shard {
     ranks: std::ops::Range<usize>,
     /// `Some((lo, hi))` restricts processing to `r_postings(rank)[lo..hi]`;
     /// only set for single-rank shards produced by splitting.
@@ -48,23 +51,19 @@ struct Shard {
     cost: u64,
 }
 
-/// The shard plan for one execution.
-struct ShardPlan {
-    shards: Vec<Shard>,
-    cost_total: u64,
-    cost_max: u64,
-}
-
 /// Pack ranks into at most `threads · oversubscribe` shards of near-equal
 /// planned cost, splitting individual ranks whose posting product exceeds
-/// twice the target.
-fn plan_shards(
-    r_index: &InvertedIndex,
-    s_index: &InvertedIndex,
+/// twice the target. Writes the plan into the reusable `shards` buffer and
+/// returns `(cost_total, cost_max)`.
+fn plan_shards_into(
+    r_index: &CsrIndex,
+    s_index: &CsrIndex,
     universe: usize,
     threads: usize,
     oversubscribe: usize,
-) -> ShardPlan {
+    shards: &mut Vec<Shard>,
+) -> (u64, u64) {
+    shards.clear();
     let rank_cost = |t: usize| -> u64 {
         let rp = r_index.postings(t as u32).len() as u64;
         let sp = s_index.postings(t as u32).len() as u64;
@@ -74,7 +73,6 @@ fn plan_shards(
     let target_shards = (threads * oversubscribe.max(1)).max(1) as u64;
     let target = (total / target_shards).max(1);
 
-    let mut shards = Vec::new();
     let mut cost_max = 0u64;
     let mut push = |shard: Shard| {
         cost_max = cost_max.max(shard.cost);
@@ -132,11 +130,7 @@ fn plan_shards(
             cost: acc,
         });
     }
-    ShardPlan {
-        shards,
-        cost_total: total,
-        cost_max,
-    }
+    (total, cost_max)
 }
 
 /// First rank shared by two rank-ascending slices. The caller guarantees at
@@ -162,8 +156,8 @@ fn run_shard(
     s: &SetCollection,
     pred: &OverlapPredicate,
     ctx: &ExecContext,
-    r_index: &InvertedIndex,
-    s_index: &InvertedIndex,
+    r_index: &CsrIndex,
+    s_index: &CsrIndex,
     r_lens: &[usize],
     s_lens: &[usize],
     pairs: &mut Vec<JoinPair>,
@@ -235,7 +229,8 @@ pub(super) fn run(
     pred: &OverlapPredicate,
     ctx: &ExecContext,
     budget: &BudgetState,
-) -> (Vec<JoinPair>, SsJoinStats) {
+    ws: &mut JoinWorkspace,
+) -> SsJoinStats {
     let threads = ctx.threads.max(1);
     let oversubscribe = match ctx.shard {
         ShardPolicy::TokenShards { oversubscribe } => oversubscribe.max(1),
@@ -243,58 +238,94 @@ pub(super) fn run(
     };
     let mut stats = SsJoinStats::default();
     if !budget.proceed() {
-        return (Vec::new(), stats);
+        return stats;
     }
+    ws.ensure_workers(threads);
 
     // Phase: prefix-filter — prefix lengths for both sides and *two* prefix
     // inverted indexes (the R-side one is what makes rank-range shards a
-    // complete description of the candidate space).
-    let (r_lens, s_lens, r_index, s_index) =
-        timed_phase(&mut stats, ctx.stats, Phase::PrefixFilter, |stats| {
-            let r_lens = prefix_lengths(r, Side::R, pred, s.norm_range());
-            let s_lens = prefix_lengths(s, Side::S, pred, r.norm_range());
-            stats.prefix_tuples_r = r_lens.iter().map(|&l| l as u64).sum();
-            stats.prefix_tuples_s = s_lens.iter().map(|&l| l as u64).sum();
-            let r_index = InvertedIndex::build(r, Some(&r_lens));
-            let s_index = InvertedIndex::build(s, Some(&s_lens));
-            (r_lens, s_lens, r_index, s_index)
-        });
+    // complete description of the candidate space). Both indexes are built
+    // in parallel from per-worker partial indexes.
+    timed_phase(&mut stats, ctx.stats, Phase::PrefixFilter, |stats| {
+        let JoinWorkspace {
+            r_index,
+            s_index,
+            r_lens,
+            s_lens,
+            workers,
+            ..
+        } = &mut *ws;
+        prefix_lengths_into(r, Side::R, pred, s.norm_range(), r_lens);
+        prefix_lengths_into(s, Side::S, pred, r.norm_range(), s_lens);
+        stats.prefix_tuples_r = r_lens.iter().map(|&l| l as u64).sum();
+        stats.prefix_tuples_s = s_lens.iter().map(|&l| l as u64).sum();
+        build_csr_parallel(r_index, r, r_lens, workers, threads);
+        build_csr_parallel(s_index, s, s_lens, workers, threads);
+    });
     if !budget.proceed() {
-        return (Vec::new(), stats);
+        return stats;
     }
 
-    let (pairs, inner) = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
-        let plan = plan_shards(
-            &r_index,
-            &s_index,
+    let inner = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
+        let JoinWorkspace {
+            r_index,
+            s_index,
+            r_lens,
+            s_lens,
+            workers,
+            shards,
+            ..
+        } = &mut *ws;
+        let (r_index, s_index) = (&*r_index, &*s_index);
+        let (r_lens, s_lens) = (r_lens.as_slice(), s_lens.as_slice());
+        let (total, cost_max) = plan_shards_into(
+            r_index,
+            s_index,
             r.universe_size(),
             threads,
             oversubscribe,
+            shards,
         );
         let mut agg = SsJoinStats::default();
-        agg.shards = plan.shards.len() as u64;
-        agg.shard_cost_max = plan.cost_max;
-        agg.shard_cost_total = plan.cost_total;
+        agg.shards = shards.len() as u64;
+        agg.shard_cost_max = cost_max;
+        agg.shard_cost_total = total;
 
-        let taken: Vec<AtomicBool> = (0..plan.shards.len())
-            .map(|_| AtomicBool::new(false))
-            .collect();
+        // The claim table is parallel-only bookkeeping; the zero-allocation
+        // reuse contract covers the single-threaded hot path, which never
+        // reaches this executor through the public API.
+        let taken: Vec<AtomicBool> = (0..shards.len()).map(|_| AtomicBool::new(false)).collect();
         let steals = AtomicU64::new(0);
-        let shards = &plan.shards;
+        let shards = &*shards;
         let claim = |i: usize| -> bool { !taken[i].swap(true, Ordering::AcqRel) };
 
-        let mut results: Vec<Option<(Vec<JoinPair>, SsJoinStats)>> = Vec::new();
-        results.resize_with(threads, || None);
+        let active = &mut workers[..threads];
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (w, slot) in results.iter_mut().enumerate() {
-                let (r_lens, s_lens) = (&r_lens, &s_lens);
-                let (r_index, s_index) = (&r_index, &s_index);
+            for (w, scratch) in active.iter_mut().enumerate() {
                 let (claim, steals) = (&claim, &steals);
                 handles.push(scope.spawn(move || {
-                    let mut pairs = Vec::new();
-                    let mut st = SsJoinStats::default();
+                    scratch.pairs.clear();
+                    scratch.runs.clear();
+                    scratch.stats = SsJoinStats::default();
+                    let pairs = &mut scratch.pairs;
+                    let runs = &mut scratch.runs;
+                    let st = &mut scratch.stats;
                     let mut live = true;
+                    // Each claimed shard's pairs become one locally sorted
+                    // run; disjointness across shards lets the workspace
+                    // merge the runs back into the global (r, s) order.
+                    let mut take = |i: usize, live: &mut bool| {
+                        let start = pairs.len();
+                        *live = run_shard(
+                            &shards[i], r, s, pred, ctx, r_index, s_index, r_lens, s_lens, pairs,
+                            st, budget,
+                        );
+                        pairs[start..].sort_unstable_by_key(|p| (p.r, p.s));
+                        if pairs.len() > start {
+                            runs.push((start, pairs.len()));
+                        }
+                    };
                     // Own shards first (round-robin assignment), then steal
                     // whatever other workers have not claimed yet. A tripped
                     // budget stops this worker from taking further shards;
@@ -305,25 +336,18 @@ pub(super) fn run(
                             break;
                         }
                         if claim(i) {
-                            live = run_shard(
-                                &shards[i], r, s, pred, ctx, r_index, s_index, r_lens, s_lens,
-                                &mut pairs, &mut st, budget,
-                            );
+                            take(i, &mut live);
                         }
                     }
-                    for (i, shard) in shards.iter().enumerate() {
+                    for i in 0..shards.len() {
                         if !live {
                             break;
                         }
                         if i % threads != w && claim(i) {
                             steals.fetch_add(1, Ordering::Relaxed);
-                            live = run_shard(
-                                shard, r, s, pred, ctx, r_index, s_index, r_lens, s_lens,
-                                &mut pairs, &mut st, budget,
-                            );
+                            take(i, &mut live);
                         }
                     }
-                    *slot = Some((pairs, st));
                 }));
             }
             for h in handles {
@@ -336,18 +360,20 @@ pub(super) fn run(
         });
 
         agg.shard_steals = steals.load(Ordering::Relaxed);
-        let mut pairs = Vec::new();
-        for slot in results {
-            // A missing slot is impossible once every handle joined cleanly;
-            // default to empty rather than panic.
-            let (p, st) = slot.unwrap_or_default();
-            pairs.extend(p);
-            agg.merge(&st);
+        for scratch in active.iter() {
+            agg.merge(&scratch.stats);
         }
-        (pairs, agg)
+        agg
     });
     stats.merge(&inner);
-    (pairs, stats)
+
+    // Merge the disjoint sorted runs into the workspace output buffer. A
+    // tripped budget means the runs are truncated mid-shard; the caller
+    // surfaces the error, so skip the (now meaningless) merge.
+    if budget.cause().is_none() {
+        ws.merge_shard_runs(threads);
+    }
+    stats
 }
 
 #[cfg(test)]
@@ -355,6 +381,7 @@ mod tests {
     use super::super::inline;
     use super::*;
     use crate::builder::{SsJoinInputBuilder, WeightScheme};
+    use crate::exec::workspace::collect;
     use crate::order::ElementOrder;
 
     fn build(groups: Vec<Vec<String>>, scheme: WeightScheme) -> SetCollection {
@@ -392,6 +419,12 @@ mod tests {
         pairs
     }
 
+    fn is_sorted(pairs: &[JoinPair]) -> bool {
+        pairs
+            .windows(2)
+            .all(|w| (w[0].r, w[0].s) < (w[1].r, w[1].s))
+    }
+
     #[test]
     fn matches_sequential_inline_exactly() {
         for scheme in [WeightScheme::Unweighted, WeightScheme::Idf] {
@@ -402,11 +435,16 @@ mod tests {
                 OverlapPredicate::two_sided(0.5),
             ] {
                 let seq = ExecContext::new();
-                let (p1, st1) = inline::run(&c, &c, &pred, &seq, &BudgetState::unlimited());
+                let (p1, st1) =
+                    collect(|ws| inline::run(&c, &c, &pred, &seq, &BudgetState::unlimited(), ws));
                 for threads in [2usize, 4] {
                     let ctx = ExecContext::new().with_threads(threads);
-                    let (pn, stn) = run(&c, &c, &pred, &ctx, &BudgetState::unlimited());
-                    assert_eq!(sorted(p1.clone()), sorted(pn), "threads {threads}");
+                    let (pn, stn) =
+                        collect(|ws| run(&c, &c, &pred, &ctx, &BudgetState::unlimited(), ws));
+                    // The merged runs arrive already in global (r, s) order —
+                    // no caller-side sort.
+                    assert!(is_sorted(&pn), "threads {threads}");
+                    assert_eq!(sorted(p1.clone()), pn, "threads {threads}");
                     // Schedule-independent counters match the sequential
                     // inline executor's.
                     assert_eq!(st1.join_tuples, stn.join_tuples);
@@ -425,15 +463,19 @@ mod tests {
         let ctx = ExecContext::new()
             .with_threads(4)
             .with_shard_policy(ShardPolicy::TokenShards { oversubscribe: 4 });
-        let (pairs, stats) = run(&c, &c, &pred, &ctx, &BudgetState::unlimited());
-        let (seq_pairs, _) = inline::run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
-        assert_eq!(sorted(pairs), sorted(seq_pairs));
+        let (pairs, stats) = collect(|ws| run(&c, &c, &pred, &ctx, &BudgetState::unlimited(), ws));
+        let (seq_pairs, _) = collect(|ws| {
+            inline::run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
+        assert!(is_sorted(&pairs));
+        assert_eq!(pairs, sorted(seq_pairs));
         // The stop-word rank dominates total cost; splitting must keep the
         // heaviest shard well below the whole workload.
         assert!(stats.shards > 4, "shards {}", stats.shards);
@@ -451,8 +493,8 @@ mod tests {
         let pred = OverlapPredicate::two_sided(0.8);
         let plain = ExecContext::new().with_threads(3);
         let filtered = plain.clone().with_bitmap_filter(true);
-        let (p0, st0) = run(&c, &c, &pred, &plain, &BudgetState::unlimited());
-        let (p1, st1) = run(&c, &c, &pred, &filtered, &BudgetState::unlimited());
+        let (p0, st0) = collect(|ws| run(&c, &c, &pred, &plain, &BudgetState::unlimited(), ws));
+        let (p1, st1) = collect(|ws| run(&c, &c, &pred, &filtered, &BudgetState::unlimited(), ws));
         assert_eq!(sorted(p0), sorted(p1));
         assert_eq!(st1.bitmap_probes, st0.candidate_pairs);
         assert!(st1.bitmap_prunes > 0, "{st1}");
@@ -463,15 +505,19 @@ mod tests {
     fn plan_covers_all_ranks_disjointly() {
         let c = build(zipf_groups(64), WeightScheme::Unweighted);
         let pred = OverlapPredicate::absolute(3.0);
-        let r_lens = prefix_lengths(&c, Side::R, &pred, c.norm_range());
-        let s_lens = prefix_lengths(&c, Side::S, &pred, c.norm_range());
-        let r_index = InvertedIndex::build(&c, Some(&r_lens));
-        let s_index = InvertedIndex::build(&c, Some(&s_lens));
-        let plan = plan_shards(&r_index, &s_index, c.universe_size(), 4, 4);
+        let r_lens = super::super::prefix::prefix_lengths(&c, Side::R, &pred, c.norm_range());
+        let s_lens = super::super::prefix::prefix_lengths(&c, Side::S, &pred, c.norm_range());
+        let mut r_index = CsrIndex::default();
+        let mut s_index = CsrIndex::default();
+        r_index.build(&c, Some(&r_lens));
+        s_index.build(&c, Some(&s_lens));
+        let mut shards = Vec::new();
+        let (cost_total, _) =
+            plan_shards_into(&r_index, &s_index, c.universe_size(), 4, 4, &mut shards);
         // Every rank is covered exactly once (counting split sub-shards via
         // their posting sub-ranges).
         let mut rank_cover = vec![0usize; c.universe_size()];
-        for shard in &plan.shards {
+        for shard in &shards {
             match shard.r_slice {
                 None => {
                     for t in shard.ranks.clone() {
@@ -488,10 +534,7 @@ mod tests {
             let expect = r_index.postings(t as u32).len().max(1);
             assert_eq!(cover, expect, "rank {t}");
         }
-        assert_eq!(
-            plan.cost_total,
-            plan.shards.iter().map(|s| s.cost).sum::<u64>()
-        );
+        assert_eq!(cost_total, shards.iter().map(|s| s.cost).sum::<u64>());
     }
 
     #[test]
@@ -500,21 +543,28 @@ mod tests {
         // itself must still be correct if called directly.
         let c = build(random_groups(40, 23), WeightScheme::Unweighted);
         let pred = OverlapPredicate::absolute(2.0);
-        let (pairs, _) = run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
-        let (seq, _) = inline::run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
-        assert_eq!(sorted(pairs), sorted(seq));
+        let (pairs, _) = collect(|ws| {
+            run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
+        let (seq, _) = collect(|ws| {
+            inline::run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
+        assert!(is_sorted(&pairs));
+        assert_eq!(pairs, sorted(seq));
     }
 
     #[test]
@@ -522,7 +572,7 @@ mod tests {
         let c = build(vec![], WeightScheme::Unweighted);
         let pred = OverlapPredicate::absolute(1.0);
         let ctx = ExecContext::new().with_threads(2);
-        let (pairs, _) = run(&c, &c, &pred, &ctx, &BudgetState::unlimited());
+        let (pairs, _) = collect(|ws| run(&c, &c, &pred, &ctx, &BudgetState::unlimited(), ws));
         assert!(pairs.is_empty());
     }
 }

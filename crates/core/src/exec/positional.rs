@@ -17,8 +17,8 @@
 //! are discarded *before* the verification merge — reducing the dominant
 //! cost of the inline algorithm at high thresholds.
 
-use super::basic::InvertedIndex;
-use super::prefix::{prefix_lengths, Side};
+use super::prefix::{prefix_lengths_into, Side};
+use super::workspace::JoinWorkspace;
 use super::{run_chunked, ExecContext, JoinPair};
 use crate::budget::BudgetState;
 use crate::kernel::verify_overlap;
@@ -36,35 +36,58 @@ pub(super) fn run(
     pred: &OverlapPredicate,
     ctx: &ExecContext,
     budget: &BudgetState,
-) -> (Vec<JoinPair>, SsJoinStats) {
+    ws: &mut JoinWorkspace,
+) -> SsJoinStats {
     let mut stats = SsJoinStats::default();
     if !budget.proceed() {
-        return (Vec::new(), stats);
+        return stats;
     }
+    let JoinWorkspace {
+        s_index,
+        r_lens,
+        s_lens,
+        workers,
+        out,
+        ..
+    } = ws;
 
-    let (r_lens, s_index) = timed_phase(&mut stats, ctx.stats, Phase::PrefixFilter, |stats| {
-        let r_lens = prefix_lengths(r, Side::R, pred, s.norm_range());
-        let s_lens = prefix_lengths(s, Side::S, pred, r.norm_range());
+    timed_phase(&mut stats, ctx.stats, Phase::PrefixFilter, |stats| {
+        prefix_lengths_into(r, Side::R, pred, s.norm_range(), r_lens);
+        prefix_lengths_into(s, Side::S, pred, r.norm_range(), s_lens);
         stats.prefix_tuples_r = r_lens.iter().map(|&l| l as u64).sum();
         stats.prefix_tuples_s = s_lens.iter().map(|&l| l as u64).sum();
-        let s_index = InvertedIndex::build(s, Some(&s_lens));
-        (r_lens, s_index)
+        s_index.build(s, Some(s_lens));
     });
     if !budget.proceed() {
-        return (Vec::new(), stats);
+        return stats;
     }
+    let s_index = &*s_index;
+    let r_lens = &*r_lens;
 
-    let (pairs, inner) = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
-        run_chunked(r.len(), ctx.threads, |range| {
+    let inner = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
+        run_chunked(r.len(), ctx.threads, workers, out, |range, scratch| {
             let mut stats = SsJoinStats::default();
-            let mut pairs = Vec::new();
-            let mut stamp: Vec<u32> = vec![u32::MAX; s.len()];
-            let mut slot: Vec<u32> = vec![0; s.len()];
+            // The clear + resize refills the stamps with the sentinel so a
+            // previous run on this workspace cannot alias a current rid. The
+            // slot array needs no refill: it is only read behind a matching
+            // stamp.
+            scratch.stamp.clear();
+            scratch.stamp.resize(s.len(), u32::MAX);
+            scratch.slot.clear();
+            scratch.slot.resize(s.len(), 0);
+            scratch.cand_sids.clear();
+            scratch.cand_accum.clear();
+            scratch.cand_bound.clear();
+            scratch.order.clear();
+            let stamp = &mut scratch.stamp;
+            let slot = &mut scratch.slot;
             // Per-candidate accumulated shared prefix weight and tightest
             // remaining-weight bound.
-            let mut cand_sids: Vec<u32> = Vec::new();
-            let mut cand_accum: Vec<Weight> = Vec::new();
-            let mut cand_bound: Vec<Weight> = Vec::new();
+            let cand_sids = &mut scratch.cand_sids;
+            let cand_accum = &mut scratch.cand_accum;
+            let cand_bound = &mut scratch.cand_bound;
+            let order = &mut scratch.order;
+            let pairs = &mut scratch.pairs;
 
             for rid in range {
                 let out_before = pairs.len();
@@ -114,9 +137,11 @@ pub(super) fn run(
                 stats.candidate_pairs += cand_sids.len() as u64;
 
                 // Verify in sid order for deterministic output.
-                let mut order: Vec<usize> = (0..cand_sids.len()).collect();
-                order.sort_unstable_by_key(|&k| cand_sids[k]);
-                for k in order {
+                order.clear();
+                order.extend(0..cand_sids.len() as u32);
+                order.sort_unstable_by_key(|&k| cand_sids[k as usize]);
+                for &k in order.iter() {
+                    let k = k as usize;
                     let sid = cand_sids[k];
                     let sset = s.set(sid);
                     let required = pred.required_overlap(rset.norm(), sset.norm());
@@ -149,17 +174,18 @@ pub(super) fn run(
                     break;
                 }
             }
-            (pairs, stats)
+            stats
         })
     });
     stats.merge(&inner);
-    (pairs, stats)
+    stats
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::{SsJoinInputBuilder, WeightScheme};
+    use crate::exec::workspace::collect;
     use crate::order::ElementOrder;
 
     fn build(groups: Vec<Vec<String>>, scheme: WeightScheme) -> SetCollection {
@@ -187,20 +213,26 @@ mod tests {
                 OverlapPredicate::r_normalized(0.7),
                 OverlapPredicate::two_sided(0.6),
             ] {
-                let (mut a, _) = super::super::inline::run(
-                    &c,
-                    &c,
-                    &pred,
-                    &ExecContext::new(),
-                    &BudgetState::unlimited(),
-                );
-                let (mut b, _) = run(
-                    &c,
-                    &c,
-                    &pred,
-                    &ExecContext::new(),
-                    &BudgetState::unlimited(),
-                );
+                let (mut a, _) = collect(|ws| {
+                    super::super::inline::run(
+                        &c,
+                        &c,
+                        &pred,
+                        &ExecContext::new(),
+                        &BudgetState::unlimited(),
+                        ws,
+                    )
+                });
+                let (mut b, _) = collect(|ws| {
+                    run(
+                        &c,
+                        &c,
+                        &pred,
+                        &ExecContext::new(),
+                        &BudgetState::unlimited(),
+                        ws,
+                    )
+                });
                 a.sort_unstable_by_key(|p| (p.r, p.s));
                 b.sort_unstable_by_key(|p| (p.r, p.s));
                 assert_eq!(a, b, "scheme {scheme:?} pred {pred:?}");
@@ -231,20 +263,26 @@ mod tests {
         let c = b.build().unwrap().collection(h).clone();
         let pred = OverlapPredicate::two_sided(0.9);
 
-        let (mut inline_pairs, inline_stats) = super::super::inline::run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
-        let (mut pairs, pos_stats) = run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
+        let (mut inline_pairs, inline_stats) = collect(|ws| {
+            super::super::inline::run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
+        let (mut pairs, pos_stats) = collect(|ws| {
+            run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
         assert_eq!(pos_stats.candidate_pairs, inline_stats.candidate_pairs);
         assert!(
             pos_stats.verified_pairs < inline_stats.verified_pairs,
@@ -263,20 +301,26 @@ mod tests {
     fn parallel_matches_sequential() {
         let c = build(random_groups(64, 31), WeightScheme::Idf);
         let pred = OverlapPredicate::two_sided(0.5);
-        let (mut p1, _) = run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
-        let (mut p4, _) = run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new().with_threads(4),
-            &BudgetState::unlimited(),
-        );
+        let (mut p1, _) = collect(|ws| {
+            run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
+        let (mut p4, _) = collect(|ws| {
+            run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new().with_threads(4),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
         p1.sort_unstable_by_key(|p| (p.r, p.s));
         p4.sort_unstable_by_key(|p| (p.r, p.s));
         assert_eq!(p1, p4);
@@ -285,13 +329,16 @@ mod tests {
     #[test]
     fn empty_and_tiny_inputs() {
         let c = build(vec![vec!["only".to_string()]], WeightScheme::Unweighted);
-        let (pairs, _) = run(
-            &c,
-            &c,
-            &OverlapPredicate::absolute(1.0),
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
+        let (pairs, _) = collect(|ws| {
+            run(
+                &c,
+                &c,
+                &OverlapPredicate::absolute(1.0),
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
         assert_eq!(pairs.len(), 1);
     }
 }

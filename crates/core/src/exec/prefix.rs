@@ -15,10 +15,9 @@
 //! *inline* variant (Figure 9, in [`super::inline`]) skips that by carrying
 //! sets through the filter and merging them directly.
 
-use super::basic::InvertedIndex;
+use super::workspace::JoinWorkspace;
 use super::{run_chunked, ExecContext, JoinPair};
 use crate::budget::BudgetState;
-use crate::hash::FxHashMap;
 use crate::kernel::verify_overlap;
 use crate::predicate::{Interval, OverlapPredicate};
 use crate::set::SetCollection;
@@ -32,37 +31,50 @@ pub(crate) enum Side {
     S,
 }
 
-/// Per-set prefix lengths for one side. Length 0 means the set generates no
-/// candidates (it is empty, or its total weight cannot reach the lowest
-/// possible required overlap).
+/// Per-set prefix lengths for one side, written into a reusable buffer.
+/// Length 0 means the set generates no candidates (it is empty, or its total
+/// weight cannot reach the lowest possible required overlap).
+pub(crate) fn prefix_lengths_into(
+    collection: &SetCollection,
+    side: Side,
+    pred: &OverlapPredicate,
+    other_norms: Option<(f64, f64)>,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    let Some((lo, hi)) = other_norms else {
+        // No partner groups at all: nothing can join.
+        out.resize(collection.len(), 0);
+        return;
+    };
+    let range = Interval::new(lo, hi);
+    out.extend(collection.iter().map(|set| {
+        if set.is_empty() {
+            return 0;
+        }
+        let lb = match side {
+            Side::R => pred.required_lower_bound_r(set.norm(), range),
+            Side::S => pred.required_lower_bound_s(set.norm(), range),
+        };
+        let total = set.total_weight();
+        if total < lb {
+            return 0; // overlap ≤ wt(set) < required for every partner
+        }
+        set.prefix_len(total.saturating_sub(lb))
+    }));
+}
+
+/// Allocating convenience wrapper over [`prefix_lengths_into`].
+#[cfg(test)]
 pub(crate) fn prefix_lengths(
     collection: &SetCollection,
     side: Side,
     pred: &OverlapPredicate,
     other_norms: Option<(f64, f64)>,
 ) -> Vec<usize> {
-    let Some((lo, hi)) = other_norms else {
-        // No partner groups at all: nothing can join.
-        return vec![0; collection.len()];
-    };
-    let range = Interval::new(lo, hi);
-    collection
-        .iter()
-        .map(|set| {
-            if set.is_empty() {
-                return 0;
-            }
-            let lb = match side {
-                Side::R => pred.required_lower_bound_r(set.norm(), range),
-                Side::S => pred.required_lower_bound_s(set.norm(), range),
-            };
-            let total = set.total_weight();
-            if total < lb {
-                return 0; // overlap ≤ wt(set) < required for every partner
-            }
-            set.prefix_len(total.saturating_sub(lb))
-        })
-        .collect()
+    let mut out = Vec::new();
+    prefix_lengths_into(collection, side, pred, other_norms, &mut out);
+    out
 }
 
 /// Candidate generation + verification shared by the prefix-filtered and
@@ -75,38 +87,55 @@ pub(crate) fn run_prefix_family(
     ctx: &ExecContext,
     inline: bool,
     budget: &BudgetState,
-) -> (Vec<JoinPair>, SsJoinStats) {
+    ws: &mut JoinWorkspace,
+) -> SsJoinStats {
     let mut stats = SsJoinStats::default();
     if !budget.proceed() {
-        return (Vec::new(), stats);
+        return stats;
     }
+    let JoinWorkspace {
+        s_index,
+        r_lens,
+        s_lens,
+        workers,
+        out,
+        ..
+    } = ws;
 
     // Phase: prefix-filter (computing prefixes and the prefix index). Only
     // the R-side lengths and the S-side prefix index escape the phase; the
     // S-side lengths are consumed by the index build.
-    let (r_lens, s_index) = timed_phase(&mut stats, ctx.stats, Phase::PrefixFilter, |stats| {
-        let r_lens = prefix_lengths(r, Side::R, pred, s.norm_range());
-        let s_lens = prefix_lengths(s, Side::S, pred, r.norm_range());
+    timed_phase(&mut stats, ctx.stats, Phase::PrefixFilter, |stats| {
+        prefix_lengths_into(r, Side::R, pred, s.norm_range(), r_lens);
+        prefix_lengths_into(s, Side::S, pred, r.norm_range(), s_lens);
         stats.prefix_tuples_r = r_lens.iter().map(|&l| l as u64).sum();
         stats.prefix_tuples_s = s_lens.iter().map(|&l| l as u64).sum();
-        let s_index = InvertedIndex::build(s, Some(&s_lens));
-        (r_lens, s_index)
+        s_index.build(s, Some(s_lens));
     });
     if !budget.proceed() {
-        return (Vec::new(), stats);
+        return stats;
     }
+    let s_index = &*s_index;
+    let r_lens = &*r_lens;
 
     // Phase: the SSJoin proper — prefix equi-join producing candidates, then
     // overlap recomputation per candidate.
-    let (pairs, inner) = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
-        run_chunked(r.len(), ctx.threads, |range| {
+    let inner = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
+        run_chunked(r.len(), ctx.threads, workers, out, |range, scratch| {
             let mut stats = SsJoinStats::default();
-            let mut pairs = Vec::new();
-            // Candidate dedup via a stamp array (reset-free across probes).
-            let mut stamp: Vec<u32> = vec![u32::MAX; s.len()];
-            let mut candidates: Vec<u32> = Vec::new();
+            // Candidate dedup via a stamp array (reset-free across probes
+            // within one run). The clear + resize refills every slot with the
+            // sentinel so a stamp from a previous run on this workspace can
+            // never alias a rid of the current run.
+            scratch.stamp.clear();
+            scratch.stamp.resize(s.len(), u32::MAX);
+            scratch.candidates.clear();
+            scratch.r_table.clear();
+            let stamp = &mut scratch.stamp;
+            let candidates = &mut scratch.candidates;
             // Join-back scratch: hash table over the current R group.
-            let mut r_table: FxHashMap<u32, Weight> = FxHashMap::default();
+            let r_table = &mut scratch.r_table;
+            let pairs = &mut scratch.pairs;
 
             for rid in range {
                 // The stamp array uses `u32::MAX` as its "never seen"
@@ -146,7 +175,7 @@ pub(crate) fn run_prefix_family(
                 }
 
                 if inline {
-                    for &sid in &candidates {
+                    for &sid in candidates.iter() {
                         let sset = s.set(sid);
                         let required = pred.required_overlap(rset.norm(), sset.norm());
                         if ctx.bitmap_filter {
@@ -178,7 +207,7 @@ pub(crate) fn run_prefix_family(
                     // candidate rather than amortizing it. (Skipping that
                     // rebuild is exactly the inline optimization of
                     // Figure 9.)
-                    for &sid in &candidates {
+                    for &sid in candidates.iter() {
                         r_table.clear();
                         for (&rank, &w) in rset.ranks().iter().zip(rset.weights()) {
                             r_table.insert(rank, w);
@@ -204,11 +233,11 @@ pub(crate) fn run_prefix_family(
                     break;
                 }
             }
-            (pairs, stats)
+            stats
         })
     });
     stats.merge(&inner);
-    (pairs, stats)
+    stats
 }
 
 pub(super) fn run(
@@ -217,14 +246,16 @@ pub(super) fn run(
     pred: &OverlapPredicate,
     ctx: &ExecContext,
     budget: &BudgetState,
-) -> (Vec<JoinPair>, SsJoinStats) {
-    run_prefix_family(r, s, pred, ctx, false, budget)
+    ws: &mut JoinWorkspace,
+) -> SsJoinStats {
+    run_prefix_family(r, s, pred, ctx, false, budget, ws)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::{NormKind, SsJoinInputBuilder, WeightScheme};
+    use crate::exec::workspace::collect;
     use crate::order::ElementOrder;
 
     fn toks(v: &[&str]) -> Vec<String> {
@@ -249,13 +280,16 @@ mod tests {
         let pred = OverlapPredicate::absolute(4.0);
         let lens = prefix_lengths(&c, Side::R, &pred, c.norm_range());
         assert_eq!(lens, vec![2, 2]);
-        let (pairs, _) = run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
+        let (pairs, _) = collect(|ws| {
+            run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
         let got: Vec<(u32, u32)> = pairs.iter().map(|p| (p.r, p.s)).collect();
         let mut got = got;
         got.sort_unstable();
@@ -278,20 +312,26 @@ mod tests {
                 OverlapPredicate::r_normalized(0.6),
                 OverlapPredicate::two_sided(0.5),
             ] {
-                let (mut a, _) = super::super::basic::run(
-                    &c,
-                    &c,
-                    &pred,
-                    &ExecContext::new(),
-                    &BudgetState::unlimited(),
-                );
-                let (mut b, _) = run(
-                    &c,
-                    &c,
-                    &pred,
-                    &ExecContext::new(),
-                    &BudgetState::unlimited(),
-                );
+                let (mut a, _) = collect(|ws| {
+                    super::super::basic::run(
+                        &c,
+                        &c,
+                        &pred,
+                        &ExecContext::new(),
+                        &BudgetState::unlimited(),
+                        ws,
+                    )
+                });
+                let (mut b, _) = collect(|ws| {
+                    run(
+                        &c,
+                        &c,
+                        &pred,
+                        &ExecContext::new(),
+                        &BudgetState::unlimited(),
+                        ws,
+                    )
+                });
                 a.sort_unstable_by_key(|p| (p.r, p.s));
                 b.sort_unstable_by_key(|p| (p.r, p.s));
                 assert_eq!(a, b, "scheme {scheme:?} pred {pred:?}");
@@ -308,20 +348,26 @@ mod tests {
             .collect();
         let c = build(groups, WeightScheme::Idf);
         let pred = OverlapPredicate::two_sided(0.9);
-        let (_, basic_stats) = super::super::basic::run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
-        let (_, prefix_stats) = run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
+        let (_, basic_stats) = collect(|ws| {
+            super::super::basic::run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
+        let (_, prefix_stats) = collect(|ws| {
+            run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
         assert!(
             prefix_stats.join_tuples < basic_stats.join_tuples / 2,
             "prefix {} vs basic {}",
@@ -362,20 +408,26 @@ mod tests {
             .collect();
         let c = build(groups, WeightScheme::Idf);
         let pred = OverlapPredicate::two_sided(0.5);
-        let (mut p1, _) = run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new(),
-            &BudgetState::unlimited(),
-        );
-        let (mut p4, _) = run(
-            &c,
-            &c,
-            &pred,
-            &ExecContext::new().with_threads(4),
-            &BudgetState::unlimited(),
-        );
+        let (mut p1, _) = collect(|ws| {
+            run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new(),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
+        let (mut p4, _) = collect(|ws| {
+            run(
+                &c,
+                &c,
+                &pred,
+                &ExecContext::new().with_threads(4),
+                &BudgetState::unlimited(),
+                ws,
+            )
+        });
         p1.sort_unstable_by_key(|p| (p.r, p.s));
         p4.sort_unstable_by_key(|p| (p.r, p.s));
         assert_eq!(p1, p4);

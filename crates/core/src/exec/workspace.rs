@@ -1,0 +1,611 @@
+//! Reusable execution workspace: every transient buffer the physical
+//! executors need, pooled with clear-and-reuse semantics.
+//!
+//! A cold [`crate::ssjoin`] run allocates inverted indexes, prefix-length
+//! tables, stamp arrays, candidate buffers, and the output vector from
+//! scratch, then drops them all. For a production operator serving repeated
+//! joins that churn is the dominant cost after the join itself — so every
+//! one of those buffers lives here instead, owned by a [`JoinWorkspace`]
+//! that the caller keeps across runs via [`crate::ssjoin_with`]. Buffers are
+//! `clear()`ed (never shrunk) between runs; once the workspace has warmed to
+//! the largest input it has seen, a subsequent run performs **zero** heap
+//! allocations on the sequential hot path (asserted by a counting-allocator
+//! test in `tests/alloc_discipline.rs`).
+//!
+//! The inverted indexes use the same flat CSR layout as the
+//! [`SetCollection`] arena itself: one `offsets` array over element ranks
+//! and one flat `postings` arena, replacing the `Vec<Vec<u32>>`-of-postings
+//! representation (one heap allocation *per universe rank*) that earlier
+//! revisions rebuilt on every run.
+
+use super::partition::Shard;
+use super::JoinPair;
+use crate::hash::FxHashMap;
+use crate::set::SetCollection;
+use crate::stats::SsJoinStats;
+use crate::weight::Weight;
+
+/// Inverted index in CSR layout: `postings[offsets[t]..offsets[t + 1]]`
+/// holds the ids of the sets whose (prefix-)elements include rank `t`,
+/// in ascending id order.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct CsrIndex {
+    /// `universe + 1` exclusive prefix sums over per-rank posting counts.
+    offsets: Vec<u32>,
+    /// Flat posting arena, grouped by rank, ids ascending within a rank.
+    postings: Vec<u32>,
+    /// Fill cursors, one per rank — scratch for the build passes.
+    cursors: Vec<u32>,
+}
+
+impl CsrIndex {
+    /// (Re)build the index over the first `lens[id]` elements of every set
+    /// (all elements when `lens` is `None`), reusing existing capacity.
+    pub(crate) fn build(&mut self, collection: &SetCollection, lens: Option<&[usize]>) {
+        let universe = collection.universe_size();
+        self.offsets.clear();
+        self.offsets.resize(universe + 1, 0);
+        for (id, set) in collection.iter().enumerate() {
+            let n = lens.map_or(set.len(), |l| l[id]);
+            for &rank in &set.ranks()[..n] {
+                self.offsets[rank as usize] += 1;
+            }
+        }
+        // Exclusive prefix sum in place; the final slot receives the total.
+        let mut running = 0u32;
+        for slot in self.offsets.iter_mut() {
+            let count = *slot;
+            *slot = running;
+            running += count;
+        }
+        self.cursors.clear();
+        self.cursors.extend_from_slice(&self.offsets[..universe]);
+        self.postings.clear();
+        self.postings.resize(running as usize, 0);
+        for (id, set) in collection.iter().enumerate() {
+            let n = lens.map_or(set.len(), |l| l[id]);
+            for &rank in &set.ranks()[..n] {
+                let cur = &mut self.cursors[rank as usize];
+                self.postings[*cur as usize] = id as u32;
+                *cur += 1;
+            }
+        }
+    }
+
+    /// Ids of the sets containing `rank`, ascending.
+    #[inline]
+    pub(crate) fn postings(&self, rank: u32) -> &[u32] {
+        let t = rank as usize;
+        &self.postings[self.offsets[t] as usize..self.offsets[t + 1] as usize]
+    }
+
+    fn bytes_reserved(&self) -> u64 {
+        vec_bytes(&self.offsets) + vec_bytes(&self.postings) + vec_bytes(&self.cursors)
+    }
+}
+
+/// Build a [`CsrIndex`] in parallel: each worker builds a local CSR over a
+/// contiguous chunk of set ids (per-worker partial posting lists), the
+/// coordinator sums the per-rank counts into global offsets, and the workers
+/// then copy their partial lists into disjoint rank ranges of the global
+/// arena — merged by rank, worker-chunk order within a rank. Because worker
+/// chunks cover ascending id ranges, concatenating them in worker order
+/// reproduces the ascending-id posting order of the sequential build exactly,
+/// for any thread count.
+pub(crate) fn build_csr_parallel(
+    index: &mut CsrIndex,
+    collection: &SetCollection,
+    lens: &[usize],
+    workers: &mut [WorkerScratch],
+    threads: usize,
+) {
+    let universe = collection.universe_size();
+    if threads <= 1 || collection.len() < 2 * threads || universe == 0 {
+        index.build(collection, Some(lens));
+        return;
+    }
+    // Phase A: per-worker local CSRs over contiguous id chunks.
+    let ranges = super::chunk_ranges(collection.len(), threads);
+    let built = ranges.len();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (scratch, range) in workers[..built].iter_mut().zip(ranges) {
+            handles.push(scope.spawn(move || {
+                scratch.idx_offsets.clear();
+                scratch.idx_offsets.resize(universe + 1, 0);
+                for id in range.clone() {
+                    let set = collection.set(id as u32);
+                    for &rank in &set.ranks()[..lens[id]] {
+                        scratch.idx_offsets[rank as usize] += 1;
+                    }
+                }
+                let mut running = 0u32;
+                for slot in scratch.idx_offsets.iter_mut() {
+                    let count = *slot;
+                    *slot = running;
+                    running += count;
+                }
+                scratch.idx_cursors.clear();
+                scratch
+                    .idx_cursors
+                    .extend_from_slice(&scratch.idx_offsets[..universe]);
+                scratch.idx_postings.clear();
+                scratch.idx_postings.resize(running as usize, 0);
+                for id in range {
+                    let set = collection.set(id as u32);
+                    for &rank in &set.ranks()[..lens[id]] {
+                        let cur = &mut scratch.idx_cursors[rank as usize];
+                        scratch.idx_postings[*cur as usize] = id as u32;
+                        *cur += 1;
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    // Phase B: global offsets from the summed per-worker counts.
+    index.offsets.clear();
+    index.offsets.resize(universe + 1, 0);
+    for scratch in workers[..built].iter() {
+        for t in 0..universe {
+            index.offsets[t] += scratch.idx_offsets[t + 1] - scratch.idx_offsets[t];
+        }
+    }
+    let mut running = 0u32;
+    for slot in index.offsets.iter_mut() {
+        let count = *slot;
+        *slot = running;
+        running += count;
+    }
+    let total = running as usize;
+    index.postings.clear();
+    index.postings.resize(total, 0);
+
+    // Phase C: workers copy partial lists into disjoint rank ranges of the
+    // global arena. Rank boundaries are picked so each piece carries a
+    // near-equal share of the postings.
+    let pieces = threads.min(universe).max(1);
+    let mut bounds = Vec::with_capacity(pieces + 1);
+    bounds.push(0usize);
+    let mut t = 0usize;
+    for j in 1..pieces {
+        let goal = (total as u64 * j as u64 / pieces as u64) as u32;
+        while t < universe && index.offsets[t] < goal {
+            t += 1;
+        }
+        bounds.push(t);
+    }
+    bounds.push(universe);
+    std::thread::scope(|scope| {
+        let offsets = &index.offsets;
+        let sources: &[WorkerScratch] = &workers[..built];
+        let mut rest: &mut [u32] = &mut index.postings;
+        let mut consumed = 0usize;
+        let mut handles = Vec::new();
+        for j in 0..pieces {
+            let (lo_t, hi_t) = (bounds[j], bounds[j + 1]);
+            let end = offsets[hi_t] as usize;
+            let (mine, tail) = rest.split_at_mut(end - consumed);
+            rest = tail;
+            consumed = end;
+            handles.push(scope.spawn(move || {
+                let mut cur = 0usize;
+                for t in lo_t..hi_t {
+                    for scratch in sources {
+                        let src = scratch.idx_slice(t);
+                        mine[cur..cur + src.len()].copy_from_slice(src);
+                        cur += src.len();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+/// Per-worker scratch buffers. One instance per worker thread; the
+/// sequential paths use worker 0. Every buffer is cleared (within capacity)
+/// by the executor that uses it — nothing carries semantic state across
+/// runs.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerScratch {
+    /// Candidate-dedup stamp array over S ids (`u32::MAX` = never seen this
+    /// run). Re-filled with the sentinel at the start of every run, so a
+    /// stale stamp from run *n* can never alias a probe id of run *n + 1*.
+    pub(crate) stamp: Vec<u32>,
+    /// Candidate slot of the stamped S id (positional executor).
+    pub(crate) slot: Vec<u32>,
+    /// Dense overlap accumulator over S ids (basic executor).
+    pub(crate) acc: Vec<Weight>,
+    /// Touched S ids of the current probe (basic executor).
+    pub(crate) touched: Vec<u32>,
+    /// Candidate S ids of the current probe (prefix family).
+    pub(crate) candidates: Vec<u32>,
+    /// Candidate S ids, insertion order (positional executor).
+    pub(crate) cand_sids: Vec<u32>,
+    /// Accumulated shared-prefix weight per candidate (positional).
+    pub(crate) cand_accum: Vec<Weight>,
+    /// Position-aware overlap upper bound per candidate (positional).
+    pub(crate) cand_bound: Vec<Weight>,
+    /// Verification-order permutation of the candidate list (positional).
+    pub(crate) order: Vec<u32>,
+    /// Join-back hash table over the current R group (prefix-filtered).
+    pub(crate) r_table: FxHashMap<u32, Weight>,
+    /// Output pairs produced by this worker.
+    pub(crate) pairs: Vec<JoinPair>,
+    /// Per-shard `(start, end)` ranges into `pairs`, each range sorted by
+    /// `(r, s)` — the sorted runs the partition merge consumes.
+    pub(crate) runs: Vec<(usize, usize)>,
+    /// Counters accumulated by this worker during the current run.
+    pub(crate) stats: SsJoinStats,
+    /// Parallel index build: local CSR offsets (`universe + 1`).
+    pub(crate) idx_offsets: Vec<u32>,
+    /// Parallel index build: local posting arena.
+    pub(crate) idx_postings: Vec<u32>,
+    /// Parallel index build: local fill cursors.
+    pub(crate) idx_cursors: Vec<u32>,
+}
+
+impl WorkerScratch {
+    /// Local postings of rank `t` (parallel index build).
+    fn idx_slice(&self, t: usize) -> &[u32] {
+        &self.idx_postings[self.idx_offsets[t] as usize..self.idx_offsets[t + 1] as usize]
+    }
+
+    fn bytes_reserved(&self) -> u64 {
+        vec_bytes(&self.stamp)
+            + vec_bytes(&self.slot)
+            + vec_bytes(&self.acc)
+            + vec_bytes(&self.touched)
+            + vec_bytes(&self.candidates)
+            + vec_bytes(&self.cand_sids)
+            + vec_bytes(&self.cand_accum)
+            + vec_bytes(&self.cand_bound)
+            + vec_bytes(&self.order)
+            + vec_bytes(&self.pairs)
+            + vec_bytes(&self.runs)
+            + vec_bytes(&self.idx_offsets)
+            + vec_bytes(&self.idx_postings)
+            + vec_bytes(&self.idx_cursors)
+            // Hash-map entries: key + value + control byte, rounded up.
+            + self.r_table.capacity() as u64 * 16
+    }
+}
+
+/// One sorted, pair-disjoint output run inside a worker's pair buffer.
+#[derive(Debug, Clone, Copy)]
+struct MergeRun {
+    worker: usize,
+    cur: usize,
+    end: usize,
+}
+
+/// Reusable buffer pool for [`crate::ssjoin_with`].
+///
+/// Holds every transient structure an execution needs — CSR inverted-index
+/// arenas for both sides, prefix-length tables, per-worker stamp/candidate/
+/// output buffers, the shard plan, and the final output vector. All state is
+/// reset at the start of each run; capacity is retained, so repeated joins
+/// over same-scale inputs stop allocating entirely.
+///
+/// ```
+/// use ssjoin_core::{Algorithm, ElementOrder, JoinWorkspace, OverlapPredicate,
+///                   SsJoinConfig, SsJoinInputBuilder, WeightScheme, ssjoin_with};
+///
+/// let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
+/// let h = b.add_relation(vec![
+///     vec!["a".to_string(), "b".to_string()],
+///     vec!["b".to_string(), "a".to_string()],
+/// ]);
+/// let input = b.build().unwrap();
+/// let c = input.collection(h);
+///
+/// let mut ws = JoinWorkspace::new();
+/// let cfg = SsJoinConfig::new(Algorithm::Inline);
+/// for theta in [1.0, 2.0] {
+///     let run = ssjoin_with(c, c, &OverlapPredicate::absolute(theta), &cfg, &mut ws).unwrap();
+///     assert!(!run.pairs.is_empty());
+/// }
+/// assert_eq!(ws.reuses(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct JoinWorkspace {
+    pub(crate) r_index: CsrIndex,
+    pub(crate) s_index: CsrIndex,
+    pub(crate) r_lens: Vec<usize>,
+    pub(crate) s_lens: Vec<usize>,
+    /// Frequency histograms for the cost model (`Algorithm::Auto`).
+    pub(crate) freq_r: Vec<u32>,
+    pub(crate) freq_s: Vec<u32>,
+    pub(crate) pfreq_r: Vec<u32>,
+    pub(crate) pfreq_s: Vec<u32>,
+    pub(crate) workers: Vec<WorkerScratch>,
+    pub(crate) shards: Vec<Shard>,
+    merge_runs: Vec<MergeRun>,
+    merge_heap: Vec<u32>,
+    pub(crate) out: Vec<JoinPair>,
+    runs: u64,
+}
+
+impl JoinWorkspace {
+    /// An empty workspace. Nothing is allocated until the first run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Completed runs this workspace has served.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Runs served beyond the first (0 = the workspace is still cold).
+    pub fn reuses(&self) -> u64 {
+        self.runs.saturating_sub(1)
+    }
+
+    /// Total heap bytes currently reserved across all pooled buffers.
+    pub fn bytes_reserved(&self) -> u64 {
+        self.r_index.bytes_reserved()
+            + self.s_index.bytes_reserved()
+            + vec_bytes(&self.r_lens)
+            + vec_bytes(&self.s_lens)
+            + vec_bytes(&self.freq_r)
+            + vec_bytes(&self.freq_s)
+            + vec_bytes(&self.pfreq_r)
+            + vec_bytes(&self.pfreq_s)
+            + vec_bytes(&self.shards)
+            + vec_bytes(&self.merge_runs)
+            + vec_bytes(&self.merge_heap)
+            + vec_bytes(&self.out)
+            + vec_bytes(&self.workers)
+            + self
+                .workers
+                .iter()
+                .map(WorkerScratch::bytes_reserved)
+                .sum::<u64>()
+    }
+
+    /// Reset logical state for a new run, keeping every buffer's capacity.
+    pub(crate) fn begin_run(&mut self) {
+        self.out.clear();
+        self.runs += 1;
+    }
+
+    /// Grow the worker pool to at least `threads` entries.
+    pub(crate) fn ensure_workers(&mut self, threads: usize) {
+        if self.workers.len() < threads {
+            self.workers.resize_with(threads, WorkerScratch::default);
+        }
+    }
+
+    /// K-way merge of the sorted, pair-disjoint shard runs sitting in the
+    /// first `threads` workers' pair buffers into `self.out`, ordered by
+    /// `(r, s)`. Because every qualifying pair is emitted by exactly one
+    /// shard (the smallest-shared-prefix-rank dedup rule) and each run is
+    /// sorted, the merge is the unique `(r, s)`-sorted interleaving — bit
+    /// for bit the output the old global sort produced, without touching
+    /// pairs more than once.
+    pub(crate) fn merge_shard_runs(&mut self, threads: usize) {
+        let workers = &self.workers[..threads.min(self.workers.len())];
+        let runs = &mut self.merge_runs;
+        runs.clear();
+        let mut total = 0usize;
+        for (w, scratch) in workers.iter().enumerate() {
+            for &(start, end) in &scratch.runs {
+                if start < end {
+                    runs.push(MergeRun {
+                        worker: w,
+                        cur: start,
+                        end,
+                    });
+                    total += end - start;
+                }
+            }
+        }
+        self.out.reserve(total);
+        let key = |runs: &[MergeRun], i: u32| -> (u32, u32) {
+            let run = runs[i as usize];
+            let p = workers[run.worker].pairs[run.cur];
+            (p.r, p.s)
+        };
+        // Binary min-heap over run indices, keyed by each run's head pair.
+        let heap = &mut self.merge_heap;
+        heap.clear();
+        for i in 0..runs.len() as u32 {
+            heap.push(i);
+            let mut child = heap.len() - 1;
+            while child > 0 {
+                let parent = (child - 1) / 2;
+                if key(runs, heap[parent]) <= key(runs, heap[child]) {
+                    break;
+                }
+                heap.swap(parent, child);
+                child = parent;
+            }
+        }
+        while let Some(&top) = heap.first() {
+            let run = &mut runs[top as usize];
+            self.out.push(workers[run.worker].pairs[run.cur]);
+            run.cur += 1;
+            let exhausted = run.cur == run.end;
+            if exhausted {
+                let last = heap.pop().unwrap_or(top);
+                if heap.is_empty() {
+                    continue;
+                }
+                heap[0] = last;
+            }
+            // Sift the (possibly replaced) root down.
+            let mut parent = 0usize;
+            loop {
+                let left = 2 * parent + 1;
+                if left >= heap.len() {
+                    break;
+                }
+                let right = left + 1;
+                let min_child =
+                    if right < heap.len() && key(runs, heap[right]) < key(runs, heap[left]) {
+                        right
+                    } else {
+                        left
+                    };
+                if key(runs, heap[parent]) <= key(runs, heap[min_child]) {
+                    break;
+                }
+                heap.swap(parent, min_child);
+                parent = min_child;
+            }
+        }
+    }
+}
+
+#[allow(clippy::ptr_arg)] // capacity, not length, is the reserved footprint
+fn vec_bytes<T>(v: &Vec<T>) -> u64 {
+    (v.capacity() * std::mem::size_of::<T>()) as u64
+}
+
+#[cfg(test)]
+pub(crate) fn collect<T>(f: impl FnOnce(&mut JoinWorkspace) -> T) -> (Vec<JoinPair>, T) {
+    let mut ws = JoinWorkspace::new();
+    ws.begin_run();
+    let value = f(&mut ws);
+    (std::mem::take(&mut ws.out), value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{SsJoinInputBuilder, WeightScheme};
+    use crate::order::ElementOrder;
+
+    fn build(groups: Vec<Vec<String>>) -> SetCollection {
+        let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
+        let h = b.add_relation(groups);
+        b.build().unwrap().collection(h).clone()
+    }
+
+    fn groups(n: usize, vocab: usize) -> Vec<Vec<String>> {
+        (0..n)
+            .map(|i| {
+                (0..(2 + i % 5))
+                    .map(|j| format!("v{}", (i * 13 + j * 17) % vocab))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn csr_matches_naive_postings() {
+        let c = build(groups(30, 17));
+        let mut index = CsrIndex::default();
+        index.build(&c, None);
+        let mut naive: Vec<Vec<u32>> = vec![Vec::new(); c.universe_size()];
+        for (id, set) in c.iter().enumerate() {
+            for &rank in set.ranks() {
+                naive[rank as usize].push(id as u32);
+            }
+        }
+        for (t, expect) in naive.iter().enumerate() {
+            assert_eq!(index.postings(t as u32), expect.as_slice(), "rank {t}");
+        }
+    }
+
+    #[test]
+    fn csr_rebuild_reuses_capacity() {
+        let big = build(groups(50, 23));
+        let small = build(groups(5, 7));
+        let mut index = CsrIndex::default();
+        index.build(&big, None);
+        let cap = (index.offsets.capacity(), index.postings.capacity());
+        index.build(&small, None);
+        assert!(index.offsets.capacity() >= cap.0 && index.postings.capacity() >= cap.1);
+        // And the contents are those of the small collection alone.
+        for t in 0..small.universe_size() {
+            for &id in index.postings(t as u32) {
+                assert!((id as usize) < small.len());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        for n in [3usize, 16, 61, 200] {
+            let c = build(groups(n, 29));
+            let lens: Vec<usize> = c.iter().map(|s| s.len()).collect();
+            let mut seq = CsrIndex::default();
+            seq.build(&c, Some(&lens));
+            for threads in [2usize, 3, 8] {
+                let mut workers: Vec<WorkerScratch> = Vec::new();
+                workers.resize_with(threads, WorkerScratch::default);
+                let mut par = CsrIndex::default();
+                build_csr_parallel(&mut par, &c, &lens, &mut workers, threads);
+                assert_eq!(seq.offsets, par.offsets, "n {n} threads {threads}");
+                assert_eq!(seq.postings, par.postings, "n {n} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_with_stale_worker_state() {
+        // A worker pool that served a larger run must not leak stale local
+        // postings into a later, smaller run.
+        let big = build(groups(120, 31));
+        let small = build(groups(20, 11));
+        let big_lens: Vec<usize> = big.iter().map(|s| s.len()).collect();
+        let small_lens: Vec<usize> = small.iter().map(|s| s.len()).collect();
+        let mut workers: Vec<WorkerScratch> = Vec::new();
+        workers.resize_with(4, WorkerScratch::default);
+        let mut index = CsrIndex::default();
+        build_csr_parallel(&mut index, &big, &big_lens, &mut workers, 4);
+        // Rebuild over the small collection with fewer threads.
+        build_csr_parallel(&mut index, &small, &small_lens, &mut workers, 2);
+        let mut seq = CsrIndex::default();
+        seq.build(&small, Some(&small_lens));
+        assert_eq!(seq.offsets, index.offsets);
+        assert_eq!(seq.postings, index.postings);
+    }
+
+    #[test]
+    fn merge_shard_runs_sorts_disjoint_runs() {
+        let mut ws = JoinWorkspace::new();
+        ws.ensure_workers(2);
+        let mk = |r: u32, s: u32| JoinPair {
+            r,
+            s,
+            overlap: Weight::ONE,
+        };
+        ws.workers[0].pairs = vec![mk(0, 1), mk(2, 0), mk(5, 5), mk(1, 1)];
+        ws.workers[0].runs = vec![(0, 3), (3, 4)];
+        ws.workers[1].pairs = vec![mk(0, 0), mk(3, 3)];
+        ws.workers[1].runs = vec![(0, 2)];
+        ws.merge_shard_runs(2);
+        let keys: Vec<(u32, u32)> = ws.out.iter().map(|p| (p.r, p.s)).collect();
+        assert_eq!(keys, vec![(0, 0), (0, 1), (1, 1), (2, 0), (3, 3), (5, 5)]);
+    }
+
+    #[test]
+    fn workspace_counters() {
+        let mut ws = JoinWorkspace::new();
+        assert_eq!(ws.runs(), 0);
+        assert_eq!(ws.reuses(), 0);
+        ws.begin_run();
+        ws.begin_run();
+        assert_eq!(ws.runs(), 2);
+        assert_eq!(ws.reuses(), 1);
+        ws.out.push(JoinPair {
+            r: 0,
+            s: 0,
+            overlap: Weight::ONE,
+        });
+        assert!(ws.bytes_reserved() > 0);
+    }
+}

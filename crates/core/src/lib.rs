@@ -81,8 +81,8 @@ pub use budget::{estimate_memory_bytes, BudgetCause, CancelToken, ExecBudget};
 pub use builder::{BuiltInput, NormKind, RelationHandle, SsJoinInputBuilder, WeightScheme};
 pub use error::{SsJoinError, SsJoinResult};
 pub use exec::{
-    estimate_costs, ssjoin, Algorithm, ExecContext, JoinPair, ShardPolicy, SsJoinConfig,
-    SsJoinOutput,
+    estimate_costs, ssjoin, ssjoin_with, Algorithm, ExecContext, JoinPair, JoinWorkspace,
+    ShardPolicy, SsJoinConfig, SsJoinOutput, SsJoinRun,
 };
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use kernel::OverlapKernel;

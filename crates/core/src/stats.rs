@@ -101,6 +101,16 @@ pub struct SsJoinStats {
     /// Budget checkpoints taken (0 when no limit and no cancel token was
     /// set — the inactive fast path skips counting entirely).
     pub budget_checks: u64,
+    /// Worker threads the run actually used after clamping the requested
+    /// count to the host's `available_parallelism` (0 in per-worker partial
+    /// records; set once on the final stats).
+    pub effective_threads: u64,
+    /// Bytes of buffer capacity held by the [`crate::exec::JoinWorkspace`]
+    /// after the run — the memory a reused workspace amortizes.
+    pub bytes_reserved: u64,
+    /// Completed runs on the same workspace before this one; 0 on a cold
+    /// workspace, so any positive value marks an allocation-free warm run.
+    pub workspace_reuses: u64,
 }
 
 impl SsJoinStats {
@@ -149,6 +159,11 @@ impl SsJoinStats {
         self.early_exits += other.early_exits;
         self.gallop_probes += other.gallop_probes;
         self.budget_checks += other.budget_checks;
+        // Run-level facts, not per-worker work: take the max so merging a
+        // worker's partial record (all zeros here) never erases them.
+        self.effective_threads = self.effective_threads.max(other.effective_threads);
+        self.bytes_reserved = self.bytes_reserved.max(other.bytes_reserved);
+        self.workspace_reuses = self.workspace_reuses.max(other.workspace_reuses);
     }
 
     /// Shard load imbalance: heaviest shard cost over the ideal per-shard
@@ -199,6 +214,13 @@ impl fmt::Display for SsJoinStats {
                 f,
                 " merge_steps={} early_exits={} gallop_probes={}",
                 self.merge_steps, self.early_exits, self.gallop_probes
+            )?;
+        }
+        if self.effective_threads > 0 {
+            write!(
+                f,
+                " threads={} reserved={}B reuses={}",
+                self.effective_threads, self.bytes_reserved, self.workspace_reuses
             )?;
         }
         Ok(())

@@ -595,13 +595,13 @@ pub fn check_columns(plan: &LogicalPlan) -> Result<Vec<String>> {
                     if !l.contains(lk) {
                         return Err(EngineError::UnknownColumn {
                             name: lk.clone(),
-                            available: l.clone(),
+                            available: l,
                         });
                     }
                     if !r.contains(rk) {
                         return Err(EngineError::UnknownColumn {
                             name: rk.clone(),
-                            available: r.clone(),
+                            available: r,
                         });
                     }
                 }

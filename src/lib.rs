@@ -74,8 +74,9 @@ pub use ssjoin_text as text;
 
 // Most-used items at the crate root for ergonomic imports.
 pub use ssjoin_core::{
-    ssjoin, Algorithm, BudgetCause, CancelToken, ElementOrder, ExecBudget, ExecContext,
-    OverlapPredicate, ShardPolicy, SsJoinConfig, SsJoinInputBuilder, StatsLevel, WeightScheme,
+    ssjoin, ssjoin_with, Algorithm, BudgetCause, CancelToken, ElementOrder, ExecBudget,
+    ExecContext, JoinWorkspace, OverlapPredicate, ShardPolicy, SsJoinConfig, SsJoinInputBuilder,
+    SsJoinRun, StatsLevel, WeightScheme,
 };
 pub use ssjoin_joins::{
     cluster_pairs, cooccurrence_join, cosine_join, edit_similarity_join, ges_join, jaccard_join,
@@ -229,25 +230,71 @@ impl<'a> SsJoin<'a> {
         self
     }
 
-    /// Execute the join.
-    pub fn run(self) -> SsJoinResult<SsJoinOutput> {
-        let (r, s) = match self.input {
+    fn resolve(&self) -> SsJoinResult<(&'a SetCollection, &'a SetCollection)> {
+        match self.input {
             JoinInput::Built(b) => {
                 let cs = b.collections();
                 match cs.len() {
-                    0 => return Err(SsJoinError::Config("built input holds no relations".into())),
-                    1 => (&cs[0], &cs[0]),
-                    _ => (&cs[0], &cs[1]),
+                    0 => Err(SsJoinError::Config("built input holds no relations".into())),
+                    1 => Ok((&cs[0], &cs[0])),
+                    _ => Ok((&cs[0], &cs[1])),
                 }
             }
-            JoinInput::Pair(r, s) => (r, s),
-        };
+            JoinInput::Pair(r, s) => Ok((r, s)),
+        }
+    }
+
+    /// Execute the join.
+    pub fn run(self) -> SsJoinResult<SsJoinOutput> {
+        let (r, s) = self.resolve()?;
         let pred = self.predicate.ok_or_else(|| {
             SsJoinError::Config("no overlap predicate set; call .predicate(..)".into())
         })?;
         match self.engine {
             Engine::Fast => ssjoin(r, s, &pred, &self.config),
             Engine::RelationalPlan => run_relational(r, s, &pred, self.config.algorithm),
+        }
+    }
+
+    /// Execute the join into a caller-owned [`JoinWorkspace`], reusing every
+    /// transient buffer from previous runs. Does not consume the builder, so
+    /// one configured `SsJoin` can serve repeated joins:
+    ///
+    /// ```
+    /// use ssjoin::{Algorithm, JoinWorkspace, OverlapPredicate, SsJoin, SsJoinInputBuilder};
+    /// use ssjoin::{ElementOrder, WeightScheme};
+    ///
+    /// let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
+    /// b.add_relation(vec![
+    ///     vec!["a".to_string(), "b".to_string(), "c".to_string()],
+    ///     vec!["b".to_string(), "c".to_string(), "d".to_string()],
+    /// ]);
+    /// let input = b.build().unwrap();
+    /// let join = SsJoin::new(&input)
+    ///     .predicate(OverlapPredicate::absolute(2.0))
+    ///     .algorithm(Algorithm::Inline);
+    ///
+    /// let mut ws = JoinWorkspace::new();
+    /// let cold = join.run_with(&mut ws).unwrap().pairs.len();
+    /// // The second run reuses the workspace pools: zero hot-path
+    /// // allocations, identical output.
+    /// let warm = join.run_with(&mut ws).unwrap();
+    /// assert_eq!(warm.pairs.len(), cold);
+    /// assert_eq!(warm.stats.workspace_reuses, 1);
+    /// ```
+    ///
+    /// Only [`Engine::Fast`] supports workspace reuse; the relational-plan
+    /// engine returns a [`SsJoinError::Config`] error.
+    pub fn run_with<'w>(&self, ws: &'w mut JoinWorkspace) -> SsJoinResult<SsJoinRun<'w>> {
+        let (r, s) = self.resolve()?;
+        let pred = self.predicate.as_ref().ok_or_else(|| {
+            SsJoinError::Config("no overlap predicate set; call .predicate(..)".into())
+        })?;
+        match self.engine {
+            Engine::Fast => ssjoin_with(r, s, pred, &self.config, ws),
+            Engine::RelationalPlan => Err(SsJoinError::Config(
+                "RelationalPlan does not support workspace reuse; use run()".into(),
+            )),
         }
     }
 }
@@ -415,6 +462,35 @@ mod tests {
             ),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn facade_run_with_reuses_workspace() {
+        let input = addresses_input();
+        let pred = OverlapPredicate::two_sided(0.6);
+        let join = SsJoin::new(&input)
+            .predicate(pred.clone())
+            .algorithm(Algorithm::Inline);
+        let mut ws = JoinWorkspace::new();
+        let first: Vec<_> = join.run_with(&mut ws).unwrap().pairs.to_vec();
+        let warm = join.run_with(&mut ws).unwrap();
+        assert_eq!(warm.pairs, first.as_slice());
+        assert_eq!(warm.stats.workspace_reuses, 1);
+        assert!(warm.stats.bytes_reserved > 0);
+        assert!(warm.stats.effective_threads >= 1);
+        // The reused-workspace output matches a fresh run() exactly.
+        let fresh = SsJoin::new(&input)
+            .predicate(pred.clone())
+            .algorithm(Algorithm::Inline)
+            .run()
+            .unwrap();
+        assert_eq!(fresh.pairs, first);
+        // The relational-plan engine has no workspace path.
+        let err = SsJoin::new(&input)
+            .predicate(pred)
+            .engine(Engine::RelationalPlan)
+            .run_with(&mut ws);
+        assert!(matches!(err, Err(SsJoinError::Config(_))));
     }
 
     #[test]
