@@ -339,6 +339,125 @@ impl BuiltInput {
     pub fn element_weight(&self, rank: u32) -> Weight {
         self.weights_by_rank[rank as usize]
     }
+
+    /// A [`QueryEncoder`] over this build's frozen universe, for encoding
+    /// streamed queries against a prebuilt [`crate::CorpusIndex`].
+    pub fn query_encoder(&self) -> QueryEncoder {
+        let mut ids: FxHashMap<String, Vec<u32>> = FxHashMap::default();
+        for (rank, (token, ord)) in self.element_meta.iter().enumerate() {
+            let slots = ids.entry(token.clone()).or_default();
+            let idx = (*ord as usize).saturating_sub(1);
+            if slots.len() <= idx {
+                slots.resize(idx + 1, u32::MAX);
+            }
+            slots[idx] = rank as u32;
+        }
+        QueryEncoder {
+            ids,
+            weights: self.weights_by_rank.clone(),
+            universe_size: self.element_meta.len(),
+            universe_tag: self
+                .collections
+                .first()
+                .map(|c| c.universe_tag())
+                .unwrap_or_else(fresh_universe_tag),
+        }
+    }
+}
+
+/// Encodes fresh token groups against the frozen universe of an existing
+/// [`BuiltInput`], so streamed queries (and incremental corpus inserts) can
+/// run against a prebuilt [`crate::CorpusIndex`] without rebuilding the
+/// whole input.
+///
+/// Tokens — and multiset occurrences — never seen by the original build have
+/// no rank in the frozen universe and are dropped from the encoded set. That
+/// is exact for overlaps: an unseen element occurs in no corpus set, so it
+/// can contribute nothing to any overlap. Norms derived outside the element
+/// universe stay exact too ([`NormKind::Cardinality`] counts *all* tokens of
+/// the group, dropped or not, and [`NormKind::Custom`] is caller-provided).
+/// [`NormKind::TotalWeight`] and [`NormKind::SqrtTotalWeight`] sum the
+/// weights of *known* elements only, which under-states the norm of queries
+/// containing unseen tokens; prefer cardinality or custom norms for streamed
+/// workloads under those schemes.
+#[derive(Debug, Clone)]
+pub struct QueryEncoder {
+    /// token -> rank per ordinal (index `ord - 1`).
+    ids: FxHashMap<String, Vec<u32>>,
+    weights: Vec<Weight>,
+    universe_size: usize,
+    universe_tag: u64,
+}
+
+impl QueryEncoder {
+    /// Look up the rank of `(token, ordinal)` in the frozen universe.
+    /// Ordinals are 1-based, matching §4.3.1 ordinalization.
+    pub fn rank_of(&self, token: &str, ordinal: u32) -> Option<u32> {
+        self.ids
+            .get(token)
+            .and_then(|slots| slots.get((ordinal as usize).checked_sub(1)?))
+            .copied()
+            .filter(|&r| r != u32::MAX)
+    }
+
+    /// Encode one token multiset into `(rank, weight)` elements, dropping
+    /// tokens outside the frozen universe. Elements come back in occurrence
+    /// order; [`QueryEncoder::encode`] (via the collection constructor)
+    /// handles sorting.
+    pub fn encode_group(&self, group: &[String]) -> Vec<(u32, Weight)> {
+        let mut occurrence: FxHashMap<&str, u32> = FxHashMap::default();
+        let mut elems = Vec::with_capacity(group.len());
+        for token in group {
+            let ord = occurrence.entry(token.as_str()).or_insert(0);
+            *ord += 1;
+            if let Some(rank) = self.rank_of(token, *ord) {
+                elems.push((rank, self.weights[rank as usize]));
+            }
+        }
+        elems
+    }
+
+    /// Encode token groups into a [`SetCollection`] sharing the frozen
+    /// universe (same tag, same ranks, same weights), suitable as a probe
+    /// batch for [`crate::CorpusIndex::probe`].
+    ///
+    /// # Errors
+    /// Returns [`SsJoinError::InvalidInput`] when `NormKind::Custom` norms
+    /// do not have one value per group.
+    pub fn encode(&self, groups: &[Vec<String>], norm: NormKind) -> SsJoinResult<SetCollection> {
+        if let NormKind::Custom(norms) = &norm {
+            if norms.len() != groups.len() {
+                return Err(SsJoinError::InvalidInput(format!(
+                    "custom norms must have one value per group: \
+                     {} groups but {} norms",
+                    groups.len(),
+                    norms.len()
+                )));
+            }
+        }
+        let mut sets = Vec::with_capacity(groups.len());
+        for (gi, group) in groups.iter().enumerate() {
+            let elems = self.encode_group(group);
+            let norm_value = match &norm {
+                NormKind::TotalWeight => elems.iter().map(|&(_, w)| w).sum::<Weight>().to_f64(),
+                NormKind::SqrtTotalWeight => elems
+                    .iter()
+                    .map(|&(_, w)| w)
+                    .sum::<Weight>()
+                    .to_f64()
+                    .sqrt(),
+                NormKind::Cardinality => group.len() as f64,
+                NormKind::Custom(norms) => norms[gi],
+            };
+            sets.push((elems, norm_value));
+        }
+        SetCollection::from_sets(sets, self.universe_size, self.universe_tag)
+    }
+
+    /// Number of distinct elements in the frozen universe.
+    pub fn universe_size(&self) -> usize {
+        self.universe_size
+    }
 }
 
 #[cfg(test)]
@@ -462,6 +581,59 @@ mod tests {
         assert_eq!(built.collection(h).set(0).len(), 0);
         assert_eq!(built.collection(h).set(1).len(), 1);
         assert!(built.collection(e).is_empty());
+    }
+
+    #[test]
+    fn query_encoder_round_trips_known_tokens() {
+        let mut b = SsJoinInputBuilder::new(WeightScheme::Idf, ElementOrder::FrequencyAsc);
+        let h = b.add_relation(vec![
+            toks(&["a", "b", "b", "c"]),
+            toks(&["b", "c"]),
+            toks(&["a", "d"]),
+        ]);
+        let built = b.build().unwrap();
+        let enc = built.query_encoder();
+        assert_eq!(enc.universe_size(), built.universe_size());
+        // Re-encoding the original groups reproduces the built sets exactly
+        // (same ranks, same weights, same norms).
+        let groups = vec![toks(&["a", "b", "b", "c"]), toks(&["b", "c"])];
+        let again = enc.encode(&groups, NormKind::TotalWeight).unwrap();
+        let c = built.collection(h);
+        assert!(c.shares_universe(&again));
+        for (i, set) in again.iter().enumerate() {
+            let orig = c.set(i as u32);
+            assert_eq!(set.ranks(), orig.ranks());
+            assert_eq!(set.weights(), orig.weights());
+            assert!((set.norm() - orig.norm()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn query_encoder_drops_unseen_tokens() {
+        let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
+        b.add_relation(vec![toks(&["a", "b"])]);
+        let built = b.build().unwrap();
+        let enc = built.query_encoder();
+        // "z" was never interned; second occurrence of "a" was never seen.
+        let coll = enc
+            .encode(&[toks(&["a", "z", "a"])], NormKind::Cardinality)
+            .unwrap();
+        assert_eq!(coll.set(0).len(), 1); // only (a, 1) survives
+        assert_eq!(coll.set(0).norm(), 3.0); // cardinality counts all tokens
+        assert_eq!(enc.rank_of("z", 1), None);
+        assert_eq!(enc.rank_of("a", 2), None);
+        assert!(enc.rank_of("a", 1).is_some());
+    }
+
+    #[test]
+    fn query_encoder_custom_norm_arity_checked() {
+        let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
+        b.add_relation(vec![toks(&["a"])]);
+        let enc = b.build().unwrap().query_encoder();
+        let err = enc
+            .encode(&[toks(&["a"])], NormKind::Custom(vec![1.0, 2.0]))
+            .unwrap_err();
+        assert!(matches!(err, SsJoinError::InvalidInput(_)), "{err:?}");
     }
 
     #[test]

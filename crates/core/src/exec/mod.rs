@@ -18,7 +18,12 @@ mod workspace;
 pub use auto::estimate_costs;
 pub use workspace::JoinWorkspace;
 
-use workspace::WorkerScratch;
+pub(crate) use auto::{effective_threads, estimate_costs_into};
+pub(crate) use basic::probe_basic;
+pub(crate) use partition::probe_partition;
+pub(crate) use positional::probe_positional;
+pub(crate) use prefix::{prefix_lengths_into, probe_prefix_family, Side};
+pub(crate) use workspace::{build_csr_parallel, vec_bytes, CsrIndex, WorkerScratch};
 
 use crate::budget::{estimate_memory_bytes, BudgetState, CancelToken, ExecBudget};
 use crate::error::{SsJoinError, SsJoinResult};

@@ -30,7 +30,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use super::prefix::{prefix_lengths_into, Side};
-use super::workspace::{build_csr_parallel, CsrIndex, JoinWorkspace};
+use super::workspace::{build_csr_parallel, CsrIndex, JoinWorkspace, WorkerScratch};
 use super::{ExecContext, JoinPair, ShardPolicy};
 use crate::budget::BudgetState;
 use crate::kernel::verify_overlap;
@@ -276,8 +276,54 @@ pub(super) fn run(
             shards,
             ..
         } = &mut *ws;
-        let (r_index, s_index) = (&*r_index, &*s_index);
-        let (r_lens, s_lens) = (r_lens.as_slice(), s_lens.as_slice());
+        shard_phase(
+            r,
+            s,
+            pred,
+            ctx,
+            budget,
+            r_index,
+            s_index,
+            r_lens,
+            s_lens,
+            workers,
+            shards,
+            threads,
+            oversubscribe,
+        )
+    });
+    stats.merge(&inner);
+
+    // Merge the disjoint sorted runs into the workspace output buffer. A
+    // tripped budget means the runs are truncated mid-shard; the caller
+    // surfaces the error, so skip the (now meaningless) merge.
+    if budget.cause().is_none() {
+        ws.merge_shard_runs(threads);
+    }
+    stats
+}
+
+/// Plan and execute the token shards with work stealing, leaving per-worker
+/// sorted runs behind for the caller's `merge_shard_runs`. Shared between
+/// [`run`] (fresh per-call S index) and [`probe_partition`] (borrowed
+/// persistent S index).
+#[allow(clippy::too_many_arguments, clippy::field_reassign_with_default)]
+fn shard_phase(
+    r: &SetCollection,
+    s: &SetCollection,
+    pred: &OverlapPredicate,
+    ctx: &ExecContext,
+    budget: &BudgetState,
+    r_index: &CsrIndex,
+    s_index: &CsrIndex,
+    r_lens: &[usize],
+    s_lens: &[usize],
+    workers: &mut [WorkerScratch],
+    shards: &mut Vec<Shard>,
+    threads: usize,
+    oversubscribe: usize,
+) -> SsJoinStats {
+    {
         let (total, cost_max) = plan_shards_into(
             r_index,
             s_index,
@@ -364,12 +410,77 @@ pub(super) fn run(
             agg.merge(&scratch.stats);
         }
         agg
+    }
+}
+
+/// Token-sharded R×index probe against a borrowed, prebuilt S prefix index
+/// and its prefix lengths. Mirrors [`run`] but only the R-side prefix index
+/// is (re)built per call — into the caller's workspace, in parallel.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn probe_partition(
+    r: &SetCollection,
+    s: &SetCollection,
+    s_index: &CsrIndex,
+    s_lens: &[usize],
+    s_prefix_tuples: u64,
+    pred: &OverlapPredicate,
+    ctx: &ExecContext,
+    budget: &BudgetState,
+    ws: &mut JoinWorkspace,
+) -> SsJoinStats {
+    let threads = ctx.threads.max(1);
+    let oversubscribe = match ctx.shard {
+        ShardPolicy::TokenShards { oversubscribe } => oversubscribe.max(1),
+        ShardPolicy::GroupChunks => 1,
+    };
+    let mut stats = SsJoinStats::default();
+    if !budget.proceed() {
+        return stats;
+    }
+    ws.ensure_workers(threads);
+
+    timed_phase(&mut stats, ctx.stats, Phase::PrefixFilter, |stats| {
+        let JoinWorkspace {
+            r_index,
+            r_lens,
+            workers,
+            ..
+        } = &mut *ws;
+        prefix_lengths_into(r, Side::R, pred, s.norm_range(), r_lens);
+        stats.prefix_tuples_r = r_lens.iter().map(|&l| l as u64).sum();
+        stats.prefix_tuples_s = s_prefix_tuples;
+        build_csr_parallel(r_index, r, r_lens, workers, threads);
+    });
+    if !budget.proceed() {
+        return stats;
+    }
+
+    let inner = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
+        let JoinWorkspace {
+            r_index,
+            r_lens,
+            workers,
+            shards,
+            ..
+        } = &mut *ws;
+        shard_phase(
+            r,
+            s,
+            pred,
+            ctx,
+            budget,
+            r_index,
+            s_index,
+            r_lens,
+            s_lens,
+            workers,
+            shards,
+            threads,
+            oversubscribe,
+        )
     });
     stats.merge(&inner);
 
-    // Merge the disjoint sorted runs into the workspace output buffer. A
-    // tripped budget means the runs are truncated mid-shard; the caller
-    // surfaces the error, so skip the (now meaningless) merge.
     if budget.cause().is_none() {
         ws.merge_shard_runs(threads);
     }

@@ -18,7 +18,7 @@
 //! cost of the inline algorithm at high thresholds.
 
 use super::prefix::{prefix_lengths_into, Side};
-use super::workspace::JoinWorkspace;
+use super::workspace::{CsrIndex, JoinWorkspace, WorkerScratch};
 use super::{run_chunked, ExecContext, JoinPair};
 use crate::budget::BudgetState;
 use crate::kernel::verify_overlap;
@@ -65,6 +65,28 @@ pub(super) fn run(
     let r_lens = &*r_lens;
 
     let inner = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
+        candidate_phase(r, s, s_index, r_lens, pred, ctx, budget, workers, out)
+    });
+    stats.merge(&inner);
+    stats
+}
+
+/// Candidate generation + positional prune + verification against a
+/// prebuilt S-prefix index. Shared between [`run`] (fresh per-call build)
+/// and [`probe_positional`] (borrowed persistent index).
+#[allow(clippy::too_many_arguments)]
+fn candidate_phase(
+    r: &SetCollection,
+    s: &SetCollection,
+    s_index: &CsrIndex,
+    r_lens: &[usize],
+    pred: &OverlapPredicate,
+    ctx: &ExecContext,
+    budget: &BudgetState,
+    workers: &mut Vec<WorkerScratch>,
+    out: &mut Vec<JoinPair>,
+) -> SsJoinStats {
+    {
         run_chunked(r.len(), ctx.threads, workers, out, |range, scratch| {
             let mut stats = SsJoinStats::default();
             // The clear + resize refills the stamps with the sentinel so a
@@ -176,6 +198,44 @@ pub(super) fn run(
             }
             stats
         })
+    }
+}
+
+/// Positional-filter R×index probe against a borrowed, prebuilt S-prefix
+/// index. Mirrors [`run`] but computes only the R-side prefix lengths; the
+/// S-side lengths and index are owned by the caller's `CorpusIndex`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn probe_positional(
+    r: &SetCollection,
+    s: &SetCollection,
+    s_index: &CsrIndex,
+    s_prefix_tuples: u64,
+    pred: &OverlapPredicate,
+    ctx: &ExecContext,
+    budget: &BudgetState,
+    ws: &mut JoinWorkspace,
+) -> SsJoinStats {
+    let mut stats = SsJoinStats::default();
+    if !budget.proceed() {
+        return stats;
+    }
+    let JoinWorkspace {
+        r_lens,
+        workers,
+        out,
+        ..
+    } = ws;
+    timed_phase(&mut stats, ctx.stats, Phase::PrefixFilter, |stats| {
+        prefix_lengths_into(r, Side::R, pred, s.norm_range(), r_lens);
+        stats.prefix_tuples_r = r_lens.iter().map(|&l| l as u64).sum();
+        stats.prefix_tuples_s = s_prefix_tuples;
+    });
+    if !budget.proceed() {
+        return stats;
+    }
+    let r_lens = &*r_lens;
+    let inner = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
+        candidate_phase(r, s, s_index, r_lens, pred, ctx, budget, workers, out)
     });
     stats.merge(&inner);
     stats

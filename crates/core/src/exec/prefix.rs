@@ -15,7 +15,7 @@
 //! *inline* variant (Figure 9, in [`super::inline`]) skips that by carrying
 //! sets through the filter and merging them directly.
 
-use super::workspace::JoinWorkspace;
+use super::workspace::{CsrIndex, JoinWorkspace, WorkerScratch};
 use super::{run_chunked, ExecContext, JoinPair};
 use crate::budget::BudgetState;
 use crate::kernel::verify_overlap;
@@ -121,6 +121,34 @@ pub(crate) fn run_prefix_family(
     // Phase: the SSJoin proper — prefix equi-join producing candidates, then
     // overlap recomputation per candidate.
     let inner = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
+        candidate_phase(
+            r, s, s_index, r_lens, pred, ctx, inline, budget, workers, out,
+        )
+    });
+    stats.merge(&inner);
+    stats
+}
+
+/// The SSJoin phase of the prefix family — prefix equi-join against an
+/// already-built S-side prefix index, then overlap verification per
+/// candidate. Shared by the fresh-build path ([`run_prefix_family`], which
+/// builds `s_index` into the workspace first) and the persistent-index probe
+/// path ([`probe_prefix_family`], which borrows `s_index` from a
+/// [`crate::CorpusIndex`]).
+#[allow(clippy::too_many_arguments)]
+fn candidate_phase(
+    r: &SetCollection,
+    s: &SetCollection,
+    s_index: &CsrIndex,
+    r_lens: &[usize],
+    pred: &OverlapPredicate,
+    ctx: &ExecContext,
+    inline: bool,
+    budget: &BudgetState,
+    workers: &mut Vec<WorkerScratch>,
+    out: &mut Vec<JoinPair>,
+) -> SsJoinStats {
+    {
         run_chunked(r.len(), ctx.threads, workers, out, |range, scratch| {
             let mut stats = SsJoinStats::default();
             // Candidate dedup via a stamp array (reset-free across probes
@@ -235,6 +263,52 @@ pub(crate) fn run_prefix_family(
             }
             stats
         })
+    }
+}
+
+/// Probe an already-built S-side prefix index: identical to
+/// [`run_prefix_family`] except that the prefix-filter phase computes only
+/// the R-side (probe batch) prefix lengths — the S side's prefixes and index
+/// were fixed when the [`crate::CorpusIndex`] was built, against a
+/// conservative partner-norm interval, so the candidate set is a superset of
+/// the fresh build's and verification makes the output identical.
+/// `s_prefix_tuples` reports the stored index's prefix size into the stats.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn probe_prefix_family(
+    r: &SetCollection,
+    s: &SetCollection,
+    s_index: &CsrIndex,
+    s_prefix_tuples: u64,
+    pred: &OverlapPredicate,
+    ctx: &ExecContext,
+    inline: bool,
+    budget: &BudgetState,
+    ws: &mut JoinWorkspace,
+) -> SsJoinStats {
+    let mut stats = SsJoinStats::default();
+    if !budget.proceed() {
+        return stats;
+    }
+    let JoinWorkspace {
+        r_lens,
+        workers,
+        out,
+        ..
+    } = ws;
+
+    timed_phase(&mut stats, ctx.stats, Phase::PrefixFilter, |stats| {
+        prefix_lengths_into(r, Side::R, pred, s.norm_range(), r_lens);
+        stats.prefix_tuples_r = r_lens.iter().map(|&l| l as u64).sum();
+        stats.prefix_tuples_s = s_prefix_tuples;
+    });
+    if !budget.proceed() {
+        return stats;
+    }
+    let r_lens = &*r_lens;
+    let inner = timed_phase(&mut stats, ctx.stats, Phase::SsJoin, |_| {
+        candidate_phase(
+            r, s, s_index, r_lens, pred, ctx, inline, budget, workers, out,
+        )
     });
     stats.merge(&inner);
     stats

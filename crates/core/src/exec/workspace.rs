@@ -79,7 +79,7 @@ impl CsrIndex {
         &self.postings[self.offsets[t] as usize..self.offsets[t + 1] as usize]
     }
 
-    fn bytes_reserved(&self) -> u64 {
+    pub(crate) fn bytes_reserved(&self) -> u64 {
         vec_bytes(&self.offsets) + vec_bytes(&self.postings) + vec_bytes(&self.cursors)
     }
 }
@@ -469,7 +469,7 @@ impl JoinWorkspace {
 }
 
 #[allow(clippy::ptr_arg)] // capacity, not length, is the reserved footprint
-fn vec_bytes<T>(v: &Vec<T>) -> u64 {
+pub(crate) fn vec_bytes<T>(v: &Vec<T>) -> u64 {
     (v.capacity() * std::mem::size_of::<T>()) as u64
 }
 

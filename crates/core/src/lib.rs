@@ -68,6 +68,7 @@ mod builder;
 mod error;
 pub mod exec;
 mod hash;
+mod index;
 pub mod io;
 pub mod kernel;
 mod order;
@@ -78,13 +79,16 @@ mod stats;
 mod weight;
 
 pub use budget::{estimate_memory_bytes, BudgetCause, CancelToken, ExecBudget};
-pub use builder::{BuiltInput, NormKind, RelationHandle, SsJoinInputBuilder, WeightScheme};
+pub use builder::{
+    BuiltInput, NormKind, QueryEncoder, RelationHandle, SsJoinInputBuilder, WeightScheme,
+};
 pub use error::{SsJoinError, SsJoinResult};
 pub use exec::{
     estimate_costs, ssjoin, ssjoin_with, Algorithm, ExecContext, JoinPair, JoinWorkspace,
     ShardPolicy, SsJoinConfig, SsJoinOutput, SsJoinRun,
 };
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use index::{CorpusIndex, CorpusIndexOptions};
 pub use kernel::OverlapKernel;
 pub use order::ElementOrder;
 pub use predicate::{Interval, NormExpr, OverlapPredicate};

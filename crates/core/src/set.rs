@@ -283,6 +283,99 @@ impl SetCollection {
         })
     }
 
+    /// Append one set to the arena (same universe), computing the same
+    /// derived state as [`SetCollection::from_sets`]. Elements may arrive in
+    /// any order; they are sorted by rank. Returns the new set's group id.
+    ///
+    /// Unlike `from_sets` — whose callers (builder, deserialization) have
+    /// already range-checked every rank — this path takes caller-supplied
+    /// elements directly, so it additionally validates `rank <
+    /// universe_size` (an out-of-range rank would overrun the inverted
+    /// index's per-rank offset table).
+    ///
+    /// # Errors
+    /// [`SsJoinError::InvalidInput`] on duplicate or out-of-range ranks;
+    /// [`SsJoinError::TooManyElements`] / [`SsJoinError::TooManyGroups`] on
+    /// `u32` arena or group-id overflow.
+    pub(crate) fn push_set(&mut self, elements: &[(u32, Weight)], norm: f64) -> SsJoinResult<u32> {
+        // Group ids must stay below the stamp sentinel (u32::MAX) the prefix
+        // executors use, matching the builder's cap.
+        if self.len() >= u32::MAX as usize {
+            return Err(SsJoinError::TooManyGroups {
+                relation: 0,
+                groups: self.len() + 1,
+            });
+        }
+        if self.ranks.len() + elements.len() > u32::MAX as usize {
+            return Err(SsJoinError::TooManyElements {
+                elements: self.ranks.len() + elements.len(),
+            });
+        }
+        let mut elems = elements.to_vec();
+        elems.sort_unstable_by_key(|&(rank, _)| rank);
+        for w in elems.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(SsJoinError::InvalidInput(format!(
+                    "duplicate rank {}; ordinalize multisets first",
+                    w[0].0
+                )));
+            }
+        }
+        if let Some(&(rank, _)) = elems.last() {
+            if rank as usize >= self.universe_size {
+                return Err(SsJoinError::InvalidInput(format!(
+                    "element rank {rank} is outside the universe of {} ranks",
+                    self.universe_size
+                )));
+            }
+        }
+        let start = self.ranks.len();
+        let mut signature = 0u64;
+        let mut min_weight: Option<Weight> = None;
+        for &(rank, w) in &elems {
+            self.ranks.push(rank);
+            self.weights.push(w);
+            signature |= signature_bit(rank);
+            min_weight = Some(min_weight.map_or(w, |m| m.min(w)));
+        }
+        self.suffix.resize(self.ranks.len(), Weight::ZERO);
+        let mut acc = Weight::ZERO;
+        for k in (start..self.ranks.len()).rev() {
+            acc += self.weights[k];
+            self.suffix[k] = acc;
+        }
+        let id = self.len() as u32;
+        self.offsets.push(self.ranks.len() as u32);
+        self.norms.push(norm);
+        self.totals.push(acc);
+        self.signatures.push(signature);
+        self.min_weights.push(min_weight.unwrap_or(Weight::ZERO));
+        self.norm_range = Some(match self.norm_range {
+            None => (norm, norm),
+            Some((lo, hi)) => (lo.min(norm), hi.max(norm)),
+        });
+        Ok(id)
+    }
+
+    /// An empty collection sharing this one's element universe (size and
+    /// tag), so sets appended with [`Self::push_set`] stay joinable against
+    /// collections from the original builder run. Used by epoch compaction.
+    pub(crate) fn empty_like(&self) -> Self {
+        Self {
+            offsets: vec![0],
+            ranks: Vec::new(),
+            weights: Vec::new(),
+            suffix: Vec::new(),
+            norms: Vec::new(),
+            totals: Vec::new(),
+            signatures: Vec::new(),
+            min_weights: Vec::new(),
+            universe_size: self.universe_size,
+            universe_tag: self.universe_tag,
+            norm_range: None,
+        }
+    }
+
     /// One set by group id, as a borrowed arena view.
     #[inline]
     pub fn set(&self, id: u32) -> SetRef<'_> {

@@ -13,8 +13,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use ssjoin_core::kernel::OverlapKernel;
 use ssjoin_core::{
-    ssjoin_with, Algorithm, ElementOrder, JoinWorkspace, OverlapPredicate, SetCollection,
-    SsJoinConfig, SsJoinInputBuilder, WeightScheme,
+    ssjoin_with, Algorithm, CorpusIndex, ElementOrder, JoinWorkspace, OverlapPredicate,
+    SetCollection, SsJoinConfig, SsJoinInputBuilder, WeightScheme,
 };
 
 struct CountingAlloc;
@@ -124,6 +124,25 @@ fn warm_workspace_runs_allocation_free() {
                 );
                 assert_eq!(got, expect.len(), "alg {algorithm:?} kernel {kernel:?}");
             }
+        }
+
+        // The same contract holds for the persistent-index probe path: once
+        // the workspace has warmed on a probe, repeating it allocates
+        // nothing — the index side was paid for at build time.
+        for pred in &preds {
+            let index = CorpusIndex::build(c.clone(), pred.clone()).unwrap();
+            let config = SsJoinConfig::new(algorithm).with_threads(1);
+            let mut ws = JoinWorkspace::new();
+            let expect = index.probe(&c, &config, &mut ws).unwrap().pairs.len();
+            let mut got = usize::MAX;
+            let allocs = count_allocs(|| {
+                got = index.probe(&c, &config, &mut ws).unwrap().pairs.len();
+            });
+            assert_eq!(
+                allocs, 0,
+                "warm probe allocated: alg {algorithm:?} pred {pred:?}"
+            );
+            assert_eq!(got, expect, "alg {algorithm:?} pred {pred:?}");
         }
     }
 }

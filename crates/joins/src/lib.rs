@@ -53,4 +53,4 @@ pub use jaccard::{jaccard_join, JaccardConfig, JaccardKind};
 pub use matcher::EditMatcher;
 pub use soft_fd::{soft_fd_join, SoftFdConfig};
 pub use soundex::{soundex_join, SoundexConfig};
-pub use topk::{top_k_matches, TopKConfig};
+pub use topk::{top_k_matches, top_k_matches_indexed, TopKConfig, TopKIndex, TopKMatch};

@@ -6,12 +6,30 @@
 //! lookup of Chaudhuri et al. (SIGMOD 2003). Given a query string and a
 //! reference table, run the edit-similarity join of the query against the
 //! table at the floor threshold and keep the K best verified matches.
+//!
+//! Two entry points:
+//!
+//! * [`top_k_matches`] — one-shot: tokenizes the reference table, builds the
+//!   q-gram index, and answers a single lookup. Simple, but the build cost
+//!   is paid on every call.
+//! * [`TopKIndex`] / [`top_k_matches_indexed`] — persistent: the reference
+//!   table is encoded once into a [`CorpusIndex`] and any number of lookups
+//!   probe it, which is how an online cleaning pipeline actually runs. The
+//!   index also supports incremental [`TopKIndex::insert`] /
+//!   [`TopKIndex::delete`] and threshold-floor self-joins
+//!   ([`TopKIndex::self_pairs`]) for duplicate grouping.
 
+use crate::common::MatchPair;
 use crate::edit::{edit_similarity_join, EditJoinConfig};
-use crate::MatchPair;
-use ssjoin_core::{Algorithm, SsJoinResult};
+use ssjoin_core::{
+    Algorithm, CorpusIndex, ElementOrder, JoinWorkspace, NormExpr, NormKind, OverlapPredicate,
+    QueryEncoder, SsJoinConfig, SsJoinError, SsJoinInputBuilder, SsJoinResult, WeightScheme,
+};
+use ssjoin_sim::{edit_similarity, edit_similarity_at_least};
+use ssjoin_text::{QGramTokenizer, Tokenizer};
+use std::collections::HashSet;
 
-/// Configuration for [`top_k_matches`].
+/// Configuration for [`top_k_matches`] and [`TopKIndex`].
 #[derive(Debug, Clone)]
 pub struct TopKConfig {
     /// Number of matches to return.
@@ -25,17 +43,24 @@ pub struct TopKConfig {
 
 impl TopKConfig {
     /// Top-`k` with the given similarity floor.
-    pub fn new(k: usize, min_similarity: f64) -> Self {
-        assert!(k >= 1, "k must be at least 1");
-        assert!(
-            min_similarity > 0.0 && min_similarity <= 1.0,
-            "min_similarity must be in (0, 1]"
-        );
-        Self {
+    ///
+    /// # Errors
+    /// Returns [`SsJoinError::Config`] when `k` is zero or
+    /// `min_similarity` is outside `(0, 1]`.
+    pub fn new(k: usize, min_similarity: f64) -> SsJoinResult<Self> {
+        if k < 1 {
+            return Err(SsJoinError::Config("k must be at least 1".into()));
+        }
+        if !(min_similarity > 0.0 && min_similarity <= 1.0) {
+            return Err(SsJoinError::Config(format!(
+                "min_similarity must be in (0, 1], got {min_similarity}"
+            )));
+        }
+        Ok(Self {
             k,
             min_similarity,
             q: 3,
-        }
+        })
     }
 }
 
@@ -48,8 +73,329 @@ pub struct TopKMatch {
     pub similarity: f64,
 }
 
+/// Coefficient `1 − (1 − α)·q` of the Property-4 overlap bound.
+fn coefficient(alpha: f64, q: usize) -> f64 {
+    1.0 - (1.0 - alpha) * q as f64
+}
+
+/// Strings strictly shorter than this cannot rely on the q-gram bound (the
+/// bound is < 1 when both partners are shorter). `usize::MAX` when the
+/// coefficient is non-positive — then no length is safe and matching
+/// degenerates to brute force.
+fn short_cutoff(alpha: f64, q: usize) -> usize {
+    let c = coefficient(alpha, q);
+    if c <= 0.0 {
+        usize::MAX
+    } else {
+        (q as f64 / c).ceil() as usize
+    }
+}
+
+/// The Property-4 predicate at threshold `alpha`:
+/// `Overlap ≥ max(R.norm, S.norm)·(1 − (1−α)q) − (q − 1)`.
+fn property4_predicate(alpha: f64, q: usize) -> OverlapPredicate {
+    OverlapPredicate::new(vec![NormExpr::Sub(
+        Box::new(NormExpr::Mul(
+            Box::new(NormExpr::Max(
+                Box::new(NormExpr::RNorm),
+                Box::new(NormExpr::SNorm),
+            )),
+            Box::new(NormExpr::Const(coefficient(alpha, q))),
+        )),
+        Box::new(NormExpr::Const(q as f64 - 1.0)),
+    )])
+}
+
+fn rank_matches(out: &mut [TopKMatch]) {
+    out.sort_by(|a, b| {
+        b.similarity
+            .partial_cmp(&a.similarity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.index.cmp(&b.index))
+    });
+}
+
+/// A persistent fuzzy-match index: the reference table is q-gram-encoded
+/// into a [`CorpusIndex`] once; every lookup probes the prebuilt inverted
+/// lists instead of re-running the full edit join.
+///
+/// Correctness mirrors [`edit_similarity_join`] exactly:
+///
+/// * probe candidates come from the Property-4 predicate at the configured
+///   floor, then are verified with the banded edit-distance UDF;
+/// * references (and queries) shorter than the q-gram cutoff are routed
+///   through an exact brute-force pool;
+/// * references [`insert`](TopKIndex::insert)ed later whose q-grams fall
+///   outside the frozen element universe are checked against *every* query,
+///   because their under-encoded sets would weaken the prefix-filter
+///   guarantee.
+///
+/// ```
+/// use ssjoin_joins::{TopKConfig, TopKIndex};
+///
+/// let catalog: Vec<String> = vec!["Microsoft Corp".into(), "Oracle Inc".into()];
+/// let mut index = TopKIndex::build(&catalog, TopKConfig::new(1, 0.8).unwrap()).unwrap();
+/// let hits = index.top_k("Mcrosoft Corp").unwrap();
+/// assert_eq!(hits[0].index, 0);
+/// ```
+#[derive(Debug)]
+pub struct TopKIndex {
+    config: TopKConfig,
+    reference: Vec<String>,
+    ref_lens: Vec<usize>,
+    encoder: QueryEncoder,
+    index: CorpusIndex,
+    ss_config: SsJoinConfig,
+    ws: JoinWorkspace,
+    /// Reference ids below the q-gram cutoff (exact pool for short queries).
+    short_ids: Vec<u32>,
+    /// Inserted ids whose encoding dropped out-of-universe q-grams; checked
+    /// against every query.
+    brute_ids: Vec<u32>,
+    short_cutoff: usize,
+}
+
+impl TopKIndex {
+    /// Build the index over `reference` once.
+    ///
+    /// # Errors
+    /// Returns [`SsJoinError::Config`] when `config.q` is zero, or any error
+    /// of the underlying input build / index construction.
+    pub fn build(reference: &[String], config: TopKConfig) -> SsJoinResult<Self> {
+        if config.q == 0 {
+            return Err(SsJoinError::Config("q must be at least 1".into()));
+        }
+        let tok = QGramTokenizer::new(config.q);
+        let ref_lens: Vec<usize> = reference.iter().map(|x| x.chars().count()).collect();
+        let norms: Vec<f64> = ref_lens.iter().map(|&l| l as f64).collect();
+        let groups: Vec<Vec<String>> = reference.iter().map(|x| tok.tokenize(x)).collect();
+        let mut builder =
+            SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
+        builder.add_relation_with_norm(groups, NormKind::Custom(norms));
+        let built = builder.build()?;
+        let encoder = built.query_encoder();
+        let corpus = built
+            .into_collections()
+            .pop()
+            .unwrap_or_else(|| unreachable!("one relation was added"));
+        let pred = property4_predicate(config.min_similarity, config.q);
+        let index = CorpusIndex::build(corpus, pred)?;
+        let cutoff = short_cutoff(config.min_similarity, config.q);
+        let short_ids = (0..reference.len() as u32)
+            .filter(|&i| ref_lens[i as usize] < cutoff)
+            .collect();
+        Ok(Self {
+            ss_config: SsJoinConfig::new(Algorithm::Inline),
+            config,
+            reference: reference.to_vec(),
+            ref_lens,
+            encoder,
+            index,
+            ws: JoinWorkspace::new(),
+            short_ids,
+            brute_ids: Vec::new(),
+            short_cutoff: cutoff,
+        })
+    }
+
+    /// The best `config.k` live references for `query` with edit similarity
+    /// at least `config.min_similarity`, ordered by descending similarity
+    /// (ties by index) — the indexed equivalent of [`top_k_matches`].
+    pub fn top_k(&mut self, query: &str) -> SsJoinResult<Vec<TopKMatch>> {
+        let mut out = self.matches(query)?;
+        out.truncate(self.config.k);
+        Ok(out)
+    }
+
+    /// All live references for `query` above the floor, unbounded by `k`.
+    pub fn matches(&mut self, query: &str) -> SsJoinResult<Vec<TopKMatch>> {
+        let alpha = self.config.min_similarity;
+        let tok = QGramTokenizer::new(self.config.q);
+        let qlen = query.chars().count();
+        let batch = self
+            .encoder
+            .encode(&[tok.tokenize(query)], NormKind::Custom(vec![qlen as f64]))?;
+
+        let mut out: Vec<TopKMatch> = Vec::new();
+        let mut seen: HashSet<u32> = HashSet::new();
+        {
+            let run = self.index.probe(&batch, &self.ss_config, &mut self.ws)?;
+            for p in run.pairs {
+                seen.insert(p.s);
+                if edit_similarity_at_least(query, &self.reference[p.s as usize], alpha) {
+                    out.push(TopKMatch {
+                        index: p.s,
+                        similarity: edit_similarity(query, &self.reference[p.s as usize]),
+                    });
+                }
+            }
+        }
+
+        // Exact route for pairs the q-gram bound cannot cover: short query ×
+        // short reference, plus under-encoded inserts against every query.
+        let brute = |rid: u32, out: &mut Vec<TopKMatch>, seen: &mut HashSet<u32>| {
+            if !seen.insert(rid) || !self.index.is_alive(rid) {
+                return;
+            }
+            if edit_similarity_at_least(query, &self.reference[rid as usize], alpha) {
+                out.push(TopKMatch {
+                    index: rid,
+                    similarity: edit_similarity(query, &self.reference[rid as usize]),
+                });
+            }
+        };
+        if qlen < self.short_cutoff {
+            for &rid in &self.short_ids {
+                brute(rid, &mut out, &mut seen);
+            }
+        }
+        for &rid in &self.brute_ids {
+            brute(rid, &mut out, &mut seen);
+        }
+
+        rank_matches(&mut out);
+        Ok(out)
+    }
+
+    /// All live reference pairs `(r, s)` with `r < s` and edit similarity at
+    /// least `theta`, sorted by `(r, s)` — the self-join feeding duplicate
+    /// grouping ([`crate::cluster_pairs`]).
+    ///
+    /// # Errors
+    /// Returns [`SsJoinError::Config`] when `theta` is below the index's
+    /// build floor (candidates were generated at `config.min_similarity`, so
+    /// lower thresholds would miss pairs) or above 1.
+    pub fn self_pairs(&mut self, theta: f64) -> SsJoinResult<Vec<MatchPair>> {
+        if !(theta >= self.config.min_similarity && theta <= 1.0) {
+            return Err(SsJoinError::Config(format!(
+                "theta must be in [{}, 1], got {theta}",
+                self.config.min_similarity
+            )));
+        }
+        let mut out: Vec<MatchPair> = Vec::new();
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        {
+            // The batch side is the corpus arena itself, dead rows included;
+            // the probe filters dead S rows, the retain below dead R rows.
+            let run = self
+                .index
+                .probe(self.index.corpus(), &self.ss_config, &mut self.ws)?;
+            for p in run.pairs {
+                // The probe filters dead S rows, but the batch side carries
+                // the whole arena — dead R rows must be dropped here.
+                if !self.index.is_alive(p.r) {
+                    continue;
+                }
+                let (r, s) = (p.r.min(p.s), p.r.max(p.s));
+                if r == s || !seen.insert((r, s)) {
+                    continue;
+                }
+                let (a, b) = (&self.reference[r as usize], &self.reference[s as usize]);
+                if edit_similarity_at_least(a, b, theta) {
+                    out.push(MatchPair {
+                        r,
+                        s,
+                        similarity: edit_similarity(a, b),
+                    });
+                }
+            }
+        }
+
+        // Exact supplements, mirroring `matches`: short × short, and
+        // under-encoded inserts against every live reference.
+        let brute = |r: u32, s: u32, out: &mut Vec<MatchPair>, seen: &mut HashSet<(u32, u32)>| {
+            let (r, s) = (r.min(s), s.max(r));
+            if r == s || !self.index.is_alive(r) || !self.index.is_alive(s) || !seen.insert((r, s))
+            {
+                return;
+            }
+            let (a, b) = (&self.reference[r as usize], &self.reference[s as usize]);
+            if edit_similarity_at_least(a, b, theta) {
+                out.push(MatchPair {
+                    r,
+                    s,
+                    similarity: edit_similarity(a, b),
+                });
+            }
+        };
+        for i in 0..self.short_ids.len() {
+            for j in (i + 1)..self.short_ids.len() {
+                brute(self.short_ids[i], self.short_ids[j], &mut out, &mut seen);
+            }
+        }
+        for &bid in &self.brute_ids {
+            for other in 0..self.reference.len() as u32 {
+                brute(bid, other, &mut out, &mut seen);
+            }
+        }
+
+        out.sort_unstable_by_key(|p| (p.r, p.s));
+        Ok(out)
+    }
+
+    /// Append a reference string, returning its id. The new row is matchable
+    /// immediately; the underlying [`CorpusIndex`] merges its epoch tail
+    /// into the inverted lists automatically as inserts accumulate.
+    pub fn insert(&mut self, text: &str) -> SsJoinResult<u32> {
+        let tok = QGramTokenizer::new(self.config.q);
+        let group = tok.tokenize(text);
+        let elems = self.encoder.encode_group(&group);
+        let dropped = elems.len() < group.len();
+        let len = text.chars().count();
+        let id = self.index.insert(&elems, len as f64)?;
+        self.reference.push(text.to_string());
+        self.ref_lens.push(len);
+        if len < self.short_cutoff {
+            self.short_ids.push(id);
+        }
+        if dropped {
+            self.brute_ids.push(id);
+        }
+        Ok(id)
+    }
+
+    /// Tombstone a reference: it stops appearing in match results
+    /// immediately. Idempotent.
+    ///
+    /// # Errors
+    /// Returns [`SsJoinError::InvalidInput`] when `id` was never inserted.
+    pub fn delete(&mut self, id: u32) -> SsJoinResult<()> {
+        self.index.delete(id)
+    }
+
+    /// The text of reference `id`, or `None` when out of range or deleted.
+    pub fn reference_text(&self, id: u32) -> Option<&str> {
+        self.index
+            .is_alive(id)
+            .then(|| self.reference[id as usize].as_str())
+    }
+
+    /// Total rows ever inserted (tombstones included).
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when no rows were ever inserted.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Rows that are still live (not tombstoned).
+    pub fn live_len(&self) -> usize {
+        self.index.live_len()
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &TopKConfig {
+        &self.config
+    }
+}
+
 /// The best `k` reference entries for `query` with edit similarity at least
 /// `min_similarity`, ordered by descending similarity (ties by index).
+///
+/// Builds the q-gram input on every call; for repeated lookups against one
+/// reference table build a [`TopKIndex`] and use [`top_k_matches_indexed`].
 pub fn top_k_matches(
     query: &str,
     reference: &[String],
@@ -68,14 +414,15 @@ pub fn top_k_matches(
             similarity: p.similarity,
         })
         .collect();
-    matches.sort_by(|a, b| {
-        b.similarity
-            .partial_cmp(&a.similarity)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.index.cmp(&b.index))
-    });
+    rank_matches(&mut matches);
     matches.truncate(config.k);
     Ok(matches)
+}
+
+/// [`top_k_matches`] against a prebuilt [`TopKIndex`]: identical results,
+/// but the reference table is encoded and indexed once instead of per call.
+pub fn top_k_matches_indexed(query: &str, index: &mut TopKIndex) -> SsJoinResult<Vec<TopKMatch>> {
+    index.top_k(query)
 }
 
 #[cfg(test)]
@@ -97,7 +444,12 @@ mod tests {
 
     #[test]
     fn best_match_first() {
-        let m = top_k_matches("microsoft corp", &reference(), &TopKConfig::new(2, 0.5)).unwrap();
+        let m = top_k_matches(
+            "microsoft corp",
+            &reference(),
+            &TopKConfig::new(2, 0.5).unwrap(),
+        )
+        .unwrap();
         assert_eq!(m[0].index, 1); // exact match
         assert_eq!(m[0].similarity, 1.0);
         assert!(m.len() == 2);
@@ -106,23 +458,176 @@ mod tests {
 
     #[test]
     fn floor_excludes_weak_matches() {
-        let m = top_k_matches("microsoft corp", &reference(), &TopKConfig::new(5, 0.95)).unwrap();
+        let m = top_k_matches(
+            "microsoft corp",
+            &reference(),
+            &TopKConfig::new(5, 0.95).unwrap(),
+        )
+        .unwrap();
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].index, 1);
     }
 
     #[test]
     fn no_match_above_floor() {
-        let m = top_k_matches("zzzzzz", &reference(), &TopKConfig::new(3, 0.8)).unwrap();
+        let m = top_k_matches("zzzzzz", &reference(), &TopKConfig::new(3, 0.8).unwrap()).unwrap();
         assert!(m.is_empty());
     }
 
     #[test]
     fn k_truncates() {
         let refs: Vec<String> = (0..10).map(|i| format!("query {i}")).collect();
-        let m = top_k_matches("query 0", &refs, &TopKConfig::new(3, 0.5)).unwrap();
+        let m = top_k_matches("query 0", &refs, &TopKConfig::new(3, 0.5).unwrap()).unwrap();
         assert_eq!(m.len(), 3);
         // Descending similarity, ties by index.
         assert!(m.windows(2).all(|w| w[0].similarity >= w[1].similarity));
+    }
+
+    #[test]
+    fn config_validation_is_typed() {
+        assert!(matches!(
+            TopKConfig::new(0, 0.8),
+            Err(SsJoinError::Config(_))
+        ));
+        assert!(matches!(
+            TopKConfig::new(3, 0.0),
+            Err(SsJoinError::Config(_))
+        ));
+        assert!(matches!(
+            TopKConfig::new(3, 1.5),
+            Err(SsJoinError::Config(_))
+        ));
+        assert!(matches!(
+            TopKConfig::new(3, f64::NAN),
+            Err(SsJoinError::Config(_))
+        ));
+        assert!(TopKConfig::new(1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn indexed_matches_one_shot() {
+        let refs = reference();
+        for (k, alpha) in [(2, 0.5), (5, 0.95), (3, 0.8), (1, 0.6)] {
+            let config = TopKConfig::new(k, alpha).unwrap();
+            let mut index = TopKIndex::build(&refs, config.clone()).unwrap();
+            for query in ["microsoft corp", "oracle corpp", "zzzzzz", "", "machines"] {
+                let fresh = top_k_matches(query, &refs, &config).unwrap();
+                let indexed = top_k_matches_indexed(query, &mut index).unwrap();
+                assert_eq!(indexed, fresh, "k={k} alpha={alpha} query={query:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_matches_one_shot_on_short_strings() {
+        // Below the q-gram cutoff the exact pool must kick in, exactly as
+        // edit_similarity_join's brute route does.
+        let refs: Vec<String> = ["ab", "ac", "xy", "abcdefgh"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let config = TopKConfig::new(4, 0.5).unwrap();
+        let mut index = TopKIndex::build(&refs, config.clone()).unwrap();
+        for query in ["ab", "ax", "abcdefgx", "q"] {
+            let fresh = top_k_matches(query, &refs, &config).unwrap();
+            let indexed = index.top_k(query).unwrap();
+            assert_eq!(indexed, fresh, "query={query:?}");
+        }
+    }
+
+    #[test]
+    fn insert_delete_match_fresh_rebuild() {
+        let mut refs = reference();
+        let config = TopKConfig::new(5, 0.5).unwrap();
+        let mut index = TopKIndex::build(&refs, config.clone()).unwrap();
+
+        // Insert a row already expressible in the frozen universe and one
+        // with brand-new q-grams (forced through the brute pool).
+        for added in ["microsoft corporatian", "zzz 999 qqq"] {
+            let id = index.insert(added).unwrap();
+            assert_eq!(id as usize, refs.len());
+            refs.push(added.to_string());
+        }
+        for query in ["microsoft corporation", "zzz 999 qqq", "ab"] {
+            let fresh = top_k_matches(query, &refs, &config).unwrap();
+            let indexed = index.top_k(query).unwrap();
+            assert_eq!(indexed, fresh, "after insert, query={query:?}");
+        }
+
+        // Delete one original and one inserted row: fresh results against
+        // the surviving rows, with ids remapped, must agree.
+        index.delete(1).unwrap();
+        index.delete(6).unwrap();
+        index.delete(6).unwrap(); // idempotent
+        assert!(index.delete(99).is_err());
+        let live: Vec<u32> = (0..refs.len() as u32)
+            .filter(|&i| i != 1 && i != 6)
+            .collect();
+        let live_refs: Vec<String> = live.iter().map(|&i| refs[i as usize].clone()).collect();
+        for query in ["microsoft corp", "zzz 999 qqq"] {
+            let fresh: Vec<TopKMatch> = top_k_matches(query, &live_refs, &config)
+                .unwrap()
+                .into_iter()
+                .map(|m| TopKMatch {
+                    index: live[m.index as usize],
+                    similarity: m.similarity,
+                })
+                .collect();
+            let indexed = index.top_k(query).unwrap();
+            assert_eq!(indexed, fresh, "after delete, query={query:?}");
+        }
+        assert_eq!(index.live_len(), refs.len() - 2);
+        assert_eq!(index.reference_text(1), None);
+        assert_eq!(index.reference_text(0), Some("microsoft corporation"));
+    }
+
+    #[test]
+    fn self_pairs_match_edit_join() {
+        let mut refs = reference();
+        refs.push("microsoft corp".to_string()); // exact duplicate of row 1
+        refs.push("ab".to_string());
+        refs.push("ac".to_string()); // short pair, no shared 3-gram
+        let mut index = TopKIndex::build(&refs, TopKConfig::new(3, 0.5).unwrap()).unwrap();
+        for theta in [0.5, 0.8, 1.0] {
+            let got: Vec<(u32, u32)> = index
+                .self_pairs(theta)
+                .unwrap()
+                .iter()
+                .map(|p| (p.r, p.s))
+                .collect();
+            let cfg = EditJoinConfig::new(theta);
+            let expect: Vec<(u32, u32)> = edit_similarity_join(&refs, &refs, &cfg)
+                .unwrap()
+                .keys()
+                .into_iter()
+                .filter(|&(r, s)| r < s)
+                .collect();
+            assert_eq!(got, expect, "theta={theta}");
+        }
+        // Below the build floor the candidate set is no longer a superset.
+        assert!(index.self_pairs(0.4).is_err());
+        // Deleted rows drop out of the self-join.
+        index.delete(5).unwrap();
+        let got: Vec<(u32, u32)> = index
+            .self_pairs(0.9)
+            .unwrap()
+            .iter()
+            .map(|p| (p.r, p.s))
+            .collect();
+        assert!(!got.contains(&(1, 5)));
+    }
+
+    #[test]
+    fn empty_reference_index() {
+        let mut index = TopKIndex::build(&[], TopKConfig::new(3, 0.8).unwrap()).unwrap();
+        assert!(index.is_empty());
+        assert!(index.top_k("anything").unwrap().is_empty());
+        let id = index.insert("first row").unwrap();
+        assert_eq!(id, 0);
+        // The universe is empty, so the insert is under-encoded and served
+        // from the brute pool — still matchable.
+        let m = index.top_k("first row").unwrap();
+        assert_eq!(m[0].index, 0);
+        assert_eq!(m[0].similarity, 1.0);
     }
 }

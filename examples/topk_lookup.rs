@@ -21,7 +21,7 @@ fn main() {
         "zzz completely unmatched zzz".to_string(),
     ];
 
-    let config = TopKConfig::new(3, 0.6);
+    let config = TopKConfig::new(3, 0.6).expect("valid top-k config");
     for q in &queries {
         println!("query: {q}");
         let matches = top_k_matches(q, reference, &config).expect("lookup succeeds");

@@ -3,6 +3,7 @@
 //! ```text
 //! ssjoin join   --kind jaccard --threshold 0.85 [--algorithm inline] [--self-dedupe] R.tsv [S.tsv]
 //! ssjoin match  --reference R.tsv --query "some string" [--k 3] [--min-sim 0.6]
+//! ssjoin serve  --reference R.tsv [--k 3] [--min-sim 0.6] [--q 3]
 //! ssjoin dedup  --threshold 0.85 [--kind edit] FILE.tsv
 //! ssjoin gen    --rows 10000 --out addresses.tsv [--seed 7]
 //! ```
@@ -10,13 +11,27 @@
 //! Input files are TSV; the first column of each row is the string joined
 //! on. Join output rows are `r_index  s_index  similarity  r_string
 //! s_string`.
+//!
+//! `serve` loads the reference table once, builds a persistent
+//! [`TopKIndex`], and answers tab-separated requests from stdin until EOF:
+//!
+//! ```text
+//! match <text>   -> m <id> <similarity> <text> ... then ok <count>
+//! dedup <theta>  -> g <group> <id> <text> ...    then ok <groups>
+//! add <text>     -> ok <new-id>
+//! del <id>       -> ok <id>
+//! ```
+//!
+//! Failed requests answer `err <message>` and the server keeps reading.
 
 use ssjoin::core::Algorithm;
 use ssjoin::datagen::{read_tsv, write_tsv, AddressCorpus, AddressCorpusConfig};
 use ssjoin::joins::{
     cluster_pairs, cosine_join, dedupe_self_pairs, edit_similarity_join, ges_join, jaccard_join,
-    CosineConfig, EditJoinConfig, EditMatcher, GesJoinConfig, JaccardConfig, MatchPair,
+    CosineConfig, EditJoinConfig, EditMatcher, GesJoinConfig, JaccardConfig, MatchPair, TopKConfig,
+    TopKIndex,
 };
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 /// Which similarity function a join uses.
@@ -46,6 +61,12 @@ enum Command {
         k: usize,
         min_sim: f64,
     },
+    Serve {
+        reference: String,
+        k: usize,
+        min_sim: f64,
+        q: usize,
+    },
     Dedup {
         kind: JoinKind,
         threshold: f64,
@@ -64,6 +85,7 @@ const USAGE: &str = "usage:
                [--algorithm <basic|prefix|inline|positional|auto>] \\
                [--self-dedupe] [--out OUT.tsv] R.tsv [S.tsv]
   ssjoin match --reference R.tsv --query STRING [--k N] [--min-sim F]
+  ssjoin serve --reference R.tsv [--k N] [--min-sim F] [--q N]
   ssjoin dedup --threshold F [--kind <edit|jaccard|cosine>] FILE.tsv
   ssjoin gen   --rows N --out FILE.tsv [--seed N]";
 
@@ -159,6 +181,15 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             k: get_usize("k")?.unwrap_or(3),
             min_sim: get_f64("min-sim")?.unwrap_or(0.6),
         }),
+        "serve" => Ok(Command::Serve {
+            reference: opts
+                .get("reference")
+                .cloned()
+                .ok_or("serve requires --reference".to_string())?,
+            k: get_usize("k")?.unwrap_or(3),
+            min_sim: get_f64("min-sim")?.unwrap_or(0.6),
+            q: get_usize("q")?.unwrap_or(3),
+        }),
         "dedup" => Ok(Command::Dedup {
             kind: parse_kind(opts.get("kind").map(String::as_str).unwrap_or("edit"))?,
             threshold: get_f64("threshold")?.ok_or("dedup requires --threshold".to_string())?,
@@ -242,6 +273,81 @@ fn run_join(
     Ok(pairs)
 }
 
+/// Serve-mode request loop: build the [`TopKIndex`] once over `reference`,
+/// then answer one tab-separated request per input line until EOF. Request
+/// failures are reported as `err` response lines; only I/O failures and a
+/// bad initial configuration abort the loop.
+fn run_serve<R: BufRead, W: Write>(
+    reference: Vec<String>,
+    k: usize,
+    min_sim: f64,
+    q: usize,
+    input: R,
+    mut out: W,
+) -> Result<(), String> {
+    let mut config = TopKConfig::new(k, min_sim).map_err(|e| e.to_string())?;
+    config.q = q;
+    let mut index = TopKIndex::build(&reference, config).map_err(|e| e.to_string())?;
+    let io_err = |e: std::io::Error| e.to_string();
+
+    for line in input.lines() {
+        let line = line.map_err(io_err)?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            continue;
+        }
+        let (verb, arg) = line.split_once('\t').unwrap_or((line, ""));
+        let outcome: Result<(), String> = match verb {
+            "match" => index.top_k(arg).map_err(|e| e.to_string()).and_then(|ms| {
+                for m in &ms {
+                    writeln!(
+                        out,
+                        "m\t{}\t{:.6}\t{}",
+                        m.index,
+                        m.similarity,
+                        index.reference_text(m.index).unwrap_or("")
+                    )
+                    .map_err(io_err)?;
+                }
+                writeln!(out, "ok\t{}", ms.len()).map_err(io_err)
+            }),
+            "dedup" => arg
+                .parse::<f64>()
+                .map_err(|e| format!("dedup threshold: {e}"))
+                .and_then(|theta| index.self_pairs(theta).map_err(|e| e.to_string()))
+                .and_then(|pairs| {
+                    let groups = cluster_pairs(index.len(), &pairs);
+                    for (gi, group) in groups.iter().enumerate() {
+                        for &member in group {
+                            writeln!(
+                                out,
+                                "g\t{gi}\t{member}\t{}",
+                                index.reference_text(member).unwrap_or("")
+                            )
+                            .map_err(io_err)?;
+                        }
+                    }
+                    writeln!(out, "ok\t{}", groups.len()).map_err(io_err)
+                }),
+            "add" => index
+                .insert(arg)
+                .map_err(|e| e.to_string())
+                .and_then(|id| writeln!(out, "ok\t{id}").map_err(io_err)),
+            "del" => arg
+                .parse::<u32>()
+                .map_err(|e| format!("del id: {e}"))
+                .and_then(|id| index.delete(id).map_err(|e| e.to_string()).map(|()| id))
+                .and_then(|id| writeln!(out, "ok\t{id}").map_err(io_err)),
+            other => Err(format!("unknown request {other:?}")),
+        };
+        if let Err(msg) = outcome {
+            writeln!(out, "err\t{}", msg.replace(['\t', '\n'], " ")).map_err(io_err)?;
+        }
+        out.flush().map_err(io_err)?;
+    }
+    Ok(())
+}
+
 fn execute(cmd: Command) -> Result<(), String> {
     match cmd {
         Command::Help => {
@@ -308,6 +414,18 @@ fn execute(cmd: Command) -> Result<(), String> {
                 );
             }
             Ok(())
+        }
+        Command::Serve {
+            reference,
+            k,
+            min_sim,
+            q,
+        } => {
+            let refs = first_column(&reference)?;
+            eprintln!("serving {} reference rows (EOF to stop)", refs.len());
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            run_serve(refs, k, min_sim, q, stdin.lock(), stdout.lock())
         }
         Command::Dedup {
             kind,
@@ -449,6 +567,83 @@ mod tests {
                 path: "f.tsv".into()
             }
         );
+    }
+
+    #[test]
+    fn parses_serve_and_defaults() {
+        assert_eq!(
+            parse_args(&sv(&["serve", "--reference", "r.tsv"])).unwrap(),
+            Command::Serve {
+                reference: "r.tsv".into(),
+                k: 3,
+                min_sim: 0.6,
+                q: 3,
+            }
+        );
+        assert_eq!(
+            parse_args(&sv(&[
+                "serve",
+                "--reference",
+                "r.tsv",
+                "--k",
+                "5",
+                "--min-sim",
+                "0.8",
+                "--q",
+                "2"
+            ]))
+            .unwrap(),
+            Command::Serve {
+                reference: "r.tsv".into(),
+                k: 5,
+                min_sim: 0.8,
+                q: 2,
+            }
+        );
+        assert!(parse_args(&sv(&["serve"])).is_err()); // missing --reference
+    }
+
+    #[test]
+    fn serve_answers_batched_requests() {
+        let refs: Vec<String> = [
+            "microsoft corporation",
+            "microsoft corp",
+            "oracle incorporated",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let input = "match\tmicrosoft corp\n\
+                     add\tmcrosoft corp\n\
+                     match\tmcrosoft corp\n\
+                     dedup\t0.8\n\
+                     del\t1\n\
+                     match\tmicrosoft corp\n\
+                     del\tbogus\n\
+                     frobnicate\tx\n";
+        let mut out = Vec::new();
+        run_serve(refs, 3, 0.6, 3, std::io::Cursor::new(input), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+
+        // match "microsoft corp": row 1 is exact.
+        assert_eq!(lines[0], "m\t1\t1.000000\tmicrosoft corp");
+        // add returns the next id (3 rows existed).
+        assert!(lines.contains(&"ok\t3"));
+        // the added row answers its own lookup exactly.
+        assert!(lines.contains(&"m\t3\t1.000000\tmcrosoft corp"));
+        // dedup at 0.8 groups the near-identical microsoft rows.
+        assert!(lines.iter().any(|l| l.starts_with("g\t0\t1\t")));
+        // after del 1, the exact row no longer answers.
+        let after_del = lines
+            .iter()
+            .rposition(|l| *l == "ok\t1")
+            .expect("del 1 acknowledged");
+        assert!(lines[after_del + 1..]
+            .iter()
+            .all(|l| !l.ends_with("\tmicrosoft corp")));
+        // failed requests answer err and the loop keeps going.
+        assert_eq!(lines.iter().filter(|l| l.starts_with("err\t")).count(), 2);
     }
 
     #[test]

@@ -74,14 +74,14 @@ pub use ssjoin_text as text;
 
 // Most-used items at the crate root for ergonomic imports.
 pub use ssjoin_core::{
-    ssjoin, ssjoin_with, Algorithm, BudgetCause, CancelToken, ElementOrder, ExecBudget,
-    ExecContext, JoinWorkspace, OverlapPredicate, ShardPolicy, SsJoinConfig, SsJoinInputBuilder,
-    SsJoinRun, StatsLevel, WeightScheme,
+    ssjoin, ssjoin_with, Algorithm, BudgetCause, CancelToken, CorpusIndex, CorpusIndexOptions,
+    ElementOrder, ExecBudget, ExecContext, JoinWorkspace, NormKind, OverlapPredicate, QueryEncoder,
+    ShardPolicy, SsJoinConfig, SsJoinInputBuilder, SsJoinRun, StatsLevel, WeightScheme,
 };
 pub use ssjoin_joins::{
     cluster_pairs, cooccurrence_join, cosine_join, edit_similarity_join, ges_join, jaccard_join,
-    soft_fd_join, top_k_matches, CosineConfig, EditJoinConfig, GesJoinConfig, JaccardConfig,
-    SoftFdConfig, TopKConfig,
+    soft_fd_join, top_k_matches, top_k_matches_indexed, CosineConfig, EditJoinConfig,
+    GesJoinConfig, JaccardConfig, SoftFdConfig, TopKConfig, TopKIndex,
 };
 
 use ssjoin_core::plan::{basic_plan, collection_to_relation, inline_plan, prefix_plan, run_plan};
@@ -297,6 +297,62 @@ impl<'a> SsJoin<'a> {
             )),
         }
     }
+
+    /// Build a persistent [`CorpusIndex`] over this join's S side and
+    /// predicate — the build half of the build-once/probe-many split. The
+    /// returned index owns a copy of the S collection; probe it with
+    /// [`SsJoin::probe_with`] (or [`CorpusIndex::probe`] directly), and keep
+    /// it across queries so repeated joins stop paying index construction:
+    ///
+    /// ```
+    /// use ssjoin::{Algorithm, JoinWorkspace, OverlapPredicate, SsJoin, SsJoinInputBuilder};
+    /// use ssjoin::{ElementOrder, WeightScheme};
+    ///
+    /// let mut b = SsJoinInputBuilder::new(WeightScheme::Unweighted, ElementOrder::FrequencyAsc);
+    /// b.add_relation(vec![
+    ///     vec!["a".to_string(), "b".to_string(), "c".to_string()],
+    ///     vec!["b".to_string(), "c".to_string(), "d".to_string()],
+    /// ]);
+    /// let input = b.build().unwrap();
+    /// let join = SsJoin::new(&input).predicate(OverlapPredicate::absolute(2.0));
+    ///
+    /// let index = join.index().unwrap();
+    /// let mut ws = JoinWorkspace::new();
+    /// let run = join.probe_with(&index, &mut ws).unwrap();
+    /// assert!(run.pairs.iter().any(|p| (p.r, p.s) == (0, 1)));
+    /// ```
+    pub fn index(&self) -> SsJoinResult<CorpusIndex> {
+        let (_, s) = self.resolve()?;
+        let pred = self.predicate.clone().ok_or_else(|| {
+            SsJoinError::Config("no overlap predicate set; call .predicate(..)".into())
+        })?;
+        let options = CorpusIndexOptions {
+            build_threads: self.config.exec.threads.max(1),
+            ..CorpusIndexOptions::default()
+        };
+        CorpusIndex::build_with(s.clone(), pred, &options)
+    }
+
+    /// Probe a prebuilt [`CorpusIndex`] with this join's R side, under this
+    /// join's execution context (threads, bitmap filter, budget, cancel
+    /// token all apply per probe). Emitted pairs are identical to
+    /// [`SsJoin::run`] against the index's live corpus; only candidate-level
+    /// counters may differ. Like [`SsJoin::run_with`], this is a fast-path
+    /// API: the relational-plan engine returns a [`SsJoinError::Config`]
+    /// error.
+    pub fn probe_with<'w>(
+        &self,
+        index: &CorpusIndex,
+        ws: &'w mut JoinWorkspace,
+    ) -> SsJoinResult<SsJoinRun<'w>> {
+        let (r, _) = self.resolve()?;
+        match self.engine {
+            Engine::Fast => index.probe(r, &self.config, ws),
+            Engine::RelationalPlan => Err(SsJoinError::Config(
+                "RelationalPlan does not support index probes; use run()".into(),
+            )),
+        }
+    }
 }
 
 /// Execute the join as a relational operator tree (Figures 7–9).
@@ -490,6 +546,39 @@ mod tests {
             .predicate(pred)
             .engine(Engine::RelationalPlan)
             .run_with(&mut ws);
+        assert!(matches!(err, Err(SsJoinError::Config(_))));
+    }
+
+    #[test]
+    fn facade_index_probe_matches_run() {
+        let input = addresses_input();
+        let pred = OverlapPredicate::two_sided(0.6);
+        for alg in [
+            Algorithm::Basic,
+            Algorithm::PrefixFiltered,
+            Algorithm::Inline,
+            Algorithm::PositionalInline,
+            Algorithm::Auto,
+        ] {
+            let join = SsJoin::new(&input).predicate(pred.clone()).algorithm(alg);
+            let fresh = SsJoin::new(&input)
+                .predicate(pred.clone())
+                .algorithm(alg)
+                .run()
+                .unwrap();
+            let index = join.index().unwrap();
+            let mut ws = JoinWorkspace::new();
+            let probed = join.probe_with(&index, &mut ws).unwrap();
+            assert_eq!(probed.pairs, fresh.pairs.as_slice(), "alg {alg:?}");
+            assert_eq!(probed.algorithm_used, fresh.algorithm_used, "alg {alg:?}");
+        }
+        // The relational-plan engine has no probe path.
+        let index = SsJoin::new(&input).predicate(pred.clone()).index().unwrap();
+        let mut ws = JoinWorkspace::new();
+        let err = SsJoin::new(&input)
+            .predicate(pred)
+            .engine(Engine::RelationalPlan)
+            .probe_with(&index, &mut ws);
         assert!(matches!(err, Err(SsJoinError::Config(_))));
     }
 
