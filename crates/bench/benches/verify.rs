@@ -7,7 +7,7 @@ use ssjoin_bench::criterion::{black_box, criterion_group, criterion_main, Benchm
 use ssjoin_bench::evaluation_corpus;
 use ssjoin_core::kernel::verify_overlap;
 use ssjoin_core::{
-    ssjoin, Algorithm, ElementOrder, OverlapKernel, OverlapPredicate, SsJoinConfig,
+    ssjoin, Algorithm, ElementOrder, OverlapKernel, OverlapPredicate, SignatureWidth, SsJoinConfig,
     SsJoinInputBuilder, SsJoinStats, WeightScheme,
 };
 use ssjoin_text::{Tokenizer, WordTokenizer};
@@ -98,5 +98,40 @@ fn bench_kernels(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_verify, bench_kernels);
+fn bench_signature(c: &mut Criterion) {
+    // The signature bound in isolation: every ordered pair of the seeded
+    // PRNG evaluation corpus, folded to 1/2/4/8-word views of the stored
+    // 8×u64 signature. What this measures is the cost of the fold +
+    // AND-NOT + popcount sweep itself — the work a candidate pays *before*
+    // any merge — and how it scales with the view width; pruning power at
+    // each width is the experiments harness's `ablation-bitmap` panel.
+    let corpus = evaluation_corpus(0.04);
+    let tok = WordTokenizer::new().lowercased();
+    let groups: Vec<Vec<String>> = corpus.records.iter().map(|s| tok.tokenize(s)).collect();
+    let mut b = SsJoinInputBuilder::new(WeightScheme::Idf, ElementOrder::FrequencyAsc);
+    let h = b.add_relation(groups);
+    let collection = b.build().unwrap().collection(h).clone();
+    let pred = OverlapPredicate::two_sided(0.85);
+
+    let mut g = c.benchmark_group("kernels/signature");
+    g.sample_size(10);
+    for width in SignatureWidth::ALL {
+        g.bench_function(width.name(), |bench| {
+            bench.iter(|| {
+                let mut pruned = 0u64;
+                for a in collection.iter() {
+                    for other in collection.iter() {
+                        let required = pred.required_overlap(a.norm(), other.norm());
+                        let bound = a.wide_overlap_bound(other, width);
+                        pruned += u64::from(bound < required);
+                    }
+                }
+                black_box(pruned)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_verify, bench_kernels, bench_signature);
 criterion_main!(benches);

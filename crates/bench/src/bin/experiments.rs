@@ -6,10 +6,10 @@
 //!
 //! Experiments: `table1 fig10 fig11 fig12 fig13 table2 naive ablation-order
 //! ablation-cost ablation-positional ablation-shard ablation-workspace
-//! ablation-kernel ablation-budget ablation-index`
+//! ablation-kernel ablation-bitmap ablation-budget ablation-index`
 //! (default: all). `--scale 1.0` is the paper's 25,000-row corpus; smaller
 //! values shrink every dataset proportionally for quick runs. `--json`
-//! writes the run to `BENCH_<n>.json` (`--pr n`, default 6) or to an
+//! writes the run to `BENCH_<n>.json` (`--pr n`, default 7) or to an
 //! explicit `--out PATH`.
 //!
 //! Absolute times are *not* expected to match the paper (different hardware,
@@ -22,7 +22,7 @@ use ssjoin_bench::report::{count, ms, Report, Table};
 use ssjoin_bench::{corpus_with_rows, evaluation_corpus, PAPER_THRESHOLDS, TABLE2_ROWS};
 use ssjoin_core::{
     estimate_costs, ssjoin, Algorithm, BudgetCause, ElementOrder, ExecBudget, ExecContext,
-    OverlapKernel, Phase, ShardPolicy, SsJoinError,
+    OverlapKernel, Phase, ShardPolicy, SignatureWidth, SsJoinError,
 };
 use ssjoin_joins::{
     dedupe_self_pairs, edit_similarity_join, ges_join, jaccard_join, EditJoinConfig, GesJoinConfig,
@@ -35,7 +35,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
     let mut emit_json = false;
-    let mut pr = 6u32;
+    let mut pr = 7u32;
     let mut out: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut i = 0;
@@ -62,8 +62,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--scale F] [--json] [--pr N] [--out PATH] [table1|fig10|fig11|fig12|fig13|table2|naive|ablation-order|ablation-cost|ablation-positional|ablation-shard|ablation-workspace|ablation-kernel|ablation-budget|ablation-index|all]...\n\
-                     --json additionally writes the run as BENCH_<N>.json (--pr N, default 6),\n\
+                    "usage: experiments [--scale F] [--json] [--pr N] [--out PATH] [table1|fig10|fig11|fig12|fig13|table2|naive|ablation-order|ablation-cost|ablation-positional|ablation-shard|ablation-workspace|ablation-kernel|ablation-bitmap|ablation-budget|ablation-index|all]...\n\
+                     --json additionally writes the run as BENCH_<N>.json (--pr N, default 7),\n\
                      or to an explicit --out PATH"
                 );
                 return;
@@ -90,6 +90,7 @@ fn main() {
             "ablation-shard",
             "ablation-workspace",
             "ablation-kernel",
+            "ablation-bitmap",
             "ablation-budget",
             "ablation-index",
         ]
@@ -117,6 +118,7 @@ fn main() {
             "ablation-shard" => ablation_shard(scale, &mut report),
             "ablation-workspace" => ablation_workspace(scale, &mut report),
             "ablation-kernel" => ablation_kernel(scale, &mut report),
+            "ablation-bitmap" => ablation_bitmap(scale, &mut report),
             "ablation-budget" => ablation_budget(scale, &mut report),
             "ablation-index" => ablation_index(scale, &mut report),
             other => eprintln!("unknown experiment {other:?}, skipping"),
@@ -597,6 +599,13 @@ fn ablation_shard(scale: f64, report: &mut Report) {
     report.table(t);
     assert!(all_equal, "parallel output must match sequential exactly");
 
+    if cores < 8 {
+        println!(
+            "warning: host has {cores} core(s); the 8-thread runs above were \
+             clamped to {cores} worker(s) — speedups reflect the clamped count \
+             (the BENCH header records the topology)"
+        );
+    }
     report.metric_u64("ablation_shard.cores", cores as u64);
     report.metric_u64("ablation_shard.effective_threads_8t", effective_8t);
     report.metric_f64("ablation_shard.seq_ms", seq_t.as_secs_f64() * 1e3);
@@ -912,6 +921,122 @@ fn ablation_kernel(scale: f64, report: &mut Report) {
     report.metric_str(
         "ablation_kernel.skew.output_equal",
         if skew_equal { "true" } else { "false" },
+    );
+}
+
+/// Ablation (tentpole, PR 7): wide bitmap signatures. The baseline is the
+/// strongest prior configuration — the adaptive kernel with the signature
+/// filter off — then the filter switches on at every width k ∈ {1, 2, 4, 8}
+/// (a k-word view is folded losslessly out of the stored 8×u64 signature).
+/// Wider signatures collide less, so the popcount bound prunes more
+/// candidates before any merge: verified pairs and merge steps must fall
+/// monotonically-ish with k while the output stays bit-identical.
+fn ablation_bitmap(scale: f64, report: &mut Report) {
+    let data = evaluation_corpus(scale).records;
+    let theta = 0.85;
+
+    // Median of 3 per variant: the probe-side saving is a single-digit
+    // percentage of verification, well inside one-shot timer noise on a
+    // small host.
+    let run_with = |exec: ExecContext| {
+        let cfg = JaccardConfig::resemblance(theta)
+            .with_algorithm(Algorithm::Inline)
+            .with_exec(exec.with_kernel(OverlapKernel::Adaptive));
+        let mut times = Vec::new();
+        let mut out = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            out = Some(jaccard_join(&data, &data, &cfg).expect("jaccard join"));
+            times.push(start.elapsed());
+        }
+        times.sort();
+        (out.expect("three runs"), times[1])
+    };
+
+    let mut t = Table::new(
+        format!(
+            "Ablation — signature width (Jaccard {theta}, inline, adaptive kernel, median of 3)"
+        ),
+        &[
+            "Signature",
+            "Total ms",
+            "Probes",
+            "Pruned",
+            "Verified",
+            "Merge steps",
+            "Pairs",
+            "Output equal",
+        ],
+    );
+
+    let (base, base_t) = run_with(ExecContext::new());
+    let base_keys = base.keys();
+    t.row(vec![
+        "off".into(),
+        ms(base_t),
+        "-".into(),
+        "-".into(),
+        count(base.stats.verified_pairs),
+        count(base.stats.merge_steps),
+        count(dedupe_self_pairs(&base.pairs).len() as u64),
+        "baseline".into(),
+    ]);
+    report.metric_f64("ablation_bitmap.off.total_ms", base_t.as_secs_f64() * 1e3);
+    report.metric_u64(
+        "ablation_bitmap.off.verified_pairs",
+        base.stats.verified_pairs,
+    );
+    report.metric_u64("ablation_bitmap.off.merge_steps", base.stats.merge_steps);
+
+    let mut all_equal = true;
+    for width in SignatureWidth::ALL {
+        let (out, elapsed) = run_with(
+            ExecContext::new()
+                .with_bitmap_filter(true)
+                .with_signature_width(width),
+        );
+        let equal = out.keys() == base_keys;
+        all_equal &= equal;
+        t.row(vec![
+            width.to_string(),
+            ms(elapsed),
+            count(out.stats.bitmap_probes),
+            count(out.stats.bitmap_prunes),
+            count(out.stats.verified_pairs),
+            count(out.stats.merge_steps),
+            count(dedupe_self_pairs(&out.pairs).len() as u64),
+            if equal { "yes".into() } else { "NO".into() },
+        ]);
+        let name = width.name();
+        report.metric_f64(
+            format!("ablation_bitmap.{name}.total_ms"),
+            elapsed.as_secs_f64() * 1e3,
+        );
+        report.metric_u64(
+            format!("ablation_bitmap.{name}.bitmap_probes"),
+            out.stats.bitmap_probes,
+        );
+        report.metric_u64(
+            format!("ablation_bitmap.{name}.bitmap_prunes"),
+            out.stats.bitmap_prunes,
+        );
+        report.metric_u64(
+            format!("ablation_bitmap.{name}.verified_pairs"),
+            out.stats.verified_pairs,
+        );
+        report.metric_u64(
+            format!("ablation_bitmap.{name}.merge_steps"),
+            out.stats.merge_steps,
+        );
+    }
+    report.table(t);
+    assert!(
+        all_equal,
+        "the signature filter must not change the join output at any width"
+    );
+    report.metric_str(
+        "ablation_bitmap.output_equal",
+        if all_equal { "true" } else { "false" },
     );
 }
 

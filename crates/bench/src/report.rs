@@ -149,7 +149,9 @@ impl Report {
         self.metrics.push((key.into(), json_string(value)));
     }
 
-    /// Serialize the report as a JSON document.
+    /// Serialize the report as a JSON document. The header carries the host
+    /// topology (see [`host_parallelism`]) so single-core snapshots — like
+    /// the PR 6 ablation-shard run — are self-describing.
     pub fn to_json(&self, scale: f64) -> String {
         let tables: Vec<String> = self.tables.iter().map(Table::to_json).collect();
         let metrics: Vec<String> = self
@@ -157,8 +159,11 @@ impl Report {
             .iter()
             .map(|(k, v)| format!("{}:{}", json_string(k), v))
             .collect();
+        let cores = host_parallelism();
         format!(
-            "{{\"schema\":\"ssjoin-bench/1\",\"scale\":{scale},\"metrics\":{{{}}},\"tables\":[{}]}}\n",
+            "{{\"schema\":\"ssjoin-bench/1\",\"scale\":{scale},\
+             \"host\":{{\"available_parallelism\":{cores},\"thread_clamp\":{cores}}},\
+             \"metrics\":{{{}}},\"tables\":[{}]}}\n",
             metrics.join(","),
             tables.join(",")
         )
@@ -174,6 +179,14 @@ impl Report {
         f.write_all(self.to_json(scale).as_bytes())?;
         Ok(true)
     }
+}
+
+/// The host's `available_parallelism` (1 when the probe fails). This is
+/// also the clamp the core executors apply to any requested thread count,
+/// so it doubles as the `thread_clamp` header field: a run that requested
+/// more workers than this actually used this many.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Milliseconds with two decimals.
@@ -254,6 +267,10 @@ mod tests {
         r.metric_f64("bad", f64::NAN);
         let j = r.to_json(0.5);
         assert!(j.starts_with("{\"schema\":\"ssjoin-bench/1\",\"scale\":0.5,"));
+        let cores = host_parallelism();
+        assert!(j.contains(&format!(
+            "\"host\":{{\"available_parallelism\":{cores},\"thread_clamp\":{cores}}}"
+        )));
         assert!(j.contains("\"speedup\":2.5"));
         assert!(j.contains("\"prunes\":7"));
         assert!(j.contains("\"status\":\"ok\""));

@@ -87,12 +87,26 @@ fn candidate_phase(
                     }
                 }
                 stats.candidate_pairs += touched.len() as u64;
-                stats.verified_pairs += touched.len() as u64;
                 touched.sort_unstable();
                 for &sid in touched.iter() {
                     let overlap = acc[sid as usize];
                     acc[sid as usize] = Weight::ZERO;
                     let sset = s.set(sid);
+                    if ctx.bitmap_filter {
+                        stats.bitmap_probes += 1;
+                        let required = pred.required_overlap(rset.norm(), sset.norm());
+                        // The overlap is already accumulated here, so the
+                        // prune saves only the predicate check — but it
+                        // keeps the filter's counter semantics (and its
+                        // losslessness: bound ≥ exact overlap, so a pruned
+                        // pair could never pass the predicate) uniform
+                        // across all executors.
+                        if rset.wide_overlap_bound(sset, ctx.signature_width) < required {
+                            stats.bitmap_prunes += 1;
+                            continue;
+                        }
+                    }
+                    stats.verified_pairs += 1;
                     if pred.check(overlap, rset.norm(), sset.norm()) {
                         pairs.push(JoinPair {
                             r: rid as u32,

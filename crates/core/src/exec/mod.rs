@@ -29,7 +29,7 @@ use crate::budget::{estimate_memory_bytes, BudgetState, CancelToken, ExecBudget}
 use crate::error::{SsJoinError, SsJoinResult};
 use crate::kernel::OverlapKernel;
 use crate::predicate::OverlapPredicate;
-use crate::set::SetCollection;
+use crate::set::{SetCollection, SignatureWidth};
 use crate::stats::SsJoinStats;
 use crate::weight::Weight;
 
@@ -128,9 +128,16 @@ pub struct ExecContext {
     /// Work-partitioning strategy used when `threads > 1`.
     pub shard: ShardPolicy,
     /// Reject candidates whose bitmap-signature overlap bound cannot reach
-    /// the required overlap, before the verification merge (prefix-family
-    /// executors only). Lossless; changes counters but never output.
+    /// the required overlap, before the verification merge. Lossless;
+    /// changes counters but never output.
     pub bitmap_filter: bool,
+    /// Width of the bitmap-signature view the filter folds the stored
+    /// maximum-width signatures down to (see
+    /// [`SignatureWidth`]). Wider views collide less and
+    /// prune more; the bound stays lossless at every width, so this knob
+    /// changes counters but never output. Ignored while `bitmap_filter` is
+    /// off.
+    pub signature_width: SignatureWidth,
     /// Overlap kernel used by verification merges. All kernels produce
     /// identical output; they differ in how much work rejection costs.
     pub kernel: OverlapKernel,
@@ -153,6 +160,7 @@ impl ExecContext {
             threads: 1,
             shard: ShardPolicy::default(),
             bitmap_filter: false,
+            signature_width: SignatureWidth::default(),
             kernel: OverlapKernel::default(),
             stats: StatsLevel::default(),
             budget: ExecBudget::default(),
@@ -175,6 +183,12 @@ impl ExecContext {
     /// Enable or disable the bitmap signature filter.
     pub fn with_bitmap_filter(mut self, on: bool) -> Self {
         self.bitmap_filter = on;
+        self
+    }
+
+    /// Set the bitmap signature width used by the filter.
+    pub fn with_signature_width(mut self, width: SignatureWidth) -> Self {
+        self.signature_width = width;
         self
     }
 
@@ -254,6 +268,12 @@ impl SsJoinConfig {
     /// Enable or disable the bitmap signature filter.
     pub fn with_bitmap_filter(mut self, on: bool) -> Self {
         self.exec.bitmap_filter = on;
+        self
+    }
+
+    /// Set the bitmap signature width used by the filter.
+    pub fn with_signature_width(mut self, width: SignatureWidth) -> Self {
+        self.exec.signature_width = width;
         self
     }
 

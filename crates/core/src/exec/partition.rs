@@ -193,7 +193,7 @@ fn run_shard(
                 let required = pred.required_overlap(rset.norm(), sset.norm());
                 if ctx.bitmap_filter {
                     stats.bitmap_probes += 1;
-                    if rset.bitmap_overlap_bound(sset) < required {
+                    if rset.wide_overlap_bound(sset, ctx.signature_width) < required {
                         stats.bitmap_prunes += 1;
                         continue;
                     }

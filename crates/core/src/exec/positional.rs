@@ -172,7 +172,7 @@ fn candidate_phase(
                     }
                     if ctx.bitmap_filter {
                         stats.bitmap_probes += 1;
-                        if rset.bitmap_overlap_bound(sset) < required {
+                        if rset.wide_overlap_bound(sset, ctx.signature_width) < required {
                             stats.bitmap_prunes += 1;
                             continue; // signature prune: skip the merge
                         }

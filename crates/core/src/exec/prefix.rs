@@ -208,7 +208,7 @@ fn candidate_phase(
                         let required = pred.required_overlap(rset.norm(), sset.norm());
                         if ctx.bitmap_filter {
                             stats.bitmap_probes += 1;
-                            if rset.bitmap_overlap_bound(sset) < required {
+                            if rset.wide_overlap_bound(sset, ctx.signature_width) < required {
                                 stats.bitmap_prunes += 1;
                                 continue; // signature proves the merge can't reach the threshold
                             }
@@ -236,11 +236,19 @@ fn candidate_phase(
                     // rebuild is exactly the inline optimization of
                     // Figure 9.)
                     for &sid in candidates.iter() {
+                        let sset = s.set(sid);
+                        if ctx.bitmap_filter {
+                            stats.bitmap_probes += 1;
+                            let required = pred.required_overlap(rset.norm(), sset.norm());
+                            if rset.wide_overlap_bound(sset, ctx.signature_width) < required {
+                                stats.bitmap_prunes += 1;
+                                continue; // skip the per-candidate table rebuild
+                            }
+                        }
                         r_table.clear();
                         for (&rank, &w) in rset.ranks().iter().zip(rset.weights()) {
                             r_table.insert(rank, w);
                         }
-                        let sset = s.set(sid);
                         let mut overlap = Weight::ZERO;
                         for rank in sset.ranks() {
                             if let Some(&w) = r_table.get(rank) {

@@ -45,7 +45,7 @@ use crate::exec::{
     JoinWorkspace, Side, SsJoinConfig, SsJoinRun, WorkerScratch,
 };
 use crate::predicate::OverlapPredicate;
-use crate::set::SetCollection;
+use crate::set::{SetCollection, SignatureWidth};
 use crate::stats::SsJoinStats;
 use crate::weight::Weight;
 
@@ -64,6 +64,13 @@ pub struct CorpusIndexOptions {
     /// Epoch-tail size that triggers an automatic merge on insert. Defaults
     /// to `max(64, indexed/8)`.
     pub epoch_limit: Option<usize>,
+    /// Bitmap-signature width the index commits to at build time. Probes
+    /// whose execution context requests a different
+    /// [`crate::ExecContext::signature_width`] are rejected with
+    /// [`SsJoinError::SignatureWidthMismatch`] — a persisted index must not
+    /// silently serve a filter configuration it was not built (and
+    /// benchmarked) for. Defaults to [`SignatureWidth::W1`].
+    pub signature_width: SignatureWidth,
 }
 
 impl Default for CorpusIndexOptions {
@@ -72,6 +79,7 @@ impl Default for CorpusIndexOptions {
             partner_norms: None,
             build_threads: 1,
             epoch_limit: None,
+            signature_width: SignatureWidth::default(),
         }
     }
 }
@@ -88,6 +96,8 @@ pub struct CorpusIndex {
     partner_norms: (f64, f64),
     epoch_limit: Option<usize>,
     build_threads: usize,
+    /// Signature width fixed at build time; probes must request the same.
+    signature_width: SignatureWidth,
     /// Prefix inverted index over sets `0..indexed` (prefix-family probes).
     prefix_index: CsrIndex,
     /// Per-set prefix lengths backing `prefix_index` (0 for dead sets).
@@ -146,6 +156,7 @@ impl CorpusIndex {
             partner_norms,
             epoch_limit: options.epoch_limit,
             build_threads: options.build_threads,
+            signature_width: options.signature_width,
             prefix_index: CsrIndex::default(),
             prefix_lens: Vec::new(),
             prefix_tuples: 0,
@@ -250,6 +261,12 @@ impl CorpusIndex {
         let ctx = &config.exec;
         if ctx.threads == 0 {
             return Err(SsJoinError::Config("threads must be at least 1".into()));
+        }
+        if ctx.signature_width != self.signature_width {
+            return Err(SsJoinError::SignatureWidthMismatch {
+                built: self.signature_width,
+                probe: ctx.signature_width,
+            });
         }
         if let Some((lo, hi)) = batch.norm_range() {
             if lo < self.partner_norms.0 || hi > self.partner_norms.1 {
@@ -522,6 +539,12 @@ impl CorpusIndex {
     /// The predicate probes run under.
     pub fn predicate(&self) -> &OverlapPredicate {
         &self.pred
+    }
+
+    /// The bitmap-signature width this index was built with. Probes must
+    /// request the same width on their execution context.
+    pub fn signature_width(&self) -> SignatureWidth {
+        self.signature_width
     }
 
     /// Total arena slots (live + tombstoned).

@@ -35,7 +35,6 @@
 use crate::set::SetRef;
 use crate::stats::SsJoinStats;
 use crate::weight::Weight;
-use std::cmp::Ordering;
 
 /// Overlap kernel used for candidate verification, selected via
 /// [`crate::ExecContext::with_kernel`].
@@ -101,26 +100,61 @@ pub fn verify_overlap(
 
 /// Full two-pointer merge of two rank-sorted sets, counting each advance in
 /// `steps`. Backing for [`SetRef::overlap`] and [`OverlapKernel::Linear`].
+///
+/// Split into two branch-light passes over the CSR pools:
+///
+/// 1. a **counting pass** over the rank slices alone — flag-arithmetic
+///    advances (`i += (x <= y)`, `j += (y <= x)`) with no weight loads, so
+///    the loop body is three compares and three adds the compiler keeps in
+///    registers with no unpredictable branch;
+/// 2. a **weight-accumulation pass** that re-walks the ranks summing the
+///    weights of the shared elements, entered only when the counting pass
+///    found any matches and stopping as soon as all of them are consumed.
+///
+/// The counting pass advances the cursors exactly as the classic three-way
+/// merge does (less → left, greater → right, equal → both) and ticks
+/// `steps` once per iteration, so the reported `merge_steps` are identical
+/// to the pre-split kernel's.
 pub(crate) fn merge_full(a: SetRef<'_>, b: SetRef<'_>, steps: &mut u64) -> Weight {
+    let ar = a.ranks();
+    let br = b.ranks();
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut matches = 0usize;
+    while i < ar.len() && j < br.len() {
+        *steps += 1;
+        let (x, y) = (ar[i], br[j]);
+        matches += usize::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+    }
+    if matches == 0 {
+        return Weight::ZERO;
+    }
+    accumulate_matches(a, b, matches)
+}
+
+/// Weight-accumulation pass of [`merge_full`]: sum the weights of the
+/// `matches` elements shared by `a` and `b`. Relies on the shared-universe
+/// invariant (equal ranks carry equal weights on both sides) and stops the
+/// moment the last match is consumed, so disjoint tails are never touched.
+fn accumulate_matches(a: SetRef<'_>, b: SetRef<'_>, matches: usize) -> Weight {
     let (ar, aw) = (a.ranks(), a.weights());
     let (br, bw) = (b.ranks(), b.weights());
     let (mut i, mut j) = (0usize, 0usize);
     let mut acc = Weight::ZERO;
-    while i < ar.len() && j < br.len() {
-        *steps += 1;
-        match ar[i].cmp(&br[j]) {
-            Ordering::Less => i += 1,
-            Ordering::Greater => j += 1,
-            Ordering::Equal => {
-                debug_assert_eq!(
-                    aw[i], bw[j],
-                    "element weights must agree across a shared universe"
-                );
-                acc += aw[i];
-                i += 1;
-                j += 1;
-            }
+    let mut left = matches;
+    while left > 0 {
+        let (x, y) = (ar[i], br[j]);
+        if x == y {
+            debug_assert_eq!(
+                aw[i], bw[j],
+                "element weights must agree across a shared universe"
+            );
+            acc += aw[i];
+            left -= 1;
         }
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
     }
     acc
 }
@@ -145,19 +179,19 @@ pub fn overlap_at_least(
             return None;
         }
         stats.merge_steps += 1;
-        match ar[i].cmp(&br[j]) {
-            Ordering::Less => i += 1,
-            Ordering::Greater => j += 1,
-            Ordering::Equal => {
-                debug_assert_eq!(
-                    aw[i], bw[j],
-                    "element weights must agree across a shared universe"
-                );
-                acc += aw[i];
-                i += 1;
-                j += 1;
-            }
+        // Flag-arithmetic advance: same cursor moves (and thus the same
+        // step and early-exit points) as a three-way compare, with one
+        // equality branch instead of an unpredictable three-way jump.
+        let (x, y) = (ar[i], br[j]);
+        if x == y {
+            debug_assert_eq!(
+                aw[i], bw[j],
+                "element weights must agree across a shared universe"
+            );
+            acc += aw[i];
         }
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
     }
     (acc >= required).then_some(acc)
 }

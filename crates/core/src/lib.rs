@@ -92,6 +92,6 @@ pub use index::{CorpusIndex, CorpusIndexOptions};
 pub use kernel::OverlapKernel;
 pub use order::ElementOrder;
 pub use predicate::{Interval, NormExpr, OverlapPredicate};
-pub use set::{SetCollection, SetRef};
+pub use set::{SetCollection, SetRef, SignatureWidth, SIG_WORDS};
 pub use stats::{Phase, SsJoinStats, StatsLevel};
 pub use weight::Weight;

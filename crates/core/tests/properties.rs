@@ -7,8 +7,8 @@ use ssjoin_core::kernel::{overlap_at_least, overlap_gallop, verify_overlap};
 use ssjoin_core::plan::{basic_plan, collection_to_relation, inline_plan, prefix_plan, run_plan};
 use ssjoin_core::{
     ssjoin, Algorithm, ElementOrder, ExecContext, JoinPair, OverlapKernel, OverlapPredicate,
-    SetCollection, ShardPolicy, SsJoinConfig, SsJoinInputBuilder, SsJoinStats, Weight,
-    WeightScheme,
+    SetCollection, ShardPolicy, SignatureWidth, SsJoinConfig, SsJoinInputBuilder, SsJoinStats,
+    Weight, WeightScheme,
 };
 use ssjoin_prng::{Rng, StdRng};
 use std::sync::Arc;
@@ -324,6 +324,63 @@ fn kernel_choice_never_changes_output() {
                         baseline.pairs, out.pairs,
                         "seed {seed}, alg {alg:?}, kernel {kernel:?}, threads {threads}"
                     );
+                }
+            }
+        }
+    }
+}
+
+/// Signature width never changes the join output: for every width × kernel
+/// × executor × thread count, with the bitmap filter on and off, the emitted
+/// pairs (ids *and* overlaps) are bit-identical to the sequential
+/// linear-kernel unfiltered baseline. This is the losslessness proof for
+/// the wide-signature filter: the folded bound always dominates the exact
+/// overlap, so pruning below the required overlap removes only pairs the
+/// predicate would reject anyway.
+#[test]
+fn signature_width_never_changes_output() {
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0x51D7 + seed);
+        let pred = random_predicate(&mut rng);
+        let order = random_order(&mut rng);
+        let groups = random_groups(&mut rng);
+        let (r, s) = build_two(groups.clone(), groups, WeightScheme::Idf, order);
+        for alg in [
+            Algorithm::Basic,
+            Algorithm::PrefixFiltered,
+            Algorithm::Inline,
+            Algorithm::PositionalInline,
+            Algorithm::Auto,
+        ] {
+            let baseline = ssjoin(
+                &r,
+                &s,
+                &pred,
+                &SsJoinConfig::new(alg).with_kernel(OverlapKernel::Linear),
+            )
+            .unwrap();
+            for width in SignatureWidth::ALL {
+                for kernel in [
+                    OverlapKernel::Linear,
+                    OverlapKernel::EarlyExit,
+                    OverlapKernel::Adaptive,
+                ] {
+                    for threads in [1usize, 2, 8] {
+                        for filter in [false, true] {
+                            let ctx = ExecContext::new()
+                                .with_threads(threads)
+                                .with_kernel(kernel)
+                                .with_bitmap_filter(filter)
+                                .with_signature_width(width);
+                            let out = ssjoin(&r, &s, &pred, &SsJoinConfig::new(alg).with_exec(ctx))
+                                .unwrap();
+                            assert_eq!(
+                                baseline.pairs, out.pairs,
+                                "seed {seed}, alg {alg:?}, width {width}, kernel {kernel:?}, \
+                                 threads {threads}, filter {filter}"
+                            );
+                        }
+                    }
                 }
             }
         }

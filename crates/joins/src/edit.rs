@@ -68,6 +68,13 @@ impl EditJoinConfig {
         self
     }
 
+    /// Override the execution context (threads, shard policy, bitmap
+    /// filter and its signature width).
+    pub fn with_exec(mut self, exec: ExecContext) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Override q.
     pub fn with_q(mut self, q: usize) -> Self {
         assert!(q >= 1);

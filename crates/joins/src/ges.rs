@@ -77,6 +77,13 @@ impl GesJoinConfig {
         self
     }
 
+    /// Override the execution context (threads, shard policy, bitmap
+    /// filter and its signature width).
+    pub fn with_exec(mut self, exec: ExecContext) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Exact brute-force mode.
     pub fn exhaustive(mut self) -> Self {
         self.exhaustive = true;

@@ -1,7 +1,7 @@
 //! `ssjoin` — command-line similarity joins for data cleaning.
 //!
 //! ```text
-//! ssjoin join   --kind jaccard --threshold 0.85 [--algorithm inline] [--self-dedupe] R.tsv [S.tsv]
+//! ssjoin join   --kind jaccard --threshold 0.85 [--algorithm inline] [--signature-width 4] [--self-dedupe] R.tsv [S.tsv]
 //! ssjoin match  --reference R.tsv --query "some string" [--k 3] [--min-sim 0.6]
 //! ssjoin serve  --reference R.tsv [--k 3] [--min-sim 0.6] [--q 3]
 //! ssjoin dedup  --threshold 0.85 [--kind edit] FILE.tsv
@@ -24,7 +24,7 @@
 //!
 //! Failed requests answer `err <message>` and the server keeps reading.
 
-use ssjoin::core::Algorithm;
+use ssjoin::core::{Algorithm, ExecContext, SignatureWidth};
 use ssjoin::datagen::{read_tsv, write_tsv, AddressCorpus, AddressCorpusConfig};
 use ssjoin::joins::{
     cluster_pairs, cosine_join, dedupe_self_pairs, edit_similarity_join, ges_join, jaccard_join,
@@ -50,6 +50,8 @@ enum Command {
         kind: JoinKind,
         threshold: f64,
         algorithm: Algorithm,
+        /// `Some(w)` turns the bitmap signature filter on at view width `w`.
+        signature_width: Option<SignatureWidth>,
         self_dedupe: bool,
         r_path: String,
         s_path: Option<String>,
@@ -83,6 +85,7 @@ enum Command {
 const USAGE: &str = "usage:
   ssjoin join  --kind <edit|jaccard|cosine|ges> --threshold F \\
                [--algorithm <basic|prefix|inline|positional|auto>] \\
+               [--signature-width <1|2|4|8>] \\
                [--self-dedupe] [--out OUT.tsv] R.tsv [S.tsv]
   ssjoin match --reference R.tsv --query STRING [--k N] [--min-sim F]
   ssjoin serve --reference R.tsv [--k N] [--min-sim F] [--q N]
@@ -155,6 +158,12 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                     .map(String::as_str)
                     .unwrap_or("inline"),
             )?;
+            let signature_width = get_usize("signature-width")?
+                .map(|w| {
+                    SignatureWidth::from_words(w)
+                        .ok_or_else(|| format!("--signature-width must be 1, 2, 4 or 8, got {w}"))
+                })
+                .transpose()?;
             let mut paths = positional.into_iter();
             let r_path = paths
                 .next()
@@ -163,6 +172,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 kind,
                 threshold,
                 algorithm,
+                signature_width,
                 self_dedupe: flags.iter().any(|f| f == "--self-dedupe"),
                 r_path,
                 s_path: paths.next(),
@@ -229,15 +239,26 @@ fn run_join(
     kind: JoinKind,
     threshold: f64,
     algorithm: Algorithm,
+    signature_width: Option<SignatureWidth>,
     r: &[String],
     s: &[String],
 ) -> Result<Vec<MatchPair>, String> {
+    // `--signature-width` implies the bitmap filter: a view width without
+    // the filter would be a silent no-op.
+    let exec = match signature_width {
+        Some(width) => ExecContext::new()
+            .with_bitmap_filter(true)
+            .with_signature_width(width),
+        None => ExecContext::new(),
+    };
     let pairs = match kind {
         JoinKind::Edit => {
             edit_similarity_join(
                 r,
                 s,
-                &EditJoinConfig::new(threshold).with_algorithm(algorithm),
+                &EditJoinConfig::new(threshold)
+                    .with_algorithm(algorithm)
+                    .with_exec(exec),
             )
             .map_err(|e| e.to_string())?
             .pairs
@@ -246,7 +267,9 @@ fn run_join(
             jaccard_join(
                 r,
                 s,
-                &JaccardConfig::resemblance(threshold).with_algorithm(algorithm),
+                &JaccardConfig::resemblance(threshold)
+                    .with_algorithm(algorithm)
+                    .with_exec(exec),
             )
             .map_err(|e| e.to_string())?
             .pairs
@@ -255,7 +278,9 @@ fn run_join(
             cosine_join(
                 r,
                 s,
-                &CosineConfig::new(threshold).with_algorithm(algorithm),
+                &CosineConfig::new(threshold)
+                    .with_algorithm(algorithm)
+                    .with_exec(exec),
             )
             .map_err(|e| e.to_string())?
             .pairs
@@ -264,7 +289,9 @@ fn run_join(
             ges_join(
                 r,
                 s,
-                &GesJoinConfig::new(threshold).with_algorithm(algorithm),
+                &GesJoinConfig::new(threshold)
+                    .with_algorithm(algorithm)
+                    .with_exec(exec),
             )
             .map_err(|e| e.to_string())?
             .pairs
@@ -358,6 +385,7 @@ fn execute(cmd: Command) -> Result<(), String> {
             kind,
             threshold,
             algorithm,
+            signature_width,
             self_dedupe,
             r_path,
             s_path,
@@ -368,7 +396,7 @@ fn execute(cmd: Command) -> Result<(), String> {
                 Some(p) => first_column(p)?,
                 None => r.clone(),
             };
-            let mut pairs = run_join(kind, threshold, algorithm, &r, &s)?;
+            let mut pairs = run_join(kind, threshold, algorithm, signature_width, &r, &s)?;
             if self_dedupe && s_path.is_none() {
                 pairs = dedupe_self_pairs(&pairs);
             }
@@ -433,7 +461,7 @@ fn execute(cmd: Command) -> Result<(), String> {
             path,
         } => {
             let data = first_column(&path)?;
-            let pairs = run_join(kind, threshold, Algorithm::Inline, &data, &data)?;
+            let pairs = run_join(kind, threshold, Algorithm::Inline, None, &data, &data)?;
             let groups = cluster_pairs(data.len(), &pairs);
             for (gi, group) in groups.iter().enumerate() {
                 for &member in group {
@@ -498,12 +526,50 @@ mod tests {
                 kind: JoinKind::Edit,
                 threshold: 0.9,
                 algorithm: Algorithm::Basic,
+                signature_width: None,
                 self_dedupe: true,
                 r_path: "input.tsv".into(),
                 s_path: None,
                 out: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_signature_width() {
+        for (arg, width) in [
+            ("1", SignatureWidth::W1),
+            ("2", SignatureWidth::W2),
+            ("4", SignatureWidth::W4),
+            ("8", SignatureWidth::W8),
+        ] {
+            let cmd = parse_args(&sv(&[
+                "join",
+                "--threshold",
+                "0.8",
+                "--signature-width",
+                arg,
+                "r.tsv",
+            ]))
+            .unwrap();
+            match cmd {
+                Command::Join {
+                    signature_width, ..
+                } => assert_eq!(signature_width, Some(width)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Anything but 1/2/4/8 is rejected with a helpful message.
+        let err = parse_args(&sv(&[
+            "join",
+            "--threshold",
+            "0.8",
+            "--signature-width",
+            "3",
+            "r.tsv",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("1, 2, 4 or 8"), "got {err}");
     }
 
     #[test]
@@ -686,6 +752,7 @@ mod tests {
             kind: JoinKind::Jaccard,
             threshold: 0.8,
             algorithm: Algorithm::Inline,
+            signature_width: Some(SignatureWidth::W4),
             self_dedupe: true,
             r_path: data_path.to_string_lossy().into_owned(),
             s_path: None,

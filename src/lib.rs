@@ -28,7 +28,7 @@
 //! threads, shard policy, and the bitmap signature filter as knobs:
 //!
 //! ```
-//! use ssjoin::{Algorithm, OverlapPredicate, SsJoin, SsJoinInputBuilder};
+//! use ssjoin::{Algorithm, OverlapPredicate, SignatureWidth, SsJoin, SsJoinInputBuilder};
 //! use ssjoin::{ElementOrder, WeightScheme};
 //!
 //! let mut b = SsJoinInputBuilder::new(WeightScheme::Idf, ElementOrder::FrequencyAsc);
@@ -42,6 +42,7 @@
 //!     .algorithm(Algorithm::Inline)
 //!     .threads(2)
 //!     .bitmap_filter(true)
+//!     .signature_width(SignatureWidth::W4)
 //!     .run()
 //!     .unwrap();
 //! assert!(out.pairs.iter().any(|p| (p.r, p.s) == (0, 1)));
@@ -76,7 +77,8 @@ pub use ssjoin_text as text;
 pub use ssjoin_core::{
     ssjoin, ssjoin_with, Algorithm, BudgetCause, CancelToken, CorpusIndex, CorpusIndexOptions,
     ElementOrder, ExecBudget, ExecContext, JoinWorkspace, NormKind, OverlapPredicate, QueryEncoder,
-    ShardPolicy, SsJoinConfig, SsJoinInputBuilder, SsJoinRun, StatsLevel, WeightScheme,
+    ShardPolicy, SignatureWidth, SsJoinConfig, SsJoinInputBuilder, SsJoinRun, StatsLevel,
+    WeightScheme,
 };
 pub use ssjoin_joins::{
     cluster_pairs, cooccurrence_join, cosine_join, edit_similarity_join, ges_join, jaccard_join,
@@ -193,6 +195,15 @@ impl<'a> SsJoin<'a> {
     /// Enable or disable the bitmap signature filter (fast path only).
     pub fn bitmap_filter(mut self, on: bool) -> Self {
         self.config.exec.bitmap_filter = on;
+        self
+    }
+
+    /// Signature view width for the bitmap filter (fast path only). Every
+    /// set stores an 8×u64 signature; the filter folds it to this many
+    /// words per probe — wider views collide less and prune more. Ignored
+    /// while [`Self::bitmap_filter`] is off.
+    pub fn signature_width(mut self, width: SignatureWidth) -> Self {
+        self.config.exec.signature_width = width;
         self
     }
 
@@ -471,15 +482,18 @@ mod tests {
             .algorithm(Algorithm::Inline)
             .run()
             .unwrap();
-        let par = SsJoin::new(&input)
-            .predicate(pred)
-            .algorithm(Algorithm::Inline)
-            .threads(4)
-            .shard_policy(ShardPolicy::token_shards())
-            .bitmap_filter(true)
-            .run()
-            .unwrap();
-        assert_eq!(seq.pairs, par.pairs);
+        for width in SignatureWidth::ALL {
+            let par = SsJoin::new(&input)
+                .predicate(pred.clone())
+                .algorithm(Algorithm::Inline)
+                .threads(4)
+                .shard_policy(ShardPolicy::token_shards())
+                .bitmap_filter(true)
+                .signature_width(width)
+                .run()
+                .unwrap();
+            assert_eq!(seq.pairs, par.pairs, "width {width}");
+        }
     }
 
     #[test]
