@@ -5,11 +5,12 @@
 //! ```
 //!
 //! Experiments: `table1 fig10 fig11 fig12 fig13 table2 naive ablation-order
-//! ablation-cost ablation-positional ablation-shard ablation-workspace
-//! ablation-kernel ablation-bitmap ablation-budget ablation-index`
+//! ablation-cost ablation-auto ablation-positional ablation-shard
+//! ablation-workspace ablation-kernel ablation-bitmap ablation-budget
+//! ablation-index`
 //! (default: all). `--scale 1.0` is the paper's 25,000-row corpus; smaller
 //! values shrink every dataset proportionally for quick runs. `--json`
-//! writes the run to `BENCH_<n>.json` (`--pr n`, default 7) or to an
+//! writes the run to `BENCH_<n>.json` (`--pr n`, default 8) or to an
 //! explicit `--out PATH`.
 //!
 //! Absolute times are *not* expected to match the paper (different hardware,
@@ -35,7 +36,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
     let mut emit_json = false;
-    let mut pr = 7u32;
+    let mut pr = 8u32;
     let mut out: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut i = 0;
@@ -62,8 +63,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--scale F] [--json] [--pr N] [--out PATH] [table1|fig10|fig11|fig12|fig13|table2|naive|ablation-order|ablation-cost|ablation-positional|ablation-shard|ablation-workspace|ablation-kernel|ablation-bitmap|ablation-budget|ablation-index|all]...\n\
-                     --json additionally writes the run as BENCH_<N>.json (--pr N, default 7),\n\
+                    "usage: experiments [--scale F] [--json] [--pr N] [--out PATH] [table1|fig10|fig11|fig12|fig13|table2|naive|ablation-order|ablation-cost|ablation-auto|ablation-positional|ablation-shard|ablation-workspace|ablation-kernel|ablation-bitmap|ablation-budget|ablation-index|all]...\n\
+                     --json additionally writes the run as BENCH_<N>.json (--pr N, default 8),\n\
                      or to an explicit --out PATH"
                 );
                 return;
@@ -86,6 +87,7 @@ fn main() {
             "naive",
             "ablation-order",
             "ablation-cost",
+            "ablation-auto",
             "ablation-positional",
             "ablation-shard",
             "ablation-workspace",
@@ -114,6 +116,7 @@ fn main() {
             "naive" => naive(scale, &mut report),
             "ablation-order" => ablation_order(scale, &mut report),
             "ablation-cost" => ablation_cost(scale, &mut report),
+            "ablation-auto" => ablation_auto(scale, &mut report),
             "ablation-positional" => ablation_positional(scale, &mut report),
             "ablation-shard" => ablation_shard(scale, &mut report),
             "ablation-workspace" => ablation_workspace(scale, &mut report),
@@ -514,6 +517,200 @@ fn ablation_cost(scale: f64, report: &mut Report) {
         ]);
     }
     report.table(t);
+}
+
+/// Ablation (tentpole): the statistics-backed full-configuration planner.
+/// `Algorithm::Auto` is timed against a grid of fixed configurations
+/// (executor × overlap kernel × signature width × thread count) on the same
+/// collection. Regret is Auto's slowdown relative to the best fixed
+/// configuration; every configuration — forced or planned — must reproduce
+/// the same output pair-for-pair. Timings take the minimum over several
+/// repetitions so the regret figure survives small-scale CI runs.
+fn ablation_auto(scale: f64, report: &mut Report) {
+    use ssjoin_core::{OverlapPredicate, SsJoinConfig};
+    use ssjoin_text::Tokenizer;
+
+    // Floored at 5,000 rows: above the estimator's exact-pass threshold, so
+    // the timed Auto runs exercise the sampled (production-sized) planning
+    // path, and large enough that per-join noise does not swamp the regret.
+    let records = evaluation_corpus((scale * 0.2).max(0.2)).records;
+    let groups: Vec<Vec<String>> = records
+        .iter()
+        .map(|s| ssjoin_text::WordTokenizer::new().lowercased().tokenize(s))
+        .collect();
+    let mut b = ssjoin_core::SsJoinInputBuilder::new(
+        ssjoin_core::WeightScheme::Idf,
+        ElementOrder::FrequencyAsc,
+    );
+    let h = b.add_relation(groups);
+    let built = b.build().expect("build collection");
+    let c = built.collection(h);
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let reps = if scale <= 0.1 { 7 } else { 3 };
+    let thread_levels: &[usize] = if cores > 1 { &[1, 8] } else { &[1] };
+    let kernels = [
+        OverlapKernel::Linear,
+        OverlapKernel::EarlyExit,
+        OverlapKernel::Adaptive,
+    ];
+    let widths = [None, Some(SignatureWidth::W2), Some(SignatureWidth::W8)];
+
+    let mut t = Table::new(
+        format!(
+            "Ablation — full-configuration planner regret (Jaccard resemblance, cores={cores})"
+        ),
+        &[
+            "Threshold",
+            "Auto ms",
+            "Auto plan",
+            "Best fixed",
+            "Best ms",
+            "Regret %",
+            "Output equal",
+        ],
+    );
+
+    let mut max_regret = 0.0f64;
+    let mut all_equal = true;
+    for theta in [0.6, 0.8] {
+        let pred = OverlapPredicate::two_sided(theta);
+
+        // Enumerate every timed configuration up front: Auto at each
+        // resource level (the planner owns the remaining knobs), then the
+        // fixed grid — every executor the planner chooses between, over the
+        // kernel/width/thread domains each one supports.
+        let mut configs: Vec<(String, bool, SsJoinConfig)> = Vec::new();
+        for &threads in thread_levels {
+            let mut exec = ExecContext::new().with_threads(threads);
+            if threads > 1 {
+                exec = exec.with_shard_policy(ShardPolicy::token_shards());
+            }
+            configs.push((
+                format!("auto/{threads}t"),
+                true,
+                SsJoinConfig {
+                    algorithm: Algorithm::Auto,
+                    exec,
+                },
+            ));
+        }
+        for &threads in thread_levels {
+            for alg in [
+                Algorithm::Basic,
+                Algorithm::PrefixFiltered,
+                Algorithm::Inline,
+                Algorithm::PositionalInline,
+                Algorithm::Partition,
+            ] {
+                if alg == Algorithm::Partition && threads == 1 {
+                    continue; // degenerates to inline; skip the duplicate
+                }
+                let (kernel_opts, width_opts): (&[OverlapKernel], &[Option<SignatureWidth>]) =
+                    match alg {
+                        Algorithm::Basic => (&kernels[..1], &widths[..1]),
+                        Algorithm::PrefixFiltered => (&kernels[..1], &widths[..]),
+                        _ => (&kernels[..], &widths[..]),
+                    };
+                for &kernel in kernel_opts {
+                    for &width in width_opts {
+                        let mut exec = ExecContext::new().with_threads(threads).with_kernel(kernel);
+                        if alg == Algorithm::Partition {
+                            exec = exec.with_shard_policy(ShardPolicy::token_shards());
+                        }
+                        if let Some(w) = width {
+                            exec = exec.with_bitmap_filter(true).with_signature_width(w);
+                        }
+                        configs.push((
+                            format!(
+                                "{alg:?}/{}/{}/{threads}t",
+                                kernel.name(),
+                                width.map_or_else(|| "off".into(), |w| w.name().to_string()),
+                            ),
+                            false,
+                            SsJoinConfig {
+                                algorithm: alg,
+                                exec,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Warm caches and the allocator so the first timed configuration is
+        // not systematically penalized.
+        let _ = ssjoin(c, c, &pred, &SsJoinConfig::new(Algorithm::Inline)).expect("warmup");
+
+        // Round-robin timing: one repetition of every configuration per
+        // round, minimum per configuration across rounds. Interleaving
+        // spreads slow drift on busy hosts across all configurations
+        // instead of biasing whichever block ran first.
+        let mut best_each = vec![Duration::MAX; configs.len()];
+        let mut auto_pairs: Option<Vec<_>> = None;
+        let mut plans = vec![String::from("-"); configs.len()];
+        for rep in 0..reps {
+            for (i, (_, is_auto, cfg)) in configs.iter().enumerate() {
+                let start = Instant::now();
+                let out = ssjoin(c, c, &pred, cfg).expect("ssjoin");
+                let elapsed = start.elapsed();
+                if elapsed < best_each[i] {
+                    best_each[i] = elapsed;
+                }
+                if rep == 0 {
+                    if *is_auto {
+                        plans[i] = out.stats.plan.map_or_else(|| "-".into(), |p| p.to_string());
+                    }
+                    if let Some(prev) = &auto_pairs {
+                        all_equal &= *prev == out.pairs;
+                    } else {
+                        // Auto entries lead the list, so the reference
+                        // output is Auto's.
+                        auto_pairs = Some(out.pairs);
+                    }
+                }
+            }
+        }
+
+        let (mut auto_t, mut best_t) = (Duration::MAX, Duration::MAX);
+        let mut plan = String::from("-");
+        let mut best_desc = String::from("-");
+        for (i, (desc, is_auto, _)) in configs.iter().enumerate() {
+            if *is_auto {
+                if best_each[i] < auto_t {
+                    auto_t = best_each[i];
+                    plan = plans[i].clone();
+                }
+            } else if best_each[i] < best_t {
+                best_t = best_each[i];
+                best_desc = desc.clone();
+            }
+        }
+
+        let regret =
+            (auto_t.as_secs_f64() - best_t.as_secs_f64()).max(0.0) / best_t.as_secs_f64().max(1e-9);
+        max_regret = max_regret.max(regret);
+        t.row(vec![
+            format!("{theta:.2}"),
+            ms(auto_t),
+            plan,
+            best_desc,
+            ms(best_t),
+            format!("{:.1}", regret * 100.0),
+            if all_equal { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    report.table(t);
+    assert!(
+        all_equal,
+        "every fixed configuration must reproduce Auto's output"
+    );
+    report.metric_u64("ablation_auto.cores", cores as u64);
+    report.metric_f64("ablation_auto.regret", max_regret);
+    report.metric_str(
+        "ablation_auto.output_equal",
+        if all_equal { "true" } else { "false" },
+    );
 }
 
 /// Ablation (tentpole): the token-sharded partition executor and the bitmap

@@ -1,41 +1,190 @@
-//! Cost-based algorithm choice.
+//! Cost-based configuration planning.
 //!
 //! §5 of the paper observes "there is not always a clear winner between the
 //! basic and prefix-filtered implementations", motivating "a cost-based
 //! decision for choosing the appropriate implementation" — left as future
-//! work there (§7). This module implements that choice with a simple,
-//! cheaply-computable model:
+//! work there (§7). This module implements that decision over the *whole*
+//! execution space the system has grown since: five executors × three
+//! overlap kernels × bitmap-signature widths × the effective thread count.
 //!
-//! * the basic algorithm's work is dominated by the element equi-join, whose
-//!   exact tuple count is `Σ_e freq_R(e) · freq_S(e)` over posting lists;
-//! * the prefix algorithms' work is the (much smaller) prefix equi-join plus
-//!   a verification merge per candidate; candidates are upper-bounded by the
-//!   prefix join tuples, and each verification costs roughly the two set
-//!   sizes.
+//! The model's inputs come from two places:
 //!
-//! Both estimates are computable from histograms in one linear pass —
-//! exactly what a query optimizer would do with catalog statistics. The
-//! histograms live in the [`JoinWorkspace`] so a reused workspace estimates
-//! without allocating.
+//! * **Catalog statistics** maintained by every [`SetCollection`]
+//!   ([`crate::set::CollectionStats`]): a dense token-frequency histogram, a
+//!   log₂ set-length histogram, and a seeded sample of set ids. The
+//!   basic plan's element equi-join size `Σ_e freq_R(e) · freq_S(e)` is
+//!   computed *exactly* in one pass over the (usually smaller) R side
+//!   against S's frozen histogram; the length histograms yield the average
+//!   merge length and the probability a candidate pair is skewed enough for
+//!   the galloping kernel; the sample estimates prefix selectivity under
+//!   the concrete predicate without scanning a large S side.
+//! * **Per-kernel cost shapes** from [`crate::kernel`]
+//!   (`verify_cost_model`), so the planner's view of early exit and
+//!   galloping stays tied to the kernels' actual crossover constants.
+//!
+//! [`CostEstimate::plan`] enumerates every candidate configuration (a few
+//! hundred pure-arithmetic evaluations, no allocation) and returns the
+//! cheapest as a [`PlanChoice`], which [`Algorithm::Auto`] runs and records
+//! in [`SsJoinStats::plan`] so every auto run is explainable after the
+//! fact. [`CorpusIndex`](crate::CorpusIndex) freezes the S-side statistics
+//! at build time, so probe-time planning touches only the probe batch.
 
 use super::prefix::{prefix_lengths_into, Side};
 use super::workspace::JoinWorkspace;
-use super::{inline, ExecContext};
+use super::{inline, Algorithm, ExecContext, ShardPolicy};
 use crate::budget::BudgetState;
-use crate::predicate::OverlapPredicate;
-use crate::set::SetCollection;
+use crate::kernel::{verify_cost_model, OverlapKernel, GALLOP_CROSSOVER};
+use crate::predicate::{Interval, OverlapPredicate};
+use crate::set::{SetCollection, SignatureWidth, LEN_HIST_BUCKETS};
 use crate::stats::SsJoinStats;
-use crate::Algorithm;
+use std::fmt;
 
-/// Cost estimates for the basic vs. prefix-filtered (inline) plans.
+/// Per-side size above which the one-shot estimator stops making exact
+/// O(side tuples) passes (prefix frequencies on S, token/prefix walks on R)
+/// and extrapolates from the seeded selectivity sample instead. Keeps
+/// planning cost negligible next to the join it is planning: below the
+/// threshold exact passes are cheap, above it they would grow linearly
+/// while the sample stays O(1).
+const SAMPLED_S_ABOVE: usize = 4096;
+
+/// Modeled cost (abstract element touches) of spawning and joining one
+/// worker thread — scoped-thread setup, scheduling, and cache warmup that a
+/// sequential run never pays. Parallel plans win only when the divided work
+/// saves more than this.
+const SPAWN_COST: f64 = 24_000.0;
+
+/// Baseline load-imbalance penalty of the chunked parallel path (contiguous
+/// R-group chunks): even uniform inputs divide unevenly at chunk edges.
+const CHUNK_IMBALANCE_BASE: f64 = 1.15;
+
+/// How strongly length skew inflates chunk imbalance: a heavy set (or a
+/// heavy token's posting list) lands wholly inside one chunk and serializes
+/// that worker, which work stealing over token shards avoids.
+const CHUNK_IMBALANCE_SKEW: f64 = 0.75;
+
+/// Overhead factor of the token-sharded partition executor: shard planning,
+/// first-shared-rank dedup, and the k-way output merge — much flatter than
+/// chunk imbalance because work stealing rebalances the shards.
+const SHARD_OVERHEAD: f64 = 1.08;
+
+/// Per-candidate-tuple factor of the prefix-filtered join-back verification
+/// (rebuilding and probing a per-candidate hash table), relative to one
+/// merge touch.
+const JOIN_BACK_FACTOR: f64 = 2.5;
+
+/// Extra candidate-join work of the positional filter (carrying and
+/// checking positions). Calibrated against the `ablation-positional`
+/// panel: even where the positional bound removes 50–70% of the
+/// verifications, the bookkeeping makes the executor 1.2–1.7× slower per
+/// candidate tuple, so positional only pays off when verification itself
+/// dwarfs the candidate join.
+const POSITIONAL_JOIN_FACTOR: f64 = 1.75;
+
+/// Verification work surviving the positional filter's partial-overlap
+/// prune, relative to the plain inline verification.
+const POSITIONAL_VERIFY_DISCOUNT: f64 = 0.85;
+
+/// Ceiling on the fraction of candidates the bitmap filter can prune for a
+/// maximally selective predicate at infinite width.
+const BITMAP_PRUNE_CEILING: f64 = 0.6;
+
+/// Cost estimates for one `R SSJoin S` input under one predicate: the
+/// quantities the configuration planner needs, all derived from catalog
+/// statistics plus one pass over the probe side.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostEstimate {
-    /// Estimated element equi-join tuples for the basic plan.
+    /// Element equi-join tuples of the basic plan — exact:
+    /// `Σ_e freq_R(e) · freq_S(e)`.
     pub basic_join_tuples: u64,
-    /// Estimated prefix equi-join tuples.
+    /// Prefix equi-join tuples (exact when the S side is small enough for a
+    /// full pass, sample-extrapolated otherwise). Upper-bounds the
+    /// candidate pairs of every prefix-family plan.
     pub prefix_join_tuples: u64,
-    /// Estimated verification element touches for the prefix plan.
+    /// Estimated verification element touches of the prefix plan (legacy
+    /// aggregate backing [`CostEstimate::prefix_cost`]).
     pub prefix_verify_cost: u64,
+    /// S-side tuples a fresh full-set inverted index build must ingest — 0
+    /// when probing a prebuilt [`crate::CorpusIndex`].
+    pub s_index_tuples: u64,
+    /// S-side prefix tuples a fresh prefix index build must ingest — 0 when
+    /// probing a prebuilt index.
+    pub s_prefix_tuples: u64,
+    /// Mean set length across both sides (the expected merge length of a
+    /// candidate verification).
+    pub avg_len: u64,
+    /// Estimated prefix selectivity `Σ prefix_len / Σ len` across both
+    /// sides, in thousandths (integer so the estimate stays `Eq`-friendly).
+    pub prefix_fraction_milli: u32,
+    /// Estimated probability that a candidate pair's length ratio reaches
+    /// the galloping crossover, in thousandths; derived from the two
+    /// length histograms.
+    pub gallop_skew_milli: u32,
+}
+
+/// The constraints a planner invocation runs under — what the caller's
+/// execution context permits, not what the model prefers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanRequest {
+    /// Thread budget (already clamped to the host): parallel plans may use
+    /// up to this many workers, never more.
+    pub threads: usize,
+    /// Whether the token-sharded partition executor is permitted (the
+    /// context's shard policy allows token shards).
+    pub token_shards: bool,
+    /// Signature width the plan must use if it enables the bitmap filter;
+    /// `None` leaves the width free. [`crate::CorpusIndex`] pins this to
+    /// its build-time width.
+    pub width: Option<SignatureWidth>,
+}
+
+impl PlanRequest {
+    /// The request implied by an execution context (width free).
+    pub fn from_ctx(ctx: &ExecContext) -> Self {
+        Self {
+            threads: ctx.threads,
+            token_shards: matches!(ctx.shard, ShardPolicy::TokenShards { .. }),
+            width: None,
+        }
+    }
+}
+
+/// One fully specified execution configuration chosen by the planner:
+/// executor, overlap kernel, bitmap filter (and width), and thread count,
+/// plus the modeled cost that won. Recorded in [`SsJoinStats::plan`] on
+/// every [`Algorithm::Auto`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanChoice {
+    /// The physical executor to run (never [`Algorithm::Auto`]).
+    pub algorithm: Algorithm,
+    /// Overlap kernel for verification merges.
+    pub kernel: OverlapKernel,
+    /// Whether the bitmap-signature filter is enabled.
+    pub bitmap_filter: bool,
+    /// Signature width the filter folds to (meaningful only when
+    /// `bitmap_filter` is set).
+    pub signature_width: SignatureWidth,
+    /// Worker threads the plan uses (≤ the requested thread budget).
+    pub threads: usize,
+    /// Modeled cost of this configuration, in abstract element touches.
+    pub cost: u64,
+}
+
+impl fmt::Display for PlanChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?}/{}/{}/{}t cost={}",
+            self.algorithm,
+            self.kernel.name(),
+            if self.bitmap_filter {
+                self.signature_width.name()
+            } else {
+                "off"
+            },
+            self.threads,
+            self.cost
+        )
+    }
 }
 
 impl CostEstimate {
@@ -49,13 +198,158 @@ impl CostEstimate {
         self.prefix_join_tuples + self.prefix_verify_cost
     }
 
-    /// The algorithm the model picks.
+    /// The basic-vs-prefix choice of the original two-way model — still the
+    /// decision the relational planner uses, where only those two plan
+    /// shapes exist as logical operators.
     pub fn choice(&self) -> Algorithm {
         if self.basic_cost() <= self.prefix_cost() {
             Algorithm::Basic
         } else {
             Algorithm::Inline
         }
+    }
+
+    /// Pick the cheapest full configuration — executor × kernel × bitmap
+    /// width × thread count — permitted by `req`. Pure arithmetic over the
+    /// estimate; no allocation, deterministic, ties broken toward the
+    /// simpler configuration (sequential before parallel, filter off before
+    /// on, narrower widths first).
+    pub fn plan(&self, req: &PlanRequest) -> PlanChoice {
+        let b = self.basic_join_tuples as f64;
+        let p = self.prefix_join_tuples as f64;
+        let cand = p;
+        let l = (self.avg_len as f64).max(1.0);
+        let rho = f64::from(self.prefix_fraction_milli) / 1000.0;
+        let sigma = f64::from(self.gallop_skew_milli) / 1000.0;
+        let full_build = self.s_index_tuples as f64;
+        let prefix_build = self.s_prefix_tuples as f64;
+
+        // Candidate verification cost after an optional bitmap filter: the
+        // filter pays `words + 2` touches per candidate (fold + ANDNOT +
+        // popcount) and prunes a width- and selectivity-dependent fraction
+        // before the merge.
+        let filtered_verify = |width: Option<SignatureWidth>, verify: f64| -> f64 {
+            match width {
+                None => cand * verify,
+                Some(w) => {
+                    let words = w.words() as f64;
+                    let prune =
+                        (1.0 - rho).max(0.0) * BITMAP_PRUNE_CEILING * (1.0 - 0.5f64.powf(words));
+                    cand * (words + 2.0) + cand * (1.0 - prune) * verify
+                }
+            }
+        };
+
+        let seq_cost = |alg: Algorithm, kernel: OverlapKernel, width: Option<SignatureWidth>| {
+            match alg {
+                Algorithm::Basic => full_build + b,
+                Algorithm::PrefixFiltered => {
+                    prefix_build + p + filtered_verify(width, JOIN_BACK_FACTOR * l)
+                }
+                Algorithm::Inline | Algorithm::Partition => {
+                    prefix_build
+                        + p
+                        + filtered_verify(width, verify_cost_model(kernel, l, rho, sigma))
+                }
+                Algorithm::PositionalInline => {
+                    prefix_build
+                        + p * POSITIONAL_JOIN_FACTOR
+                        + filtered_verify(
+                            width,
+                            POSITIONAL_VERIFY_DISCOUNT * verify_cost_model(kernel, l, rho, sigma),
+                        )
+                }
+                // Auto never appears in the candidate enumeration below.
+                Algorithm::Auto => f64::INFINITY,
+            }
+        };
+
+        let threads_hi = req.threads.max(1);
+        let thread_domain: [Option<usize>; 2] = if threads_hi > 1 {
+            [Some(1), Some(threads_hi)]
+        } else {
+            [Some(1), None]
+        };
+        let width_domain: [Option<Option<SignatureWidth>>; 5] = match req.width {
+            Some(w) => [Some(None), Some(Some(w)), None, None, None],
+            None => [
+                Some(None),
+                Some(Some(SignatureWidth::W1)),
+                Some(Some(SignatureWidth::W2)),
+                Some(Some(SignatureWidth::W4)),
+                Some(Some(SignatureWidth::W8)),
+            ],
+        };
+
+        let mut best = PlanChoice {
+            algorithm: Algorithm::Basic,
+            kernel: OverlapKernel::Linear,
+            bitmap_filter: false,
+            signature_width: req.width.unwrap_or_default(),
+            threads: 1,
+            cost: u64::MAX,
+        };
+        let mut best_cost = f64::INFINITY;
+        for &t in thread_domain.iter().flatten() {
+            for alg in [
+                Algorithm::Basic,
+                Algorithm::PrefixFiltered,
+                Algorithm::Inline,
+                Algorithm::PositionalInline,
+                Algorithm::Partition,
+            ] {
+                // The partition executor is only a candidate where it can
+                // actually run parallel token shards; at one thread it is
+                // the inline plan with extra steps.
+                if alg == Algorithm::Partition && (t == 1 || !req.token_shards) {
+                    continue;
+                }
+                // The basic plan computes overlaps by accumulation, not by
+                // per-candidate merges, so kernels and the bitmap filter
+                // cannot save it work; likewise the join-back verification
+                // of PrefixFiltered never runs a merge kernel.
+                let kernels: &[OverlapKernel] =
+                    if matches!(alg, Algorithm::Basic | Algorithm::PrefixFiltered) {
+                        &[OverlapKernel::Linear]
+                    } else {
+                        &[
+                            OverlapKernel::Linear,
+                            OverlapKernel::EarlyExit,
+                            OverlapKernel::Adaptive,
+                        ]
+                    };
+                let widths: &[Option<Option<SignatureWidth>>] = if alg == Algorithm::Basic {
+                    &[Some(None)]
+                } else {
+                    &width_domain
+                };
+                for &kernel in kernels {
+                    for &width in widths.iter().flatten() {
+                        let seq = seq_cost(alg, kernel, width);
+                        let cost = if t <= 1 {
+                            seq
+                        } else if alg == Algorithm::Partition {
+                            seq / t as f64 * SHARD_OVERHEAD + SPAWN_COST * t as f64
+                        } else {
+                            let imbalance = CHUNK_IMBALANCE_BASE + CHUNK_IMBALANCE_SKEW * sigma;
+                            seq / t as f64 * imbalance + SPAWN_COST * t as f64
+                        };
+                        if cost < best_cost {
+                            best_cost = cost;
+                            best = PlanChoice {
+                                algorithm: alg,
+                                kernel,
+                                bitmap_filter: width.is_some(),
+                                signature_width: width.or(req.width).unwrap_or_default(),
+                                threads: t,
+                                cost: cost.min(u64::MAX as f64) as u64,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        best
     }
 }
 
@@ -76,84 +370,266 @@ pub(crate) fn effective_threads(requested: usize) -> usize {
     requested.min(cores).max(1)
 }
 
-/// Estimate plan costs from element-frequency histograms held in the
-/// workspace (no allocations once the workspace is warm).
+/// Estimated prefix selectivity (`Σ prefix_len / Σ len`) of a collection
+/// under a concrete predicate, evaluated on the seeded sample of set ids —
+/// O(sample) regardless of collection size.
+pub(crate) fn sampled_prefix_fraction(
+    c: &SetCollection,
+    side: Side,
+    pred: &OverlapPredicate,
+    partner_norms: Option<(f64, f64)>,
+) -> f64 {
+    let Some((lo, hi)) = partner_norms else {
+        return 0.0;
+    };
+    let range = Interval::new(lo, hi);
+    let (mut pre, mut tot) = (0u64, 0u64);
+    for &id in c.stats().sample_ids() {
+        let set = c.set(id);
+        tot += set.len() as u64;
+        if set.is_empty() {
+            continue;
+        }
+        let lb = match side {
+            Side::R => pred.required_lower_bound_r(set.norm(), range),
+            Side::S => pred.required_lower_bound_s(set.norm(), range),
+        };
+        let total = set.total_weight();
+        if total < lb {
+            continue;
+        }
+        pre += set.prefix_len(total.saturating_sub(lb)) as u64;
+    }
+    if tot == 0 {
+        1.0
+    } else {
+        pre as f64 / tot as f64
+    }
+}
+
+/// Probability that a pair drawn from the two length histograms is skewed
+/// enough for the galloping kernel: bucket exponents at least
+/// `log₂(GALLOP_CROSSOVER)` apart. Empty sets never gallop and are
+/// excluded.
+fn gallop_skew(rh: &[u64; LEN_HIST_BUCKETS], sh: &[u64; LEN_HIST_BUCKETS]) -> f64 {
+    let gap = GALLOP_CROSSOVER.ilog2() as usize;
+    let (mut skewed, mut total) = (0u128, 0u128);
+    for (i, &a) in rh.iter().enumerate().skip(1) {
+        if a == 0 {
+            continue;
+        }
+        for (j, &b) in sh.iter().enumerate().skip(1) {
+            if b == 0 {
+                continue;
+            }
+            let w = u128::from(a) * u128::from(b);
+            total += w;
+            if i.abs_diff(j) >= gap {
+                skewed += w;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        skewed as f64 / total as f64
+    }
+}
+
+/// Assemble a [`CostEstimate`] from the per-side aggregates every
+/// estimation path ends with.
+fn finish_estimate(
+    r: &SetCollection,
+    s: &SetCollection,
+    r_prefix_tuples: u64,
+    s_prefix_tuples: u64,
+    basic_join_tuples: u64,
+    prefix_join_tuples: u64,
+) -> CostEstimate {
+    let groups = (r.len() + s.len()).max(1);
+    let tuples = (r.tuple_count() + s.tuple_count()) as u64;
+    let avg_len = tuples / groups as u64;
+    let rho = if tuples == 0 {
+        0.0
+    } else {
+        (r_prefix_tuples + s_prefix_tuples) as f64 / tuples as f64
+    };
+    let sigma = gallop_skew(r.stats().len_histogram(), s.stats().len_histogram());
+    CostEstimate {
+        basic_join_tuples,
+        prefix_join_tuples,
+        prefix_verify_cost: prefix_join_tuples.saturating_mul(avg_len.max(1)),
+        s_index_tuples: s.tuple_count() as u64,
+        s_prefix_tuples,
+        avg_len,
+        prefix_fraction_milli: (rho.clamp(0.0, 1.0) * 1000.0).round() as u32,
+        gallop_skew_milli: (sigma.clamp(0.0, 1.0) * 1000.0).round() as u32,
+    }
+}
+
+/// Estimate plan costs for a one-shot join from S's frozen token-frequency
+/// histogram plus per-side passes that are exact below [`SAMPLED_S_ABOVE`]
+/// and extrapolated from the seeded selectivity sample above it, so
+/// planning stays negligible next to the join being planned. The only
+/// transient buffers are the workspace's prefix-length and
+/// prefix-frequency pools, so a reused workspace estimates without
+/// allocating.
 pub(crate) fn estimate_costs_into(
     r: &SetCollection,
     s: &SetCollection,
     pred: &OverlapPredicate,
     ws: &mut JoinWorkspace,
 ) -> CostEstimate {
-    let universe = r.universe_size();
+    let sfreq = s.stats().token_freq();
     let JoinWorkspace {
         r_lens,
         s_lens,
-        freq_r,
-        freq_s,
-        pfreq_r,
         pfreq_s,
         ..
     } = ws;
-    freq_r.clear();
-    freq_r.resize(universe, 0);
-    freq_s.clear();
-    freq_s.resize(universe, 0);
-    for set in r.iter() {
-        for &rank in set.ranks() {
-            freq_r[rank as usize] += 1;
-        }
-    }
-    for set in s.iter() {
-        for &rank in set.ranks() {
-            freq_s[rank as usize] += 1;
-        }
-    }
-    let basic_join_tuples: u64 = freq_r
-        .iter()
-        .zip(&*freq_s)
-        .map(|(&a, &b)| a as u64 * b as u64)
-        .sum();
 
-    prefix_lengths_into(r, Side::R, pred, s.norm_range(), r_lens);
-    prefix_lengths_into(s, Side::S, pred, r.norm_range(), s_lens);
-    pfreq_r.clear();
-    pfreq_r.resize(universe, 0);
-    pfreq_s.clear();
-    pfreq_s.resize(universe, 0);
-    for (set, &len) in r.iter().zip(&*r_lens) {
-        for &rank in &set.ranks()[..len] {
-            pfreq_r[rank as usize] += 1;
+    // S side: exact prefix-frequency histogram when S is small, seeded
+    // sample selectivity otherwise.
+    let s_exact = s.len() <= SAMPLED_S_ABOVE;
+    let (s_prefix_tuples, rho_s) = if s_exact {
+        prefix_lengths_into(s, Side::S, pred, r.norm_range(), s_lens);
+        let tuples: u64 = s_lens.iter().map(|&l| l as u64).sum();
+        pfreq_s.clear();
+        pfreq_s.resize(s.universe_size(), 0);
+        for (set, &len) in s.iter().zip(&*s_lens) {
+            for &rank in &set.ranks()[..len] {
+                let slot = &mut pfreq_s[rank as usize];
+                *slot = slot.saturating_add(1);
+            }
         }
-    }
-    for (set, &len) in s.iter().zip(&*s_lens) {
-        for &rank in &set.ranks()[..len] {
-            pfreq_s[rank as usize] += 1;
-        }
-    }
-    let prefix_join_tuples: u64 = pfreq_r
-        .iter()
-        .zip(&*pfreq_s)
-        .map(|(&a, &b)| a as u64 * b as u64)
-        .sum();
-
-    // Each candidate verification merges two sets; candidates ≤ prefix join
-    // tuples, and the average merged length is the mean set size of both
-    // sides.
-    let avg_len = if r.len() + s.len() == 0 {
-        0
+        (tuples, 0.0)
     } else {
-        ((r.tuple_count() + s.tuple_count()) / (r.len() + s.len()).max(1)) as u64
+        let rho = sampled_prefix_fraction(s, Side::S, pred, r.norm_range());
+        ((rho * s.tuple_count() as f64) as u64, rho)
     };
-    let prefix_verify_cost = prefix_join_tuples.saturating_mul(avg_len.max(1));
+    // Expected S-side prefix partners of one R prefix occurrence: the exact
+    // histogram count, or the full token frequency thinned by S's sampled
+    // prefix selectivity.
+    let prefix_weight = |rank: u32| -> f64 {
+        if s_exact {
+            f64::from(pfreq_s[rank as usize])
+        } else {
+            f64::from(sfreq[rank as usize]) * rho_s
+        }
+    };
 
-    CostEstimate {
+    let (basic_join_tuples, r_prefix_tuples, prefix_join_tuples) = if r.len() <= SAMPLED_S_ABOVE {
+        // Exact R passes: `Σ_e freq_R(e) · freq_S(e)` for the basic join
+        // and `Σ_e pfreq_R(e) · pfreq_S(e)` for the prefix join, without
+        // materializing the R histograms.
+        let mut basic = 0u64;
+        for set in r.iter() {
+            for &rank in set.ranks() {
+                basic = basic.saturating_add(u64::from(sfreq[rank as usize]));
+            }
+        }
+        prefix_lengths_into(r, Side::R, pred, s.norm_range(), r_lens);
+        let rp: u64 = r_lens.iter().map(|&l| l as u64).sum();
+        let mut p = 0.0f64;
+        for (set, &len) in r.iter().zip(&*r_lens) {
+            for &rank in &set.ranks()[..len] {
+                p += prefix_weight(rank);
+            }
+        }
+        (basic, rp, p as u64)
+    } else {
+        // Sampled R: one walk over the seeded sample accumulates every
+        // R-side aggregate at once, extrapolated by the tuple ratio. An
+        // empty S admits no partners, so prefixes contribute nothing.
+        let range = s.norm_range().map(|(lo, hi)| Interval::new(lo, hi));
+        let (mut sample_tuples, mut sample_prefix) = (0u64, 0u64);
+        let (mut sample_basic, mut sample_join) = (0.0f64, 0.0f64);
+        for &id in r.stats().sample_ids() {
+            let set = r.set(id);
+            sample_tuples += set.len() as u64;
+            for &rank in set.ranks() {
+                sample_basic += f64::from(sfreq[rank as usize]);
+            }
+            let (Some(range), false) = (range, set.is_empty()) else {
+                continue;
+            };
+            let lb = pred.required_lower_bound_r(set.norm(), range);
+            let total = set.total_weight();
+            if total < lb {
+                continue;
+            }
+            let plen = set.prefix_len(total.saturating_sub(lb));
+            sample_prefix += plen as u64;
+            for &rank in &set.ranks()[..plen] {
+                sample_join += prefix_weight(rank);
+            }
+        }
+        let scale = if sample_tuples == 0 {
+            0.0
+        } else {
+            r.tuple_count() as f64 / sample_tuples as f64
+        };
+        (
+            (sample_basic * scale) as u64,
+            (sample_prefix as f64 * scale) as u64,
+            (sample_join * scale) as u64,
+        )
+    };
+
+    finish_estimate(
+        r,
+        s,
+        r_prefix_tuples,
+        s_prefix_tuples,
         basic_join_tuples,
         prefix_join_tuples,
-        prefix_verify_cost,
-    }
+    )
 }
 
-/// Estimate plan costs from element-frequency histograms.
+/// Estimate plan costs for a [`crate::CorpusIndex`] probe from statistics
+/// frozen at index (re)build time: the corpus token-frequency histogram and
+/// the per-rank prefix-frequency histogram. O(probe batch) — the corpus is
+/// never scanned — and the prebuilt indexes zero out both build-cost terms.
+pub(crate) fn estimate_probe_costs_into(
+    r: &SetCollection,
+    corpus: &SetCollection,
+    prefix_freq: &[u32],
+    corpus_prefix_tuples: u64,
+    pred: &OverlapPredicate,
+    ws: &mut JoinWorkspace,
+) -> CostEstimate {
+    let sfreq = corpus.stats().token_freq();
+    let mut basic_join_tuples = 0u64;
+    for set in r.iter() {
+        for &rank in set.ranks() {
+            basic_join_tuples = basic_join_tuples.saturating_add(u64::from(sfreq[rank as usize]));
+        }
+    }
+    let r_lens = &mut ws.r_lens;
+    prefix_lengths_into(r, Side::R, pred, corpus.norm_range(), r_lens);
+    let r_prefix_tuples: u64 = r_lens.iter().map(|&l| l as u64).sum();
+    let mut prefix_join_tuples = 0u64;
+    for (set, &len) in r.iter().zip(&*r_lens) {
+        for &rank in &set.ranks()[..len] {
+            prefix_join_tuples =
+                prefix_join_tuples.saturating_add(u64::from(prefix_freq[rank as usize]));
+        }
+    }
+    let mut est = finish_estimate(
+        r,
+        corpus,
+        r_prefix_tuples,
+        corpus_prefix_tuples,
+        basic_join_tuples,
+        prefix_join_tuples,
+    );
+    // Probes run against prebuilt indexes: no S-side build cost.
+    est.s_index_tuples = 0;
+    est.s_prefix_tuples = 0;
+    est
+}
+
+/// Estimate plan costs from catalog statistics and one pass over each side.
 pub fn estimate_costs(
     r: &SetCollection,
     s: &SetCollection,
@@ -161,6 +637,30 @@ pub fn estimate_costs(
 ) -> CostEstimate {
     let mut ws = JoinWorkspace::new();
     estimate_costs_into(r, s, pred, &mut ws)
+}
+
+/// Materialize a plan choice onto a base context: the planner's knobs
+/// (kernel, bitmap filter, signature width, threads, shard policy) override
+/// the caller's; operational settings (stats level, budget, cancellation)
+/// are preserved.
+pub(crate) fn apply_plan(ctx: &ExecContext, choice: &PlanChoice) -> ExecContext {
+    let mut out = ctx.clone();
+    out.kernel = choice.kernel;
+    out.bitmap_filter = choice.bitmap_filter;
+    out.signature_width = choice.signature_width;
+    out.threads = choice.threads;
+    out.shard = match (choice.algorithm, ctx.shard) {
+        // The partition plan runs token shards; keep the caller's
+        // oversubscription when they configured one.
+        (Algorithm::Partition, ShardPolicy::TokenShards { oversubscribe }) => {
+            ShardPolicy::TokenShards { oversubscribe }
+        }
+        (Algorithm::Partition, _) => ShardPolicy::token_shards(),
+        // Chunked plans must not re-route into the partition executor
+        // behind the planner's back.
+        _ => ShardPolicy::GroupChunks,
+    };
+    out
 }
 
 pub(super) fn run(
@@ -172,13 +672,18 @@ pub(super) fn run(
     ws: &mut JoinWorkspace,
 ) -> (SsJoinStats, Algorithm) {
     let est = estimate_costs_into(r, s, pred, ws);
-    match est.choice() {
-        Algorithm::Basic => (
-            super::basic::run(r, s, pred, ctx, budget, ws),
-            Algorithm::Basic,
-        ),
-        _ => (inline::run(r, s, pred, ctx, budget, ws), Algorithm::Inline),
-    }
+    let choice = est.plan(&PlanRequest::from_ctx(ctx));
+    let pctx = apply_plan(ctx, &choice);
+    let mut stats = match choice.algorithm {
+        Algorithm::Basic => super::basic::run(r, s, pred, &pctx, budget, ws),
+        Algorithm::PrefixFiltered => super::prefix::run(r, s, pred, &pctx, budget, ws),
+        Algorithm::PositionalInline => super::positional::run(r, s, pred, &pctx, budget, ws),
+        Algorithm::Partition => super::partition::run(r, s, pred, &pctx, budget, ws),
+        // Inline — and, defensively, anything the planner never emits.
+        _ => inline::run(r, s, pred, &pctx, budget, ws),
+    };
+    stats.plan = Some(choice);
+    (stats, choice.algorithm)
 }
 
 #[cfg(test)]
@@ -307,7 +812,7 @@ mod tests {
             .collect();
         let c = build(groups, WeightScheme::Idf);
         let pred = OverlapPredicate::two_sided(0.6);
-        let (mut auto_pairs, _) = collect(|ws| {
+        let (mut auto_pairs, auto_stats) = collect(|ws| {
             run(
                 &c,
                 &c,
@@ -317,6 +822,7 @@ mod tests {
                 ws,
             )
         });
+        assert!(auto_stats.0.plan.is_some(), "auto must record its plan");
         let (mut basic_pairs, _) = collect(|ws| {
             super::super::basic::run(
                 &c,
@@ -330,5 +836,122 @@ mod tests {
         auto_pairs.sort_unstable_by_key(|p| (p.r, p.s));
         basic_pairs.sort_unstable_by_key(|p| (p.r, p.s));
         assert_eq!(auto_pairs, basic_pairs);
+    }
+
+    /// A large, skewed synthetic estimate where parallel execution clearly
+    /// pays: the planner must spend the whole thread budget, and under heavy
+    /// length skew (chunked workers serialize on heavy sets) it must prefer
+    /// the work-stealing partition executor when token shards are allowed.
+    /// Pure model — runs the same on any host, including single-core CI.
+    #[test]
+    fn plan_picks_partition_for_large_parallel_work() {
+        let est = CostEstimate {
+            basic_join_tuples: 50_000_000,
+            prefix_join_tuples: 1_000_000,
+            prefix_verify_cost: 20_000_000,
+            s_index_tuples: 200_000,
+            s_prefix_tuples: 60_000,
+            avg_len: 20,
+            prefix_fraction_milli: 300,
+            gallop_skew_milli: 500,
+        };
+        let choice = est.plan(&PlanRequest {
+            threads: 8,
+            token_shards: true,
+            width: None,
+        });
+        assert_eq!(choice.algorithm, Algorithm::Partition, "{choice:?}");
+        assert_eq!(choice.threads, 8, "{choice:?}");
+        // Without token shards the plan must still use the thread budget —
+        // on the chunked path.
+        let chunked = est.plan(&PlanRequest {
+            threads: 8,
+            token_shards: false,
+            width: None,
+        });
+        assert_ne!(chunked.algorithm, Algorithm::Partition);
+        assert_eq!(chunked.threads, 8, "{chunked:?}");
+    }
+
+    #[test]
+    fn plan_stays_sequential_for_tiny_inputs() {
+        let est = CostEstimate {
+            basic_join_tuples: 900,
+            prefix_join_tuples: 120,
+            prefix_verify_cost: 600,
+            s_index_tuples: 200,
+            s_prefix_tuples: 60,
+            avg_len: 5,
+            prefix_fraction_milli: 400,
+            gallop_skew_milli: 0,
+        };
+        let choice = est.plan(&PlanRequest {
+            threads: 8,
+            token_shards: true,
+            width: None,
+        });
+        assert_eq!(choice.threads, 1, "{choice:?}");
+        assert_ne!(choice.algorithm, Algorithm::Auto);
+    }
+
+    #[test]
+    fn plan_respects_pinned_width() {
+        let est = CostEstimate {
+            basic_join_tuples: u64::MAX / 4,
+            prefix_join_tuples: 2_000_000,
+            prefix_verify_cost: 100_000_000,
+            s_index_tuples: 0,
+            s_prefix_tuples: 0,
+            avg_len: 200,
+            prefix_fraction_milli: 50,
+            gallop_skew_milli: 0,
+        };
+        let pinned = est.plan(&PlanRequest {
+            threads: 1,
+            token_shards: true,
+            width: Some(SignatureWidth::W4),
+        });
+        // Long merges and a highly selective predicate: the filter pays for
+        // itself, and the pinned width is the only one on offer.
+        assert!(pinned.bitmap_filter, "{pinned:?}");
+        assert_eq!(pinned.signature_width, SignatureWidth::W4);
+    }
+
+    #[test]
+    fn sampled_estimate_tracks_exact_estimate() {
+        // Same corpus shape evaluated exactly; the sampled fraction on the
+        // full collection must land near the exact prefix fraction.
+        let groups: Vec<Vec<String>> = (0..300)
+            .map(|i| (0..6).map(|j| format!("z{}", (i * 5 + j) % 97)).collect())
+            .collect();
+        let c = build(groups, WeightScheme::Idf);
+        let pred = OverlapPredicate::two_sided(0.8);
+        let mut lens = Vec::new();
+        prefix_lengths_into(&c, Side::S, &pred, c.norm_range(), &mut lens);
+        let exact: u64 = lens.iter().map(|&l| l as u64).sum();
+        let exact_frac = exact as f64 / c.tuple_count() as f64;
+        let sampled = sampled_prefix_fraction(&c, Side::S, &pred, c.norm_range());
+        assert!(
+            (sampled - exact_frac).abs() < 0.25,
+            "sampled {sampled} vs exact {exact_frac}"
+        );
+    }
+
+    #[test]
+    fn plan_displays_compactly() {
+        let choice = PlanChoice {
+            algorithm: Algorithm::Partition,
+            kernel: OverlapKernel::Adaptive,
+            bitmap_filter: true,
+            signature_width: SignatureWidth::W4,
+            threads: 8,
+            cost: 12345,
+        };
+        assert_eq!(choice.to_string(), "Partition/adaptive/w4/8t cost=12345");
+        let off = PlanChoice {
+            bitmap_filter: false,
+            ..choice
+        };
+        assert!(off.to_string().contains("/off/"), "{off}");
     }
 }

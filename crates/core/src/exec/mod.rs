@@ -15,10 +15,10 @@ mod positional;
 mod prefix;
 mod workspace;
 
-pub use auto::estimate_costs;
+pub use auto::{estimate_costs, CostEstimate, PlanChoice, PlanRequest};
 pub use workspace::JoinWorkspace;
 
-pub(crate) use auto::{effective_threads, estimate_costs_into};
+pub(crate) use auto::{apply_plan, effective_threads, estimate_probe_costs_into};
 pub(crate) use basic::probe_basic;
 pub(crate) use partition::probe_partition;
 pub(crate) use positional::probe_positional;
@@ -75,7 +75,15 @@ pub enum Algorithm {
     /// the paper's prefix filter in the direction later taken by PPJoin
     /// (Xiao et al., WWW 2008).
     PositionalInline,
-    /// Cost-based choice between `Basic` and `Inline` (§7's future work).
+    /// The inline algorithm executed over token-range shards with work
+    /// stealing — the skew-robust parallel executor. Requires `threads > 1`
+    /// to differ from `Inline`; at one thread it degenerates to the inline
+    /// plan.
+    Partition,
+    /// Cost-based choice over the whole configuration space — executor ×
+    /// overlap kernel × bitmap-signature width × thread count — from
+    /// catalog statistics (§7's future work). The winning [`PlanChoice`] is
+    /// recorded in [`SsJoinStats::plan`].
     Auto,
 }
 
@@ -420,6 +428,10 @@ fn ssjoin_into(
             positional::run(r, s, pred, ctx, &budget, ws),
             Algorithm::PositionalInline,
         ),
+        Algorithm::Partition => (
+            partition::run(r, s, pred, ctx, &budget, ws),
+            Algorithm::Partition,
+        ),
         Algorithm::Auto => auto::run(r, s, pred, ctx, &budget, ws),
     };
     stats.budget_checks = budget.checks();
@@ -573,6 +585,7 @@ mod tests {
             Algorithm::PrefixFiltered,
             Algorithm::Inline,
             Algorithm::PositionalInline,
+            Algorithm::Partition,
         ] {
             let out = ssjoin(
                 built.collection(r),

@@ -323,10 +323,9 @@ pub struct JoinWorkspace {
     pub(crate) s_index: CsrIndex,
     pub(crate) r_lens: Vec<usize>,
     pub(crate) s_lens: Vec<usize>,
-    /// Frequency histograms for the cost model (`Algorithm::Auto`).
-    pub(crate) freq_r: Vec<u32>,
-    pub(crate) freq_s: Vec<u32>,
-    pub(crate) pfreq_r: Vec<u32>,
+    /// S-side prefix-frequency histogram for the cost model
+    /// (`Algorithm::Auto`); filled with saturating increments so a
+    /// pathological universe cannot wrap it in release builds.
     pub(crate) pfreq_s: Vec<u32>,
     pub(crate) workers: Vec<WorkerScratch>,
     pub(crate) shards: Vec<Shard>,
@@ -358,9 +357,6 @@ impl JoinWorkspace {
             + self.s_index.bytes_reserved()
             + vec_bytes(&self.r_lens)
             + vec_bytes(&self.s_lens)
-            + vec_bytes(&self.freq_r)
-            + vec_bytes(&self.freq_s)
-            + vec_bytes(&self.pfreq_r)
             + vec_bytes(&self.pfreq_s)
             + vec_bytes(&self.shards)
             + vec_bytes(&self.merge_runs)

@@ -40,9 +40,10 @@
 use crate::budget::{estimate_memory_bytes, BudgetState};
 use crate::error::{SsJoinError, SsJoinResult};
 use crate::exec::{
-    build_csr_parallel, effective_threads, estimate_costs_into, prefix_lengths_into, probe_basic,
-    probe_partition, probe_positional, probe_prefix_family, vec_bytes, Algorithm, CsrIndex,
-    JoinWorkspace, Side, SsJoinConfig, SsJoinRun, WorkerScratch,
+    apply_plan, build_csr_parallel, effective_threads, estimate_probe_costs_into,
+    prefix_lengths_into, probe_basic, probe_partition, probe_positional, probe_prefix_family,
+    vec_bytes, Algorithm, CsrIndex, JoinWorkspace, PlanRequest, ShardPolicy, Side, SsJoinConfig,
+    SsJoinRun, WorkerScratch,
 };
 use crate::predicate::OverlapPredicate;
 use crate::set::{SetCollection, SignatureWidth};
@@ -104,6 +105,11 @@ pub struct CorpusIndex {
     prefix_lens: Vec<usize>,
     /// Cached `Σ prefix_lens`, reported into probe stats.
     prefix_tuples: u64,
+    /// Per-rank prefix-frequency histogram over the live indexed sets,
+    /// frozen at (re)build time — the statistic that lets probe-time
+    /// planning estimate the prefix join size in O(probe batch) without
+    /// rescanning the corpus. Saturating, like every planner histogram.
+    prefix_freq: Vec<u32>,
     /// Full-set inverted index over sets `0..indexed` (basic probes).
     full_index: CsrIndex,
     full_lens: Vec<usize>,
@@ -160,6 +166,7 @@ impl CorpusIndex {
             prefix_index: CsrIndex::default(),
             prefix_lens: Vec::new(),
             prefix_tuples: 0,
+            prefix_freq: Vec::new(),
             full_index: CsrIndex::default(),
             full_lens: Vec::new(),
             indexed: 0,
@@ -190,6 +197,15 @@ impl CorpusIndex {
             }
         }
         self.prefix_tuples = self.prefix_lens.iter().map(|&l| l as u64).sum();
+        self.prefix_freq.clear();
+        self.prefix_freq.resize(self.corpus.universe_size(), 0);
+        for (id, &len) in self.prefix_lens.iter().enumerate() {
+            let set = self.corpus.set(id as u32);
+            for &rank in &set.ranks()[..len] {
+                let slot = &mut self.prefix_freq[rank as usize];
+                *slot = slot.saturating_add(1);
+            }
+        }
         self.full_lens.clear();
         self.full_lens.extend((0..n).map(|i| {
             if self.alive[i] {
@@ -327,16 +343,80 @@ impl CorpusIndex {
                 ),
                 Algorithm::PositionalInline,
             ),
+            Algorithm::Partition => (
+                probe_partition(
+                    r,
+                    s,
+                    &self.prefix_index,
+                    &self.prefix_lens,
+                    self.prefix_tuples,
+                    &self.pred,
+                    ctx,
+                    &budget,
+                    ws,
+                ),
+                Algorithm::Partition,
+            ),
             Algorithm::Auto => {
-                // Same cost model as Algorithm::Auto in the one-shot path.
-                let est = estimate_costs_into(r, s, &self.pred, ws);
-                match est.choice() {
-                    Algorithm::Basic => (
-                        probe_basic(r, s, &self.full_index, &self.pred, ctx, &budget, ws),
-                        Algorithm::Basic,
+                // Probe-time planning from statistics frozen at (re)build
+                // time — the corpus token- and prefix-frequency histograms —
+                // so the estimate costs O(probe batch), never a corpus scan.
+                // The signature width is pinned to the one this index was
+                // built with.
+                let est = estimate_probe_costs_into(
+                    r,
+                    s,
+                    &self.prefix_freq,
+                    self.prefix_tuples,
+                    &self.pred,
+                    ws,
+                );
+                let choice = est.plan(&PlanRequest {
+                    threads: ctx.threads,
+                    token_shards: matches!(ctx.shard, ShardPolicy::TokenShards { .. }),
+                    width: Some(self.signature_width),
+                });
+                let pctx = apply_plan(ctx, &choice);
+                let mut stats = match choice.algorithm {
+                    Algorithm::Basic => {
+                        probe_basic(r, s, &self.full_index, &self.pred, &pctx, &budget, ws)
+                    }
+                    Algorithm::PrefixFiltered => probe_prefix_family(
+                        r,
+                        s,
+                        &self.prefix_index,
+                        self.prefix_tuples,
+                        &self.pred,
+                        &pctx,
+                        false,
+                        &budget,
+                        ws,
                     ),
-                    _ => (self.probe_inline(r, ctx, &budget, ws), Algorithm::Inline),
-                }
+                    Algorithm::PositionalInline => probe_positional(
+                        r,
+                        s,
+                        &self.prefix_index,
+                        self.prefix_tuples,
+                        &self.pred,
+                        &pctx,
+                        &budget,
+                        ws,
+                    ),
+                    Algorithm::Partition => probe_partition(
+                        r,
+                        s,
+                        &self.prefix_index,
+                        &self.prefix_lens,
+                        self.prefix_tuples,
+                        &self.pred,
+                        &pctx,
+                        &budget,
+                        ws,
+                    ),
+                    _ => self.probe_inline(r, &pctx, &budget, ws),
+                };
+                stats.plan = Some(choice);
+                (stats, choice.algorithm)
             }
         };
         // Tombstones: sets deleted since the last rebuild still have
@@ -579,6 +659,7 @@ impl CorpusIndex {
         self.prefix_index.bytes_reserved()
             + self.full_index.bytes_reserved()
             + vec_bytes(&self.prefix_lens)
+            + vec_bytes(&self.prefix_freq)
             + vec_bytes(&self.full_lens)
             + vec_bytes(&self.alive)
     }

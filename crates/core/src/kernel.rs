@@ -70,6 +70,53 @@ impl OverlapKernel {
 /// switches from stepwise merging to galloping the longer side.
 pub const GALLOP_CROSSOVER: usize = 8;
 
+/// Modeled cost of galloping a pair with mean merged length `avg_len`, in
+/// abstract element touches: the short side is at most `avg_len /`
+/// [`GALLOP_CROSSOVER`] elements (galloping only runs past that skew), and
+/// each probe pays an exponential search plus a binary search over the long
+/// side — about `2·(log₂ long + 1)` rank comparisons.
+pub(crate) fn gallop_cost_model(avg_len: f64) -> f64 {
+    let short = (avg_len / GALLOP_CROSSOVER as f64).max(1.0);
+    short * (avg_len.max(2.0).log2() + 1.0) * 2.0
+}
+
+/// Modeled per-candidate verification cost of each kernel, in abstract
+/// element touches — the same unit as the planner's join-tuple counts.
+///
+/// * `avg_len` — mean merged length of a candidate pair;
+/// * `prefix_fraction` — estimated prefix selectivity in `[0, 1]`. Small
+///   prefixes mean a selective predicate whose suffix-weight bound fires
+///   early, so the early-exit kernels approach a fraction of the full merge;
+///   a fraction near 1 means most merges run (nearly) to completion;
+/// * `gallop_skew` — estimated probability (in `[0, 1]`) that a candidate
+///   pair's length ratio reaches [`GALLOP_CROSSOVER`], taken from the
+///   collections' length histograms.
+///
+/// The shapes mirror the kernels above: [`OverlapKernel::Linear`] always
+/// walks the full merge; [`OverlapKernel::EarlyExit`] pays a floor (the
+/// bound must accumulate before it can fire) plus the fraction the predicate
+/// lets through; [`OverlapKernel::Adaptive`] behaves like early-exit on
+/// balanced pairs and like [`gallop_cost_model`] on skewed ones.
+pub(crate) fn verify_cost_model(
+    kernel: OverlapKernel,
+    avg_len: f64,
+    prefix_fraction: f64,
+    gallop_skew: f64,
+) -> f64 {
+    let linear = avg_len.max(1.0);
+    let rho = prefix_fraction.clamp(0.0, 1.0);
+    let early = linear * (0.25 + 0.75 * rho);
+    match kernel {
+        OverlapKernel::Linear => linear,
+        OverlapKernel::EarlyExit => early,
+        OverlapKernel::Adaptive => {
+            let sigma = gallop_skew.clamp(0.0, 1.0);
+            let gallop = gallop_cost_model(avg_len);
+            (1.0 - sigma) * early + sigma * gallop.min(early)
+        }
+    }
+}
+
 /// Verify one candidate pair with the selected kernel: returns
 /// `Some(wt(a ∩ b))` iff the overlap reaches `required`, updating the
 /// kernel counters in `stats`.

@@ -84,14 +84,14 @@ pub use builder::{
 };
 pub use error::{SsJoinError, SsJoinResult};
 pub use exec::{
-    estimate_costs, ssjoin, ssjoin_with, Algorithm, ExecContext, JoinPair, JoinWorkspace,
-    ShardPolicy, SsJoinConfig, SsJoinOutput, SsJoinRun,
+    estimate_costs, ssjoin, ssjoin_with, Algorithm, CostEstimate, ExecContext, JoinPair,
+    JoinWorkspace, PlanChoice, PlanRequest, ShardPolicy, SsJoinConfig, SsJoinOutput, SsJoinRun,
 };
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use index::{CorpusIndex, CorpusIndexOptions};
 pub use kernel::OverlapKernel;
 pub use order::ElementOrder;
 pub use predicate::{Interval, NormExpr, OverlapPredicate};
-pub use set::{SetCollection, SetRef, SignatureWidth, SIG_WORDS};
+pub use set::{CollectionStats, SetCollection, SetRef, SignatureWidth, SIG_WORDS};
 pub use stats::{Phase, SsJoinStats, StatsLevel};
 pub use weight::Weight;

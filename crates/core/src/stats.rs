@@ -111,6 +111,10 @@ pub struct SsJoinStats {
     /// Completed runs on the same workspace before this one; 0 on a cold
     /// workspace, so any positive value marks an allocation-free warm run.
     pub workspace_reuses: u64,
+    /// The full configuration the cost-based planner chose, set only when
+    /// the run was configured with [`crate::Algorithm::Auto`] — the
+    /// explainability record for auto runs.
+    pub plan: Option<crate::exec::PlanChoice>,
 }
 
 impl SsJoinStats {
@@ -164,6 +168,8 @@ impl SsJoinStats {
         self.effective_threads = self.effective_threads.max(other.effective_threads);
         self.bytes_reserved = self.bytes_reserved.max(other.bytes_reserved);
         self.workspace_reuses = self.workspace_reuses.max(other.workspace_reuses);
+        // The plan is chosen once per run, never per worker: keep the first.
+        self.plan = self.plan.or(other.plan);
     }
 
     /// Shard load imbalance: heaviest shard cost over the ideal per-shard
@@ -222,6 +228,9 @@ impl fmt::Display for SsJoinStats {
                 " threads={} reserved={}B reuses={}",
                 self.effective_threads, self.bytes_reserved, self.workspace_reuses
             )?;
+        }
+        if let Some(plan) = &self.plan {
+            write!(f, " plan={plan}")?;
         }
         Ok(())
     }

@@ -6,9 +6,9 @@
 use ssjoin_core::kernel::{overlap_at_least, overlap_gallop, verify_overlap};
 use ssjoin_core::plan::{basic_plan, collection_to_relation, inline_plan, prefix_plan, run_plan};
 use ssjoin_core::{
-    ssjoin, Algorithm, ElementOrder, ExecContext, JoinPair, OverlapKernel, OverlapPredicate,
-    SetCollection, ShardPolicy, SignatureWidth, SsJoinConfig, SsJoinInputBuilder, SsJoinStats,
-    Weight, WeightScheme,
+    ssjoin, Algorithm, CorpusIndex, CorpusIndexOptions, ElementOrder, ExecContext, JoinPair,
+    JoinWorkspace, OverlapKernel, OverlapPredicate, SetCollection, ShardPolicy, SignatureWidth,
+    SsJoinConfig, SsJoinInputBuilder, SsJoinStats, Weight, WeightScheme,
 };
 use ssjoin_prng::{Rng, StdRng};
 use std::sync::Arc;
@@ -105,6 +105,7 @@ fn executors_match_oracle() {
             Algorithm::PrefixFiltered,
             Algorithm::Inline,
             Algorithm::PositionalInline,
+            Algorithm::Partition,
             Algorithm::Auto,
         ] {
             let out = ssjoin(&r, &s, &pred, &SsJoinConfig::new(alg)).unwrap();
@@ -193,6 +194,7 @@ fn parallel_equals_sequential() {
             Algorithm::PrefixFiltered,
             Algorithm::Inline,
             Algorithm::PositionalInline,
+            Algorithm::Partition,
             Algorithm::Auto,
         ] {
             let seq = ssjoin(&r, &s, &pred, &SsJoinConfig::new(alg)).unwrap();
@@ -302,6 +304,7 @@ fn kernel_choice_never_changes_output() {
             Algorithm::PrefixFiltered,
             Algorithm::Inline,
             Algorithm::PositionalInline,
+            Algorithm::Partition,
             Algorithm::Auto,
         ] {
             let baseline = ssjoin(
@@ -350,6 +353,7 @@ fn signature_width_never_changes_output() {
             Algorithm::PrefixFiltered,
             Algorithm::Inline,
             Algorithm::PositionalInline,
+            Algorithm::Partition,
             Algorithm::Auto,
         ] {
             let baseline = ssjoin(
@@ -385,6 +389,138 @@ fn signature_width_never_changes_output() {
             }
         }
     }
+}
+
+/// The full-configuration planner's contract: whatever `Algorithm::Auto`
+/// picks, its output is bit-identical (ids *and* overlaps) to every forced
+/// configuration — executor × kernel × signature width × thread count ×
+/// filter — on both the one-shot path and the [`CorpusIndex::probe`] path
+/// (where the width is pinned at build time).
+#[test]
+fn auto_matches_every_forced_configuration() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(0xA070 + seed);
+        let pred = random_predicate(&mut rng);
+        let order = random_order(&mut rng);
+        let groups = random_groups(&mut rng);
+        let (r, s) = build_two(groups.clone(), groups, WeightScheme::Idf, order);
+        let auto = ssjoin(&r, &s, &pred, &SsJoinConfig::new(Algorithm::Auto)).unwrap();
+        assert!(auto.stats.plan.is_some(), "seed {seed}: no plan recorded");
+        for alg in [
+            Algorithm::Basic,
+            Algorithm::PrefixFiltered,
+            Algorithm::Inline,
+            Algorithm::PositionalInline,
+            Algorithm::Partition,
+        ] {
+            for kernel in [
+                OverlapKernel::Linear,
+                OverlapKernel::EarlyExit,
+                OverlapKernel::Adaptive,
+            ] {
+                for width in SignatureWidth::ALL {
+                    for threads in [1usize, 4] {
+                        for filter in [false, true] {
+                            let ctx = ExecContext::new()
+                                .with_threads(threads)
+                                .with_kernel(kernel)
+                                .with_bitmap_filter(filter)
+                                .with_signature_width(width);
+                            let forced =
+                                ssjoin(&r, &s, &pred, &SsJoinConfig::new(alg).with_exec(ctx))
+                                    .unwrap();
+                            assert_eq!(
+                                auto.pairs, forced.pairs,
+                                "seed {seed}: auto differs from {alg:?}/{kernel:?}/{width}/\
+                                 {threads}t/filter={filter}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Probe path: an index per width; the auto probe must match every
+        // forced probe at that width.
+        let mut ws = JoinWorkspace::new();
+        for width in SignatureWidth::ALL {
+            let options = CorpusIndexOptions {
+                signature_width: width,
+                ..CorpusIndexOptions::default()
+            };
+            let index = CorpusIndex::build_with(s.clone(), pred.clone(), &options).unwrap();
+            let auto_cfg = SsJoinConfig::new(Algorithm::Auto).with_signature_width(width);
+            let auto_probe = index.probe(&r, &auto_cfg, &mut ws).unwrap();
+            assert!(
+                auto_probe.stats.plan.is_some(),
+                "seed {seed}, width {width}: no probe plan recorded"
+            );
+            let auto_pairs = auto_probe.pairs.to_vec();
+            for alg in [
+                Algorithm::Basic,
+                Algorithm::PrefixFiltered,
+                Algorithm::Inline,
+                Algorithm::PositionalInline,
+                Algorithm::Partition,
+            ] {
+                for threads in [1usize, 4] {
+                    let cfg = SsJoinConfig::new(alg)
+                        .with_threads(threads)
+                        .with_signature_width(width);
+                    let forced = index.probe(&r, &cfg, &mut ws).unwrap();
+                    assert_eq!(
+                        auto_pairs, forced.pairs,
+                        "seed {seed}: auto probe differs from {alg:?}/{width}/{threads}t"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Regression for the planner's parallel branch: with a multi-thread budget
+/// and an input heavy enough that the modeled parallel saving dwarfs the
+/// spawn cost, `Algorithm::Auto` must plan a parallel configuration — it
+/// used to silently run its chosen executor sequentially, ignoring
+/// `ExecContext::threads` entirely.
+#[test]
+fn auto_plan_uses_requested_parallelism() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores < 2 {
+        eprintln!(
+            "skipping auto_plan_uses_requested_parallelism: \
+             host has a single core, the clamp forces sequential plans \
+             (the planner's parallel branch is covered by the pure cost-model \
+             unit tests in exec/auto.rs)"
+        );
+        return;
+    }
+    let groups: Vec<Vec<String>> = (0..4000)
+        .map(|i| {
+            (0..8)
+                .map(|j| format!("t{}", (i * 31 + j * 7) % 199))
+                .collect()
+        })
+        .collect();
+    let (r, s) = build_two(
+        groups.clone(),
+        groups,
+        WeightScheme::Idf,
+        ElementOrder::FrequencyAsc,
+    );
+    let pred = OverlapPredicate::two_sided(0.7);
+    let cfg = SsJoinConfig::new(Algorithm::Auto).with_threads(cores);
+    let out = ssjoin(&r, &s, &pred, &cfg).unwrap();
+    let plan = out.stats.plan.expect("auto records a plan");
+    assert!(
+        plan.threads > 1,
+        "auto degraded to a sequential plan on a {cores}-core host: {plan:?}"
+    );
+    assert_eq!(
+        plan.threads as u64, out.stats.effective_threads,
+        "the plan must spend the whole effective thread budget: {plan:?}"
+    );
 }
 
 /// Monotonicity: raising an absolute threshold never adds pairs.

@@ -84,7 +84,7 @@ enum Command {
 
 const USAGE: &str = "usage:
   ssjoin join  --kind <edit|jaccard|cosine|ges> --threshold F \\
-               [--algorithm <basic|prefix|inline|positional|auto>] \\
+               [--algorithm <basic|prefix|inline|positional|partition|auto>] \\
                [--signature-width <1|2|4|8>] \\
                [--self-dedupe] [--out OUT.tsv] R.tsv [S.tsv]
   ssjoin match --reference R.tsv --query STRING [--k N] [--min-sim F]
@@ -108,6 +108,7 @@ fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
         "prefix" => Ok(Algorithm::PrefixFiltered),
         "inline" => Ok(Algorithm::Inline),
         "positional" => Ok(Algorithm::PositionalInline),
+        "partition" => Ok(Algorithm::Partition),
         "auto" => Ok(Algorithm::Auto),
         other => Err(format!("unknown algorithm {other:?}")),
     }
@@ -533,6 +534,53 @@ mod tests {
                 out: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_every_algorithm_name() {
+        for (name, alg) in [
+            ("basic", Algorithm::Basic),
+            ("prefix", Algorithm::PrefixFiltered),
+            ("inline", Algorithm::Inline),
+            ("positional", Algorithm::PositionalInline),
+            ("partition", Algorithm::Partition),
+            ("auto", Algorithm::Auto),
+        ] {
+            let cmd = parse_args(&sv(&[
+                "join",
+                "--threshold",
+                "0.8",
+                "--algorithm",
+                name,
+                "r.tsv",
+            ]))
+            .unwrap();
+            match cmd {
+                Command::Join { algorithm, .. } => assert_eq!(algorithm, alg, "name {name}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let err = parse_args(&sv(&[
+            "join",
+            "--threshold",
+            "0.8",
+            "--algorithm",
+            "bogus",
+            "r.tsv",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown algorithm"), "got {err}");
+        // Every algorithm the parser accepts is advertised in the usage.
+        for name in [
+            "basic",
+            "prefix",
+            "inline",
+            "positional",
+            "partition",
+            "auto",
+        ] {
+            assert!(USAGE.contains(name), "usage is missing {name}");
+        }
     }
 
     #[test]

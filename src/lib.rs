@@ -394,10 +394,10 @@ fn run_relational(
             s.norm_range(),
         ),
         Algorithm::Inline => inline_plan(r, s, pred),
-        Algorithm::PositionalInline => {
-            return Err(SsJoinError::Config(
-                "PositionalInline has no relational-plan formulation; use Engine::Fast".into(),
-            ))
+        Algorithm::PositionalInline | Algorithm::Partition => {
+            return Err(SsJoinError::Config(format!(
+                "{algorithm:?} has no relational-plan formulation; use Engine::Fast"
+            )))
         }
         Algorithm::Auto => unreachable!("Auto resolved above"),
     };
@@ -572,6 +572,7 @@ mod tests {
             Algorithm::PrefixFiltered,
             Algorithm::Inline,
             Algorithm::PositionalInline,
+            Algorithm::Partition,
             Algorithm::Auto,
         ] {
             let join = SsJoin::new(&input).predicate(pred.clone()).algorithm(alg);
@@ -584,7 +585,15 @@ mod tests {
             let mut ws = JoinWorkspace::new();
             let probed = join.probe_with(&index, &mut ws).unwrap();
             assert_eq!(probed.pairs, fresh.pairs.as_slice(), "alg {alg:?}");
-            assert_eq!(probed.algorithm_used, fresh.algorithm_used, "alg {alg:?}");
+            if alg == Algorithm::Auto {
+                // The probe planner sees prebuilt-index costs, so its pick
+                // may differ from the fresh run's; both must resolve Auto
+                // to a concrete executor.
+                assert_ne!(probed.algorithm_used, Algorithm::Auto);
+                assert_ne!(fresh.algorithm_used, Algorithm::Auto);
+            } else {
+                assert_eq!(probed.algorithm_used, fresh.algorithm_used, "alg {alg:?}");
+            }
         }
         // The relational-plan engine has no probe path.
         let index = SsJoin::new(&input).predicate(pred.clone()).index().unwrap();
