@@ -7,10 +7,10 @@
 //! Experiments: `table1 fig10 fig11 fig12 fig13 table2 naive ablation-order
 //! ablation-cost ablation-auto ablation-positional ablation-shard
 //! ablation-workspace ablation-kernel ablation-bitmap ablation-budget
-//! ablation-index`
+//! ablation-index ablation-spill`
 //! (default: all). `--scale 1.0` is the paper's 25,000-row corpus; smaller
 //! values shrink every dataset proportionally for quick runs. `--json`
-//! writes the run to `BENCH_<n>.json` (`--pr n`, default 8) or to an
+//! writes the run to `BENCH_<n>.json` (`--pr n`, default 9) or to an
 //! explicit `--out PATH`.
 //!
 //! Absolute times are *not* expected to match the paper (different hardware,
@@ -20,10 +20,13 @@
 
 use ssjoin_baselines::{naive_join, GravanoConfig, GravanoJoin};
 use ssjoin_bench::report::{count, ms, Report, Table};
-use ssjoin_bench::{corpus_with_rows, evaluation_corpus, PAPER_THRESHOLDS, TABLE2_ROWS};
+use ssjoin_bench::{
+    corpus_with_rows, dirty_corpus, evaluation_corpus, PAPER_ROWS, PAPER_THRESHOLDS, TABLE2_ROWS,
+};
 use ssjoin_core::{
-    estimate_costs, ssjoin, Algorithm, BudgetCause, ElementOrder, ExecBudget, ExecContext,
-    OverlapKernel, Phase, ShardPolicy, SignatureWidth, SsJoinError,
+    estimate_costs, estimate_memory_bytes, plan_spill, ssjoin, Algorithm, BudgetCause,
+    ElementOrder, ExecBudget, ExecContext, OverlapKernel, Phase, ShardPolicy, SignatureWidth,
+    SsJoinError,
 };
 use ssjoin_joins::{
     dedupe_self_pairs, edit_similarity_join, ges_join, jaccard_join, EditJoinConfig, GesJoinConfig,
@@ -36,7 +39,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
     let mut emit_json = false;
-    let mut pr = 8u32;
+    let mut pr = 9u32;
     let mut out: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut i = 0;
@@ -63,8 +66,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--scale F] [--json] [--pr N] [--out PATH] [table1|fig10|fig11|fig12|fig13|table2|naive|ablation-order|ablation-cost|ablation-auto|ablation-positional|ablation-shard|ablation-workspace|ablation-kernel|ablation-bitmap|ablation-budget|ablation-index|all]...\n\
-                     --json additionally writes the run as BENCH_<N>.json (--pr N, default 8),\n\
+                    "usage: experiments [--scale F] [--json] [--pr N] [--out PATH] [table1|fig10|fig11|fig12|fig13|table2|naive|ablation-order|ablation-cost|ablation-auto|ablation-positional|ablation-shard|ablation-workspace|ablation-kernel|ablation-bitmap|ablation-budget|ablation-index|ablation-spill|all]...\n\
+                     --json additionally writes the run as BENCH_<N>.json (--pr N, default 9),\n\
                      or to an explicit --out PATH"
                 );
                 return;
@@ -95,6 +98,7 @@ fn main() {
             "ablation-bitmap",
             "ablation-budget",
             "ablation-index",
+            "ablation-spill",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -124,6 +128,7 @@ fn main() {
             "ablation-bitmap" => ablation_bitmap(scale, &mut report),
             "ablation-budget" => ablation_budget(scale, &mut report),
             "ablation-index" => ablation_index(scale, &mut report),
+            "ablation-spill" => ablation_spill(scale, &mut report),
             other => eprintln!("unknown experiment {other:?}, skipping"),
         }
     }
@@ -1235,6 +1240,107 @@ fn ablation_bitmap(scale: f64, report: &mut Report) {
         "ablation_bitmap.output_equal",
         if all_equal { "true" } else { "false" },
     );
+
+    // Second panel: the "dirty" near-threshold corpus. Heavy token-level
+    // errors on a duplicate-rich input produce many candidates whose
+    // similarity lands just around θ, so far fewer prune on the cheap
+    // weight bounds — the regime where the signature filter's popcount
+    // bound earns (or fails to earn) its probe cost. Half the paper's row
+    // count keeps the candidate blow-up affordable in CI.
+    let dirty_rows = ((PAPER_ROWS as f64 * scale * 0.5).round() as usize).max(10);
+    let dirty = dirty_corpus(dirty_rows).records;
+    let run_dirty = |exec: ExecContext| {
+        let cfg = JaccardConfig::resemblance(theta)
+            .with_algorithm(Algorithm::Inline)
+            .with_exec(exec.with_kernel(OverlapKernel::Adaptive));
+        let mut times = Vec::new();
+        let mut out = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            out = Some(jaccard_join(&dirty, &dirty, &cfg).expect("dirty jaccard join"));
+            times.push(start.elapsed());
+        }
+        times.sort();
+        (out.expect("three runs"), times[1])
+    };
+
+    let mut dt = Table::new(
+        format!(
+            "Ablation — signature width, dirty near-threshold corpus \
+             (Jaccard {theta}, {dirty_rows} rows, heavy errors, median of 3)"
+        ),
+        &[
+            "Signature",
+            "Total ms",
+            "Probes",
+            "Pruned",
+            "Verified",
+            "Pairs",
+            "Output equal",
+        ],
+    );
+    let (dirty_base, dirty_base_t) = run_dirty(ExecContext::new());
+    let dirty_keys = dirty_base.keys();
+    dt.row(vec![
+        "off".into(),
+        ms(dirty_base_t),
+        "-".into(),
+        "-".into(),
+        count(dirty_base.stats.verified_pairs),
+        count(dedupe_self_pairs(&dirty_base.pairs).len() as u64),
+        "baseline".into(),
+    ]);
+    report.metric_f64(
+        "ablation_bitmap.dirty.off.total_ms",
+        dirty_base_t.as_secs_f64() * 1e3,
+    );
+    report.metric_u64(
+        "ablation_bitmap.dirty.off.verified_pairs",
+        dirty_base.stats.verified_pairs,
+    );
+
+    let mut dirty_equal = true;
+    for width in SignatureWidth::ALL {
+        let (out, elapsed) = run_dirty(
+            ExecContext::new()
+                .with_bitmap_filter(true)
+                .with_signature_width(width),
+        );
+        let equal = out.keys() == dirty_keys;
+        dirty_equal &= equal;
+        dt.row(vec![
+            width.to_string(),
+            ms(elapsed),
+            count(out.stats.bitmap_probes),
+            count(out.stats.bitmap_prunes),
+            count(out.stats.verified_pairs),
+            count(dedupe_self_pairs(&out.pairs).len() as u64),
+            if equal { "yes".into() } else { "NO".into() },
+        ]);
+        let name = width.name();
+        report.metric_f64(
+            format!("ablation_bitmap.dirty.{name}.total_ms"),
+            elapsed.as_secs_f64() * 1e3,
+        );
+        report.metric_u64(
+            format!("ablation_bitmap.dirty.{name}.bitmap_prunes"),
+            out.stats.bitmap_prunes,
+        );
+        report.metric_u64(
+            format!("ablation_bitmap.dirty.{name}.verified_pairs"),
+            out.stats.verified_pairs,
+        );
+    }
+    report.table(dt);
+    assert!(
+        dirty_equal,
+        "the signature filter must not change the join output on the dirty corpus"
+    );
+    report.metric_u64("ablation_bitmap.dirty.rows", dirty_rows as u64);
+    report.metric_str(
+        "ablation_bitmap.dirty.output_equal",
+        if dirty_equal { "true" } else { "false" },
+    );
 }
 
 /// Ablation (tentpole): the budgeted-execution machinery. Two claims. First,
@@ -1568,5 +1674,161 @@ fn ablation_index(scale: f64, report: &mut Report) {
     report.metric_str(
         "ablation_index.output_equal",
         if equal { "true" } else { "false" },
+    );
+}
+
+/// Ablation (tentpole, PR 9): out-of-core token-range partitioned execution.
+/// The in-memory inline join is the baseline; then the resident budget is
+/// tightened to 1/2, 1/4, and 1/8 of `estimate_memory_bytes`, forcing the
+/// spill driver to split the same join into token-range partitions. The
+/// partition count is the planner's, not ours: every set is carried in full
+/// by each partition whose rank range it touches, so tiny counts (2, 4)
+/// barely shrink residency and the smallest productive count is data-driven
+/// (the `Partitions` column reports what actually ran). Each spilled run
+/// must reproduce the resident output bit-for-bit — same pairs, same
+/// overlaps, same order. The overhead column is the price of serializing
+/// partitions through the spill file and merging their runs.
+fn ablation_spill(scale: f64, report: &mut Report) {
+    use ssjoin_core::{OverlapPredicate, SsJoinConfig};
+    use ssjoin_text::Tokenizer;
+
+    let data = evaluation_corpus(scale).records;
+    let theta = 0.85;
+    let groups: Vec<Vec<String>> = data
+        .iter()
+        .map(|s| ssjoin_text::WordTokenizer::new().lowercased().tokenize(s))
+        .collect();
+    let mut b = ssjoin_core::SsJoinInputBuilder::new(
+        ssjoin_core::WeightScheme::Idf,
+        ElementOrder::FrequencyAsc,
+    );
+    let h = b.add_relation(groups);
+    let built = b.build().expect("build collection");
+    let c = built.collection(h);
+    let pred = OverlapPredicate::two_sided(theta);
+    let est = estimate_memory_bytes(c, c);
+
+    // Median of 3 per configuration: partition builds churn the allocator,
+    // so one-shot timings would overstate the spill overhead.
+    let median3 = |exec: ExecContext| {
+        let cfg = SsJoinConfig {
+            algorithm: Algorithm::Inline,
+            exec,
+        };
+        let mut runs: Vec<_> = (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                let out = ssjoin(c, c, &pred, &cfg).expect("ssjoin");
+                (out, start.elapsed())
+            })
+            .collect();
+        runs.sort_by_key(|(_, t)| *t);
+        runs.swap_remove(1)
+    };
+
+    let (base, base_t) = median3(ExecContext::new());
+    assert_eq!(
+        base.stats.spill_partitions, 0,
+        "baseline must stay resident"
+    );
+
+    let mut t = Table::new(
+        format!(
+            "Ablation — out-of-core spilled join vs in-memory (Jaccard {theta}, inline, \
+             {} rows, resident estimate {:.1} MiB, median of 3)",
+            data.len(),
+            est as f64 / (1 << 20) as f64
+        ),
+        &[
+            "Config",
+            "Total ms",
+            "Partitions",
+            "Spill MiB",
+            "Peak resident MiB",
+            "Overhead",
+            "Output equal",
+        ],
+    );
+    t.row(vec![
+        "in-memory".into(),
+        ms(base_t),
+        "1".into(),
+        "-".into(),
+        "-".into(),
+        "1.00x".into(),
+        "baseline".into(),
+    ]);
+    report.metric_f64("ablation_spill.in_memory_ms", base_t.as_secs_f64() * 1e3);
+    report.metric_u64("ablation_spill.estimate_bytes", est);
+
+    let mut all_equal = true;
+    let mut overhead_div4 = f64::NAN;
+    for div in [2u64, 4, 8] {
+        let budget = (est / div).max(1);
+        let Some(planned) = plan_spill(c, c, budget) else {
+            println!("warning: input cannot be split at budget est/{div}; skipping");
+            continue;
+        };
+        let exec =
+            ExecContext::new().with_budget(ExecBudget::new().with_max_resident_bytes(budget));
+        let (out, elapsed) = median3(exec);
+        let equal = out.pairs == base.pairs;
+        all_equal &= equal;
+        let overhead = elapsed.as_secs_f64() / base_t.as_secs_f64().max(1e-9);
+        if div == 4 {
+            overhead_div4 = overhead;
+        }
+        t.row(vec![
+            format!("spill @ est/{div} budget ({} KiB)", budget >> 10),
+            ms(elapsed),
+            count(out.stats.spill_partitions),
+            format!("{:.1}", out.stats.spill_bytes as f64 / (1 << 20) as f64),
+            format!(
+                "{:.1}",
+                out.stats.spill_peak_resident_bytes as f64 / (1 << 20) as f64
+            ),
+            format!("{overhead:.2}x"),
+            if equal { "yes".into() } else { "NO".into() },
+        ]);
+        assert_eq!(
+            out.stats.spill_partitions,
+            planned.partitions() as u64,
+            "driver must execute the planned partition count"
+        );
+        report.metric_f64(
+            format!("ablation_spill.div{div}.total_ms"),
+            elapsed.as_secs_f64() * 1e3,
+        );
+        report.metric_u64(
+            format!("ablation_spill.div{div}.partitions"),
+            out.stats.spill_partitions,
+        );
+        report.metric_u64(
+            format!("ablation_spill.div{div}.spill_bytes"),
+            out.stats.spill_bytes,
+        );
+        report.metric_u64(
+            format!("ablation_spill.div{div}.peak_resident_bytes"),
+            out.stats.spill_peak_resident_bytes,
+        );
+        report.metric_f64(format!("ablation_spill.div{div}.overhead"), overhead);
+    }
+    report.table(t);
+    assert!(
+        all_equal,
+        "every spilled run must reproduce the in-memory output bit-for-bit"
+    );
+    report.metric_f64("ablation_spill.overhead_div4", overhead_div4);
+    report.metric_str(
+        "ablation_spill.overhead_div4_under_2_5x",
+        if overhead_div4 <= 2.5 {
+            "true"
+        } else {
+            "false"
+        },
+    );
+    report.metric_str(
+        "ablation_spill.output_equal",
+        if all_equal { "true" } else { "false" },
     );
 }

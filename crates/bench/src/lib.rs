@@ -6,7 +6,7 @@
 pub mod criterion;
 pub mod report;
 
-use ssjoin_datagen::{AddressCorpus, AddressCorpusConfig};
+use ssjoin_datagen::{AddressCorpus, AddressCorpusConfig, ErrorModel};
 
 /// The paper's evaluation corpus size (25,000 customer addresses).
 pub const PAPER_ROWS: usize = 25_000;
@@ -29,6 +29,21 @@ pub fn corpus_with_rows(rows: usize) -> AddressCorpus {
     AddressCorpus::generate(&AddressCorpusConfig::paper_like(rows.max(10)))
 }
 
+/// Generate a "dirty" near-threshold corpus: a high duplicate fraction run
+/// through the heavy error model yields many candidate pairs whose similarity
+/// sits just above or below the join threshold. This stresses the
+/// verification kernels and the bitmap prefilter much harder than the
+/// paper-like defaults, where most candidates are easy accepts or rejects.
+/// Deterministic.
+pub fn dirty_corpus(rows: usize) -> AddressCorpus {
+    AddressCorpus::generate(
+        &AddressCorpusConfig::paper_like(rows.max(10))
+            .with_duplicate_fraction(0.55)
+            .with_errors(ErrorModel::heavy())
+            .with_seed(0xD1A7),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -37,5 +52,17 @@ mod tests {
     fn corpus_scaling() {
         assert_eq!(evaluation_corpus(0.01).records.len(), 250);
         assert_eq!(corpus_with_rows(123).records.len(), 123);
+    }
+
+    #[test]
+    fn dirty_corpus_is_deterministic_and_duplicate_heavy() {
+        let a = dirty_corpus(400);
+        let b = dirty_corpus(400);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.records.len(), 400);
+        // The elevated duplicate fraction must produce far more true pairs
+        // than the paper-like defaults at the same size.
+        let clean = corpus_with_rows(400);
+        assert!(a.true_duplicate_pairs().len() > clean.true_duplicate_pairs().len());
     }
 }

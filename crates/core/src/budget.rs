@@ -55,6 +55,14 @@ pub struct ExecBudget {
     /// exceeds this many bytes (a preflight check; nothing is allocated
     /// first).
     pub max_memory_bytes: Option<u64>,
+    /// Keep the run's resident working set under this many bytes by
+    /// switching to out-of-core execution instead of rejecting it: when the
+    /// whole-input estimate exceeds the budget, the join is split into
+    /// token-range partitions sized to fit (see [`crate::plan_spill`]), joined
+    /// one partition at a time with the rest serialized to a temp-dir spill
+    /// file, and merged back deterministically. Output is bit-identical to
+    /// an unbudgeted run.
+    pub max_resident_bytes: Option<u64>,
 }
 
 impl ExecBudget {
@@ -87,7 +95,18 @@ impl ExecBudget {
         self
     }
 
+    /// Bound the resident working set in bytes; oversized joins spill to
+    /// disk instead of failing (see [`ExecBudget::max_resident_bytes`]).
+    pub fn with_max_resident_bytes(mut self, bytes: u64) -> Self {
+        self.max_resident_bytes = Some(bytes);
+        self
+    }
+
     /// True when no limit is set.
+    ///
+    /// `max_resident_bytes` deliberately does not count: it changes the
+    /// execution strategy, not the admissible work, so on its own it must
+    /// not activate the per-checkpoint slow path.
     pub fn is_unlimited(&self) -> bool {
         self.max_candidate_pairs.is_none()
             && self.max_output_pairs.is_none()
@@ -326,7 +345,14 @@ pub fn estimate_memory_bytes(r: &SetCollection, s: &SetCollection) -> u64 {
     // chunked workers share the candidate space roughly evenly.
     let scratch = s.len() as u64 * 16;
     let prefix_tables = (r.len() + s.len()) as u64 * 8;
-    postings + scratch + prefix_tables
+    // Arena blocks added after the original model: the 8×u64 bitmap
+    // signature per set (PR 7) and the CollectionStats histograms (PR 8) —
+    // a dense u32 token-frequency array per side plus the fixed-size length
+    // histogram and reservoir sample.
+    let signatures = (r.len() + s.len()) as u64 * (crate::set::SIG_WORDS as u64 * 8);
+    let stats = (r.universe_size() + s.universe_size()) as u64 * 4
+        + 2 * (crate::set::LEN_HIST_BUCKETS as u64 * 8 + crate::set::STATS_SAMPLE_CAP as u64 * 4);
+    postings + scratch + prefix_tables + signatures + stats
 }
 
 #[cfg(test)]

@@ -167,6 +167,13 @@ pub struct PlanChoice {
     pub threads: usize,
     /// Modeled cost of this configuration, in abstract element touches.
     pub cost: u64,
+    /// Token-range spill partitions the run executed out of core (0 = fully
+    /// resident). The planner itself always prices resident plans — a
+    /// resident run costs no replication and no I/O passes, so it wins
+    /// whenever it fits [`crate::ExecBudget::max_resident_bytes`]; when it
+    /// does not, the spill driver (`crate::spill`) picks the smallest
+    /// partition count that fits and stamps it here.
+    pub partitions: u32,
 }
 
 impl fmt::Display for PlanChoice {
@@ -183,7 +190,11 @@ impl fmt::Display for PlanChoice {
             },
             self.threads,
             self.cost
-        )
+        )?;
+        if self.partitions > 0 {
+            write!(f, " spill={}p", self.partitions)?;
+        }
+        Ok(())
     }
 }
 
@@ -288,6 +299,7 @@ impl CostEstimate {
             signature_width: req.width.unwrap_or_default(),
             threads: 1,
             cost: u64::MAX,
+            partitions: 0,
         };
         let mut best_cost = f64::INFINITY;
         for &t in thread_domain.iter().flatten() {
@@ -343,6 +355,7 @@ impl CostEstimate {
                                 signature_width: width.or(req.width).unwrap_or_default(),
                                 threads: t,
                                 cost: cost.min(u64::MAX as f64) as u64,
+                                partitions: 0,
                             };
                         }
                     }
@@ -946,6 +959,7 @@ mod tests {
             signature_width: SignatureWidth::W4,
             threads: 8,
             cost: 12345,
+            partitions: 0,
         };
         assert_eq!(choice.to_string(), "Partition/adaptive/w4/8t cost=12345");
         let off = PlanChoice {
@@ -953,5 +967,13 @@ mod tests {
             ..choice
         };
         assert!(off.to_string().contains("/off/"), "{off}");
+        let spilled = PlanChoice {
+            partitions: 4,
+            ..choice
+        };
+        assert_eq!(
+            spilled.to_string(),
+            "Partition/adaptive/w4/8t cost=12345 spill=4p"
+        );
     }
 }

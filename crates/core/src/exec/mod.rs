@@ -405,10 +405,18 @@ fn ssjoin_into(
         &clamped
     };
     let budget = BudgetState::new(&ctx.budget, ctx.cancel.as_ref());
+    // Out-of-core decision: a resident-budget knob below the estimate routes
+    // the run through the token-range spill driver instead of rejecting it.
+    let spilling = ctx
+        .budget
+        .max_resident_bytes
+        .is_some_and(|limit| estimate_memory_bytes(r, s) > limit);
     // Memory preflight: refuse runs whose index + scratch estimate already
-    // exceeds the cap, before allocating anything.
+    // exceeds the cap, before allocating anything. A spilled run holds only
+    // one partition resident at a time, so its preflight happens inside the
+    // spill driver against the per-partition peak instead.
     if let Some(limit) = ctx.budget.max_memory_bytes {
-        if estimate_memory_bytes(r, s) > limit {
+        if !spilling && estimate_memory_bytes(r, s) > limit {
             budget.trip_memory();
         }
     }
@@ -417,22 +425,16 @@ fn ssjoin_into(
     // re-check at their own phase boundaries and per chunk/shard.
     let _ = budget.proceed();
     ws.begin_run();
-    let (mut stats, used) = match config.algorithm {
-        Algorithm::Basic => (basic::run(r, s, pred, ctx, &budget, ws), Algorithm::Basic),
-        Algorithm::PrefixFiltered => (
-            prefix::run(r, s, pred, ctx, &budget, ws),
-            Algorithm::PrefixFiltered,
-        ),
-        Algorithm::Inline => (inline::run(r, s, pred, ctx, &budget, ws), Algorithm::Inline),
-        Algorithm::PositionalInline => (
-            positional::run(r, s, pred, ctx, &budget, ws),
-            Algorithm::PositionalInline,
-        ),
-        Algorithm::Partition => (
-            partition::run(r, s, pred, ctx, &budget, ws),
-            Algorithm::Partition,
-        ),
-        Algorithm::Auto => auto::run(r, s, pred, ctx, &budget, ws),
+    let spilled = if spilling && budget.cause().is_none() {
+        crate::spill::run(r, s, pred, config.algorithm, ctx, &budget, ws)?
+    } else {
+        None
+    };
+    let (mut stats, used) = match spilled {
+        Some(result) => result,
+        // Resident path — also the fallback when the spill planner found
+        // nothing to split (empty side, single-rank mass).
+        None => run_algorithm(config.algorithm, r, s, pred, ctx, &budget, ws),
     };
     stats.budget_checks = budget.checks();
     stats.effective_threads = effective as u64;
@@ -455,6 +457,40 @@ fn ssjoin_into(
     );
     stats.output_pairs = ws.out.len() as u64;
     Ok((stats, used))
+}
+
+/// Dispatch to the physical executor for `algorithm`, returning its stats
+/// and the algorithm that actually ran (the planner's pick under
+/// [`Algorithm::Auto`]). Shared by the resident path of [`ssjoin_into`] and
+/// the per-partition joins of the out-of-core driver (`crate::spill`),
+/// which is exactly the "partition-driver layer over unmodified executors"
+/// seam: the driver calls this once per partition with sub-collections.
+pub(crate) fn run_algorithm(
+    algorithm: Algorithm,
+    r: &SetCollection,
+    s: &SetCollection,
+    pred: &OverlapPredicate,
+    ctx: &ExecContext,
+    budget: &BudgetState,
+    ws: &mut JoinWorkspace,
+) -> (SsJoinStats, Algorithm) {
+    match algorithm {
+        Algorithm::Basic => (basic::run(r, s, pred, ctx, budget, ws), Algorithm::Basic),
+        Algorithm::PrefixFiltered => (
+            prefix::run(r, s, pred, ctx, budget, ws),
+            Algorithm::PrefixFiltered,
+        ),
+        Algorithm::Inline => (inline::run(r, s, pred, ctx, budget, ws), Algorithm::Inline),
+        Algorithm::PositionalInline => (
+            positional::run(r, s, pred, ctx, budget, ws),
+            Algorithm::PositionalInline,
+        ),
+        Algorithm::Partition => (
+            partition::run(r, s, pred, ctx, budget, ws),
+            Algorithm::Partition,
+        ),
+        Algorithm::Auto => auto::run(r, s, pred, ctx, budget, ws),
+    }
 }
 
 /// Split `0..n` into at most `threads` contiguous chunks.

@@ -332,6 +332,10 @@ pub struct JoinWorkspace {
     merge_runs: Vec<MergeRun>,
     merge_heap: Vec<u32>,
     pub(crate) out: Vec<JoinPair>,
+    /// Out-of-core buffers (`crate::spill`): allocated lazily on the first
+    /// spilled run, then pooled like everything else. `None` costs resident
+    /// runs nothing.
+    pub(crate) spill: Option<Box<crate::spill::SpillScratch>>,
     runs: u64,
 }
 
@@ -368,6 +372,7 @@ impl JoinWorkspace {
                 .iter()
                 .map(WorkerScratch::bytes_reserved)
                 .sum::<u64>()
+            + self.spill.as_ref().map_or(0, |s| s.bytes_reserved())
     }
 
     /// Reset logical state for a new run, keeping every buffer's capacity.

@@ -72,6 +72,15 @@ pub struct CorpusIndexOptions {
     /// silently serve a filter configuration it was not built (and
     /// benchmarked) for. Defaults to [`SignatureWidth::W1`].
     pub signature_width: SignatureWidth,
+    /// Default resident-memory budget in bytes for probes. A probe whose
+    /// working-set estimate exceeds the budget is served *out of core*
+    /// through the token-range spill driver (bit-identical pairs, see
+    /// [`crate::ExecBudget::max_resident_bytes`]) instead of resident
+    /// through the persistent index — the knob that lets a long-lived
+    /// service hold batches larger than RAM. A `max_resident_bytes` set on
+    /// the probe's own config takes precedence per call. `None` (the
+    /// default) never spills.
+    pub memory_budget: Option<u64>,
 }
 
 impl Default for CorpusIndexOptions {
@@ -81,6 +90,7 @@ impl Default for CorpusIndexOptions {
             build_threads: 1,
             epoch_limit: None,
             signature_width: SignatureWidth::default(),
+            memory_budget: None,
         }
     }
 }
@@ -99,6 +109,8 @@ pub struct CorpusIndex {
     build_threads: usize,
     /// Signature width fixed at build time; probes must request the same.
     signature_width: SignatureWidth,
+    /// Default resident budget for probes without their own.
+    memory_budget: Option<u64>,
     /// Prefix inverted index over sets `0..indexed` (prefix-family probes).
     prefix_index: CsrIndex,
     /// Per-set prefix lengths backing `prefix_index` (0 for dead sets).
@@ -163,6 +175,7 @@ impl CorpusIndex {
             epoch_limit: options.epoch_limit,
             build_threads: options.build_threads,
             signature_width: options.signature_width,
+            memory_budget: options.memory_budget,
             prefix_index: CsrIndex::default(),
             prefix_lens: Vec::new(),
             prefix_tuples: 0,
@@ -302,134 +315,176 @@ impl CorpusIndex {
             &clamped
         };
         let budget = BudgetState::new(&ctx.budget, ctx.cancel.as_ref());
-        if let Some(limit) = ctx.budget.max_memory_bytes {
-            if estimate_memory_bytes(batch, &self.corpus) > limit {
-                budget.trip_memory();
+        // Out-of-core routing: when the probe's working-set estimate exceeds
+        // the resident budget (per-probe `max_resident_bytes`, else the
+        // index-level default), the probe is served through the token-range
+        // spill driver as a budgeted full join against the corpus arena —
+        // the persistent index cannot be consulted one partition at a time,
+        // but the spilled join holds only one partition's sub-index resident
+        // and emits bit-identical pairs. The hard memory cap is then priced
+        // against the per-partition peak inside the driver, not the full
+        // estimate.
+        let spill_limit = ctx.budget.max_resident_bytes.or(self.memory_budget);
+        let spilling =
+            spill_limit.is_some_and(|limit| estimate_memory_bytes(batch, &self.corpus) > limit);
+        if !spilling {
+            if let Some(limit) = ctx.budget.max_memory_bytes {
+                if estimate_memory_bytes(batch, &self.corpus) > limit {
+                    budget.trip_memory();
+                }
             }
         }
         let _ = budget.proceed();
         ws.begin_run();
         let (r, s) = (batch, &self.corpus);
-        let (mut stats, used) = match config.algorithm {
-            Algorithm::Basic => (
-                probe_basic(r, s, &self.full_index, &self.pred, ctx, &budget, ws),
-                Algorithm::Basic,
-            ),
-            Algorithm::PrefixFiltered => (
-                probe_prefix_family(
-                    r,
-                    s,
-                    &self.prefix_index,
-                    self.prefix_tuples,
-                    &self.pred,
-                    ctx,
-                    false,
-                    &budget,
-                    ws,
+        let spilled = if spilling && budget.cause().is_none() {
+            let sctx;
+            let sctx = if ctx.budget.max_resident_bytes.is_some() {
+                ctx
+            } else {
+                let mut c = ctx.clone();
+                c.budget.max_resident_bytes = spill_limit;
+                sctx = c;
+                &sctx
+            };
+            crate::spill::run(r, s, &self.pred, config.algorithm, sctx, &budget, ws)?
+        } else {
+            None
+        };
+        let from_spill = spilled.is_some();
+        let (mut stats, used) = if let Some(result) = spilled {
+            result
+        } else {
+            match config.algorithm {
+                Algorithm::Basic => (
+                    probe_basic(r, s, &self.full_index, &self.pred, ctx, &budget, ws),
+                    Algorithm::Basic,
                 ),
-                Algorithm::PrefixFiltered,
-            ),
-            Algorithm::Inline => (self.probe_inline(r, ctx, &budget, ws), Algorithm::Inline),
-            Algorithm::PositionalInline => (
-                probe_positional(
-                    r,
-                    s,
-                    &self.prefix_index,
-                    self.prefix_tuples,
-                    &self.pred,
-                    ctx,
-                    &budget,
-                    ws,
-                ),
-                Algorithm::PositionalInline,
-            ),
-            Algorithm::Partition => (
-                probe_partition(
-                    r,
-                    s,
-                    &self.prefix_index,
-                    &self.prefix_lens,
-                    self.prefix_tuples,
-                    &self.pred,
-                    ctx,
-                    &budget,
-                    ws,
-                ),
-                Algorithm::Partition,
-            ),
-            Algorithm::Auto => {
-                // Probe-time planning from statistics frozen at (re)build
-                // time — the corpus token- and prefix-frequency histograms —
-                // so the estimate costs O(probe batch), never a corpus scan.
-                // The signature width is pinned to the one this index was
-                // built with.
-                let est = estimate_probe_costs_into(
-                    r,
-                    s,
-                    &self.prefix_freq,
-                    self.prefix_tuples,
-                    &self.pred,
-                    ws,
-                );
-                let choice = est.plan(&PlanRequest {
-                    threads: ctx.threads,
-                    token_shards: matches!(ctx.shard, ShardPolicy::TokenShards { .. }),
-                    width: Some(self.signature_width),
-                });
-                let pctx = apply_plan(ctx, &choice);
-                let mut stats = match choice.algorithm {
-                    Algorithm::Basic => {
-                        probe_basic(r, s, &self.full_index, &self.pred, &pctx, &budget, ws)
-                    }
-                    Algorithm::PrefixFiltered => probe_prefix_family(
+                Algorithm::PrefixFiltered => (
+                    probe_prefix_family(
                         r,
                         s,
                         &self.prefix_index,
                         self.prefix_tuples,
                         &self.pred,
-                        &pctx,
+                        ctx,
                         false,
                         &budget,
                         ws,
                     ),
-                    Algorithm::PositionalInline => probe_positional(
+                    Algorithm::PrefixFiltered,
+                ),
+                Algorithm::Inline => (self.probe_inline(r, ctx, &budget, ws), Algorithm::Inline),
+                Algorithm::PositionalInline => (
+                    probe_positional(
                         r,
                         s,
                         &self.prefix_index,
                         self.prefix_tuples,
                         &self.pred,
-                        &pctx,
+                        ctx,
                         &budget,
                         ws,
                     ),
-                    Algorithm::Partition => probe_partition(
+                    Algorithm::PositionalInline,
+                ),
+                Algorithm::Partition => (
+                    probe_partition(
                         r,
                         s,
                         &self.prefix_index,
                         &self.prefix_lens,
                         self.prefix_tuples,
                         &self.pred,
-                        &pctx,
+                        ctx,
                         &budget,
                         ws,
                     ),
-                    _ => self.probe_inline(r, &pctx, &budget, ws),
-                };
-                stats.plan = Some(choice);
-                (stats, choice.algorithm)
+                    Algorithm::Partition,
+                ),
+                Algorithm::Auto => {
+                    // Probe-time planning from statistics frozen at (re)build
+                    // time — the corpus token- and prefix-frequency histograms —
+                    // so the estimate costs O(probe batch), never a corpus scan.
+                    // The signature width is pinned to the one this index was
+                    // built with.
+                    let est = estimate_probe_costs_into(
+                        r,
+                        s,
+                        &self.prefix_freq,
+                        self.prefix_tuples,
+                        &self.pred,
+                        ws,
+                    );
+                    let choice = est.plan(&PlanRequest {
+                        threads: ctx.threads,
+                        token_shards: matches!(ctx.shard, ShardPolicy::TokenShards { .. }),
+                        width: Some(self.signature_width),
+                    });
+                    let pctx = apply_plan(ctx, &choice);
+                    let mut stats = match choice.algorithm {
+                        Algorithm::Basic => {
+                            probe_basic(r, s, &self.full_index, &self.pred, &pctx, &budget, ws)
+                        }
+                        Algorithm::PrefixFiltered => probe_prefix_family(
+                            r,
+                            s,
+                            &self.prefix_index,
+                            self.prefix_tuples,
+                            &self.pred,
+                            &pctx,
+                            false,
+                            &budget,
+                            ws,
+                        ),
+                        Algorithm::PositionalInline => probe_positional(
+                            r,
+                            s,
+                            &self.prefix_index,
+                            self.prefix_tuples,
+                            &self.pred,
+                            &pctx,
+                            &budget,
+                            ws,
+                        ),
+                        Algorithm::Partition => probe_partition(
+                            r,
+                            s,
+                            &self.prefix_index,
+                            &self.prefix_lens,
+                            self.prefix_tuples,
+                            &self.pred,
+                            &pctx,
+                            &budget,
+                            ws,
+                        ),
+                        _ => self.probe_inline(r, &pctx, &budget, ws),
+                    };
+                    stats.plan = Some(choice);
+                    (stats, choice.algorithm)
+                }
             }
         };
-        // Tombstones: sets deleted since the last rebuild still have
-        // postings, so their pairs are filtered here. Epoch tail: sets
-        // inserted since the last rebuild have no postings, so they are
-        // joined brute-force below. Both passes are skipped entirely (no
-        // work, no allocations) when the index is clean.
-        if self.dead_in_index > 0 {
-            ws.out.retain(|p| self.alive[p.s as usize]);
-        }
-        let epoch_added = self.probe_epoch_tail(r, &budget, ws, &mut stats);
-        if epoch_added {
-            ws.out.sort_unstable_by_key(|p| (p.r, p.s));
+        if from_spill {
+            // The spilled join covered the whole arena — epoch tail
+            // included — so only the tombstone filter applies, and it must
+            // cover epoch-tail tombstones too.
+            if self.dead > 0 {
+                ws.out.retain(|p| self.alive[p.s as usize]);
+            }
+        } else {
+            // Tombstones: sets deleted since the last rebuild still have
+            // postings, so their pairs are filtered here. Epoch tail: sets
+            // inserted since the last rebuild have no postings, so they are
+            // joined brute-force below. Both passes are skipped entirely (no
+            // work, no allocations) when the index is clean.
+            if self.dead_in_index > 0 {
+                ws.out.retain(|p| self.alive[p.s as usize]);
+            }
+            let epoch_added = self.probe_epoch_tail(r, &budget, ws, &mut stats);
+            if epoch_added {
+                ws.out.sort_unstable_by_key(|p| (p.r, p.s));
+            }
         }
         stats.budget_checks = budget.checks();
         stats.effective_threads = effective as u64;
@@ -625,6 +680,19 @@ impl CorpusIndex {
     /// request the same width on their execution context.
     pub fn signature_width(&self) -> SignatureWidth {
         self.signature_width
+    }
+
+    /// The default resident-memory budget applied to probes that do not set
+    /// [`crate::ExecBudget::max_resident_bytes`] themselves.
+    pub fn memory_budget(&self) -> Option<u64> {
+        self.memory_budget
+    }
+
+    /// Set or clear the default resident-memory budget for future probes
+    /// (see [`CorpusIndexOptions::memory_budget`]). Takes effect on the next
+    /// probe; never changes emitted pairs, only the execution strategy.
+    pub fn set_memory_budget(&mut self, bytes: Option<u64>) {
+        self.memory_budget = bytes;
     }
 
     /// Total arena slots (live + tombstoned).

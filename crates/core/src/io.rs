@@ -36,23 +36,23 @@ fn w_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
 fn w_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
-fn r_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+pub(crate) fn r_u32<R: Read>(r: &mut R) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
 }
-fn r_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+pub(crate) fn r_u64<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
 }
-fn r_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+pub(crate) fn r_f64<R: Read>(r: &mut R) -> io::Result<f64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(f64::from_le_bytes(b))
 }
 
-fn bad(msg: &str) -> SsJoinError {
+pub(crate) fn bad(msg: &str) -> SsJoinError {
     SsJoinError::Io(msg.to_string())
 }
 
@@ -144,6 +144,115 @@ pub fn load_built_input<P: AsRef<Path>>(path: P) -> SsJoinResult<BuiltInput> {
         collections.push(SetCollection::from_sets(sets, universe, tag)?);
     }
     Ok(BuiltInput::from_parts(collections, element_meta, weights))
+}
+
+// ---------------------------------------------------------------------------
+// Spill frames (out-of-core partitioned execution, `crate::spill`)
+// ---------------------------------------------------------------------------
+
+/// Magic prefix of a spill file: distinct from the input-cache format so a
+/// truncated or cross-purposed file fails loudly on the typed `Io` path.
+pub(crate) const SPILL_MAGIC: &[u8; 4] = b"SSPF";
+/// Spill file format version.
+pub(crate) const SPILL_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit checksum — cheap, dependency-free, and plenty to catch the
+/// torn or truncated frames a crashed/interrupted spill can leave behind.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Largest frame payload [`read_spill_frame`] will buffer: a declared length
+/// beyond this is treated as corruption rather than honored with a giant
+/// allocation.
+const SPILL_FRAME_CAP: u64 = 1 << 40;
+
+/// A uniquely-named temp-dir spill file removed on drop. The guard is held
+/// for the whole out-of-core run, so any exit — completion, typed budget
+/// abort, error propagation, or panic unwind — deletes the file; no stray
+/// temp files survive an interrupted spill.
+#[derive(Debug)]
+pub(crate) struct TempSpillFile {
+    path: std::path::PathBuf,
+}
+
+impl TempSpillFile {
+    /// Create an empty, uniquely-named spill file in the OS temp directory.
+    pub(crate) fn create() -> io::Result<(Self, std::fs::File)> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("ssjoin-spill-{}-{n}.tmp", std::process::id()));
+        let file = std::fs::OpenOptions::new()
+            .create_new(true)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        Ok((Self { path }, file))
+    }
+
+    /// The file's path.
+    #[cfg(test)]
+    pub(crate) fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl Drop for TempSpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Write the spill file header (magic, version, partition count).
+pub(crate) fn write_spill_header<W: Write>(w: &mut W, partitions: u32) -> io::Result<()> {
+    w.write_all(SPILL_MAGIC)?;
+    w_u32(w, SPILL_VERSION)?;
+    w_u32(w, partitions)
+}
+
+/// Read and validate the spill file header; returns the partition count.
+pub(crate) fn read_spill_header<R: Read>(r: &mut R) -> SsJoinResult<u32> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != SPILL_MAGIC {
+        return Err(bad("not an SSJoin spill file"));
+    }
+    if r_u32(r)? != SPILL_VERSION {
+        return Err(bad("unsupported SSJoin spill file version"));
+    }
+    Ok(r_u32(r)?)
+}
+
+/// Write one checksummed frame: `u64 payload_len | payload | u64 fnv1a64`.
+pub(crate) fn write_spill_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    w_u64(w, payload.len() as u64)?;
+    w.write_all(payload)?;
+    w_u64(w, fnv1a64(payload))
+}
+
+/// Read one frame into `buf` (reused across calls — the warm spill path
+/// allocates nothing once `buf` has grown to the largest frame), verifying
+/// the trailing checksum.
+pub(crate) fn read_spill_frame<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> SsJoinResult<()> {
+    let len = r_u64(r)?;
+    if len > SPILL_FRAME_CAP {
+        return Err(bad("spill frame length out of range"));
+    }
+    buf.clear();
+    buf.resize(len as usize, 0);
+    r.read_exact(buf)?;
+    let expect = r_u64(r)?;
+    if fnv1a64(buf) != expect {
+        return Err(bad("spill frame checksum mismatch"));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -253,5 +362,63 @@ mod tests {
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         assert!(load_built_input(&path).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn spill_frames_roundtrip_with_header() {
+        let mut file = Vec::new();
+        write_spill_header(&mut file, 3).unwrap();
+        let frames: [&[u8]; 3] = [b"first frame", b"", b"third, longer frame payload"];
+        for f in frames {
+            write_spill_frame(&mut file, f).unwrap();
+        }
+        let mut r = &file[..];
+        assert_eq!(read_spill_header(&mut r).unwrap(), 3);
+        let mut buf = Vec::new();
+        for f in frames {
+            read_spill_frame(&mut r, &mut buf).unwrap();
+            assert_eq!(buf, f);
+        }
+    }
+
+    #[test]
+    fn spill_frame_detects_corruption() {
+        let mut file = Vec::new();
+        write_spill_frame(&mut file, b"payload under test").unwrap();
+        // Flip one payload byte: the checksum must catch it.
+        file[10] ^= 0x40;
+        let mut buf = Vec::new();
+        let err = read_spill_frame(&mut &file[..], &mut buf).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // Truncation fails too (as a read error, not a panic).
+        let mut good = Vec::new();
+        write_spill_frame(&mut good, b"payload under test").unwrap();
+        assert!(read_spill_frame(&mut &good[..good.len() - 4], &mut buf).is_err());
+    }
+
+    #[test]
+    fn spill_header_rejects_wrong_magic() {
+        let mut file = Vec::new();
+        write_spill_header(&mut file, 1).unwrap();
+        file[0] = b'X';
+        assert!(read_spill_header(&mut &file[..]).is_err());
+    }
+
+    #[test]
+    fn temp_spill_file_removed_on_drop() {
+        let (guard, file) = TempSpillFile::create().unwrap();
+        let path = guard.path().to_path_buf();
+        assert!(path.exists());
+        drop(file);
+        drop(guard);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn fnv1a64_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
     }
 }

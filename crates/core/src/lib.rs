@@ -75,6 +75,7 @@ mod order;
 pub mod plan;
 mod predicate;
 mod set;
+mod spill;
 mod stats;
 mod weight;
 
@@ -93,5 +94,6 @@ pub use kernel::OverlapKernel;
 pub use order::ElementOrder;
 pub use predicate::{Interval, NormExpr, OverlapPredicate};
 pub use set::{CollectionStats, SetCollection, SetRef, SignatureWidth, SIG_WORDS};
+pub use spill::{plan_spill, SpillPlan};
 pub use stats::{Phase, SsJoinStats, StatsLevel};
 pub use weight::Weight;

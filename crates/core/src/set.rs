@@ -318,7 +318,7 @@ impl<'a> SetRef<'a> {
 pub const LEN_HIST_BUCKETS: usize = 34;
 
 /// Maximum number of set ids retained by the seeded selectivity sample.
-const STATS_SAMPLE_CAP: usize = 64;
+pub(crate) const STATS_SAMPLE_CAP: usize = 64;
 
 /// Histogram bucket for a set length (see [`LEN_HIST_BUCKETS`]).
 #[inline]
@@ -399,6 +399,20 @@ impl CollectionStats {
             }
         }
         self.seen += 1;
+    }
+
+    /// Reset to the empty statistics of a fresh collection over
+    /// `universe_size`, keeping the token-frequency buffer's capacity.
+    /// Used by the spill path to recycle one statistics block across
+    /// partition sub-collections.
+    pub(crate) fn reset(&mut self, universe_size: usize, universe_tag: u64) {
+        self.token_freq.clear();
+        self.token_freq.resize(universe_size, 0);
+        self.len_hist = [0; LEN_HIST_BUCKETS];
+        self.max_len = 0;
+        self.sample.clear();
+        self.rng = StdRng::seed_from_u64(universe_tag ^ 0x5357_4a4e_5354_4154);
+        self.seen = 0;
     }
 
     /// Dense per-rank occurrence counts over the universe. Saturating: a
@@ -622,6 +636,75 @@ impl SetCollection {
             Some((lo, hi)) => (lo.min(norm), hi.max(norm)),
         });
         Ok(id)
+    }
+
+    /// Append one set whose elements arrive already ascending by rank,
+    /// duplicate-free, and inside the universe — exactly what the spill
+    /// reader's frames store (partition sub-sets keep the parent arena's
+    /// order under a monotone rank remap). Skips [`Self::push_set`]'s sort,
+    /// validation, and temporary buffer; the preconditions are
+    /// debug-asserted. Infallible because partition sub-arenas are subsets
+    /// of a collection that already fit the `u32` offset/group space.
+    pub(crate) fn push_set_presorted(
+        &mut self,
+        elem_ranks: &[u32],
+        elem_weights: &[Weight],
+        norm: f64,
+    ) -> u32 {
+        debug_assert_eq!(elem_ranks.len(), elem_weights.len());
+        debug_assert!(elem_ranks.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(elem_ranks
+            .last()
+            .is_none_or(|&r| (r as usize) < self.universe_size));
+        debug_assert!(self.len() < u32::MAX as usize);
+        let start = self.ranks.len();
+        let mut signature = [0u64; SIG_WORDS];
+        let mut min_weight: Option<Weight> = None;
+        for (&rank, &w) in elem_ranks.iter().zip(elem_weights) {
+            self.ranks.push(rank);
+            self.weights.push(w);
+            set_signature_bit(&mut signature, rank);
+            min_weight = Some(min_weight.map_or(w, |m| m.min(w)));
+        }
+        self.suffix.resize(self.ranks.len(), Weight::ZERO);
+        let mut acc = Weight::ZERO;
+        for k in (start..self.ranks.len()).rev() {
+            acc += self.weights[k];
+            self.suffix[k] = acc;
+        }
+        let id = self.len() as u32;
+        self.stats.record(id, &self.ranks[start..]);
+        self.offsets.push(self.ranks.len() as u32);
+        self.norms.push(norm);
+        self.totals.push(acc);
+        self.sig_words.extend_from_slice(&signature);
+        self.min_weights.push(min_weight.unwrap_or(Weight::ZERO));
+        self.norm_range = Some(match self.norm_range {
+            None => (norm, norm),
+            Some((lo, hi)) => (lo.min(norm), hi.max(norm)),
+        });
+        id
+    }
+
+    /// Reset this collection to an empty arena over a (possibly different)
+    /// universe, keeping every pool's capacity. The spill path recycles two
+    /// such collections across all partitions of a run so the warm
+    /// read-back path stops allocating once the largest partition has been
+    /// seen.
+    pub(crate) fn reset_for_universe(&mut self, universe_size: usize, universe_tag: u64) {
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.ranks.clear();
+        self.weights.clear();
+        self.suffix.clear();
+        self.norms.clear();
+        self.totals.clear();
+        self.sig_words.clear();
+        self.min_weights.clear();
+        self.universe_size = universe_size;
+        self.universe_tag = universe_tag;
+        self.norm_range = None;
+        self.stats.reset(universe_size, universe_tag);
     }
 
     /// An empty collection sharing this one's element universe (size and

@@ -111,6 +111,15 @@ pub struct SsJoinStats {
     /// Completed runs on the same workspace before this one; 0 on a cold
     /// workspace, so any positive value marks an allocation-free warm run.
     pub workspace_reuses: u64,
+    /// Token-range partitions the out-of-core spill driver executed (0 when
+    /// the run stayed fully resident).
+    pub spill_partitions: u64,
+    /// Bytes written to the temp-dir spill file (frame payloads plus
+    /// per-frame length/checksum overhead and the file header).
+    pub spill_bytes: u64,
+    /// Peak per-partition resident-memory estimate of the spilled run, by
+    /// the same model as [`crate::budget::estimate_memory_bytes`].
+    pub spill_peak_resident_bytes: u64,
     /// The full configuration the cost-based planner chose, set only when
     /// the run was configured with [`crate::Algorithm::Auto`] — the
     /// explainability record for auto runs.
@@ -168,6 +177,11 @@ impl SsJoinStats {
         self.effective_threads = self.effective_threads.max(other.effective_threads);
         self.bytes_reserved = self.bytes_reserved.max(other.bytes_reserved);
         self.workspace_reuses = self.workspace_reuses.max(other.workspace_reuses);
+        self.spill_partitions = self.spill_partitions.max(other.spill_partitions);
+        self.spill_bytes = self.spill_bytes.max(other.spill_bytes);
+        self.spill_peak_resident_bytes = self
+            .spill_peak_resident_bytes
+            .max(other.spill_peak_resident_bytes);
         // The plan is chosen once per run, never per worker: keep the first.
         self.plan = self.plan.or(other.plan);
     }
@@ -227,6 +241,13 @@ impl fmt::Display for SsJoinStats {
                 f,
                 " threads={} reserved={}B reuses={}",
                 self.effective_threads, self.bytes_reserved, self.workspace_reuses
+            )?;
+        }
+        if self.spill_partitions > 0 {
+            write!(
+                f,
+                " spill_partitions={} spill_bytes={} spill_peak={}B",
+                self.spill_partitions, self.spill_bytes, self.spill_peak_resident_bytes
             )?;
         }
         if let Some(plan) = &self.plan {

@@ -22,8 +22,9 @@
 use crate::common::MatchPair;
 use crate::edit::{edit_similarity_join, EditJoinConfig};
 use ssjoin_core::{
-    Algorithm, CorpusIndex, ElementOrder, JoinWorkspace, NormExpr, NormKind, OverlapPredicate,
-    QueryEncoder, SsJoinConfig, SsJoinError, SsJoinInputBuilder, SsJoinResult, WeightScheme,
+    Algorithm, CorpusIndex, CorpusIndexOptions, ElementOrder, JoinWorkspace, NormExpr, NormKind,
+    OverlapPredicate, QueryEncoder, SsJoinConfig, SsJoinError, SsJoinInputBuilder, SsJoinResult,
+    SsJoinStats, WeightScheme,
 };
 use ssjoin_sim::{edit_similarity, edit_similarity_at_least};
 use ssjoin_text::{QGramTokenizer, Tokenizer};
@@ -39,6 +40,13 @@ pub struct TopKConfig {
     pub min_similarity: f64,
     /// q-gram length for the underlying edit join.
     pub q: usize,
+    /// Resident-memory budget in bytes for probes against the underlying
+    /// [`CorpusIndex`]. Probe batches whose working-set estimate exceeds the
+    /// budget run out of core through the token-range spill driver with
+    /// bit-identical matches — the knob that lets a long-lived matching
+    /// service hold reference tables larger than RAM. `None` (the default)
+    /// never spills.
+    pub memory_budget: Option<u64>,
 }
 
 impl TopKConfig {
@@ -60,6 +68,7 @@ impl TopKConfig {
             k,
             min_similarity,
             q: 3,
+            memory_budget: None,
         })
     }
 }
@@ -153,6 +162,8 @@ pub struct TopKIndex {
     /// against every query.
     brute_ids: Vec<u32>,
     short_cutoff: usize,
+    /// Stats of the most recent probe (see [`TopKIndex::last_stats`]).
+    last_stats: SsJoinStats,
 }
 
 impl TopKIndex {
@@ -179,7 +190,11 @@ impl TopKIndex {
             .pop()
             .unwrap_or_else(|| unreachable!("one relation was added"));
         let pred = property4_predicate(config.min_similarity, config.q);
-        let index = CorpusIndex::build(corpus, pred)?;
+        let options = CorpusIndexOptions {
+            memory_budget: config.memory_budget,
+            ..CorpusIndexOptions::default()
+        };
+        let index = CorpusIndex::build_with(corpus, pred, &options)?;
         let cutoff = short_cutoff(config.min_similarity, config.q);
         let short_ids = (0..reference.len() as u32)
             .filter(|&i| ref_lens[i as usize] < cutoff)
@@ -195,6 +210,7 @@ impl TopKIndex {
             short_ids,
             brute_ids: Vec::new(),
             short_cutoff: cutoff,
+            last_stats: SsJoinStats::default(),
         })
     }
 
@@ -220,6 +236,7 @@ impl TopKIndex {
         let mut seen: HashSet<u32> = HashSet::new();
         {
             let run = self.index.probe(&batch, &self.ss_config, &mut self.ws)?;
+            self.last_stats = run.stats.clone();
             for p in run.pairs {
                 seen.insert(p.s);
                 if edit_similarity_at_least(query, &self.reference[p.s as usize], alpha) {
@@ -280,6 +297,7 @@ impl TopKIndex {
             let run = self
                 .index
                 .probe(self.index.corpus(), &self.ss_config, &mut self.ws)?;
+            self.last_stats = run.stats.clone();
             for p in run.pairs {
                 // The probe filters dead S rows, but the batch side carries
                 // the whole arena — dead R rows must be dropped here.
@@ -388,6 +406,15 @@ impl TopKIndex {
     /// The configuration the index was built with.
     pub fn config(&self) -> &TopKConfig {
         &self.config
+    }
+
+    /// Statistics of the most recent probe ([`Self::matches`] /
+    /// [`Self::self_pairs`]); all-zero before the first probe. Under a
+    /// [`TopKConfig::memory_budget`] this is where per-batch spill activity
+    /// surfaces: `spill_partitions`, `spill_bytes`, and the peak
+    /// per-partition resident estimate.
+    pub fn last_stats(&self) -> &SsJoinStats {
+        &self.last_stats
     }
 }
 

@@ -1,9 +1,9 @@
 //! `ssjoin` — command-line similarity joins for data cleaning.
 //!
 //! ```text
-//! ssjoin join   --kind jaccard --threshold 0.85 [--algorithm inline] [--signature-width 4] [--self-dedupe] R.tsv [S.tsv]
+//! ssjoin join   --kind jaccard --threshold 0.85 [--algorithm inline] [--signature-width 4] [--memory-budget 64m] [--self-dedupe] R.tsv [S.tsv]
 //! ssjoin match  --reference R.tsv --query "some string" [--k 3] [--min-sim 0.6]
-//! ssjoin serve  --reference R.tsv [--k 3] [--min-sim 0.6] [--q 3]
+//! ssjoin serve  --reference R.tsv [--k 3] [--min-sim 0.6] [--q 3] [--memory-budget 64m]
 //! ssjoin dedup  --threshold 0.85 [--kind edit] FILE.tsv
 //! ssjoin gen    --rows 10000 --out addresses.tsv [--seed 7]
 //! ```
@@ -20,11 +20,18 @@
 //! dedup <theta>  -> g <group> <id> <text> ...    then ok <groups>
 //! add <text>     -> ok <new-id>
 //! del <id>       -> ok <id>
+//! stats          -> ok <stats of the most recent probe>
 //! ```
 //!
 //! Failed requests answer `err <message>` and the server keeps reading.
+//!
+//! `--memory-budget` (plain bytes, or with a `k`/`m`/`g` suffix) bounds the
+//! resident working set: joins and serve-mode probe batches whose memory
+//! estimate exceeds the budget run out of core via token-range spill
+//! partitions, with output identical to the unbudgeted run. In serve mode
+//! the per-batch spill activity shows up in the `stats` response.
 
-use ssjoin::core::{Algorithm, ExecContext, SignatureWidth};
+use ssjoin::core::{Algorithm, ExecBudget, ExecContext, SignatureWidth};
 use ssjoin::datagen::{read_tsv, write_tsv, AddressCorpus, AddressCorpusConfig};
 use ssjoin::joins::{
     cluster_pairs, cosine_join, dedupe_self_pairs, edit_similarity_join, ges_join, jaccard_join,
@@ -52,6 +59,8 @@ enum Command {
         algorithm: Algorithm,
         /// `Some(w)` turns the bitmap signature filter on at view width `w`.
         signature_width: Option<SignatureWidth>,
+        /// Resident budget in bytes; oversized joins spill to disk.
+        memory_budget: Option<u64>,
         self_dedupe: bool,
         r_path: String,
         s_path: Option<String>,
@@ -68,6 +77,8 @@ enum Command {
         k: usize,
         min_sim: f64,
         q: usize,
+        /// Resident budget in bytes; oversized probe batches spill to disk.
+        memory_budget: Option<u64>,
     },
     Dedup {
         kind: JoinKind,
@@ -85,12 +96,35 @@ enum Command {
 const USAGE: &str = "usage:
   ssjoin join  --kind <edit|jaccard|cosine|ges> --threshold F \\
                [--algorithm <basic|prefix|inline|positional|partition|auto>] \\
-               [--signature-width <1|2|4|8>] \\
+               [--signature-width <1|2|4|8>] [--memory-budget BYTES[k|m|g]] \\
                [--self-dedupe] [--out OUT.tsv] R.tsv [S.tsv]
   ssjoin match --reference R.tsv --query STRING [--k N] [--min-sim F]
-  ssjoin serve --reference R.tsv [--k N] [--min-sim F] [--q N]
+  ssjoin serve --reference R.tsv [--k N] [--min-sim F] [--q N] \\
+               [--memory-budget BYTES[k|m|g]]
   ssjoin dedup --threshold F [--kind <edit|jaccard|cosine>] FILE.tsv
   ssjoin gen   --rows N --out FILE.tsv [--seed N]";
+
+/// Parse a byte count: a plain integer, optionally suffixed with `k`, `m`,
+/// or `g` (binary multiples, case-insensitive).
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let (digits, shift) = match s.trim_end_matches(['k', 'K', 'm', 'M', 'g', 'G']) {
+        d if d.len() == s.len() => (d, 0u32),
+        d => match s.as_bytes()[s.len() - 1].to_ascii_lowercase() {
+            b'k' => (d, 10),
+            b'm' => (d, 20),
+            _ => (d, 30),
+        },
+    };
+    if digits.len() + 1 < s.len() {
+        return Err(format!("invalid byte count {s:?}: at most one unit suffix"));
+    }
+    let n: u64 = digits
+        .parse()
+        .map_err(|e| format!("invalid byte count {s:?}: {e}"))?;
+    n.checked_shl(shift)
+        .filter(|&v| v >> shift == n)
+        .ok_or_else(|| format!("byte count {s:?} overflows u64"))
+}
 
 fn parse_kind(s: &str) -> Result<JoinKind, String> {
     match s {
@@ -165,6 +199,10 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                         .ok_or_else(|| format!("--signature-width must be 1, 2, 4 or 8, got {w}"))
                 })
                 .transpose()?;
+            let memory_budget = opts
+                .get("memory-budget")
+                .map(|v| parse_bytes(v))
+                .transpose()?;
             let mut paths = positional.into_iter();
             let r_path = paths
                 .next()
@@ -174,6 +212,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 threshold,
                 algorithm,
                 signature_width,
+                memory_budget,
                 self_dedupe: flags.iter().any(|f| f == "--self-dedupe"),
                 r_path,
                 s_path: paths.next(),
@@ -200,6 +239,10 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             k: get_usize("k")?.unwrap_or(3),
             min_sim: get_f64("min-sim")?.unwrap_or(0.6),
             q: get_usize("q")?.unwrap_or(3),
+            memory_budget: opts
+                .get("memory-budget")
+                .map(|v| parse_bytes(v))
+                .transpose()?,
         }),
         "dedup" => Ok(Command::Dedup {
             kind: parse_kind(opts.get("kind").map(String::as_str).unwrap_or("edit"))?,
@@ -241,17 +284,21 @@ fn run_join(
     threshold: f64,
     algorithm: Algorithm,
     signature_width: Option<SignatureWidth>,
+    memory_budget: Option<u64>,
     r: &[String],
     s: &[String],
 ) -> Result<Vec<MatchPair>, String> {
     // `--signature-width` implies the bitmap filter: a view width without
     // the filter would be a silent no-op.
-    let exec = match signature_width {
+    let mut exec = match signature_width {
         Some(width) => ExecContext::new()
             .with_bitmap_filter(true)
             .with_signature_width(width),
         None => ExecContext::new(),
     };
+    if let Some(bytes) = memory_budget {
+        exec = exec.with_budget(ExecBudget::new().with_max_resident_bytes(bytes));
+    }
     let pairs = match kind {
         JoinKind::Edit => {
             edit_similarity_join(
@@ -310,11 +357,13 @@ fn run_serve<R: BufRead, W: Write>(
     k: usize,
     min_sim: f64,
     q: usize,
+    memory_budget: Option<u64>,
     input: R,
     mut out: W,
 ) -> Result<(), String> {
     let mut config = TopKConfig::new(k, min_sim).map_err(|e| e.to_string())?;
     config.q = q;
+    config.memory_budget = memory_budget;
     let mut index = TopKIndex::build(&reference, config).map_err(|e| e.to_string())?;
     let io_err = |e: std::io::Error| e.to_string();
 
@@ -366,6 +415,9 @@ fn run_serve<R: BufRead, W: Write>(
                 .map_err(|e| format!("del id: {e}"))
                 .and_then(|id| index.delete(id).map_err(|e| e.to_string()).map(|()| id))
                 .and_then(|id| writeln!(out, "ok\t{id}").map_err(io_err)),
+            // Per-batch execution stats of the most recent probe — under a
+            // memory budget this is where spill partitions/bytes surface.
+            "stats" => writeln!(out, "ok\t{}", index.last_stats()).map_err(io_err),
             other => Err(format!("unknown request {other:?}")),
         };
         if let Err(msg) = outcome {
@@ -387,6 +439,7 @@ fn execute(cmd: Command) -> Result<(), String> {
             threshold,
             algorithm,
             signature_width,
+            memory_budget,
             self_dedupe,
             r_path,
             s_path,
@@ -397,7 +450,15 @@ fn execute(cmd: Command) -> Result<(), String> {
                 Some(p) => first_column(p)?,
                 None => r.clone(),
             };
-            let mut pairs = run_join(kind, threshold, algorithm, signature_width, &r, &s)?;
+            let mut pairs = run_join(
+                kind,
+                threshold,
+                algorithm,
+                signature_width,
+                memory_budget,
+                &r,
+                &s,
+            )?;
             if self_dedupe && s_path.is_none() {
                 pairs = dedupe_self_pairs(&pairs);
             }
@@ -449,12 +510,21 @@ fn execute(cmd: Command) -> Result<(), String> {
             k,
             min_sim,
             q,
+            memory_budget,
         } => {
             let refs = first_column(&reference)?;
             eprintln!("serving {} reference rows (EOF to stop)", refs.len());
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            run_serve(refs, k, min_sim, q, stdin.lock(), stdout.lock())
+            run_serve(
+                refs,
+                k,
+                min_sim,
+                q,
+                memory_budget,
+                stdin.lock(),
+                stdout.lock(),
+            )
         }
         Command::Dedup {
             kind,
@@ -462,7 +532,7 @@ fn execute(cmd: Command) -> Result<(), String> {
             path,
         } => {
             let data = first_column(&path)?;
-            let pairs = run_join(kind, threshold, Algorithm::Inline, None, &data, &data)?;
+            let pairs = run_join(kind, threshold, Algorithm::Inline, None, None, &data, &data)?;
             let groups = cluster_pairs(data.len(), &pairs);
             for (gi, group) in groups.iter().enumerate() {
                 for &member in group {
@@ -528,6 +598,7 @@ mod tests {
                 threshold: 0.9,
                 algorithm: Algorithm::Basic,
                 signature_width: None,
+                memory_budget: None,
                 self_dedupe: true,
                 r_path: "input.tsv".into(),
                 s_path: None,
@@ -692,6 +763,7 @@ mod tests {
                 k: 3,
                 min_sim: 0.6,
                 q: 3,
+                memory_budget: None,
             }
         );
         assert_eq!(
@@ -704,7 +776,9 @@ mod tests {
                 "--min-sim",
                 "0.8",
                 "--q",
-                "2"
+                "2",
+                "--memory-budget",
+                "64m"
             ]))
             .unwrap(),
             Command::Serve {
@@ -712,9 +786,39 @@ mod tests {
                 k: 5,
                 min_sim: 0.8,
                 q: 2,
+                memory_budget: Some(64 << 20),
             }
         );
         assert!(parse_args(&sv(&["serve"])).is_err()); // missing --reference
+    }
+
+    #[test]
+    fn parses_memory_budget_sizes() {
+        for (arg, bytes) in [
+            ("1024", 1024u64),
+            ("64k", 64 << 10),
+            ("64K", 64 << 10),
+            ("32m", 32 << 20),
+            ("2g", 2 << 30),
+        ] {
+            assert_eq!(parse_bytes(arg).unwrap(), bytes, "arg {arg}");
+            let cmd = parse_args(&sv(&[
+                "join",
+                "--threshold",
+                "0.8",
+                "--memory-budget",
+                arg,
+                "r.tsv",
+            ]))
+            .unwrap();
+            match cmd {
+                Command::Join { memory_budget, .. } => assert_eq!(memory_budget, Some(bytes)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        for bad in ["", "x", "12q", "64mm", "99999999999999999999g"] {
+            assert!(parse_bytes(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]
@@ -728,6 +832,7 @@ mod tests {
         .map(|s| s.to_string())
         .collect();
         let input = "match\tmicrosoft corp\n\
+                     stats\n\
                      add\tmcrosoft corp\n\
                      match\tmcrosoft corp\n\
                      dedup\t0.8\n\
@@ -736,9 +841,17 @@ mod tests {
                      del\tbogus\n\
                      frobnicate\tx\n";
         let mut out = Vec::new();
-        run_serve(refs, 3, 0.6, 3, std::io::Cursor::new(input), &mut out).unwrap();
+        run_serve(refs, 3, 0.6, 3, None, std::io::Cursor::new(input), &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         let lines: Vec<&str> = text.lines().collect();
+
+        // stats echoes the first match's probe counters.
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.starts_with("ok\t") && l.contains("output=")),
+            "no stats response in {lines:?}"
+        );
 
         // match "microsoft corp": row 1 is exact.
         assert_eq!(lines[0], "m\t1\t1.000000\tmicrosoft corp");
@@ -801,6 +914,7 @@ mod tests {
             threshold: 0.8,
             algorithm: Algorithm::Inline,
             signature_width: Some(SignatureWidth::W4),
+            memory_budget: None,
             self_dedupe: true,
             r_path: data_path.to_string_lossy().into_owned(),
             s_path: None,
@@ -813,6 +927,26 @@ mod tests {
             let sim: f64 = row[2].parse().unwrap();
             assert!(sim >= 0.8 - 1e-9);
         }
+        // The same join under a tiny memory budget spills out of core and
+        // writes byte-identical pairs.
+        let spilled_path = dir.join("pairs_spilled.tsv");
+        execute(Command::Join {
+            kind: JoinKind::Jaccard,
+            threshold: 0.8,
+            algorithm: Algorithm::Inline,
+            signature_width: Some(SignatureWidth::W4),
+            memory_budget: Some(64 << 10),
+            self_dedupe: true,
+            r_path: data_path.to_string_lossy().into_owned(),
+            s_path: None,
+            out: Some(spilled_path.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&out_path).unwrap(),
+            std::fs::read(&spilled_path).unwrap(),
+            "spilled CLI join diverged from the in-memory join"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -221,6 +221,19 @@ impl<'a> SsJoin<'a> {
         self
     }
 
+    /// Bound the resident working set in bytes (fast path only). A join
+    /// whose memory estimate exceeds the budget runs *out of core*: it is
+    /// split into token-range partitions spilled to a checksummed temp file
+    /// and joined one partition at a time, with output bit-identical to the
+    /// unbudgeted run. Shorthand for setting
+    /// [`ExecBudget::max_resident_bytes`] on [`Self::budget`]; also adopted
+    /// as the default [`CorpusIndexOptions::memory_budget`] by
+    /// [`Self::index`].
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.config.exec.budget.max_resident_bytes = Some(bytes);
+        self
+    }
+
     /// Attach a cooperative cancellation token (fast path only). Calling
     /// [`CancelToken::cancel`] on any clone aborts the run at the next
     /// checkpoint.
@@ -339,6 +352,7 @@ impl<'a> SsJoin<'a> {
         })?;
         let options = CorpusIndexOptions {
             build_threads: self.config.exec.threads.max(1),
+            memory_budget: self.config.exec.budget.max_resident_bytes,
             ..CorpusIndexOptions::default()
         };
         CorpusIndex::build_with(s.clone(), pred, &options)
@@ -603,6 +617,39 @@ mod tests {
             .engine(Engine::RelationalPlan)
             .probe_with(&index, &mut ws);
         assert!(matches!(err, Err(SsJoinError::Config(_))));
+    }
+
+    #[test]
+    fn facade_memory_budget_spills_with_identical_output() {
+        let input = addresses_input();
+        let pred = OverlapPredicate::two_sided(0.6);
+        let base = SsJoin::new(&input)
+            .predicate(pred.clone())
+            .algorithm(Algorithm::Inline)
+            .run()
+            .unwrap();
+        assert_eq!(base.stats.spill_partitions, 0);
+        let c = &input.collections()[0];
+        let est = ssjoin_core::estimate_memory_bytes(c, c);
+        let spilled = SsJoin::new(&input)
+            .predicate(pred.clone())
+            .algorithm(Algorithm::Inline)
+            .memory_budget(est / 4)
+            .run()
+            .unwrap();
+        assert_eq!(base.pairs, spilled.pairs);
+        assert!(
+            spilled.stats.spill_partitions >= 2,
+            "budgeted run stayed resident"
+        );
+        assert!(spilled.stats.spill_bytes > 0);
+        // The same budget flows into the built index as its probe default.
+        let join = SsJoin::new(&input)
+            .predicate(pred)
+            .algorithm(Algorithm::Inline)
+            .memory_budget(est / 4);
+        let index = join.index().unwrap();
+        assert_eq!(index.memory_budget(), Some(est / 4));
     }
 
     #[test]
