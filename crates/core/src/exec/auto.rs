@@ -174,6 +174,13 @@ pub struct PlanChoice {
     /// does not, the spill driver (`crate::spill`) picks the smallest
     /// partition count that fits and stamps it here.
     pub partitions: u32,
+    /// Target recall (in thousandths) of the approximate candidate
+    /// generator, `None` on every exact run. The planner never chooses
+    /// approximation on its own — it is only eligible when the caller
+    /// explicitly enabled it via [`crate::ApproxSpec`], in which case the
+    /// approximate driver bypasses plan enumeration entirely and stamps the
+    /// recall target here so the run stays explainable.
+    pub approx_recall_milli: Option<u16>,
 }
 
 impl fmt::Display for PlanChoice {
@@ -193,6 +200,9 @@ impl fmt::Display for PlanChoice {
         )?;
         if self.partitions > 0 {
             write!(f, " spill={}p", self.partitions)?;
+        }
+        if let Some(milli) = self.approx_recall_milli {
+            write!(f, " approx={:.2}", f64::from(milli) / 1000.0)?;
         }
         Ok(())
     }
@@ -300,6 +310,7 @@ impl CostEstimate {
             threads: 1,
             cost: u64::MAX,
             partitions: 0,
+            approx_recall_milli: None,
         };
         let mut best_cost = f64::INFINITY;
         for &t in thread_domain.iter().flatten() {
@@ -356,6 +367,7 @@ impl CostEstimate {
                                 threads: t,
                                 cost: cost.min(u64::MAX as f64) as u64,
                                 partitions: 0,
+                                approx_recall_milli: None,
                             };
                         }
                     }
@@ -960,6 +972,7 @@ mod tests {
             threads: 8,
             cost: 12345,
             partitions: 0,
+            approx_recall_milli: None,
         };
         assert_eq!(choice.to_string(), "Partition/adaptive/w4/8t cost=12345");
         let off = PlanChoice {
@@ -974,6 +987,14 @@ mod tests {
         assert_eq!(
             spilled.to_string(),
             "Partition/adaptive/w4/8t cost=12345 spill=4p"
+        );
+        let approx = PlanChoice {
+            approx_recall_milli: Some(900),
+            ..choice
+        };
+        assert_eq!(
+            approx.to_string(),
+            "Partition/adaptive/w4/8t cost=12345 approx=0.90"
         );
     }
 }

@@ -159,6 +159,13 @@ pub struct ExecContext {
     /// [`CancelToken::cancel`] on any clone aborts the run at the next
     /// checkpoint.
     pub cancel: Option<CancelToken>,
+    /// Opt-in approximate mode (`None` = exact, the default). When set to an
+    /// active spec (`target_recall < 1`), candidate generation switches to
+    /// the seeded LSH generator of [`crate::ApproxSpec`]; verification is
+    /// unchanged, so every emitted pair is exact but a measured fraction of
+    /// true pairs may be missed. A spec with `target_recall == 1.0`
+    /// degenerates to the exact pipeline.
+    pub approx: Option<crate::approx::ApproxSpec>,
 }
 
 impl ExecContext {
@@ -173,6 +180,7 @@ impl ExecContext {
             stats: StatsLevel::default(),
             budget: ExecBudget::default(),
             cancel: None,
+            approx: None,
         }
     }
 
@@ -222,6 +230,25 @@ impl ExecContext {
     pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
         self
+    }
+
+    /// Enable approximate candidate generation targeting `recall` under the
+    /// default seed (see [`crate::ApproxSpec`]); exactly `1.0` keeps the
+    /// exact pipeline.
+    pub fn with_approximate(mut self, target_recall: f64) -> Self {
+        self.approx = Some(crate::approx::ApproxSpec::new(target_recall));
+        self
+    }
+
+    /// Set or clear the full approximate-mode spec (recall target + seed).
+    pub fn with_approx_spec(mut self, spec: Option<crate::approx::ApproxSpec>) -> Self {
+        self.approx = spec;
+        self
+    }
+
+    /// The approximate spec, if one is set *and* active (`target_recall < 1`).
+    pub(crate) fn active_approx(&self) -> Option<crate::approx::ApproxSpec> {
+        self.approx.filter(crate::approx::ApproxSpec::is_active)
     }
 
     /// True when the token-sharded partition executor should run.
@@ -300,6 +327,13 @@ impl SsJoinConfig {
     /// Attach a cooperative cancellation token.
     pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
         self.exec.cancel = Some(token);
+        self
+    }
+
+    /// Enable approximate candidate generation targeting `recall` (see
+    /// [`crate::ApproxSpec`]); exactly `1.0` keeps the exact pipeline.
+    pub fn with_approximate(mut self, target_recall: f64) -> Self {
+        self.exec = self.exec.with_approximate(target_recall);
         self
     }
 
@@ -393,6 +427,10 @@ fn ssjoin_into(
     if ctx.threads == 0 {
         return Err(SsJoinError::Config("threads must be at least 1".into()));
     }
+    if let Some(spec) = &ctx.approx {
+        spec.validate()?;
+    }
+    let approx = ctx.active_approx();
     // Clamp the worker count to the host's parallelism: more workers than
     // cores only adds scheduling overhead, and benchmarks on small hosts
     // would otherwise report fictitious "8-thread" numbers.
@@ -411,6 +449,13 @@ fn ssjoin_into(
         .budget
         .max_resident_bytes
         .is_some_and(|limit| estimate_memory_bytes(r, s) > limit);
+    if approx.is_some() && spilling {
+        return Err(SsJoinError::Config(
+            "approximate mode cannot run out of core: raise max_resident_bytes or drop \
+             the approximate spec"
+                .into(),
+        ));
+    }
     // Memory preflight: refuse runs whose index + scratch estimate already
     // exceeds the cap, before allocating anything. A spilled run holds only
     // one partition resident at a time, so its preflight happens inside the
@@ -430,11 +475,17 @@ fn ssjoin_into(
     } else {
         None
     };
-    let (mut stats, used) = match spilled {
-        Some(result) => result,
+    let (mut stats, used) = match (spilled, approx) {
+        (Some(result), _) => result,
+        // Approximate candidate generation replaces the executor choice
+        // wholesale — one deterministic pipeline regardless of the
+        // configured algorithm, so output is identical across executors.
+        (None, Some(spec)) => {
+            crate::approx::run(r, s, pred, config.algorithm, ctx, &spec, &budget, ws)
+        }
         // Resident path — also the fallback when the spill planner found
         // nothing to split (empty side, single-rank mass).
-        None => run_algorithm(config.algorithm, r, s, pred, ctx, &budget, ws),
+        (None, None) => run_algorithm(config.algorithm, r, s, pred, ctx, &budget, ws),
     };
     stats.budget_checks = budget.checks();
     stats.effective_threads = effective as u64;

@@ -336,6 +336,10 @@ pub struct JoinWorkspace {
     /// spilled run, then pooled like everything else. `None` costs resident
     /// runs nothing.
     pub(crate) spill: Option<Box<crate::spill::SpillScratch>>,
+    /// Approximate-mode sketch (`crate::approx`): allocated lazily on the
+    /// first approximate run, then pooled like everything else. Exact runs
+    /// never touch it, so the `None` default costs them nothing.
+    pub(crate) approx: Option<Box<crate::approx::ApproxSketch>>,
     runs: u64,
 }
 
@@ -373,6 +377,7 @@ impl JoinWorkspace {
                 .map(WorkerScratch::bytes_reserved)
                 .sum::<u64>()
             + self.spill.as_ref().map_or(0, |s| s.bytes_reserved())
+            + self.approx.as_ref().map_or(0, |a| a.bytes_reserved())
     }
 
     /// Reset logical state for a new run, keeping every buffer's capacity.

@@ -81,6 +81,15 @@ pub struct CorpusIndexOptions {
     /// the probe's own config takes precedence per call. `None` (the
     /// default) never spills.
     pub memory_budget: Option<u64>,
+    /// Approximate-mode spec the index commits to at build time. When set
+    /// (and active), the seeded LSH sketch of [`crate::ApproxSpec`] is built
+    /// once per (re)build, so warm approximate probes run the candidate
+    /// loop only. Probes must then pass the *same* spec on their execution
+    /// context — mirroring the signature-width pinning, a persisted sketch
+    /// must not silently serve a recall target or seed it was not built
+    /// for. Exact probes of an approx-enabled index remain available and
+    /// unchanged. Defaults to `None` (exact-only index).
+    pub approx: Option<crate::ApproxSpec>,
 }
 
 impl Default for CorpusIndexOptions {
@@ -91,6 +100,7 @@ impl Default for CorpusIndexOptions {
             epoch_limit: None,
             signature_width: SignatureWidth::default(),
             memory_budget: None,
+            approx: None,
         }
     }
 }
@@ -111,6 +121,10 @@ pub struct CorpusIndex {
     signature_width: SignatureWidth,
     /// Default resident budget for probes without their own.
     memory_budget: Option<u64>,
+    /// Approximate spec fixed at build time (`None` = exact-only index).
+    approx_spec: Option<crate::approx::ApproxSpec>,
+    /// The LSH sketch backing approximate probes, rebuilt with the indexes.
+    approx: Option<Box<crate::approx::ApproxSketch>>,
     /// Prefix inverted index over sets `0..indexed` (prefix-family probes).
     prefix_index: CsrIndex,
     /// Per-set prefix lengths backing `prefix_index` (0 for dead sets).
@@ -167,6 +181,9 @@ impl CorpusIndex {
                 "build_threads must be at least 1".into(),
             ));
         }
+        if let Some(spec) = &options.approx {
+            spec.validate()?;
+        }
         let alive = vec![true; corpus.len()];
         let mut index = Self {
             corpus,
@@ -176,6 +193,8 @@ impl CorpusIndex {
             build_threads: options.build_threads,
             signature_width: options.signature_width,
             memory_budget: options.memory_budget,
+            approx_spec: options.approx.filter(crate::approx::ApproxSpec::is_active),
+            approx: None,
             prefix_index: CsrIndex::default(),
             prefix_lens: Vec::new(),
             prefix_tuples: 0,
@@ -247,6 +266,16 @@ impl CorpusIndex {
         );
         self.indexed = n;
         self.dead_in_index = 0;
+        if let Some(spec) = self.approx_spec {
+            // The sketch covers the whole arena, tombstones included (a
+            // tombstoned set's pairs are filtered from probe output), so a
+            // rebuild never has to renumber leaf membership.
+            let mut sketch = self.approx.take().unwrap_or_default();
+            let unlimited = crate::budget::ExecBudget::default();
+            let budget = BudgetState::new(&unlimited, None);
+            sketch.build(&self.corpus, &self.pred, &spec, &budget);
+            self.approx = Some(sketch);
+        }
     }
 
     /// Execute `batch SSJoin_pred index` into a caller-owned workspace.
@@ -306,6 +335,38 @@ impl CorpusIndex {
                 )));
             }
         }
+        // Approximate probes must match the sketch this index was built
+        // with — same pinning discipline as the signature width: a persisted
+        // sketch serves exactly the recall target and seed it was built for.
+        let approx = match &ctx.approx {
+            Some(spec) => {
+                spec.validate()?;
+                match (ctx.active_approx(), self.approx.as_deref()) {
+                    (None, _) => None,
+                    (Some(_), None) => {
+                        return Err(SsJoinError::Config(
+                            "approximate probe against an index built without an approximate \
+                             spec; set CorpusIndexOptions::approx at build time"
+                                .into(),
+                        ));
+                    }
+                    (Some(spec), Some(sketch)) => {
+                        if sketch.seed != spec.seed || sketch.recall_milli != spec.recall_milli() {
+                            return Err(SsJoinError::Config(format!(
+                                "approximate spec (recall {:.3}, seed {:#x}) does not match the \
+                                 sketch this index was built with (recall {:.3}, seed {:#x})",
+                                spec.target_recall,
+                                spec.seed,
+                                f64::from(sketch.recall_milli) / 1000.0,
+                                sketch.seed
+                            )));
+                        }
+                        Some((sketch, spec))
+                    }
+                }
+            }
+            None => None,
+        };
         let effective = effective_threads(ctx.threads);
         let clamped;
         let ctx = if effective == ctx.threads {
@@ -327,6 +388,13 @@ impl CorpusIndex {
         let spill_limit = ctx.budget.max_resident_bytes.or(self.memory_budget);
         let spilling =
             spill_limit.is_some_and(|limit| estimate_memory_bytes(batch, &self.corpus) > limit);
+        if approx.is_some() && spilling {
+            return Err(SsJoinError::Config(
+                "approximate mode cannot run out of core: raise the resident budget or drop \
+                 the approximate spec"
+                    .into(),
+            ));
+        }
         if !spilling {
             if let Some(limit) = ctx.budget.max_memory_bytes {
                 if estimate_memory_bytes(batch, &self.corpus) > limit {
@@ -352,8 +420,21 @@ impl CorpusIndex {
             None
         };
         let from_spill = spilled.is_some();
+        let from_approx = !from_spill && approx.is_some();
         let (mut stats, used) = if let Some(result) = spilled {
             result
+        } else if let Some((sketch, spec)) = approx {
+            crate::approx::probe_built(
+                r,
+                s,
+                sketch,
+                &self.pred,
+                config.algorithm,
+                ctx,
+                &spec,
+                &budget,
+                ws,
+            )
         } else {
             match config.algorithm {
                 Algorithm::Basic => (
@@ -477,8 +558,17 @@ impl CorpusIndex {
             // postings, so their pairs are filtered here. Epoch tail: sets
             // inserted since the last rebuild have no postings, so they are
             // joined brute-force below. Both passes are skipped entirely (no
-            // work, no allocations) when the index is clean.
-            if self.dead_in_index > 0 {
+            // work, no allocations) when the index is clean. The approximate
+            // sketch keeps *every* arena set in its leaves across rebuilds
+            // (tombstones are not zeroed out the way CSR posting lengths
+            // are), so approximate probes must filter every tombstone, not
+            // only the post-rebuild ones.
+            let dead_emitted = if from_approx {
+                self.dead
+            } else {
+                self.dead_in_index
+            };
+            if dead_emitted > 0 {
                 ws.out.retain(|p| self.alive[p.s as usize]);
             }
             let epoch_added = self.probe_epoch_tail(r, &budget, ws, &mut stats);
@@ -730,6 +820,7 @@ impl CorpusIndex {
             + vec_bytes(&self.prefix_freq)
             + vec_bytes(&self.full_lens)
             + vec_bytes(&self.alive)
+            + self.approx.as_ref().map_or(0, |a| a.bytes_reserved())
     }
 
     fn epoch_limit(&self) -> usize {

@@ -63,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod approx;
 mod budget;
 mod builder;
 mod error;
@@ -79,6 +80,7 @@ mod spill;
 mod stats;
 mod weight;
 
+pub use approx::ApproxSpec;
 pub use budget::{estimate_memory_bytes, BudgetCause, CancelToken, ExecBudget};
 pub use builder::{
     BuiltInput, NormKind, QueryEncoder, RelationHandle, SsJoinInputBuilder, WeightScheme,

@@ -120,6 +120,10 @@ pub struct SsJoinStats {
     /// Peak per-partition resident-memory estimate of the spilled run, by
     /// the same model as [`crate::budget::estimate_memory_bytes`].
     pub spill_peak_resident_bytes: u64,
+    /// LSH repetitions built (and probed) by the approximate candidate
+    /// generator — 0 on every exact run. A run-level fact like
+    /// `effective_threads`, not per-worker work.
+    pub approx_reps: u64,
     /// The full configuration the cost-based planner chose, set only when
     /// the run was configured with [`crate::Algorithm::Auto`] — the
     /// explainability record for auto runs.
@@ -182,6 +186,7 @@ impl SsJoinStats {
         self.spill_peak_resident_bytes = self
             .spill_peak_resident_bytes
             .max(other.spill_peak_resident_bytes);
+        self.approx_reps = self.approx_reps.max(other.approx_reps);
         // The plan is chosen once per run, never per worker: keep the first.
         self.plan = self.plan.or(other.plan);
     }
@@ -249,6 +254,9 @@ impl fmt::Display for SsJoinStats {
                 " spill_partitions={} spill_bytes={} spill_peak={}B",
                 self.spill_partitions, self.spill_bytes, self.spill_peak_resident_bytes
             )?;
+        }
+        if self.approx_reps > 0 {
+            write!(f, " approx_reps={}", self.approx_reps)?;
         }
         if let Some(plan) = &self.plan {
             write!(f, " plan={plan}")?;

@@ -47,6 +47,13 @@ pub struct TopKConfig {
     /// service hold reference tables larger than RAM. `None` (the default)
     /// never spills.
     pub memory_budget: Option<u64>,
+    /// Opt-in approximate candidate generation for indexed probes: `Some(r)`
+    /// with `r < 1` builds the underlying [`CorpusIndex`] with a seeded LSH
+    /// sketch and probes it targeting recall `r`. Verification is unchanged,
+    /// so every returned match still carries its exact similarity — the only
+    /// approximation is that some true matches may be missed. `None` (the
+    /// default) and `Some(1.0)` are exact.
+    pub approx: Option<f64>,
 }
 
 impl TopKConfig {
@@ -69,7 +76,16 @@ impl TopKConfig {
             min_similarity,
             q: 3,
             memory_budget: None,
+            approx: None,
         })
+    }
+
+    /// Opt in to approximate candidate generation at `target_recall`
+    /// (validated when the index is built).
+    #[must_use]
+    pub fn with_approximate(mut self, target_recall: f64) -> Self {
+        self.approx = Some(target_recall);
+        self
     }
 }
 
@@ -192,6 +208,7 @@ impl TopKIndex {
         let pred = property4_predicate(config.min_similarity, config.q);
         let options = CorpusIndexOptions {
             memory_budget: config.memory_budget,
+            approx: config.approx.map(ssjoin_core::ApproxSpec::new),
             ..CorpusIndexOptions::default()
         };
         let index = CorpusIndex::build_with(corpus, pred, &options)?;
@@ -199,8 +216,12 @@ impl TopKIndex {
         let short_ids = (0..reference.len() as u32)
             .filter(|&i| ref_lens[i as usize] < cutoff)
             .collect();
+        let mut ss_config = SsJoinConfig::new(Algorithm::Inline);
+        if let Some(recall) = config.approx {
+            ss_config = ss_config.with_approximate(recall);
+        }
         Ok(Self {
-            ss_config: SsJoinConfig::new(Algorithm::Inline),
+            ss_config,
             config,
             reference: reference.to_vec(),
             ref_lens,

@@ -1,9 +1,9 @@
 //! `ssjoin` — command-line similarity joins for data cleaning.
 //!
 //! ```text
-//! ssjoin join   --kind jaccard --threshold 0.85 [--algorithm inline] [--signature-width 4] [--memory-budget 64m] [--self-dedupe] R.tsv [S.tsv]
+//! ssjoin join   --kind jaccard --threshold 0.85 [--algorithm inline] [--signature-width 4] [--memory-budget 64m] [--approx 0.9] [--self-dedupe] R.tsv [S.tsv]
 //! ssjoin match  --reference R.tsv --query "some string" [--k 3] [--min-sim 0.6]
-//! ssjoin serve  --reference R.tsv [--k 3] [--min-sim 0.6] [--q 3] [--memory-budget 64m]
+//! ssjoin serve  --reference R.tsv [--k 3] [--min-sim 0.6] [--q 3] [--memory-budget 64m] [--approx 0.9]
 //! ssjoin dedup  --threshold 0.85 [--kind edit] FILE.tsv
 //! ssjoin gen    --rows 10000 --out addresses.tsv [--seed 7]
 //! ```
@@ -30,13 +30,20 @@
 //! estimate exceeds the budget run out of core via token-range spill
 //! partitions, with output identical to the unbudgeted run. In serve mode
 //! the per-batch spill activity shows up in the `stats` response.
+//!
+//! `--approx RECALL` (0 < RECALL ≤ 1) opts in to approximate candidate
+//! generation: a seeded LSH sketch replaces the exhaustive candidate scan,
+//! targeting the given recall. Every reported pair is still verified
+//! exactly — only completeness is traded for speed. `1.0` is exact. Joins
+//! print the winning execution plan (and the approx setting) to stderr;
+//! serve mode surfaces it in the `stats` response.
 
 use ssjoin::core::{Algorithm, ExecBudget, ExecContext, SignatureWidth};
 use ssjoin::datagen::{read_tsv, write_tsv, AddressCorpus, AddressCorpusConfig};
 use ssjoin::joins::{
     cluster_pairs, cosine_join, dedupe_self_pairs, edit_similarity_join, ges_join, jaccard_join,
-    CosineConfig, EditJoinConfig, EditMatcher, GesJoinConfig, JaccardConfig, MatchPair, TopKConfig,
-    TopKIndex,
+    CosineConfig, EditJoinConfig, EditMatcher, GesJoinConfig, JaccardConfig, SimilarityJoinOutput,
+    TopKConfig, TopKIndex,
 };
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -61,6 +68,8 @@ enum Command {
         signature_width: Option<SignatureWidth>,
         /// Resident budget in bytes; oversized joins spill to disk.
         memory_budget: Option<u64>,
+        /// `Some(recall)` opts in to approximate candidate generation.
+        approx: Option<f64>,
         self_dedupe: bool,
         r_path: String,
         s_path: Option<String>,
@@ -79,6 +88,8 @@ enum Command {
         q: usize,
         /// Resident budget in bytes; oversized probe batches spill to disk.
         memory_budget: Option<u64>,
+        /// `Some(recall)` opts in to approximate candidate generation.
+        approx: Option<f64>,
     },
     Dedup {
         kind: JoinKind,
@@ -97,10 +108,10 @@ const USAGE: &str = "usage:
   ssjoin join  --kind <edit|jaccard|cosine|ges> --threshold F \\
                [--algorithm <basic|prefix|inline|positional|partition|auto>] \\
                [--signature-width <1|2|4|8>] [--memory-budget BYTES[k|m|g]] \\
-               [--self-dedupe] [--out OUT.tsv] R.tsv [S.tsv]
+               [--approx RECALL] [--self-dedupe] [--out OUT.tsv] R.tsv [S.tsv]
   ssjoin match --reference R.tsv --query STRING [--k N] [--min-sim F]
   ssjoin serve --reference R.tsv [--k N] [--min-sim F] [--q N] \\
-               [--memory-budget BYTES[k|m|g]]
+               [--memory-budget BYTES[k|m|g]] [--approx RECALL]
   ssjoin dedup --threshold F [--kind <edit|jaccard|cosine>] FILE.tsv
   ssjoin gen   --rows N --out FILE.tsv [--seed N]";
 
@@ -213,6 +224,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 algorithm,
                 signature_width,
                 memory_budget,
+                approx: get_f64("approx")?,
                 self_dedupe: flags.iter().any(|f| f == "--self-dedupe"),
                 r_path,
                 s_path: paths.next(),
@@ -243,6 +255,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 .get("memory-budget")
                 .map(|v| parse_bytes(v))
                 .transpose()?,
+            approx: get_f64("approx")?,
         }),
         "dedup" => Ok(Command::Dedup {
             kind: parse_kind(opts.get("kind").map(String::as_str).unwrap_or("edit"))?,
@@ -279,15 +292,17 @@ fn first_column<P: AsRef<std::path::Path>>(path: P) -> Result<Vec<String>, Strin
         .collect())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_join(
     kind: JoinKind,
     threshold: f64,
     algorithm: Algorithm,
     signature_width: Option<SignatureWidth>,
     memory_budget: Option<u64>,
+    approx: Option<f64>,
     r: &[String],
     s: &[String],
-) -> Result<Vec<MatchPair>, String> {
+) -> Result<SimilarityJoinOutput, String> {
     // `--signature-width` implies the bitmap filter: a view width without
     // the filter would be a silent no-op.
     let mut exec = match signature_width {
@@ -299,71 +314,61 @@ fn run_join(
     if let Some(bytes) = memory_budget {
         exec = exec.with_budget(ExecBudget::new().with_max_resident_bytes(bytes));
     }
-    let pairs = match kind {
-        JoinKind::Edit => {
-            edit_similarity_join(
-                r,
-                s,
-                &EditJoinConfig::new(threshold)
-                    .with_algorithm(algorithm)
-                    .with_exec(exec),
-            )
-            .map_err(|e| e.to_string())?
-            .pairs
-        }
-        JoinKind::Jaccard => {
-            jaccard_join(
-                r,
-                s,
-                &JaccardConfig::resemblance(threshold)
-                    .with_algorithm(algorithm)
-                    .with_exec(exec),
-            )
-            .map_err(|e| e.to_string())?
-            .pairs
-        }
-        JoinKind::Cosine => {
-            cosine_join(
-                r,
-                s,
-                &CosineConfig::new(threshold)
-                    .with_algorithm(algorithm)
-                    .with_exec(exec),
-            )
-            .map_err(|e| e.to_string())?
-            .pairs
-        }
-        JoinKind::Ges => {
-            ges_join(
-                r,
-                s,
-                &GesJoinConfig::new(threshold)
-                    .with_algorithm(algorithm)
-                    .with_exec(exec),
-            )
-            .map_err(|e| e.to_string())?
-            .pairs
-        }
+    if let Some(recall) = approx {
+        exec = exec.with_approximate(recall);
+    }
+    let out = match kind {
+        JoinKind::Edit => edit_similarity_join(
+            r,
+            s,
+            &EditJoinConfig::new(threshold)
+                .with_algorithm(algorithm)
+                .with_exec(exec),
+        ),
+        JoinKind::Jaccard => jaccard_join(
+            r,
+            s,
+            &JaccardConfig::resemblance(threshold)
+                .with_algorithm(algorithm)
+                .with_exec(exec),
+        ),
+        JoinKind::Cosine => cosine_join(
+            r,
+            s,
+            &CosineConfig::new(threshold)
+                .with_algorithm(algorithm)
+                .with_exec(exec),
+        ),
+        JoinKind::Ges => ges_join(
+            r,
+            s,
+            &GesJoinConfig::new(threshold)
+                .with_algorithm(algorithm)
+                .with_exec(exec),
+        ),
     };
-    Ok(pairs)
+    out.map_err(|e| e.to_string())
 }
 
 /// Serve-mode request loop: build the [`TopKIndex`] once over `reference`,
 /// then answer one tab-separated request per input line until EOF. Request
 /// failures are reported as `err` response lines; only I/O failures and a
 /// bad initial configuration abort the loop.
+#[allow(clippy::too_many_arguments)]
 fn run_serve<R: BufRead, W: Write>(
     reference: Vec<String>,
     k: usize,
     min_sim: f64,
     q: usize,
     memory_budget: Option<u64>,
+    approx: Option<f64>,
     input: R,
     mut out: W,
 ) -> Result<(), String> {
     let mut config = TopKConfig::new(k, min_sim).map_err(|e| e.to_string())?;
     config.q = q;
     config.memory_budget = memory_budget;
+    config.approx = approx;
     let mut index = TopKIndex::build(&reference, config).map_err(|e| e.to_string())?;
     let io_err = |e: std::io::Error| e.to_string();
 
@@ -440,6 +445,7 @@ fn execute(cmd: Command) -> Result<(), String> {
             algorithm,
             signature_width,
             memory_budget,
+            approx,
             self_dedupe,
             r_path,
             s_path,
@@ -450,15 +456,22 @@ fn execute(cmd: Command) -> Result<(), String> {
                 Some(p) => first_column(p)?,
                 None => r.clone(),
             };
-            let mut pairs = run_join(
+            let output = run_join(
                 kind,
                 threshold,
                 algorithm,
                 signature_width,
                 memory_budget,
+                approx,
                 &r,
                 &s,
             )?;
+            // The winning execution plan (auto-planned or approximate) goes
+            // to stderr so piped TSV output stays clean.
+            if let Some(plan) = &output.stats.plan {
+                eprintln!("plan: {plan}");
+            }
+            let mut pairs = output.pairs;
             if self_dedupe && s_path.is_none() {
                 pairs = dedupe_self_pairs(&pairs);
             }
@@ -511,6 +524,7 @@ fn execute(cmd: Command) -> Result<(), String> {
             min_sim,
             q,
             memory_budget,
+            approx,
         } => {
             let refs = first_column(&reference)?;
             eprintln!("serving {} reference rows (EOF to stop)", refs.len());
@@ -522,6 +536,7 @@ fn execute(cmd: Command) -> Result<(), String> {
                 min_sim,
                 q,
                 memory_budget,
+                approx,
                 stdin.lock(),
                 stdout.lock(),
             )
@@ -532,7 +547,17 @@ fn execute(cmd: Command) -> Result<(), String> {
             path,
         } => {
             let data = first_column(&path)?;
-            let pairs = run_join(kind, threshold, Algorithm::Inline, None, None, &data, &data)?;
+            let pairs = run_join(
+                kind,
+                threshold,
+                Algorithm::Inline,
+                None,
+                None,
+                None,
+                &data,
+                &data,
+            )?
+            .pairs;
             let groups = cluster_pairs(data.len(), &pairs);
             for (gi, group) in groups.iter().enumerate() {
                 for &member in group {
@@ -599,12 +624,41 @@ mod tests {
                 algorithm: Algorithm::Basic,
                 signature_width: None,
                 memory_budget: None,
+                approx: None,
                 self_dedupe: true,
                 r_path: "input.tsv".into(),
                 s_path: None,
                 out: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_approx_recall() {
+        let cmd = parse_args(&sv(&[
+            "join",
+            "--threshold",
+            "0.8",
+            "--approx",
+            "0.9",
+            "r.tsv",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Join { approx, .. } => assert_eq!(approx, Some(0.9)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&sv(&[
+            "join",
+            "--threshold",
+            "0.8",
+            "--approx",
+            "fast",
+            "r.tsv",
+        ]))
+        .is_err());
+        // The flag is advertised for both join and serve.
+        assert_eq!(USAGE.matches("--approx RECALL").count(), 2);
     }
 
     #[test]
@@ -764,6 +818,7 @@ mod tests {
                 min_sim: 0.6,
                 q: 3,
                 memory_budget: None,
+                approx: None,
             }
         );
         assert_eq!(
@@ -778,7 +833,9 @@ mod tests {
                 "--q",
                 "2",
                 "--memory-budget",
-                "64m"
+                "64m",
+                "--approx",
+                "0.95"
             ]))
             .unwrap(),
             Command::Serve {
@@ -787,6 +844,7 @@ mod tests {
                 min_sim: 0.8,
                 q: 2,
                 memory_budget: Some(64 << 20),
+                approx: Some(0.95),
             }
         );
         assert!(parse_args(&sv(&["serve"])).is_err()); // missing --reference
@@ -841,7 +899,17 @@ mod tests {
                      del\tbogus\n\
                      frobnicate\tx\n";
         let mut out = Vec::new();
-        run_serve(refs, 3, 0.6, 3, None, std::io::Cursor::new(input), &mut out).unwrap();
+        run_serve(
+            refs,
+            3,
+            0.6,
+            3,
+            None,
+            None,
+            std::io::Cursor::new(input),
+            &mut out,
+        )
+        .unwrap();
         let text = String::from_utf8(out).unwrap();
         let lines: Vec<&str> = text.lines().collect();
 
@@ -915,6 +983,7 @@ mod tests {
             algorithm: Algorithm::Inline,
             signature_width: Some(SignatureWidth::W4),
             memory_budget: None,
+            approx: None,
             self_dedupe: true,
             r_path: data_path.to_string_lossy().into_owned(),
             s_path: None,
@@ -936,6 +1005,7 @@ mod tests {
             algorithm: Algorithm::Inline,
             signature_width: Some(SignatureWidth::W4),
             memory_budget: Some(64 << 10),
+            approx: None,
             self_dedupe: true,
             r_path: data_path.to_string_lossy().into_owned(),
             s_path: None,
@@ -947,6 +1017,65 @@ mod tests {
             std::fs::read(&spilled_path).unwrap(),
             "spilled CLI join diverged from the in-memory join"
         );
+        // The same join with --approx 0.9 may drop pairs but never invents
+        // or rescores one: every approximate row appears verbatim in the
+        // exact output.
+        let approx_path = dir.join("pairs_approx.tsv");
+        execute(Command::Join {
+            kind: JoinKind::Jaccard,
+            threshold: 0.8,
+            algorithm: Algorithm::Inline,
+            signature_width: None,
+            memory_budget: None,
+            approx: Some(0.9),
+            self_dedupe: true,
+            r_path: data_path.to_string_lossy().into_owned(),
+            s_path: None,
+            out: Some(approx_path.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        let exact_rows = read_tsv(&out_path).unwrap();
+        let approx_rows = read_tsv(&approx_path).unwrap();
+        assert!(!approx_rows.is_empty(), "approx join found nothing");
+        for row in &approx_rows {
+            assert!(
+                exact_rows.contains(row),
+                "approx row {row:?} not in the exact output"
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_approx_matches_are_exactly_scored_and_plan_surfaces() {
+        let refs: Vec<String> = (0..60)
+            .map(|i| format!("customer record number {i:04} main street"))
+            .chain(["microsoft corporation".to_string()])
+            .collect();
+        let input = "match\tmicrosoft corporation\nstats\n";
+        let mut out = Vec::new();
+        run_serve(
+            refs,
+            3,
+            0.6,
+            3,
+            None,
+            Some(0.9),
+            std::io::Cursor::new(input),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // The exact self-match survives approximate candidate generation
+        // (its similarity untouched), and the stats response records the
+        // approximate plan.
+        assert!(
+            text.contains("\t1.000000\tmicrosoft corporation"),
+            "missing exact match in {text:?}"
+        );
+        assert!(
+            text.contains("approx=0.90"),
+            "stats response lacks the approx plan in {text:?}"
+        );
     }
 }

@@ -75,10 +75,10 @@ pub use ssjoin_text as text;
 
 // Most-used items at the crate root for ergonomic imports.
 pub use ssjoin_core::{
-    ssjoin, ssjoin_with, Algorithm, BudgetCause, CancelToken, CorpusIndex, CorpusIndexOptions,
-    ElementOrder, ExecBudget, ExecContext, JoinWorkspace, NormKind, OverlapPredicate, QueryEncoder,
-    ShardPolicy, SignatureWidth, SsJoinConfig, SsJoinInputBuilder, SsJoinRun, StatsLevel,
-    WeightScheme,
+    ssjoin, ssjoin_with, Algorithm, ApproxSpec, BudgetCause, CancelToken, CorpusIndex,
+    CorpusIndexOptions, ElementOrder, ExecBudget, ExecContext, JoinWorkspace, NormKind,
+    OverlapPredicate, QueryEncoder, ShardPolicy, SignatureWidth, SsJoinConfig, SsJoinInputBuilder,
+    SsJoinRun, StatsLevel, WeightScheme,
 };
 pub use ssjoin_joins::{
     cluster_pairs, cooccurrence_join, cosine_join, edit_similarity_join, ges_join, jaccard_join,
@@ -242,6 +242,19 @@ impl<'a> SsJoin<'a> {
         self
     }
 
+    /// Opt into approximate candidate generation targeting `recall` in
+    /// `(0, 1]` (fast path only; see [`ApproxSpec`]). Candidates come from a
+    /// deterministic seeded LSH structure instead of the exact prefix
+    /// filter; verification is unchanged, so every emitted pair truly
+    /// satisfies the predicate, but up to `1 − recall` of the true pairs may
+    /// be missed. A target of exactly `1.0` keeps the exact pipeline. Also
+    /// adopted by [`Self::index`] so the built index carries the matching
+    /// sketch.
+    pub fn approximate(mut self, target_recall: f64) -> Self {
+        self.config.exec.approx = Some(ApproxSpec::new(target_recall));
+        self
+    }
+
     /// Replace the whole execution context in one call.
     pub fn exec(mut self, exec: ExecContext) -> Self {
         self.config.exec = exec;
@@ -276,7 +289,14 @@ impl<'a> SsJoin<'a> {
         })?;
         match self.engine {
             Engine::Fast => ssjoin(r, s, &pred, &self.config),
-            Engine::RelationalPlan => run_relational(r, s, &pred, self.config.algorithm),
+            Engine::RelationalPlan => {
+                if self.config.exec.approx.is_some_and(|a| a.is_active()) {
+                    return Err(SsJoinError::Config(
+                        "RelationalPlan has no approximate mode; use Engine::Fast".into(),
+                    ));
+                }
+                run_relational(r, s, &pred, self.config.algorithm)
+            }
         }
     }
 
@@ -353,6 +373,7 @@ impl<'a> SsJoin<'a> {
         let options = CorpusIndexOptions {
             build_threads: self.config.exec.threads.max(1),
             memory_budget: self.config.exec.budget.max_resident_bytes,
+            approx: self.config.exec.approx,
             ..CorpusIndexOptions::default()
         };
         CorpusIndex::build_with(s.clone(), pred, &options)
@@ -650,6 +671,54 @@ mod tests {
             .memory_budget(est / 4);
         let index = join.index().unwrap();
         assert_eq!(index.memory_budget(), Some(est / 4));
+    }
+
+    #[test]
+    fn facade_approximate_is_subset_with_exact_scores() {
+        let input = addresses_input();
+        let pred = OverlapPredicate::two_sided(0.6);
+        let exact = SsJoin::new(&input).predicate(pred.clone()).run().unwrap();
+        let approx = SsJoin::new(&input)
+            .predicate(pred.clone())
+            .approximate(0.9)
+            .run()
+            .unwrap();
+        // Every approximate pair appears in the exact output with an
+        // identical overlap — approximation only drops pairs.
+        for p in &approx.pairs {
+            assert!(exact.pairs.contains(p), "spurious pair {p:?}");
+        }
+        assert!(approx.stats.approx_reps >= 1);
+        assert_eq!(
+            approx
+                .stats
+                .plan
+                .expect("approx runs stamp their plan")
+                .approx_recall_milli,
+            Some(900)
+        );
+        // recall target 1.0 is exact, bit for bit.
+        let one = SsJoin::new(&input)
+            .predicate(pred.clone())
+            .approximate(1.0)
+            .run()
+            .unwrap();
+        assert_eq!(one.pairs, exact.pairs);
+        assert_eq!(one.stats.approx_reps, 0);
+        // The approximate spec flows into the built index; probes under the
+        // same spec reproduce the one-shot approximate output.
+        let join = SsJoin::new(&input).predicate(pred.clone()).approximate(0.9);
+        let index = join.index().unwrap();
+        let mut ws = JoinWorkspace::new();
+        let probed = join.probe_with(&index, &mut ws).unwrap();
+        assert_eq!(probed.pairs, approx.pairs.as_slice());
+        // The relational-plan engine has no approximate mode.
+        let err = SsJoin::new(&input)
+            .predicate(pred)
+            .approximate(0.9)
+            .engine(Engine::RelationalPlan)
+            .run();
+        assert!(matches!(err, Err(SsJoinError::Config(_))));
     }
 
     #[test]
